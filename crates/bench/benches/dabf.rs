@@ -1,0 +1,50 @@
+//! DABF benchmarks — the paper's O(N²) → O(N) claim: the
+//! distribution-aware bloom filter query vs the naive
+//! distance-to-every-element reference, at growing set sizes.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use ips_filter::{ClassDabf, DabfConfig, NaiveMostFilter};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+fn cluster(n: usize, dim: usize) -> Vec<Vec<f64>> {
+    let mut rng = StdRng::seed_from_u64(42);
+    (0..n)
+        .map(|_| (0..dim).map(|j| (j as f64 * 0.4).sin() + rng.random_range(-0.1..0.1)).collect())
+        .collect()
+}
+
+fn bench_query(c: &mut Criterion) {
+    let mut g = c.benchmark_group("close_to_most_query");
+    for &n in &[100usize, 400, 1600] {
+        let elements = cluster(n, 32);
+        let dabf = ClassDabf::build(&elements, DabfConfig::default());
+        let naive = NaiveMostFilter::build(&elements, 3.0);
+        let query = elements[0].clone();
+        g.bench_with_input(BenchmarkId::new("dabf", n), &n, |b, _| {
+            b.iter(|| black_box(dabf.is_close_to_most(&query)))
+        });
+        g.bench_with_input(BenchmarkId::new("naive", n), &n, |b, _| {
+            b.iter(|| black_box(naive.is_close_to_most(&query)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("filter_build");
+    g.sample_size(20);
+    for &n in &[200usize, 800] {
+        let elements = cluster(n, 32);
+        g.bench_with_input(BenchmarkId::new("dabf", n), &n, |b, _| {
+            b.iter(|| black_box(ClassDabf::build(&elements, DabfConfig::default())))
+        });
+        g.bench_with_input(BenchmarkId::new("naive", n), &n, |b, _| {
+            b.iter(|| black_box(NaiveMostFilter::build(&elements, 3.0)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_query, bench_build);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! LSH benchmarks: per-family hashing throughput and the embedding step,
+//! including the embedding-dimension ablation called out in DESIGN.md §4.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use ips_lsh::{embed, Lsh, LshKind, LshParams};
+
+fn bench_families(c: &mut Criterion) {
+    let v: Vec<f64> = (0..32).map(|i| (i as f64 * 0.31).sin()).collect();
+    let mut g = c.benchmark_group("lsh_signature");
+    for kind in [LshKind::L2, LshKind::Cosine, LshKind::Hamming] {
+        let lsh = Lsh::new(LshParams { kind, dim: 32, num_hashes: 8, ..Default::default() });
+        g.bench_with_input(BenchmarkId::new(format!("{kind:?}"), 32), &v, |b, v| {
+            b.iter(|| black_box(lsh.signature(v)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_embed_dims(c: &mut Criterion) {
+    let sub: Vec<f64> = (0..125).map(|i| (i as f64 * 0.17).cos() * 2.0).collect();
+    let mut g = c.benchmark_group("embed_dim");
+    for &dim in &[8usize, 16, 32, 64] {
+        g.bench_with_input(BenchmarkId::from_parameter(dim), &dim, |b, &dim| {
+            b.iter(|| black_box(embed(&sub, dim)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_families, bench_embed_dims);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Algorithm 4 benchmarks: exact utility scoring (CR only) vs the DT+CR
+//! optimized path — the Fig. 10b speedup claim.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use ips_core::topk::{select_top_k, TopKStrategy};
+use ips_core::{build_dabf, generate_candidates, IpsConfig};
+use ips_tsdata::{DatasetSpec, SynthGenerator};
+
+fn bench_topk(c: &mut Criterion) {
+    let mut g = c.benchmark_group("topk_scoring");
+    g.sample_size(10);
+    for &qn in &[10usize, 20] {
+        let (train, _) = SynthGenerator::new(DatasetSpec::new("BenchTopk", 2, 128, 24, 4))
+            .generate()
+            .expect("generation");
+        let cfg = IpsConfig::default().with_sampling(qn, 5);
+        let pool = generate_candidates(&train, &cfg);
+        let dabf = build_dabf(&pool, &cfg);
+        g.bench_with_input(BenchmarkId::new("exact", qn), &qn, |b, _| {
+            b.iter(|| {
+                black_box(select_top_k(&pool, &train, Some(&dabf), &cfg, TopKStrategy::Exact))
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("dt_cr", qn), &qn, |b, _| {
+            b.iter(|| {
+                black_box(select_top_k(&pool, &train, Some(&dabf), &cfg, TopKStrategy::DtCr))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_topk);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Figure 10 — the optimization ablations as scatter pairs over datasets:
+//! (a) candidate pruning time with vs without the DABF,
+//! (b) top-k selection time with vs without DT+CR,
+//! (c) final accuracy with vs without DT+CR.
+//!
+//! ```sh
+//! cargo run -p ips-bench --release --bin fig10 [--full]
+//! ```
+
+use std::time::Instant;
+
+use ips_bench::{ips_config, sweep_datasets};
+use ips_core::topk::{select_top_k, TopKStrategy};
+use ips_core::{build_dabf, generate_candidates, prune_naive, prune_with_dabf, IpsClassifier};
+use ips_tsdata::registry;
+
+fn main() {
+    let datasets = sweep_datasets();
+    println!("Fig. 10: optimization ablations over {} datasets\n", datasets.len());
+    println!(
+        "{:<28} {:>11} {:>11} | {:>11} {:>11} | {:>8} {:>8}",
+        "dataset", "prune naive", "prune DABF", "topk exact", "topk DT+CR", "acc ex%", "acc DT%"
+    );
+    let (mut a_wins, mut b_wins, mut acc_gap_sum) = (0usize, 0usize, 0.0f64);
+    for name in &datasets {
+        let (train, test) = registry::load(name).expect("registry dataset");
+        let cfg = ips_config();
+        let pool = generate_candidates(&train, &cfg);
+
+        let mut p1 = pool.clone();
+        let t = Instant::now();
+        prune_naive(&mut p1, &cfg);
+        let t_naive = t.elapsed().as_secs_f64();
+
+        let mut p2 = pool.clone();
+        let t = Instant::now();
+        let dabf = build_dabf(&p2, &cfg);
+        prune_with_dabf(&mut p2, &dabf);
+        let t_dabf = t.elapsed().as_secs_f64();
+
+        let t = Instant::now();
+        let _ = select_top_k(&p2, &train, Some(&dabf), &cfg, TopKStrategy::Exact);
+        let t_exact = t.elapsed().as_secs_f64();
+        let t = Instant::now();
+        let _ = select_top_k(&p2, &train, Some(&dabf), &cfg, TopKStrategy::DtCr);
+        let t_dtcr = t.elapsed().as_secs_f64();
+
+        // end-to-end accuracy with and without DT+CR (both with DABF)
+        let mut cfg_exact = cfg.clone();
+        cfg_exact.use_dt_cr = false;
+        let acc_exact = IpsClassifier::fit(&train, cfg_exact)
+            .expect("fit")
+            .accuracy(&test);
+        let acc_dtcr = IpsClassifier::fit(&train, cfg.clone()).expect("fit").accuracy(&test);
+
+        if t_dabf < t_naive {
+            a_wins += 1;
+        }
+        if t_dtcr < t_exact {
+            b_wins += 1;
+        }
+        acc_gap_sum += (acc_exact - acc_dtcr).abs();
+        println!(
+            "{name:<28} {t_naive:>11.4} {t_dabf:>11.4} | {t_exact:>11.4} {t_dtcr:>11.4} | {:>8.2} {:>8.2}",
+            100.0 * acc_exact,
+            100.0 * acc_dtcr
+        );
+    }
+    println!(
+        "\n(a) DABF pruning faster on {a_wins}/{} datasets; (b) DT+CR faster on {b_wins}/{};",
+        datasets.len(),
+        datasets.len()
+    );
+    println!(
+        "(c) mean |accuracy gap| with vs without DT+CR: {:.2} points",
+        100.0 * acc_gap_sum / datasets.len() as f64
+    );
+    println!("shape check (paper Fig. 10): all points above the diagonal for (a) and (b),");
+    println!("accuracy essentially unchanged for (c).");
+}

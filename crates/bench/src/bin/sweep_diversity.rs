@@ -1,0 +1,34 @@
+//! Ablation: the Algorithm-4 diversity guard strength vs accuracy.
+//!
+//! ```sh
+//! cargo run -p ips-bench --release --bin sweep_diversity
+//! ```
+use ips_bench::{ips_config, run_ips, QUICK_SUBSET};
+use ips_tsdata::registry;
+
+fn main() {
+    let thresholds = [0.0f64, 0.2, 0.3, 0.4, 0.6];
+    print!("{:<26}", "dataset");
+    for t in thresholds {
+        print!(" {:>8}", format!("d={t}"));
+    }
+    println!();
+    let mut sums = vec![0.0; thresholds.len()];
+    for name in QUICK_SUBSET {
+        let (train, test) = registry::load(name).expect("dataset");
+        print!("{name:<26}");
+        for (i, &t) in thresholds.iter().enumerate() {
+            let mut cfg = ips_config();
+            cfg.diversity = t;
+            let r = run_ips(&train, &test, cfg);
+            sums[i] += r.accuracy;
+            print!(" {:>8.2}", 100.0 * r.accuracy);
+        }
+        println!();
+    }
+    print!("{:<26}", "MEAN");
+    for s in &sums {
+        print!(" {:>8.2}", 100.0 * s / QUICK_SUBSET.len() as f64);
+    }
+    println!();
+}

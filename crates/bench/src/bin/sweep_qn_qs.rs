@@ -1,0 +1,36 @@
+//! Extra ablation (Section IV-A's parameter grid): IPS accuracy and
+//! runtime over the sample-number / sample-size grid
+//! `Q_N ∈ {10, 20, 50, 100}` × `Q_S ∈ {2, 3, 4, 5, 10}`.
+//!
+//! ```sh
+//! cargo run -p ips-bench --release --bin sweep_qn_qs [DatasetName]
+//! ```
+
+use ips_core::IpsConfig;
+use ips_tsdata::registry;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "GunPoint".into());
+    let (train, test) = registry::load(&name).unwrap_or_else(|e| {
+        eprintln!("cannot load {name}: {e}");
+        std::process::exit(1);
+    });
+    let q_ns = [10usize, 20, 50, 100];
+    let q_ss = [2usize, 3, 4, 5, 10];
+    println!("Q_N / Q_S sweep on {name}: accuracy % (runtime s)\n");
+    print!("{:>6}", "Qn\\Qs");
+    for qs in q_ss {
+        print!(" {:>16}", qs);
+    }
+    println!();
+    for qn in q_ns {
+        print!("{qn:>6}");
+        for qs in q_ss {
+            let cfg = IpsConfig::default().with_sampling(qn, qs);
+            let r = ips_bench::run_ips(&train, &test, cfg);
+            print!(" {:>9.2} ({:>4.1})", 100.0 * r.accuracy, r.fit_seconds);
+        }
+        println!();
+    }
+    println!("\nreading: accuracy saturates quickly in Q_N; Q_S mostly trades runtime.");
+}

@@ -1,0 +1,47 @@
+//! Table VII — IPS accuracy under the three LSH families (Hamming,
+//! Cosine, L2) on ten datasets.
+//!
+//! ```sh
+//! cargo run -p ips-bench --release --bin table7
+//! ```
+
+use ips_bench::published::TABLE7;
+use ips_bench::{ips_config, run_ips_avg};
+use ips_lsh::LshKind;
+use ips_tsdata::registry;
+
+fn main() {
+    println!("Table VII: IPS accuracy (%) by LSH family");
+    println!("(measured | paper)\n");
+    println!(
+        "{:<18} {:>8} {:>8} {:>8} | {:>8} {:>8} {:>8}",
+        "dataset", "Hamming", "Cosine", "L2", "Hamming", "Cosine", "L2"
+    );
+    let mut means = [0.0f64; 3];
+    let mut count = 0usize;
+    for (name, p_ham, p_cos, p_l2) in TABLE7 {
+        let (train, test) = registry::load(name).expect("registry dataset");
+        let mut accs = [0.0f64; 3];
+        for (i, kind) in [LshKind::Hamming, LshKind::Cosine, LshKind::L2]
+            .into_iter()
+            .enumerate()
+        {
+            let mut cfg = ips_config();
+            cfg.dabf.lsh.kind = kind;
+            accs[i] = 100.0 * run_ips_avg(&train, &test, cfg, 3).accuracy;
+            means[i] += accs[i];
+        }
+        count += 1;
+        println!(
+            "{name:<18} {:>8.2} {:>8.2} {:>8.2} | {p_ham:>8.2} {p_cos:>8.2} {p_l2:>8.2}",
+            accs[0], accs[1], accs[2]
+        );
+    }
+    println!(
+        "\nmean measured: Hamming {:.2}, Cosine {:.2}, L2 {:.2}",
+        means[0] / count as f64,
+        means[1] / count as f64,
+        means[2] / count as f64
+    );
+    println!("shape check: L2 >= Cosine >= Hamming on average (paper's ordering).");
+}

@@ -1,0 +1,171 @@
+//! Stratified cross-validation and grid model selection.
+//!
+//! The paper's parameter setting ("`Q_N` and `Q_S` are selected from
+//! {…}") implies per-dataset tuning; this module provides the standard
+//! machinery: stratified k-fold splits and a generic grid search over any
+//! fit/score closure.
+
+use ips_tsdata::{Dataset, TimeSeries};
+
+/// Stratified k-fold indices: each fold receives a proportional share of
+/// every class, preserving within-class order.
+///
+/// Returns `folds` vectors of test indices. Folds are non-empty as long as
+/// `folds <= len`.
+///
+/// # Panics
+/// Panics when `folds == 0`.
+pub fn stratified_folds(labels: &[u32], folds: usize) -> Vec<Vec<usize>> {
+    assert!(folds > 0, "need at least one fold");
+    let folds = folds.min(labels.len().max(1));
+    let mut classes: Vec<u32> = labels.to_vec();
+    classes.sort_unstable();
+    classes.dedup();
+    let mut out = vec![Vec::new(); folds];
+    for c in classes {
+        let members: Vec<usize> =
+            (0..labels.len()).filter(|&i| labels[i] == c).collect();
+        for (j, &i) in members.iter().enumerate() {
+            out[j % folds].push(i);
+        }
+    }
+    out.iter_mut().for_each(|f| f.sort_unstable());
+    out
+}
+
+/// Materializes `(train, test)` datasets for one fold.
+///
+/// # Panics
+/// Panics when a fold would leave the training side empty.
+pub fn split_fold(data: &Dataset, test_idx: &[usize]) -> (Dataset, Dataset) {
+    let is_test: Vec<bool> = {
+        let mut v = vec![false; data.len()];
+        for &i in test_idx {
+            v[i] = true;
+        }
+        v
+    };
+    let mut tr_s: Vec<TimeSeries> = Vec::new();
+    let mut tr_l = Vec::new();
+    let mut te_s: Vec<TimeSeries> = Vec::new();
+    let mut te_l = Vec::new();
+    for i in 0..data.len() {
+        if is_test[i] {
+            te_s.push(data.series(i).clone());
+            te_l.push(data.label(i));
+        } else {
+            tr_s.push(data.series(i).clone());
+            tr_l.push(data.label(i));
+        }
+    }
+    (
+        Dataset::new(tr_s, tr_l).expect("train side non-empty"),
+        Dataset::new(te_s, te_l).expect("test side non-empty"),
+    )
+}
+
+/// Mean k-fold cross-validated accuracy of an arbitrary `fit_predict`
+/// closure: given `(train, test)`, return predictions for `test`.
+/// Folds whose training side collapses to one class are skipped.
+pub fn cross_val_accuracy(
+    data: &Dataset,
+    folds: usize,
+    mut fit_predict: impl FnMut(&Dataset, &Dataset) -> Vec<u32>,
+) -> f64 {
+    let fold_idx = stratified_folds(data.labels(), folds);
+    let mut acc_sum = 0.0;
+    let mut counted = 0usize;
+    for test_idx in &fold_idx {
+        if test_idx.is_empty() || test_idx.len() == data.len() {
+            continue;
+        }
+        let (train, test) = split_fold(data, test_idx);
+        if train.num_classes() < 2 {
+            continue;
+        }
+        let preds = fit_predict(&train, &test);
+        acc_sum += crate::eval::accuracy(&preds, test.labels());
+        counted += 1;
+    }
+    if counted == 0 {
+        0.0
+    } else {
+        acc_sum / counted as f64
+    }
+}
+
+/// Grid search: evaluates `score` (higher = better) for every grid point
+/// and returns the best `(point, score)` — first-best wins ties, so the
+/// search is deterministic for a deterministic scorer.
+///
+/// # Panics
+/// Panics on an empty grid.
+pub fn grid_search<P: Clone>(
+    grid: &[P],
+    mut score: impl FnMut(&P) -> f64,
+) -> (P, f64) {
+    assert!(!grid.is_empty(), "empty parameter grid");
+    let mut best: Option<(P, f64)> = None;
+    for p in grid {
+        let s = score(p);
+        if best.as_ref().map_or(true, |(_, bs)| s > *bs) {
+            best = Some((p.clone(), s));
+        }
+    }
+    best.expect("non-empty grid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nn::OneNnEd;
+    use ips_tsdata::registry;
+
+    #[test]
+    fn folds_are_stratified_and_partition() {
+        let labels = [0, 0, 0, 0, 1, 1, 1, 1, 1, 1];
+        let folds = stratified_folds(&labels, 3);
+        assert_eq!(folds.len(), 3);
+        let mut all: Vec<usize> = folds.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..10).collect::<Vec<_>>());
+        // each fold sees both classes
+        for f in &folds {
+            let zeros = f.iter().filter(|&&i| labels[i] == 0).count();
+            let ones = f.iter().filter(|&&i| labels[i] == 1).count();
+            assert!(zeros >= 1 && ones >= 2, "fold {f:?}");
+        }
+    }
+
+    #[test]
+    fn split_fold_partitions_dataset() {
+        let (train, _) = registry::load("ItalyPowerDemand").unwrap();
+        let folds = stratified_folds(train.labels(), 5);
+        let (tr, te) = split_fold(&train, &folds[0]);
+        assert_eq!(tr.len() + te.len(), train.len());
+        assert_eq!(te.len(), folds[0].len());
+    }
+
+    #[test]
+    fn cross_val_accuracy_of_1nn_is_high_on_easy_data() {
+        let (train, _) = registry::load("GunPoint").unwrap();
+        let acc = cross_val_accuracy(&train, 5, |tr, te| OneNnEd::fit(tr).predict_all(te));
+        assert!(acc > 0.5, "cv acc {acc}");
+    }
+
+    #[test]
+    fn grid_search_finds_the_max() {
+        let grid = [1.0f64, 3.0, 2.0, 5.0, 4.0];
+        let (best, score) = grid_search(&grid, |&x| -(x - 3.5) * (x - 3.5));
+        assert_eq!(best, 3.0); // first of the two closest to 3.5
+        assert!(score <= 0.0);
+        let (best, _) = grid_search(&grid, |&x| x);
+        assert_eq!(best, 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty parameter grid")]
+    fn grid_search_rejects_empty_grid() {
+        grid_search::<f64>(&[], |_| 0.0);
+    }
+}

@@ -1,0 +1,90 @@
+//! Evaluation utilities: accuracy and confusion matrices.
+
+use ips_tsdata::Dataset;
+
+/// Fraction of positions where `predicted[i] == actual[i]`.
+///
+/// # Panics
+/// Panics when the slices differ in length or are empty.
+pub fn accuracy(predicted: &[u32], actual: &[u32]) -> f64 {
+    assert_eq!(predicted.len(), actual.len(), "prediction/label length mismatch");
+    assert!(!actual.is_empty(), "cannot score zero predictions");
+    let hits = predicted.iter().zip(actual).filter(|(p, a)| p == a).count();
+    hits as f64 / actual.len() as f64
+}
+
+/// Square confusion matrix over the union of observed labels; rows are
+/// actual classes, columns predictions, both indexed by the sorted label
+/// order also returned.
+pub fn confusion_matrix(predicted: &[u32], actual: &[u32]) -> (Vec<u32>, Vec<Vec<usize>>) {
+    assert_eq!(predicted.len(), actual.len());
+    let mut labels: Vec<u32> = actual.iter().chain(predicted).copied().collect();
+    labels.sort_unstable();
+    labels.dedup();
+    let idx = |l: u32| labels.binary_search(&l).expect("label present");
+    let mut m = vec![vec![0usize; labels.len()]; labels.len()];
+    for (&p, &a) in predicted.iter().zip(actual) {
+        m[idx(a)][idx(p)] += 1;
+    }
+    (labels, m)
+}
+
+/// A labelled evaluation outcome for reporting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Evaluation {
+    /// Predicted label per test instance.
+    pub predictions: Vec<u32>,
+    /// Overall accuracy in `[0, 1]`.
+    pub accuracy: f64,
+}
+
+impl Evaluation {
+    /// Scores predictions against a test dataset's labels.
+    pub fn from_predictions(predictions: Vec<u32>, test: &Dataset) -> Self {
+        let accuracy = accuracy(&predictions, test.labels());
+        Self { predictions, accuracy }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ips_tsdata::TimeSeries;
+
+    #[test]
+    fn accuracy_basics() {
+        assert_eq!(accuracy(&[1, 2, 3], &[1, 2, 3]), 1.0);
+        assert_eq!(accuracy(&[1, 2, 3], &[3, 2, 1]), 1.0 / 3.0);
+        assert_eq!(accuracy(&[0, 0], &[1, 1]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn accuracy_rejects_ragged_inputs() {
+        accuracy(&[1], &[1, 2]);
+    }
+
+    #[test]
+    fn confusion_matrix_counts() {
+        let (labels, m) = confusion_matrix(&[0, 0, 1, 1, 1], &[0, 1, 1, 1, 0]);
+        assert_eq!(labels, vec![0, 1]);
+        assert_eq!(m[0][0], 1); // actual 0 predicted 0
+        assert_eq!(m[0][1], 1); // actual 0 predicted 1
+        assert_eq!(m[1][0], 1); // actual 1 predicted 0
+        assert_eq!(m[1][1], 2);
+        let total: usize = m.iter().flatten().sum();
+        assert_eq!(total, 5);
+    }
+
+    #[test]
+    fn evaluation_from_predictions() {
+        let test = Dataset::new(
+            vec![TimeSeries::new(vec![1.0]), TimeSeries::new(vec![2.0])],
+            vec![0, 1],
+        )
+        .unwrap();
+        let e = Evaluation::from_predictions(vec![0, 0], &test);
+        assert_eq!(e.accuracy, 0.5);
+        assert_eq!(e.predictions, vec![0, 0]);
+    }
+}

@@ -1,0 +1,370 @@
+//! Bagged tree ensembles: a random forest and a Rotation-Forest-style
+//! variant (the `RotF` comparator of Table VI).
+//!
+//! Rotation Forest (Rodríguez et al., 2006) trains each tree on a rotated
+//! feature space: features are partitioned into groups, each group is
+//! rotated by the principal components of a bootstrap sample, and the
+//! per-group rotations are assembled into a block-diagonal matrix. The
+//! PCA here is computed from scratch via Jacobi eigendecomposition of the
+//! group covariance.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::tree::{DecisionTree, TreeParams};
+
+/// Ensemble hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ForestParams {
+    /// Number of trees.
+    pub num_trees: usize,
+    /// Per-tree parameters.
+    pub tree: TreeParams,
+    /// Bootstrap sample fraction.
+    pub sample_fraction: f64,
+    /// Feature-group size for the rotation variant.
+    pub group_size: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for ForestParams {
+    fn default() -> Self {
+        Self {
+            num_trees: 50,
+            tree: TreeParams::default(),
+            sample_fraction: 0.75,
+            group_size: 3,
+            seed: 0xF0E5,
+        }
+    }
+}
+
+/// A bagged forest, optionally with per-tree feature rotation.
+#[derive(Debug, Clone)]
+pub struct RotationForest {
+    trees: Vec<(Option<Rotation>, DecisionTree)>,
+    classes: Vec<u32>,
+}
+
+/// A block-diagonal rotation: per feature-group PCA bases.
+#[derive(Debug, Clone)]
+struct Rotation {
+    /// `(group feature indices, row-major basis: components × features)`.
+    groups: Vec<(Vec<usize>, Vec<f64>)>,
+}
+
+impl Rotation {
+    fn apply(&self, x: &[f64]) -> Vec<f64> {
+        let mut out = Vec::with_capacity(x.len());
+        for (features, basis) in &self.groups {
+            let g = features.len();
+            for r in 0..g {
+                let mut acc = 0.0;
+                for (c, &f) in features.iter().enumerate() {
+                    acc += basis[r * g + c] * x[f];
+                }
+                out.push(acc);
+            }
+        }
+        out
+    }
+}
+
+impl RotationForest {
+    /// Fits a Rotation-Forest-style ensemble.
+    ///
+    /// # Panics
+    /// Panics on empty/ragged input or a single class.
+    pub fn fit(features: &[Vec<f64>], labels: &[u32], params: ForestParams) -> Self {
+        Self::fit_inner(features, labels, params, true)
+    }
+
+    /// Fits a plain bagged random forest (no rotation; per-split feature
+    /// subsampling via `params.tree.max_features`).
+    pub fn fit_unrotated(features: &[Vec<f64>], labels: &[u32], params: ForestParams) -> Self {
+        Self::fit_inner(features, labels, params, false)
+    }
+
+    fn fit_inner(
+        features: &[Vec<f64>],
+        labels: &[u32],
+        params: ForestParams,
+        rotate: bool,
+    ) -> Self {
+        assert_eq!(features.len(), labels.len(), "features/labels mismatch");
+        assert!(!features.is_empty(), "cannot fit on zero instances");
+        let dim = features[0].len();
+        assert!(features.iter().all(|f| f.len() == dim), "ragged feature matrix");
+        let mut classes: Vec<u32> = labels.to_vec();
+        classes.sort_unstable();
+        classes.dedup();
+        assert!(classes.len() >= 2, "need at least two classes");
+
+        let mut rng = StdRng::seed_from_u64(params.seed);
+        let n = features.len();
+        let take = ((params.sample_fraction * n as f64) as usize).clamp(1, n);
+        let mut trees = Vec::with_capacity(params.num_trees);
+        for t in 0..params.num_trees.max(1) {
+            // bootstrap (with replacement)
+            let idx: Vec<usize> = (0..take).map(|_| rng.random_range(0..n)).collect();
+            let rotation = rotate.then(|| {
+                build_rotation(features, &idx, dim, params.group_size.max(1), &mut rng)
+            });
+            let (x, y): (Vec<Vec<f64>>, Vec<u32>) = idx
+                .iter()
+                .map(|&i| {
+                    let row = match &rotation {
+                        Some(r) => r.apply(&features[i]),
+                        None => features[i].clone(),
+                    };
+                    (row, labels[i])
+                })
+                .unzip();
+            // degenerate bootstrap (single class) → resample deterministically
+            let tree = if y.windows(2).all(|w| w[0] == w[1]) {
+                let all: Vec<Vec<f64>> = features
+                    .iter()
+                    .map(|f| rotation.as_ref().map_or_else(|| f.clone(), |r| r.apply(f)))
+                    .collect();
+                DecisionTree::fit(
+                    &all,
+                    labels,
+                    TreeParams { seed: params.tree.seed ^ t as u64, ..params.tree },
+                )
+            } else {
+                DecisionTree::fit(
+                    &x,
+                    &y,
+                    TreeParams { seed: params.tree.seed ^ t as u64, ..params.tree },
+                )
+            };
+            trees.push((rotation, tree));
+        }
+        Self { trees, classes }
+    }
+
+    /// Predicts by majority vote.
+    pub fn predict(&self, features: &[f64]) -> u32 {
+        let mut votes: Vec<(u32, usize)> = self.classes.iter().map(|&c| (c, 0)).collect();
+        for (rot, tree) in &self.trees {
+            let label = match rot {
+                Some(r) => tree.predict(&r.apply(features)),
+                None => tree.predict(features),
+            };
+            if let Some(v) = votes.iter_mut().find(|(c, _)| *c == label) {
+                v.1 += 1;
+            }
+        }
+        votes.into_iter().max_by_key(|&(_, v)| v).map(|(c, _)| c).expect("non-empty")
+    }
+
+    /// Predicts a batch.
+    pub fn predict_all(&self, features: &[Vec<f64>]) -> Vec<u32> {
+        features.iter().map(|f| self.predict(f)).collect()
+    }
+
+    /// Number of trees.
+    pub fn len(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Forests are never empty (at least one tree).
+    pub fn is_empty(&self) -> bool {
+        self.trees.is_empty()
+    }
+}
+
+/// Builds the per-tree block-diagonal rotation: shuffle features into
+/// groups of `group_size`, PCA each group on the bootstrap rows.
+fn build_rotation(
+    features: &[Vec<f64>],
+    idx: &[usize],
+    dim: usize,
+    group_size: usize,
+    rng: &mut StdRng,
+) -> Rotation {
+    let mut order: Vec<usize> = (0..dim).collect();
+    for i in (1..order.len()).rev() {
+        let j = rng.random_range(0..=i);
+        order.swap(i, j);
+    }
+    let groups = order
+        .chunks(group_size)
+        .map(|chunk| {
+            let cols: Vec<usize> = chunk.to_vec();
+            let basis = pca_basis(features, idx, &cols);
+            (cols, basis)
+        })
+        .collect();
+    Rotation { groups }
+}
+
+/// Principal-component basis (row-major, g×g) of the selected columns over
+/// the selected rows, via Jacobi eigendecomposition of the covariance.
+fn pca_basis(features: &[Vec<f64>], idx: &[usize], cols: &[usize]) -> Vec<f64> {
+    let g = cols.len();
+    let n = idx.len() as f64;
+    let mut mean = vec![0.0; g];
+    for &i in idx {
+        for (k, &c) in cols.iter().enumerate() {
+            mean[k] += features[i][c] / n;
+        }
+    }
+    let mut cov = vec![0.0; g * g];
+    for &i in idx {
+        for a in 0..g {
+            for b in 0..g {
+                cov[a * g + b] +=
+                    (features[i][cols[a]] - mean[a]) * (features[i][cols[b]] - mean[b]) / n;
+            }
+        }
+    }
+    jacobi_eigenvectors(&cov, g)
+}
+
+/// Eigenvectors of a symmetric matrix by cyclic Jacobi rotations, returned
+/// row-major (each row one eigenvector). Good to ~1e-10 off-diagonal.
+pub fn jacobi_eigenvectors(matrix: &[f64], n: usize) -> Vec<f64> {
+    let mut a = matrix.to_vec();
+    // v starts as identity; rows of the final transpose are eigenvectors
+    let mut v = vec![0.0; n * n];
+    for i in 0..n {
+        v[i * n + i] = 1.0;
+    }
+    for _sweep in 0..64 {
+        let mut off = 0.0;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                off += a[p * n + q] * a[p * n + q];
+            }
+        }
+        if off < 1e-20 {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = a[p * n + q];
+                if apq.abs() < 1e-30 {
+                    continue;
+                }
+                let theta = (a[q * n + q] - a[p * n + p]) / (2.0 * apq);
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                for k in 0..n {
+                    let akp = a[k * n + p];
+                    let akq = a[k * n + q];
+                    a[k * n + p] = c * akp - s * akq;
+                    a[k * n + q] = s * akp + c * akq;
+                }
+                for k in 0..n {
+                    let apk = a[p * n + k];
+                    let aqk = a[q * n + k];
+                    a[p * n + k] = c * apk - s * aqk;
+                    a[q * n + k] = s * apk + c * aqk;
+                }
+                for k in 0..n {
+                    let vkp = v[k * n + p];
+                    let vkq = v[k * n + q];
+                    v[k * n + p] = c * vkp - s * vkq;
+                    v[k * n + q] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+    // transpose: row r = eigenvector r
+    let mut out = vec![0.0; n * n];
+    for r in 0..n {
+        for c in 0..n {
+            out[r * n + c] = v[c * n + r];
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs() -> (Vec<Vec<f64>>, Vec<u32>) {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..80 {
+            let label = (i % 2) as u32;
+            let base = if label == 0 { -2.0 } else { 2.0 };
+            let j1 = (i as f64 * 0.37).sin() * 0.4;
+            let j2 = (i as f64 * 0.53).cos() * 0.4;
+            // class signal spread diagonally across two features — the
+            // setting rotation helps with
+            x.push(vec![base + j1, base + j2, j1 - j2, 0.5]);
+            y.push(label);
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn rotation_forest_separates_blobs() {
+        let (x, y) = blobs();
+        let f = RotationForest::fit(&x, &y, ForestParams { num_trees: 20, ..Default::default() });
+        let acc = crate::eval::accuracy(&f.predict_all(&x), &y);
+        assert!(acc > 0.95, "acc {acc}");
+        assert_eq!(f.len(), 20);
+    }
+
+    #[test]
+    fn unrotated_forest_also_works() {
+        let (x, y) = blobs();
+        let mut params = ForestParams { num_trees: 15, ..Default::default() };
+        params.tree.max_features = 2;
+        let f = RotationForest::fit_unrotated(&x, &y, params);
+        let acc = crate::eval::accuracy(&f.predict_all(&x), &y);
+        assert!(acc > 0.9, "acc {acc}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (x, y) = blobs();
+        let p = ForestParams { num_trees: 8, ..Default::default() };
+        let a = RotationForest::fit(&x, &y, p);
+        let b = RotationForest::fit(&x, &y, p);
+        assert_eq!(a.predict_all(&x), b.predict_all(&x));
+    }
+
+    #[test]
+    fn jacobi_recovers_known_eigenvectors() {
+        // symmetric 2x2 with eigenvectors (1,1)/√2 and (1,-1)/√2
+        let m = [2.0, 1.0, 1.0, 2.0];
+        let v = jacobi_eigenvectors(&m, 2);
+        for r in 0..2 {
+            let (a, b) = (v[r * 2], v[r * 2 + 1]);
+            // unit length
+            assert!((a * a + b * b - 1.0).abs() < 1e-9);
+            // eigenvector: M·v = λ·v → components proportional
+            let mv = [2.0 * a + b, a + 2.0 * b];
+            let lambda = mv[0] / a;
+            assert!((mv[1] - lambda * b).abs() < 1e-9);
+        }
+        // orthogonality
+        let dot = v[0] * v[2] + v[1] * v[3];
+        assert!(dot.abs() < 1e-9);
+    }
+
+    #[test]
+    fn rotation_is_invertible_energy_preserving() {
+        let (x, y) = blobs();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let idx: Vec<usize> = (0..x.len()).collect();
+        let rot = build_rotation(&x, &idx, 4, 2, &mut rng);
+        let _ = y;
+        for row in x.iter().take(10) {
+            let r = rot.apply(row);
+            assert_eq!(r.len(), row.len());
+            // per-group norms are preserved by orthogonal rotation
+            let norm_in: f64 = row.iter().map(|v| v * v).sum();
+            let _ = norm_in; // groups are shuffled; compare total energy
+            let norm_out: f64 = r.iter().map(|v| v * v).sum();
+            assert!((norm_in - norm_out).abs() < 1e-6, "{norm_in} vs {norm_out}");
+        }
+    }
+}

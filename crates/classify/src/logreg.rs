@@ -1,0 +1,215 @@
+//! Multinomial logistic regression (softmax) trained by SGD.
+//!
+//! Not used by the headline IPS pipeline (which uses the linear SVM) but
+//! provided for the ablation benches and as the classifier behind the
+//! LTS-style comparator, which learns shapelets through a logistic loss.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Training hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogRegParams {
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// L2 regularization strength.
+    pub lambda: f64,
+    /// Number of epochs.
+    pub epochs: usize,
+    /// Shuffle seed.
+    pub seed: u64,
+}
+
+impl Default for LogRegParams {
+    fn default() -> Self {
+        Self { learning_rate: 0.1, lambda: 1e-4, epochs: 100, seed: 42 }
+    }
+}
+
+/// A trained softmax classifier over dense feature vectors.
+#[derive(Debug, Clone)]
+pub struct LogisticRegression {
+    classes: Vec<u32>,
+    /// `[class][feature]`, last weight is the bias.
+    weights: Vec<Vec<f64>>,
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl LogisticRegression {
+    /// Trains on a dense feature matrix.
+    ///
+    /// # Panics
+    /// Panics on empty/ragged input or fewer than two classes.
+    pub fn fit(features: &[Vec<f64>], labels: &[u32], params: LogRegParams) -> Self {
+        assert_eq!(features.len(), labels.len(), "features/labels mismatch");
+        assert!(!features.is_empty(), "cannot train on zero instances");
+        let dim = features[0].len();
+        assert!(features.iter().all(|f| f.len() == dim), "ragged feature matrix");
+        let mut classes: Vec<u32> = labels.to_vec();
+        classes.sort_unstable();
+        classes.dedup();
+        assert!(classes.len() >= 2, "need at least two classes");
+        let class_idx = |l: u32| classes.binary_search(&l).expect("label present");
+
+        let (means, stds) = standardization(features);
+        let x: Vec<Vec<f64>> = features
+            .iter()
+            .map(|f| {
+                let mut row: Vec<f64> = f
+                    .iter()
+                    .zip(means.iter().zip(&stds))
+                    .map(|(v, (m, s))| (v - m) / s)
+                    .collect();
+                row.push(1.0);
+                row
+            })
+            .collect();
+
+        let k = classes.len();
+        let mut w = vec![vec![0.0; dim + 1]; k];
+        let mut order: Vec<usize> = (0..x.len()).collect();
+        let mut rng = StdRng::seed_from_u64(params.seed);
+        for _ in 0..params.epochs {
+            order.shuffle(&mut rng);
+            for &i in &order {
+                let probs = softmax(&scores(&w, &x[i]));
+                let target = class_idx(labels[i]);
+                for (c, wc) in w.iter_mut().enumerate() {
+                    let err = probs[c] - if c == target { 1.0 } else { 0.0 };
+                    for (j, wj) in wc.iter_mut().enumerate() {
+                        let reg = if j < dim { params.lambda * *wj } else { 0.0 };
+                        *wj -= params.learning_rate * (err * x[i][j] + reg);
+                    }
+                }
+            }
+        }
+        Self { classes, weights: w, means, stds }
+    }
+
+    /// Class probabilities for one raw feature vector, ordered like
+    /// [`Self::classes`].
+    pub fn probabilities(&self, features: &[f64]) -> Vec<f64> {
+        assert_eq!(features.len(), self.means.len(), "feature dimension mismatch");
+        let mut row: Vec<f64> = features
+            .iter()
+            .zip(self.means.iter().zip(&self.stds))
+            .map(|(v, (m, s))| (v - m) / s)
+            .collect();
+        row.push(1.0);
+        softmax(&scores(&self.weights, &row))
+    }
+
+    /// Predicted label (argmax probability).
+    pub fn predict(&self, features: &[f64]) -> u32 {
+        let p = self.probabilities(features);
+        let mut best = 0;
+        for i in 1..p.len() {
+            if p[i] > p[best] {
+                best = i;
+            }
+        }
+        self.classes[best]
+    }
+
+    /// Predicts a batch.
+    pub fn predict_all(&self, features: &[Vec<f64>]) -> Vec<u32> {
+        features.iter().map(|f| self.predict(f)).collect()
+    }
+
+    /// Observed classes, sorted.
+    pub fn classes(&self) -> &[u32] {
+        &self.classes
+    }
+}
+
+fn scores(w: &[Vec<f64>], x: &[f64]) -> Vec<f64> {
+    w.iter().map(|wc| wc.iter().zip(x).map(|(a, b)| a * b).sum()).collect()
+}
+
+fn softmax(scores: &[f64]) -> Vec<f64> {
+    let max = scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = scores.iter().map(|s| (s - max).exp()).collect();
+    let sum: f64 = exps.iter().sum();
+    exps.into_iter().map(|e| e / sum).collect()
+}
+
+fn standardization(features: &[Vec<f64>]) -> (Vec<f64>, Vec<f64>) {
+    let dim = features[0].len();
+    let n = features.len() as f64;
+    let mut means = vec![0.0; dim];
+    for f in features {
+        for (m, v) in means.iter_mut().zip(f) {
+            *m += v / n;
+        }
+    }
+    let mut stds = vec![0.0; dim];
+    for f in features {
+        for ((s, v), m) in stds.iter_mut().zip(f).zip(&means) {
+            *s += (v - m) * (v - m) / n;
+        }
+    }
+    for s in stds.iter_mut() {
+        *s = s.sqrt();
+        if *s <= f64::EPSILON {
+            *s = 1.0;
+        }
+    }
+    (means, stds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn blobs(n_per: usize, centers: &[(f64, f64)]) -> (Vec<Vec<f64>>, Vec<u32>) {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for (c, &(cx, cy)) in centers.iter().enumerate() {
+            for _ in 0..n_per {
+                xs.push(vec![cx + rng.random_range(-0.5..0.5), cy + rng.random_range(-0.5..0.5)]);
+                ys.push(c as u32);
+            }
+        }
+        (xs, ys)
+    }
+
+    #[test]
+    fn separates_blobs_and_outputs_probabilities() {
+        let (x, y) = blobs(40, &[(-2.0, 0.0), (2.0, 0.0), (0.0, 3.0)]);
+        let m = LogisticRegression::fit(&x, &y, LogRegParams::default());
+        let acc = crate::eval::accuracy(&m.predict_all(&x), &y);
+        assert!(acc > 0.95, "acc {acc}");
+        let p = m.probabilities(&[-2.0, 0.0]);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(p[0] > 0.8, "p {p:?}");
+    }
+
+    #[test]
+    fn confident_far_from_boundary_uncertain_near_it() {
+        let (x, y) = blobs(50, &[(-2.0, 0.0), (2.0, 0.0)]);
+        let m = LogisticRegression::fit(&x, &y, LogRegParams::default());
+        let far = m.probabilities(&[-3.0, 0.0])[0];
+        let near = m.probabilities(&[0.0, 0.0])[0];
+        assert!(far > 0.95, "far {far}");
+        assert!((0.05..0.95).contains(&near), "near {near}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (x, y) = blobs(20, &[(-1.0, 0.0), (1.0, 0.0)]);
+        let a = LogisticRegression::fit(&x, &y, LogRegParams::default());
+        let b = LogisticRegression::fit(&x, &y, LogRegParams::default());
+        assert_eq!(a.probabilities(&[0.2, 0.1]), b.probabilities(&[0.2, 0.1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "two classes")]
+    fn rejects_single_class() {
+        LogisticRegression::fit(&[vec![1.0], vec![2.0]], &[0, 0], LogRegParams::default());
+    }
+}

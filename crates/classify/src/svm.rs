@@ -1,0 +1,275 @@
+//! Linear SVM trained with Pegasos-style SGD, one-vs-rest for multi-class.
+//!
+//! The paper's final classification step: "we adopt SVM with a linear
+//! kernel" over the shapelet-transformed features. Implemented from
+//! scratch: hinge loss, L2 regularization, deterministic epoch shuffling,
+//! per-feature standardization, and weight averaging over the final
+//! epochs for stability.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Training hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SvmParams {
+    /// L2 regularization strength λ.
+    pub lambda: f64,
+    /// Number of passes over the data.
+    pub epochs: usize,
+    /// RNG seed for epoch shuffling.
+    pub seed: u64,
+}
+
+impl Default for SvmParams {
+    fn default() -> Self {
+        Self { lambda: 1e-4, epochs: 60, seed: 42 }
+    }
+}
+
+/// A trained one-vs-rest linear SVM over dense feature vectors.
+#[derive(Debug, Clone)]
+pub struct LinearSvm {
+    classes: Vec<u32>,
+    /// One weight vector per class, laid out `[class][feature]`; the last
+    /// weight is the bias (features are implicitly extended with 1).
+    weights: Vec<Vec<f64>>,
+    /// Standardization parameters learned from the training features.
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl LinearSvm {
+    /// Trains on a dense feature matrix (`features[i]` is instance `i`)
+    /// with integer labels.
+    ///
+    /// # Panics
+    /// Panics on empty input, ragged rows, or a single observed class.
+    pub fn fit(features: &[Vec<f64>], labels: &[u32], params: SvmParams) -> Self {
+        assert_eq!(features.len(), labels.len(), "features/labels mismatch");
+        assert!(!features.is_empty(), "cannot train on zero instances");
+        let dim = features[0].len();
+        assert!(features.iter().all(|f| f.len() == dim), "ragged feature matrix");
+        let mut classes: Vec<u32> = labels.to_vec();
+        classes.sort_unstable();
+        classes.dedup();
+        assert!(classes.len() >= 2, "need at least two classes");
+
+        // Standardize features (constant features get std 1 → zeroed).
+        let n = features.len() as f64;
+        let mut means = vec![0.0; dim];
+        for f in features {
+            for (m, v) in means.iter_mut().zip(f) {
+                *m += v / n;
+            }
+        }
+        let mut stds = vec![0.0; dim];
+        for f in features {
+            for ((s, v), m) in stds.iter_mut().zip(f).zip(&means) {
+                *s += (v - m) * (v - m) / n;
+            }
+        }
+        for s in stds.iter_mut() {
+            *s = s.sqrt();
+            if *s <= f64::EPSILON {
+                *s = 1.0;
+            }
+        }
+        let x: Vec<Vec<f64>> = features
+            .iter()
+            .map(|f| {
+                let mut row: Vec<f64> = f
+                    .iter()
+                    .zip(means.iter().zip(&stds))
+                    .map(|(v, (m, s))| (v - m) / s)
+                    .collect();
+                row.push(1.0); // bias feature
+                row
+            })
+            .collect();
+
+        let weights = classes
+            .iter()
+            .map(|&c| {
+                let y: Vec<f64> =
+                    labels.iter().map(|&l| if l == c { 1.0 } else { -1.0 }).collect();
+                Self::train_binary(&x, &y, params)
+            })
+            .collect();
+        Self { classes, weights, means, stds }
+    }
+
+    /// Pegasos with averaging over the last half of the epochs.
+    fn train_binary(x: &[Vec<f64>], y: &[f64], params: SvmParams) -> Vec<f64> {
+        let dim = x[0].len();
+        let mut w = vec![0.0; dim];
+        let mut avg = vec![0.0; dim];
+        let mut avg_count = 0usize;
+        let mut order: Vec<usize> = (0..x.len()).collect();
+        let mut rng = StdRng::seed_from_u64(params.seed);
+        let mut t = 1usize;
+        for epoch in 0..params.epochs {
+            order.shuffle(&mut rng);
+            for &i in &order {
+                let eta = 1.0 / (params.lambda * t as f64);
+                let margin: f64 = w.iter().zip(&x[i]).map(|(a, b)| a * b).sum::<f64>() * y[i];
+                let shrink = 1.0 - eta * params.lambda;
+                // bias (last weight) is not regularized
+                for wj in w[..dim - 1].iter_mut() {
+                    *wj *= shrink;
+                }
+                if margin < 1.0 {
+                    for (wj, &xj) in w.iter_mut().zip(&x[i]) {
+                        *wj += eta * y[i] * xj;
+                    }
+                }
+                t += 1;
+            }
+            if epoch >= params.epochs / 2 {
+                for (a, &wj) in avg.iter_mut().zip(&w) {
+                    *a += wj;
+                }
+                avg_count += 1;
+            }
+        }
+        if avg_count > 0 {
+            avg.iter_mut().for_each(|a| *a /= avg_count as f64);
+            avg
+        } else {
+            w
+        }
+    }
+
+    /// Decision scores per class for one raw (unstandardized) feature
+    /// vector, in the order of [`Self::classes`].
+    pub fn decision(&self, features: &[f64]) -> Vec<f64> {
+        assert_eq!(features.len(), self.means.len(), "feature dimension mismatch");
+        let mut row: Vec<f64> = features
+            .iter()
+            .zip(self.means.iter().zip(&self.stds))
+            .map(|(v, (m, s))| (v - m) / s)
+            .collect();
+        row.push(1.0);
+        self.weights
+            .iter()
+            .map(|w| w.iter().zip(&row).map(|(a, b)| a * b).sum())
+            .collect()
+    }
+
+    /// Predicted label for one feature vector (argmax decision score).
+    pub fn predict(&self, features: &[f64]) -> u32 {
+        let scores = self.decision(features);
+        let mut best = 0;
+        for i in 1..scores.len() {
+            if scores[i] > scores[best] {
+                best = i;
+            }
+        }
+        self.classes[best]
+    }
+
+    /// Predicts a batch of feature vectors.
+    pub fn predict_all(&self, features: &[Vec<f64>]) -> Vec<u32> {
+        features.iter().map(|f| self.predict(f)).collect()
+    }
+
+    /// The observed classes in sorted order.
+    pub fn classes(&self) -> &[u32] {
+        &self.classes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn blobs(n_per: usize, centers: &[(f64, f64)], spread: f64) -> (Vec<Vec<f64>>, Vec<u32>) {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for (c, &(cx, cy)) in centers.iter().enumerate() {
+            for _ in 0..n_per {
+                xs.push(vec![
+                    cx + rng.random_range(-spread..spread),
+                    cy + rng.random_range(-spread..spread),
+                ]);
+                ys.push(c as u32);
+            }
+        }
+        (xs, ys)
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let (x, y) = blobs(40, &[(-2.0, 0.0), (2.0, 0.0)], 0.5);
+        let svm = LinearSvm::fit(&x, &y, SvmParams::default());
+        let acc = crate::eval::accuracy(&svm.predict_all(&x), &y);
+        assert!(acc > 0.97, "train acc {acc}");
+        assert_eq!(svm.predict(&[-2.0, 0.1]), 0);
+        assert_eq!(svm.predict(&[2.0, -0.1]), 1);
+    }
+
+    #[test]
+    fn separates_three_blobs_one_vs_rest() {
+        let (x, y) = blobs(40, &[(-3.0, -3.0), (3.0, -3.0), (0.0, 3.0)], 0.6);
+        let svm = LinearSvm::fit(&x, &y, SvmParams::default());
+        let acc = crate::eval::accuracy(&svm.predict_all(&x), &y);
+        assert!(acc > 0.95, "train acc {acc}");
+        assert_eq!(svm.classes(), &[0, 1, 2]);
+        assert_eq!(svm.decision(&[0.0, 3.0]).len(), 3);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (x, y) = blobs(25, &[(-1.0, 0.0), (1.0, 0.0)], 0.8);
+        let a = LinearSvm::fit(&x, &y, SvmParams::default());
+        let b = LinearSvm::fit(&x, &y, SvmParams::default());
+        let probe = vec![0.3, -0.2];
+        assert_eq!(a.decision(&probe), b.decision(&probe));
+    }
+
+    #[test]
+    fn standardization_handles_wild_scales() {
+        // feature 1 is 1e6 times larger than feature 0 but uninformative
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        let mut rng = StdRng::seed_from_u64(6);
+        for i in 0..60 {
+            let label = (i % 2) as u32;
+            let informative = if label == 0 { -1.0 } else { 1.0 };
+            x.push(vec![
+                informative + rng.random_range(-0.2..0.2),
+                1e6 + rng.random_range(-1e5..1e5),
+            ]);
+            y.push(label);
+        }
+        let svm = LinearSvm::fit(&x, &y, SvmParams::default());
+        let acc = crate::eval::accuracy(&svm.predict_all(&x), &y);
+        assert!(acc > 0.95, "acc {acc}");
+    }
+
+    #[test]
+    fn constant_features_do_not_poison_training() {
+        let (mut x, y) = blobs(30, &[(-2.0, 0.0), (2.0, 0.0)], 0.4);
+        for row in x.iter_mut() {
+            row.push(7.7); // constant
+        }
+        let svm = LinearSvm::fit(&x, &y, SvmParams::default());
+        let acc = crate::eval::accuracy(&svm.predict_all(&x), &y);
+        assert!(acc > 0.95);
+    }
+
+    #[test]
+    #[should_panic(expected = "two classes")]
+    fn rejects_single_class() {
+        LinearSvm::fit(&[vec![1.0], vec![2.0]], &[3, 3], SvmParams::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn rejects_ragged_features() {
+        LinearSvm::fit(&[vec![1.0], vec![2.0, 3.0]], &[0, 1], SvmParams::default());
+    }
+}

@@ -1,0 +1,311 @@
+//! CART-style decision trees over dense feature vectors.
+//!
+//! The substrate of the Rotation Forest comparator (Table VI's `RotF`
+//! column) and of the original Fast Shapelets classifier head. Axis-aligned
+//! binary splits chosen by Gini impurity, grown depth-first with standard
+//! stopping rules.
+
+/// Training hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TreeParams {
+    /// Maximum depth (root = 0).
+    pub max_depth: usize,
+    /// Minimum samples required to split a node.
+    pub min_samples_split: usize,
+    /// Number of features examined per split (`0` = all, the CART
+    /// default; forests pass √d for decorrelation).
+    pub max_features: usize,
+    /// Seed for the per-split feature subsampling.
+    pub seed: u64,
+}
+
+impl Default for TreeParams {
+    fn default() -> Self {
+        Self { max_depth: 12, min_samples_split: 2, max_features: 0, seed: 7 }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        label: u32,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+}
+
+/// A trained decision tree.
+#[derive(Debug, Clone)]
+pub struct DecisionTree {
+    root: Node,
+    dim: usize,
+}
+
+impl DecisionTree {
+    /// Fits a tree on `(features, labels)`.
+    ///
+    /// # Panics
+    /// Panics on empty or ragged input.
+    pub fn fit(features: &[Vec<f64>], labels: &[u32], params: TreeParams) -> Self {
+        assert_eq!(features.len(), labels.len(), "features/labels mismatch");
+        assert!(!features.is_empty(), "cannot fit on zero instances");
+        let dim = features[0].len();
+        assert!(features.iter().all(|f| f.len() == dim), "ragged feature matrix");
+        let idx: Vec<usize> = (0..features.len()).collect();
+        let mut rng_state = params.seed | 1;
+        let root = grow(features, labels, &idx, 0, &params, dim, &mut rng_state);
+        Self { root, dim }
+    }
+
+    /// Predicts one feature vector.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    pub fn predict(&self, features: &[f64]) -> u32 {
+        assert_eq!(features.len(), self.dim, "feature dimension mismatch");
+        let mut node = &self.root;
+        loop {
+            match node {
+                Node::Leaf { label } => return *label,
+                Node::Split { feature, threshold, left, right } => {
+                    node = if features[*feature] <= *threshold { left } else { right };
+                }
+            }
+        }
+    }
+
+    /// Predicts a batch.
+    pub fn predict_all(&self, features: &[Vec<f64>]) -> Vec<u32> {
+        features.iter().map(|f| self.predict(f)).collect()
+    }
+
+    /// Number of decision nodes (diagnostic).
+    pub fn num_splits(&self) -> usize {
+        fn count(n: &Node) -> usize {
+            match n {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => 1 + count(left) + count(right),
+            }
+        }
+        count(&self.root)
+    }
+}
+
+fn grow(
+    x: &[Vec<f64>],
+    y: &[u32],
+    idx: &[usize],
+    depth: usize,
+    params: &TreeParams,
+    dim: usize,
+    rng: &mut u64,
+) -> Node {
+    let majority = majority_label(y, idx);
+    if depth >= params.max_depth
+        || idx.len() < params.min_samples_split
+        || is_pure(y, idx)
+    {
+        return Node::Leaf { label: majority };
+    }
+    let features = feature_subset(dim, params.max_features, rng);
+    let Some((feature, threshold)) = best_split(x, y, idx, &features) else {
+        return Node::Leaf { label: majority };
+    };
+    let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
+        idx.iter().partition(|&&i| x[i][feature] <= threshold);
+    if left_idx.is_empty() || right_idx.is_empty() {
+        return Node::Leaf { label: majority };
+    }
+    Node::Split {
+        feature,
+        threshold,
+        left: Box::new(grow(x, y, &left_idx, depth + 1, params, dim, rng)),
+        right: Box::new(grow(x, y, &right_idx, depth + 1, params, dim, rng)),
+    }
+}
+
+fn is_pure(y: &[u32], idx: &[usize]) -> bool {
+    idx.windows(2).all(|w| y[w[0]] == y[w[1]])
+}
+
+fn majority_label(y: &[u32], idx: &[usize]) -> u32 {
+    let mut counts: Vec<(u32, usize)> = Vec::new();
+    for &i in idx {
+        if let Some(c) = counts.iter_mut().find(|(l, _)| *l == y[i]) {
+            c.1 += 1;
+        } else {
+            counts.push((y[i], 1));
+        }
+    }
+    counts.into_iter().max_by_key(|&(_, c)| c).map(|(l, _)| l).unwrap_or(0)
+}
+
+/// Splitmix-style PRNG step (dependency-free; forests need only weak
+/// decorrelation here).
+fn next_rand(state: &mut u64) -> u64 {
+    let mut z = *state;
+    z = z.wrapping_add(0x9e3779b97f4a7c15);
+    *state = z;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+fn feature_subset(dim: usize, max_features: usize, rng: &mut u64) -> Vec<usize> {
+    if max_features == 0 || max_features >= dim {
+        return (0..dim).collect();
+    }
+    // partial Fisher–Yates
+    let mut all: Vec<usize> = (0..dim).collect();
+    for i in 0..max_features {
+        let j = i + (next_rand(rng) as usize) % (dim - i);
+        all.swap(i, j);
+    }
+    all.truncate(max_features);
+    all
+}
+
+/// Best (feature, threshold) by weighted Gini impurity over the candidate
+/// features; `None` when no split reduces impurity.
+fn best_split(
+    x: &[Vec<f64>],
+    y: &[u32],
+    idx: &[usize],
+    features: &[usize],
+) -> Option<(usize, f64)> {
+    let parent = gini(y, idx);
+    let mut best: Option<(f64, usize, f64)> = None; // (impurity, feature, threshold)
+    for &f in features {
+        let mut vals: Vec<(f64, u32)> = idx.iter().map(|&i| (x[i][f], y[i])).collect();
+        vals.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite features"));
+        // sweep thresholds at midpoints between distinct consecutive values
+        let mut left: Vec<(u32, usize)> = Vec::new();
+        let mut right: Vec<(u32, usize)> = Vec::new();
+        for &(_, l) in &vals {
+            bump(&mut right, l, 1);
+        }
+        let n = vals.len() as f64;
+        for w in 0..vals.len() - 1 {
+            let (v, l) = vals[w];
+            bump(&mut left, l, 1);
+            bump(&mut right, l, -1);
+            let next_v = vals[w + 1].0;
+            if next_v <= v {
+                continue; // tied values cannot be separated
+            }
+            let nl = (w + 1) as f64;
+            let nr = n - nl;
+            let g = nl / n * gini_counts(&left, nl) + nr / n * gini_counts(&right, nr);
+            if g < parent - 1e-12 && best.map_or(true, |(bg, ..)| g < bg) {
+                best = Some((g, f, 0.5 * (v + next_v)));
+            }
+        }
+    }
+    best.map(|(_, f, t)| (f, t))
+}
+
+fn bump(counts: &mut Vec<(u32, usize)>, label: u32, delta: isize) {
+    if let Some(c) = counts.iter_mut().find(|(l, _)| *l == label) {
+        c.1 = (c.1 as isize + delta).max(0) as usize;
+    } else if delta > 0 {
+        counts.push((label, delta as usize));
+    }
+}
+
+fn gini(y: &[u32], idx: &[usize]) -> f64 {
+    let mut counts: Vec<(u32, usize)> = Vec::new();
+    for &i in idx {
+        bump(&mut counts, y[i], 1);
+    }
+    gini_counts(&counts, idx.len() as f64)
+}
+
+fn gini_counts(counts: &[(u32, usize)], n: f64) -> f64 {
+    if n <= 0.0 {
+        return 0.0;
+    }
+    1.0 - counts.iter().map(|&(_, c)| (c as f64 / n).powi(2)).sum::<f64>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xor_data() -> (Vec<Vec<f64>>, Vec<u32>) {
+        // XOR needs depth ≥ 2 — a linear model can't do this
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..40 {
+            let a = (i % 2) as f64;
+            let b = ((i / 2) % 2) as f64;
+            let jitter = (i as f64 * 0.011) % 0.2;
+            x.push(vec![a + jitter, b - jitter]);
+            y.push(((a as u32) ^ (b as u32)) as u32);
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn learns_xor_perfectly() {
+        let (x, y) = xor_data();
+        let t = DecisionTree::fit(&x, &y, TreeParams::default());
+        assert_eq!(t.predict_all(&x), y);
+        assert!(t.num_splits() >= 2);
+    }
+
+    #[test]
+    fn pure_node_is_a_leaf() {
+        let x = vec![vec![1.0], vec![2.0], vec![3.0]];
+        let y = vec![5, 5, 5];
+        let t = DecisionTree::fit(&x, &y, TreeParams::default());
+        assert_eq!(t.num_splits(), 0);
+        assert_eq!(t.predict(&[99.0]), 5);
+    }
+
+    #[test]
+    fn depth_limit_caps_growth() {
+        let (x, y) = xor_data();
+        let t = DecisionTree::fit(&x, &y, TreeParams { max_depth: 0, ..Default::default() });
+        assert_eq!(t.num_splits(), 0);
+    }
+
+    #[test]
+    fn feature_subsampling_still_learns_axis_separable_data() {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..60 {
+            let label = (i % 2) as u32;
+            let v = if label == 0 { -1.0 } else { 1.0 };
+            x.push(vec![v + (i as f64 * 0.001), 0.0, 0.0, 0.0]);
+            y.push(label);
+        }
+        let t = DecisionTree::fit(
+            &x,
+            &y,
+            TreeParams { max_features: 2, seed: 3, ..Default::default() },
+        );
+        // with 4 features and 2 sampled per split, several splits may be
+        // needed but training accuracy must be high
+        let acc = crate::eval::accuracy(&t.predict_all(&x), &y);
+        assert!(acc > 0.9, "acc {acc}");
+    }
+
+    #[test]
+    fn constant_features_produce_a_leaf() {
+        let x = vec![vec![1.0, 1.0]; 10];
+        let y: Vec<u32> = (0..10).map(|i| (i % 2) as u32).collect();
+        let t = DecisionTree::fit(&x, &y, TreeParams::default());
+        assert_eq!(t.num_splits(), 0); // nothing separates identical rows
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn predict_rejects_wrong_dim() {
+        let t = DecisionTree::fit(&[vec![1.0]], &[0], TreeParams::default());
+        t.predict(&[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,153 @@
+//! Configuration of the IPS pipeline.
+
+use ips_filter::DabfConfig;
+use ips_lsh::LshParams;
+use ips_profile::Metric;
+
+/// All knobs of the IPS pipeline, matching the paper's parameter setting
+/// (Section IV-A): shapelet number `k = 5`, candidate length ratios
+/// `{0.1, 0.2, 0.3, 0.4, 0.5}`, sample number `Q_N ∈ {10, 20, 50, 100}`,
+/// sample size `Q_S ∈ {2, 3, 4, 5, 10}`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IpsConfig {
+    /// Shapelets per class (the paper's `k`, default 5).
+    pub k: usize,
+    /// Candidate lengths as ratios of the instance length.
+    pub length_ratios: Vec<f64>,
+    /// Number of samples per class (`Q_N`).
+    pub num_samples: usize,
+    /// Instances per sample (`Q_S`).
+    pub sample_size: usize,
+    /// Motif/discord candidates extracted per (sample, length) pair.
+    /// Algorithm 1 takes exactly one of each (`1`); higher values extract
+    /// the top-M under an exclusion zone, trading candidate-generation
+    /// time for coverage (ablated in the `candidates` bench).
+    pub motifs_per_sample: usize,
+    /// Profile metric. The paper's Definition 4 is the raw mean-squared
+    /// distance, available as [`Metric::MeanSquared`]; the default is the
+    /// z-normalized variant because UCR instances arrive pre-normalized
+    /// (the setting the paper's raw metric effectively operates in) and
+    /// the raw metric is brittle on un-normalized data — see DESIGN.md §2.
+    pub metric: Metric,
+    /// DABF configuration (LSH family, histogram bins, σ rule).
+    pub dabf: DabfConfig,
+    /// Enable DABF pruning (off = keep all candidates; the Table V /
+    /// Fig. 10a ablation).
+    pub use_dabf: bool,
+    /// Enable the DT & CR optimizations in top-k scoring (the Table V /
+    /// Fig. 10b-c ablation).
+    pub use_dt_cr: bool,
+    /// Use z-normalized distances in the shapelet transform (default
+    /// true, matching the profile metric default).
+    pub znorm_transform: bool,
+    /// Diversity guard strength in Algorithm 4: a candidate closer than
+    /// `diversity × (mean pairwise embedded distance)` to an
+    /// already-selected shapelet of its class is deferred. `0.0` (the
+    /// default — the literal Algorithm 4) disables the guard; the
+    /// `sweep_diversity` bench ablates it.
+    pub diversity: f64,
+    /// Master RNG seed (sampling, SVM shuffling).
+    pub seed: u64,
+}
+
+impl Default for IpsConfig {
+    fn default() -> Self {
+        Self {
+            k: 5,
+            length_ratios: vec![0.1, 0.2, 0.3, 0.4, 0.5],
+            num_samples: 10,
+            sample_size: 5,
+            motifs_per_sample: 3,
+            metric: Metric::ZNormEuclidean,
+            dabf: DabfConfig::default(),
+            use_dabf: true,
+            use_dt_cr: true,
+            znorm_transform: true,
+            diversity: 0.0,
+            seed: 0xD15C0,
+        }
+    }
+}
+
+impl IpsConfig {
+    /// Resolves the candidate length grid for instances of length `n`:
+    /// distinct lengths, each `ratio · n` rounded, floored at 8 samples —
+    /// shorter z-normalized subsequences carry almost no shape and match
+    /// everywhere, poisoning both utilities and the transform.
+    pub fn lengths_for(&self, n: usize) -> Vec<usize> {
+        let floor = 8.min(n.max(3));
+        let mut ls: Vec<usize> = self
+            .length_ratios
+            .iter()
+            .map(|r| ((r * n as f64).round() as usize).clamp(floor, n.max(floor)))
+            .filter(|&l| l <= n)
+            .collect();
+        ls.sort_unstable();
+        ls.dedup();
+        ls
+    }
+
+    /// The LSH parameters inside the DABF config.
+    pub fn lsh(&self) -> &LshParams {
+        &self.dabf.lsh
+    }
+
+    /// Embedding dimension used for hashing candidates.
+    pub fn embed_dim(&self) -> usize {
+        self.dabf.lsh.dim
+    }
+
+    /// Builder-style override of the shapelet count.
+    pub fn with_k(mut self, k: usize) -> Self {
+        self.k = k;
+        self
+    }
+
+    /// Builder-style override of the sampling parameters.
+    pub fn with_sampling(mut self, num_samples: usize, sample_size: usize) -> Self {
+        self.num_samples = num_samples;
+        self.sample_size = sample_size;
+        self
+    }
+
+    /// Builder-style override of the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_settings() {
+        let c = IpsConfig::default();
+        assert_eq!(c.k, 5);
+        assert_eq!(c.length_ratios, vec![0.1, 0.2, 0.3, 0.4, 0.5]);
+        assert!(c.use_dabf && c.use_dt_cr);
+    }
+
+    #[test]
+    fn lengths_are_deduped_and_clamped() {
+        let c = IpsConfig::default();
+        let ls = c.lengths_for(100);
+        assert_eq!(ls, vec![10, 20, 30, 40, 50]);
+        // tiny series: every ratio clamps to the floor of 8
+        let ls = c.lengths_for(10);
+        assert_eq!(ls, vec![8]);
+        // very short series: the floor itself clamps to the length
+        let ls = c.lengths_for(4);
+        assert_eq!(ls, vec![4]);
+    }
+
+    #[test]
+    fn builders_apply() {
+        let c = IpsConfig::default().with_k(7).with_sampling(3, 2).with_seed(1);
+        assert_eq!(c.k, 7);
+        assert_eq!((c.num_samples, c.sample_size), (3, 2));
+        assert_eq!(c.seed, 1);
+        assert!(c.embed_dim() > 0);
+    }
+}

@@ -1,0 +1,181 @@
+//! A COTE-IPS-style ensemble.
+//!
+//! The paper's best-ranked method, COTE-IPS, is "COTE augmented by IPS" —
+//! a transformation-ensemble whose members vote with weights learned from
+//! training performance. Rebuilding all 35 COTE members is out of scope
+//! (DESIGN.md §2); this is the same *construction* over the members this
+//! workspace provides: IPS, 1NN-ED, 1NN-DTW, and a Rotation Forest over
+//! the raw series values. Weights are stratified-CV train accuracies, the
+//! standard proportional-voting scheme of the COTE family.
+
+use ips_classify::cv::cross_val_accuracy;
+use ips_classify::forest::{ForestParams, RotationForest};
+use ips_classify::{OneNnDtw, OneNnEd};
+use ips_tsdata::{Dataset, TimeSeries};
+
+use crate::config::IpsConfig;
+use crate::pipeline::{IpsClassifier, PipelineError};
+
+/// Configuration of the ensemble.
+#[derive(Debug, Clone)]
+pub struct EnsembleConfig {
+    /// IPS member configuration.
+    pub ips: IpsConfig,
+    /// Rotation-forest member configuration.
+    pub forest: ForestParams,
+    /// CV folds used to learn the vote weights.
+    pub cv_folds: usize,
+}
+
+impl Default for EnsembleConfig {
+    fn default() -> Self {
+        Self { ips: IpsConfig::default(), forest: ForestParams::default(), cv_folds: 3 }
+    }
+}
+
+enum Member {
+    Ips(IpsClassifier),
+    NnEd(OneNnEd),
+    NnDtw(OneNnDtw),
+    Forest(RotationForest),
+}
+
+impl Member {
+    fn predict(&self, series: &TimeSeries) -> u32 {
+        match self {
+            Member::Ips(m) => m.predict(series),
+            Member::NnEd(m) => m.predict(series.values()),
+            Member::NnDtw(m) => m.predict(series.values()),
+            Member::Forest(m) => m.predict(series.values()),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        match self {
+            Member::Ips(_) => "IPS",
+            Member::NnEd(_) => "1NN-ED",
+            Member::NnDtw(_) => "1NN-DTW",
+            Member::Forest(_) => "RotF",
+        }
+    }
+}
+
+/// The fitted ensemble: members plus their CV-accuracy vote weights.
+pub struct CoteIpsEnsemble {
+    members: Vec<(Member, f64)>,
+    classes: Vec<u32>,
+}
+
+impl CoteIpsEnsemble {
+    /// Fits every member on the full training set and learns vote weights
+    /// by stratified cross-validation (weights are squared CV accuracies,
+    /// emphasizing strong members the way COTE's proportional scheme does).
+    pub fn fit(train: &Dataset, config: EnsembleConfig) -> Result<Self, PipelineError> {
+        let classes = train.classes();
+        if classes.len() < 2 {
+            return Err(PipelineError::InvalidTrainingSet("need at least two classes".into()));
+        }
+        let folds = config.cv_folds.max(2);
+
+        // CV weights per member kind
+        let w_ips = cross_val_accuracy(train, folds, |tr, te| {
+            match IpsClassifier::fit(tr, config.ips.clone()) {
+                Ok(m) => m.predict_all(te),
+                Err(_) => vec![tr.label(0); te.len()],
+            }
+        });
+        let w_ed = cross_val_accuracy(train, folds, |tr, te| OneNnEd::fit(tr).predict_all(te));
+        let w_dtw =
+            cross_val_accuracy(train, folds, |tr, te| OneNnDtw::fit(tr).predict_all(te));
+        let w_rotf = cross_val_accuracy(train, folds, |tr, te| {
+            let x: Vec<Vec<f64>> =
+                tr.all_series().iter().map(|s| s.values().to_vec()).collect();
+            let f = RotationForest::fit(&x, tr.labels(), config.forest);
+            te.all_series().iter().map(|s| f.predict(s.values())).collect()
+        });
+
+        // final members trained on everything
+        let ips = IpsClassifier::fit(train, config.ips.clone())?;
+        let x: Vec<Vec<f64>> =
+            train.all_series().iter().map(|s| s.values().to_vec()).collect();
+        let forest = RotationForest::fit(&x, train.labels(), config.forest);
+        let members = vec![
+            (Member::Ips(ips), w_ips * w_ips),
+            (Member::NnEd(OneNnEd::fit(train)), w_ed * w_ed),
+            (Member::NnDtw(OneNnDtw::fit(train)), w_dtw * w_dtw),
+            (Member::Forest(forest), w_rotf * w_rotf),
+        ];
+        Ok(Self { members, classes })
+    }
+
+    /// Weighted-vote prediction.
+    pub fn predict(&self, series: &TimeSeries) -> u32 {
+        let mut votes: Vec<(u32, f64)> = self.classes.iter().map(|&c| (c, 0.0)).collect();
+        for (m, w) in &self.members {
+            let label = m.predict(series);
+            if let Some(v) = votes.iter_mut().find(|(c, _)| *c == label) {
+                v.1 += w.max(1e-6);
+            }
+        }
+        votes
+            .into_iter()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite weights"))
+            .map(|(c, _)| c)
+            .expect("non-empty classes")
+    }
+
+    /// Accuracy over a test set.
+    pub fn accuracy(&self, test: &Dataset) -> f64 {
+        let preds: Vec<u32> = test.all_series().iter().map(|s| self.predict(s)).collect();
+        ips_classify::eval::accuracy(&preds, test.labels())
+    }
+
+    /// `(member name, vote weight)` pairs — for reporting.
+    pub fn member_weights(&self) -> Vec<(&'static str, f64)> {
+        self.members.iter().map(|(m, w)| (m.name(), *w)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ips_tsdata::registry;
+
+    fn config() -> EnsembleConfig {
+        EnsembleConfig {
+            ips: IpsConfig::default().with_sampling(5, 3).with_k(3),
+            forest: ForestParams { num_trees: 15, ..Default::default() },
+            cv_folds: 2,
+        }
+    }
+
+    #[test]
+    fn ensemble_fits_and_is_at_least_decent() {
+        let (train, test) = registry::load("ItalyPowerDemand").unwrap();
+        let e = CoteIpsEnsemble::fit(&train, config()).unwrap();
+        let acc = e.accuracy(&test);
+        assert!(acc > 0.6, "ensemble acc {acc}");
+        let weights = e.member_weights();
+        assert_eq!(weights.len(), 4);
+        assert!(weights.iter().all(|(_, w)| (0.0..=1.0).contains(w)));
+    }
+
+    #[test]
+    fn ensemble_is_close_to_or_above_its_best_member() {
+        let (train, test) = registry::load("GunPoint").unwrap();
+        let e = CoteIpsEnsemble::fit(&train, config()).unwrap();
+        let ens = e.accuracy(&test);
+        let ed = OneNnEd::fit(&train).accuracy(&test);
+        // weighted voting shouldn't collapse far below a decent member
+        assert!(ens >= ed - 0.15, "ensemble {ens} vs 1NN-ED {ed}");
+    }
+
+    #[test]
+    fn single_class_rejected() {
+        let (train, _) = registry::load("ItalyPowerDemand").unwrap();
+        let idx = train.class_indices(0);
+        let series = idx.iter().map(|&i| train.series(i).clone()).collect();
+        let single = Dataset::new(series, vec![0; idx.len()]).unwrap();
+        assert!(CoteIpsEnsemble::fit(&single, config()).is_err());
+    }
+}

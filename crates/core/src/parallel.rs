@@ -1,0 +1,107 @@
+//! Multi-threaded candidate generation — the "distributed IPS" direction
+//! named as future work in the paper's conclusion, realized here as
+//! class-parallel generation with crossbeam scoped threads.
+//!
+//! Because [`crate::candidates::generate_for_class`] derives its RNG from
+//! `(seed, class)`, the parallel pool is **bit-identical** to the
+//! sequential one regardless of thread interleaving.
+
+use ips_tsdata::Dataset;
+
+use crate::candidates::{generate_for_class, Candidate, CandidatePool};
+use crate::config::IpsConfig;
+
+/// Parallel Algorithm 1: one task per class, executed on up to
+/// `num_threads` worker threads (clamped to the class count; `0` means
+/// the available parallelism).
+pub fn generate_candidates_parallel(
+    train: &Dataset,
+    config: &IpsConfig,
+    num_threads: usize,
+) -> CandidatePool {
+    let classes = train.classes();
+    let threads = if num_threads == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        num_threads
+    }
+    .min(classes.len().max(1));
+
+    let mut per_class: Vec<Vec<Candidate>> = Vec::with_capacity(classes.len());
+    if threads <= 1 {
+        for &c in &classes {
+            per_class.push(generate_for_class(train, c, config));
+        }
+    } else {
+        let mut slots: Vec<Option<Vec<Candidate>>> = vec![None; classes.len()];
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let slots_mutex = std::sync::Mutex::new(&mut slots);
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|_| loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= classes.len() {
+                        break;
+                    }
+                    let result = generate_for_class(train, classes[i], config);
+                    slots_mutex.lock().expect("no poisoned workers")[i] = Some(result);
+                });
+            }
+        })
+        .expect("worker panicked");
+        per_class = slots.into_iter().map(|s| s.expect("every class processed")).collect();
+    }
+
+    let mut pool = CandidatePool::default();
+    for cands in per_class {
+        for c in cands {
+            pool.push(c);
+        }
+    }
+    pool
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::candidates::generate_candidates;
+    use ips_tsdata::{DatasetSpec, SynthGenerator};
+
+    fn train(classes: usize) -> Dataset {
+        let spec = DatasetSpec::new("ParT", classes, 48, 4 * classes, 8).with_noise(0.2);
+        SynthGenerator::new(spec).generate().unwrap().0
+    }
+
+    fn cfg() -> IpsConfig {
+        IpsConfig::default().with_sampling(4, 3).with_seed(21)
+    }
+
+    #[test]
+    fn parallel_matches_sequential_exactly() {
+        let train = train(4);
+        let cfg = cfg();
+        let seq = generate_candidates(&train, &cfg);
+        for threads in [1, 2, 4, 0] {
+            let par = generate_candidates_parallel(&train, &cfg, threads);
+            assert_eq!(par.len(), seq.len(), "threads={threads}");
+            let a: Vec<_> = seq.iter().map(|c| (&c.values, c.class)).collect();
+            let b: Vec<_> = par.iter().map(|c| (&c.values, c.class)).collect();
+            assert_eq!(a, b, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn more_threads_than_classes_is_fine() {
+        let train = train(2);
+        let pool = generate_candidates_parallel(&train, &cfg(), 16);
+        assert!(!pool.is_empty());
+        assert_eq!(pool.classes().len(), 2);
+    }
+
+    #[test]
+    fn single_threaded_path_works() {
+        let train = train(3);
+        let pool = generate_candidates_parallel(&train, &cfg(), 1);
+        assert_eq!(pool.classes().len(), 3);
+    }
+}

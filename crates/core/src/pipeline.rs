@@ -1,0 +1,293 @@
+//! The end-to-end IPS pipeline: discovery (Algorithms 1–4) plus the
+//! shapelet-transform + linear-SVM classifier of Section III-E.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+use ips_classify::svm::SvmParams;
+use ips_classify::{LinearSvm, Shapelet, ShapeletTransform};
+use ips_tsdata::{Dataset, TimeSeries};
+
+use crate::candidates::generate_candidates;
+use crate::config::IpsConfig;
+use crate::pruning::{build_dabf, prune_naive, prune_with_dabf};
+use crate::topk::{select_top_k, TopKStrategy};
+
+/// Pipeline failure modes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PipelineError {
+    /// Candidate generation produced nothing (instances shorter than the
+    /// smallest candidate length, or an empty class structure).
+    NoCandidates,
+    /// The training set cannot support classification (e.g. one class).
+    InvalidTrainingSet(String),
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::NoCandidates => {
+                write!(f, "candidate generation produced no candidates")
+            }
+            PipelineError::InvalidTrainingSet(m) => write!(f, "invalid training set: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+/// Wall-clock timings of the three pipeline stages — the breakdown
+/// reported in Table V.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageTimings {
+    /// Algorithm 1 (candidate generation).
+    pub candidate_gen: Duration,
+    /// Algorithm 2 (DABF construction; zero when DABF is disabled).
+    pub dabf_build: Duration,
+    /// Algorithm 3 (pruning, with or without DABF).
+    pub pruning: Duration,
+    /// Algorithm 4 (utility scoring and selection).
+    pub top_k: Duration,
+}
+
+impl StageTimings {
+    /// Total discovery time.
+    pub fn total(&self) -> Duration {
+        self.candidate_gen + self.dabf_build + self.pruning + self.top_k
+    }
+}
+
+/// Outcome of shapelet discovery.
+#[derive(Debug, Clone)]
+pub struct DiscoveryResult {
+    /// The selected shapelets (`k` per class, best-first within a class).
+    pub shapelets: Vec<Shapelet>,
+    /// Per-stage wall-clock timings.
+    pub timings: StageTimings,
+    /// Candidates produced by Algorithm 1.
+    pub candidates_generated: usize,
+    /// Candidates removed by pruning.
+    pub candidates_pruned: usize,
+}
+
+/// Shapelet discovery (Algorithms 1–4) without the classification head.
+#[derive(Debug, Clone)]
+pub struct IpsDiscovery {
+    config: IpsConfig,
+}
+
+impl IpsDiscovery {
+    /// Creates a discovery runner.
+    pub fn new(config: IpsConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &IpsConfig {
+        &self.config
+    }
+
+    /// Runs the full discovery pipeline on a training set.
+    pub fn discover(&self, train: &Dataset) -> Result<DiscoveryResult, PipelineError> {
+        let cfg = &self.config;
+
+        let t0 = Instant::now();
+        let mut pool = generate_candidates(train, cfg);
+        let candidate_gen = t0.elapsed();
+        if pool.is_empty() {
+            return Err(PipelineError::NoCandidates);
+        }
+        let candidates_generated = pool.len();
+
+        let (dabf, dabf_build, pruning_time, pruned) = if cfg.use_dabf {
+            let t1 = Instant::now();
+            let dabf = build_dabf(&pool, cfg);
+            let dabf_build = t1.elapsed();
+            let t2 = Instant::now();
+            let pruned = prune_with_dabf(&mut pool, &dabf);
+            (Some(dabf), dabf_build, t2.elapsed(), pruned)
+        } else {
+            let t2 = Instant::now();
+            let pruned = prune_naive(&mut pool, cfg);
+            (None, Duration::ZERO, t2.elapsed(), pruned)
+        };
+
+        let t3 = Instant::now();
+        // DT requires a DABF; when pruning ran naively, fall back to exact
+        // scoring even if DT+CR was requested.
+        let strategy = match (cfg.use_dt_cr, &dabf) {
+            (true, Some(_)) => TopKStrategy::DtCr,
+            _ => TopKStrategy::Exact,
+        };
+        let shapelets = select_top_k(&pool, train, dabf.as_ref(), cfg, strategy);
+        let top_k = t3.elapsed();
+        if shapelets.is_empty() {
+            return Err(PipelineError::NoCandidates);
+        }
+        Ok(DiscoveryResult {
+            shapelets,
+            timings: StageTimings { candidate_gen, dabf_build, pruning: pruning_time, top_k },
+            candidates_generated,
+            candidates_pruned: pruned,
+        })
+    }
+}
+
+/// The full classifier: IPS shapelet discovery → shapelet transform →
+/// linear SVM.
+#[derive(Debug, Clone)]
+pub struct IpsClassifier {
+    transform: ShapeletTransform,
+    svm: LinearSvm,
+    discovery: DiscoveryResult,
+}
+
+impl IpsClassifier {
+    /// Discovers shapelets on `train` and fits the SVM over the
+    /// transformed features.
+    pub fn fit(train: &Dataset, config: IpsConfig) -> Result<Self, PipelineError> {
+        if train.num_classes() < 2 {
+            return Err(PipelineError::InvalidTrainingSet(
+                "need at least two classes".into(),
+            ));
+        }
+        let znorm = config.znorm_transform;
+        let svm_params = SvmParams { seed: config.seed, ..SvmParams::default() };
+        let discovery = IpsDiscovery::new(config).discover(train)?;
+        let transform = ShapeletTransform::new(discovery.shapelets.clone(), znorm);
+        let features = transform.transform(train);
+        let svm = LinearSvm::fit(&features, train.labels(), svm_params);
+        Ok(Self { transform, svm, discovery })
+    }
+
+    /// Predicts the label of one series.
+    pub fn predict(&self, series: &TimeSeries) -> u32 {
+        self.svm.predict(&self.transform.transform_one(series))
+    }
+
+    /// Predicts a whole test set.
+    pub fn predict_all(&self, test: &Dataset) -> Vec<u32> {
+        test.all_series().iter().map(|s| self.predict(s)).collect()
+    }
+
+    /// Accuracy on a test set.
+    pub fn accuracy(&self, test: &Dataset) -> f64 {
+        ips_classify::eval::accuracy(&self.predict_all(test), test.labels())
+    }
+
+    /// The discovered shapelets.
+    pub fn shapelets(&self) -> &[Shapelet] {
+        self.transform.shapelets()
+    }
+
+    /// Discovery metadata (timings, candidate counts).
+    pub fn discovery(&self) -> &DiscoveryResult {
+        &self.discovery
+    }
+
+    /// The shapelet transform (for inspecting embeddings).
+    pub fn transform(&self) -> &ShapeletTransform {
+        &self.transform
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ips_tsdata::{registry, DatasetSpec, SynthGenerator};
+
+    fn fast_cfg() -> IpsConfig {
+        IpsConfig::default().with_sampling(5, 3).with_k(3)
+    }
+
+    #[test]
+    fn discovery_produces_k_per_class_and_timings() {
+        let spec = DatasetSpec::new("PipeT", 2, 64, 12, 24).with_noise(0.15);
+        let (train, _) = SynthGenerator::new(spec).generate().unwrap();
+        let res = IpsDiscovery::new(fast_cfg()).discover(&train).unwrap();
+        assert_eq!(res.shapelets.len(), 6);
+        assert!(res.candidates_generated > 0);
+        assert!(res.timings.total() > Duration::ZERO);
+        assert!(res.timings.candidate_gen > Duration::ZERO);
+    }
+
+    #[test]
+    fn classifier_beats_chance_on_synthetic_data() {
+        let spec = DatasetSpec::new("PipeAcc", 2, 80, 16, 40).with_noise(0.2);
+        let (train, test) = SynthGenerator::new(spec).generate().unwrap();
+        let model = IpsClassifier::fit(&train, fast_cfg()).unwrap();
+        let acc = model.accuracy(&test);
+        assert!(acc > 0.7, "accuracy {acc}");
+        assert_eq!(model.shapelets().len(), 6);
+    }
+
+    #[test]
+    fn classifier_works_on_registry_dataset() {
+        let (train, test) = registry::load("ItalyPowerDemand").unwrap();
+        let model = IpsClassifier::fit(&train, fast_cfg()).unwrap();
+        assert!(model.accuracy(&test) > 0.6);
+    }
+
+    #[test]
+    fn ablation_paths_run() {
+        let spec = DatasetSpec::new("PipeAbl", 2, 64, 12, 12).with_noise(0.2);
+        let (train, _) = SynthGenerator::new(spec).generate().unwrap();
+        for (use_dabf, use_dt_cr) in [(true, true), (true, false), (false, false), (false, true)] {
+            let mut cfg = fast_cfg();
+            cfg.use_dabf = use_dabf;
+            cfg.use_dt_cr = use_dt_cr;
+            let res = IpsDiscovery::new(cfg).discover(&train).unwrap();
+            assert!(!res.shapelets.is_empty(), "dabf={use_dabf} dtcr={use_dt_cr}");
+            if !use_dabf {
+                assert_eq!(res.timings.dabf_build, Duration::ZERO);
+            }
+        }
+    }
+
+    #[test]
+    fn single_class_training_set_is_rejected() {
+        let spec = DatasetSpec::new("PipeOne", 2, 40, 8, 8);
+        let (train, _) = SynthGenerator::new(spec).generate().unwrap();
+        let (_, only_zero) = (&train, {
+            let idx = train.class_indices(0);
+            let series = idx.iter().map(|&i| train.series(i).clone()).collect();
+            Dataset::new(series, vec![0; idx.len()]).unwrap()
+        });
+        let err = IpsClassifier::fit(&only_zero, fast_cfg()).unwrap_err();
+        assert!(matches!(err, PipelineError::InvalidTrainingSet(_)));
+        assert!(err.to_string().contains("two classes"));
+    }
+
+    #[test]
+    fn discovery_is_deterministic() {
+        let spec = DatasetSpec::new("PipeDet", 2, 64, 12, 12);
+        let (train, _) = SynthGenerator::new(spec).generate().unwrap();
+        let a = IpsDiscovery::new(fast_cfg()).discover(&train).unwrap();
+        let b = IpsDiscovery::new(fast_cfg()).discover(&train).unwrap();
+        assert_eq!(a.shapelets, b.shapelets);
+        assert_eq!(a.candidates_pruned, b.candidates_pruned);
+    }
+
+    #[test]
+    fn shapelets_locate_planted_patterns() {
+        // with low noise, at least one discovered shapelet per class should
+        // overlap the generator's planted pattern window
+        let spec = DatasetSpec::new("PipeLoc", 2, 100, 16, 16).with_noise(0.1);
+        let gen = SynthGenerator::new(spec);
+        let (train, _) = gen.generate().unwrap();
+        let res = IpsDiscovery::new(fast_cfg()).discover(&train).unwrap();
+        for class in [0u32, 1] {
+            let center = gen.pattern_center(class);
+            let width = gen.pattern_width(class) * 100.0;
+            let free = 100.0 - width;
+            let lo = (center * free - width).max(0.0) as usize;
+            let hi = (center * free + 2.0 * width) as usize;
+            let hit = res
+                .shapelets
+                .iter()
+                .filter(|s| s.class == class)
+                .any(|s| s.source_offset >= lo.saturating_sub(10) && s.source_offset <= hi + 10);
+            assert!(hit, "class {class}: no shapelet near planted window [{lo}, {hi}]");
+        }
+    }
+}

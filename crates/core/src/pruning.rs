@@ -1,0 +1,180 @@
+//! Algorithms 2 & 3 — DABF construction and candidate pruning.
+//!
+//! A candidate that is "possibly close to most elements" of another class
+//! cannot discriminate its own class from that one (it violates the
+//! shapelet definition), so it is removed. The DABF answers that query in
+//! O(1); [`prune_naive`] is the quadratic reference used by the Fig. 10a
+//! ablation.
+
+use ips_filter::{ClassDabf, Dabf, NaiveMostFilter};
+
+use crate::candidates::CandidatePool;
+use crate::config::IpsConfig;
+
+/// Algorithm 2: builds one [`ClassDabf`] per class from the pool's
+/// embedded candidates (motifs and discords alike — "foreach e ∈
+/// Φ_C^motif or Φ_C^discord").
+pub fn build_dabf(pool: &CandidatePool, config: &IpsConfig) -> Dabf {
+    let mut dabf = Dabf::new();
+    for class in pool.classes() {
+        let elements: Vec<Vec<f64>> =
+            pool.of_class(class).iter().map(|c| c.embedded.clone()).collect();
+        dabf.add_class(class, ClassDabf::build(&elements, config.dabf));
+    }
+    dabf
+}
+
+/// Algorithm 3: removes candidates that are possibly close to most
+/// elements of any *other* class. Returns the number pruned.
+///
+/// Safeguard: if the filter would remove every motif candidate of a class
+/// (possible on heavily overlapping classes), the pruning for that class
+/// is rolled back — downstream selection needs at least one candidate per
+/// class, and an over-aggressive filter must not abort the pipeline.
+pub fn prune_with_dabf(pool: &mut CandidatePool, dabf: &Dabf) -> usize {
+    let mut pruned = 0usize;
+    for class in pool.classes() {
+        let survivors: Vec<bool> = pool
+            .of_class(class)
+            .iter()
+            .map(|c| !dabf.close_to_most_of_other_class(class, &c.embedded))
+            .collect();
+        let motif_survives = pool
+            .of_class(class)
+            .iter()
+            .zip(&survivors)
+            .any(|(c, &s)| s && c.kind == crate::candidates::CandidateKind::Motif);
+        if !motif_survives {
+            continue; // roll back: keep the class's candidates untouched
+        }
+        let before = pool.of_class(class).len();
+        let mut keep_iter = survivors.into_iter();
+        // retain_class visits candidates in stored order, matching the
+        // order `of_class` produced the survivor flags in.
+        pool.retain_class(class, |_| keep_iter.next().unwrap_or(true));
+        pruned += before - pool.of_class(class).len();
+    }
+    pruned
+}
+
+/// The naive O(n²) pruning path: per class, build a [`NaiveMostFilter`]
+/// over raw embeddings of the other classes' candidates and query each
+/// candidate against each. Semantics mirror [`prune_with_dabf`]; cost does
+/// not. Returns the number pruned.
+pub fn prune_naive(pool: &mut CandidatePool, config: &IpsConfig) -> usize {
+    let classes = pool.classes();
+    // Build one naive filter per class over that class's embeddings.
+    let filters: Vec<(u32, NaiveMostFilter)> = classes
+        .iter()
+        .map(|&c| {
+            let elements: Vec<Vec<f64>> =
+                pool.of_class(c).iter().map(|x| x.embedded.clone()).collect();
+            (c, NaiveMostFilter::build(&elements, config.dabf.sigma_rule))
+        })
+        .collect();
+    let mut pruned = 0usize;
+    for &class in &classes {
+        let survivors: Vec<bool> = pool
+            .of_class(class)
+            .iter()
+            .map(|cand| {
+                !filters
+                    .iter()
+                    .filter(|(c, _)| *c != class)
+                    .any(|(_, f)| f.is_close_to_most(&cand.embedded))
+            })
+            .collect();
+        let motif_survives = pool
+            .of_class(class)
+            .iter()
+            .zip(&survivors)
+            .any(|(c, &s)| s && c.kind == crate::candidates::CandidateKind::Motif);
+        if !motif_survives {
+            continue;
+        }
+        let before = pool.of_class(class).len();
+        let mut keep_iter = survivors.into_iter();
+        pool.retain_class(class, |_| keep_iter.next().unwrap_or(true));
+        pruned += before - pool.of_class(class).len();
+    }
+    pruned
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::candidates::generate_candidates;
+    use ips_tsdata::{DatasetSpec, SynthGenerator};
+
+    fn cfg() -> IpsConfig {
+        IpsConfig::default().with_sampling(6, 3).with_seed(3)
+    }
+
+    fn pool() -> CandidatePool {
+        let spec = DatasetSpec::new("PruneT", 3, 64, 18, 18).with_noise(0.2);
+        let (train, _) = SynthGenerator::new(spec).generate().unwrap();
+        generate_candidates(&train, &cfg())
+    }
+
+    #[test]
+    fn dabf_covers_every_class() {
+        let pool = pool();
+        let dabf = build_dabf(&pool, &cfg());
+        assert_eq!(dabf.classes().count(), 3);
+        for (_, f) in dabf.classes() {
+            assert!(!f.is_empty());
+        }
+    }
+
+    #[test]
+    fn pruning_reduces_or_preserves_pool() {
+        let mut p = pool();
+        let before = p.len();
+        let dabf = build_dabf(&p, &cfg());
+        let pruned = prune_with_dabf(&mut p, &dabf);
+        assert_eq!(p.len(), before - pruned);
+        // every class keeps at least one motif (the rollback guarantee)
+        for c in p.classes() {
+            assert!(p.motifs_of(c).count() > 0, "class {c} lost all motifs");
+        }
+    }
+
+    #[test]
+    fn naive_pruning_has_same_shape_guarantees() {
+        let mut p = pool();
+        let before = p.len();
+        let pruned = prune_naive(&mut p, &cfg());
+        assert_eq!(p.len(), before - pruned);
+        for c in p.classes() {
+            assert!(p.motifs_of(c).count() > 0);
+        }
+    }
+
+    #[test]
+    fn pruning_is_deterministic() {
+        let dabf_cfg = cfg();
+        let mut p1 = pool();
+        let mut p2 = pool();
+        let dabf = build_dabf(&p1, &dabf_cfg);
+        let n1 = prune_with_dabf(&mut p1, &dabf);
+        let dabf2 = build_dabf(&p2, &dabf_cfg);
+        let n2 = prune_with_dabf(&mut p2, &dabf2);
+        assert_eq!(n1, n2);
+        assert_eq!(p1.len(), p2.len());
+    }
+
+    #[test]
+    fn well_separated_classes_survive_pruning_mostly() {
+        // classes with distinct planted shapes should rarely collide
+        let spec = DatasetSpec::new("Separated", 2, 64, 12, 12).with_noise(0.05);
+        let (train, _) = SynthGenerator::new(spec).generate().unwrap();
+        let mut p = generate_candidates(&train, &cfg());
+        let before = p.len();
+        let dabf = build_dabf(&p, &cfg());
+        let pruned = prune_with_dabf(&mut p, &dabf);
+        assert!(
+            pruned < before / 2,
+            "pruned {pruned}/{before} on well-separated classes"
+        );
+    }
+}

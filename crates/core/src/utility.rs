@@ -1,0 +1,384 @@
+//! The three utility functions (Definitions 11–13) and their optimized
+//! computation (Section III-E: distribution transformation + computation
+//! reuse).
+//!
+//! A motif candidate is scored `u = U_intra − U_inter + U_DC` and the
+//! **smallest** `u` wins (small intra-class distance, large inter-class
+//! distance, small distance to own-class instances — exactly the polarity
+//! of Algorithm 4's priority queue).
+//!
+//! Faithfulness note: the paper's utilities apply a sigmoid to a *sum* of
+//! distances; over hundreds of candidates the sum saturates the sigmoid to
+//! 1.0 in f64 and all scores tie. We apply the sigmoid to the *mean*
+//! distance instead — a monotone rescaling that preserves the intended
+//! ordering while keeping the scores numerically distinct (recorded in
+//! DESIGN.md §2).
+
+use ips_distance::{sliding_min_dist, sliding_min_dist_znorm};
+use ips_filter::Dabf;
+use ips_lsh::embed;
+use ips_tsdata::Dataset;
+
+use crate::candidates::{Candidate, CandidatePool};
+use crate::config::IpsConfig;
+
+/// Logistic squashing of a mean distance into `(0, 1)`.
+#[inline]
+pub fn sigmoid(x: f64) -> f64 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// Exact utility scores for the motif candidates of `class`, with the CR
+/// (computation-reuse) optimization: every pairwise distance is computed
+/// once and shared across the three utilities. Distances follow
+/// `config.metric` so scoring and discovery agree.
+///
+/// Returns one score per motif candidate, in `pool.motifs_of(class)`
+/// order. Lower is better.
+pub fn score_exact(
+    pool: &CandidatePool,
+    train: &Dataset,
+    config: &IpsConfig,
+    class: u32,
+) -> Vec<f64> {
+    let motifs: Vec<&Candidate> = pool.motifs_of(class).collect();
+    if motifs.is_empty() {
+        return Vec::new();
+    }
+    let dist = |a: &[f64], b: &[f64]| match config.metric {
+        ips_profile::Metric::MeanSquared => sliding_min_dist(a, b).0,
+        ips_profile::Metric::ZNormEuclidean => sliding_min_dist_znorm(a, b).0,
+    };
+    // CR: intra-class pairwise distances form a symmetric matrix computed
+    // once (the paper: "we calculate the distances between every two
+    // candidates, then combine the distances for each candidate's
+    // utility, which reduces the computation time in half").
+    let n = motifs.len();
+    let mut intra_sum = vec![0.0; n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d = dist(&motifs[i].values, &motifs[j].values);
+            intra_sum[i] += d;
+            intra_sum[j] += d;
+        }
+    }
+    // Inter-class: motifs and discords of the other classes.
+    let others: Vec<&Candidate> = pool
+        .classes()
+        .into_iter()
+        .filter(|&c| c != class)
+        .flat_map(|c| pool.of_class(c).iter())
+        .collect();
+    // Intra-instance: raw instances of the class.
+    let instances: Vec<&[f64]> = train
+        .class_indices(class)
+        .into_iter()
+        .map(|i| train.series(i).values())
+        .collect();
+
+    motifs
+        .iter()
+        .enumerate()
+        .map(|(i, m)| {
+            let u_intra = sigmoid(intra_sum[i] / (n.max(2) - 1) as f64);
+            let u_inter = if others.is_empty() {
+                0.5
+            } else {
+                let s: f64 =
+                    others.iter().map(|o| dist(&m.values, &o.values)).sum();
+                sigmoid(s / others.len() as f64)
+            };
+            let u_dc = if instances.is_empty() {
+                0.5
+            } else {
+                let s: f64 = instances.iter().map(|t| dist(&m.values, t)).sum();
+                sigmoid(s / instances.len() as f64)
+            };
+            u_intra - u_inter + u_dc
+        })
+        .collect()
+}
+
+/// DT + CR scores: distances are replaced by bucket-rank differences in
+/// the DABF's projection space (Formula 15's lower bound `|B_i − B_j|`),
+/// and per-candidate sums over `|B_i − B_j|` are computed from a sorted
+/// prefix-sum in O(log n) each instead of O(n) (the reuse step).
+///
+/// Returns one score per motif candidate of `class`, lower is better.
+pub fn score_dt_cr(
+    pool: &CandidatePool,
+    train: &Dataset,
+    dabf: &Dabf,
+    config: &IpsConfig,
+    class: u32,
+) -> Vec<f64> {
+    let motifs: Vec<&Candidate> = pool.motifs_of(class).collect();
+    if motifs.is_empty() {
+        return Vec::new();
+    }
+    let own = dabf.class(class).expect("DABF built for every class");
+    // Bucket ranks of this class's motifs in its own table.
+    let motif_ranks: Vec<f64> = motifs
+        .iter()
+        .map(|m| own.table().rank_of_norm(own.table().query_norm(&m.embedded)) as f64)
+        .collect();
+    let intra = AbsDevTable::new(&motif_ranks);
+
+    // Other classes: each class's candidates ranked in its own table; the
+    // query motif is ranked in that same table so differences live in one
+    // space.
+    let other_tables: Vec<(&ips_filter::ClassDabf, AbsDevTable)> = pool
+        .classes()
+        .into_iter()
+        .filter(|&c| c != class)
+        .filter_map(|c| {
+            let f = dabf.class(c)?;
+            let ranks: Vec<f64> = pool
+                .of_class(c)
+                .iter()
+                .map(|x| f.table().rank_of_norm(f.table().query_norm(&x.embedded)) as f64)
+                .collect();
+            (!ranks.is_empty()).then(|| (f, AbsDevTable::new(&ranks)))
+        })
+        .collect();
+
+    // Own-class instances embedded whole and ranked in the own table.
+    let instance_ranks: Vec<f64> = train
+        .class_indices(class)
+        .into_iter()
+        .map(|i| {
+            let e = embed(train.series(i).values(), config.embed_dim());
+            own.table().rank_of_norm(own.table().query_norm(&e)) as f64
+        })
+        .collect();
+    let inst_table = AbsDevTable::new(&instance_ranks);
+
+    // Bucket ranks live on a 0..#buckets integer scale; the mean absolute
+    // deviation must be normalized back to [0, 1] before the sigmoid or
+    // every utility saturates to 1.0 and all scores tie (the scale-fix
+    // counterpart of the sum→mean change documented in the module docs).
+    let own_scale = own.table().num_buckets().max(1) as f64;
+    motifs
+        .iter()
+        .enumerate()
+        .map(|(i, m)| {
+            let u_intra =
+                sigmoid(intra.mean_abs_dev_excluding_self(motif_ranks[i]) / own_scale);
+            let u_inter = if other_tables.is_empty() {
+                0.5
+            } else {
+                let (sum, count) = other_tables.iter().fold((0.0, 0usize), |(s, c), (f, t)| {
+                    let scale = f.table().num_buckets().max(1) as f64;
+                    let r =
+                        f.table().rank_of_norm(f.table().query_norm(&m.embedded)) as f64;
+                    (s + t.sum_abs_dev(r) / scale, c + t.len())
+                });
+                sigmoid(sum / count.max(1) as f64)
+            };
+            let u_dc = if inst_table.is_empty() {
+                0.5
+            } else {
+                sigmoid(inst_table.mean_abs_dev(motif_ranks[i]) / own_scale)
+            };
+            u_intra - u_inter + u_dc
+        })
+        .collect()
+}
+
+/// Sorted-values + prefix-sums structure answering `Σ_j |x − v_j|` in
+/// O(log n) — the computation-reuse core of the DT path.
+#[derive(Debug, Clone)]
+pub struct AbsDevTable {
+    sorted: Vec<f64>,
+    prefix: Vec<f64>,
+}
+
+impl AbsDevTable {
+    /// Builds the table from arbitrary values.
+    pub fn new(values: &[f64]) -> Self {
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite ranks"));
+        let mut prefix = Vec::with_capacity(sorted.len() + 1);
+        prefix.push(0.0);
+        for &v in &sorted {
+            prefix.push(prefix.last().unwrap() + v);
+        }
+        Self { sorted, prefix }
+    }
+
+    /// Number of stored values.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True when built over no values.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// `Σ_j |x − v_j|`.
+    pub fn sum_abs_dev(&self, x: f64) -> f64 {
+        let n = self.sorted.len();
+        if n == 0 {
+            return 0.0;
+        }
+        let idx = self.sorted.partition_point(|&v| v < x);
+        let left_sum = self.prefix[idx];
+        let total = self.prefix[n];
+        let left = x * idx as f64 - left_sum;
+        let right = (total - left_sum) - x * (n - idx) as f64;
+        left + right
+    }
+
+    /// Mean absolute deviation of `x` from the stored values.
+    pub fn mean_abs_dev(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            0.0
+        } else {
+            self.sum_abs_dev(x) / self.sorted.len() as f64
+        }
+    }
+
+    /// Mean absolute deviation excluding one occurrence of `x` itself
+    /// (used when `x` is a member of the table).
+    pub fn mean_abs_dev_excluding_self(&self, x: f64) -> f64 {
+        let n = self.sorted.len();
+        if n <= 1 {
+            return 0.0;
+        }
+        self.sum_abs_dev(x) / (n - 1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::candidates::generate_candidates;
+    use crate::pruning::build_dabf;
+    use ips_tsdata::{DatasetSpec, SynthGenerator};
+
+    #[test]
+    fn sigmoid_shape() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-12);
+        assert!(sigmoid(10.0) > 0.9999);
+        assert!(sigmoid(-10.0) < 0.0001);
+        assert!(sigmoid(1.0) > sigmoid(0.5));
+    }
+
+    #[test]
+    fn abs_dev_table_matches_naive() {
+        let vals = [3.0, -1.0, 7.0, 2.0, 2.0, 0.5];
+        let t = AbsDevTable::new(&vals);
+        for x in [-2.0, 0.0, 2.0, 3.5, 10.0] {
+            let naive: f64 = vals.iter().map(|v| (x - v).abs()).sum();
+            assert!((t.sum_abs_dev(x) - naive).abs() < 1e-9, "x={x}");
+            assert!((t.mean_abs_dev(x) - naive / 6.0).abs() < 1e-9);
+        }
+        assert_eq!(t.len(), 6);
+        assert!(!t.is_empty());
+        assert_eq!(AbsDevTable::new(&[]).sum_abs_dev(5.0), 0.0);
+        assert_eq!(AbsDevTable::new(&[1.0]).mean_abs_dev_excluding_self(1.0), 0.0);
+    }
+
+    fn setup() -> (CandidatePool, Dataset, IpsConfig) {
+        let spec = DatasetSpec::new("UtilT", 2, 64, 12, 12).with_noise(0.15);
+        let (train, _) = SynthGenerator::new(spec).generate().unwrap();
+        let cfg = IpsConfig::default().with_sampling(5, 3).with_seed(2);
+        let pool = generate_candidates(&train, &cfg);
+        (pool, train, cfg)
+    }
+
+    #[test]
+    fn exact_scores_are_finite_and_complete() {
+        let (pool, train, cfg) = setup();
+        for c in pool.classes() {
+            let scores = score_exact(&pool, &train, &cfg, c);
+            assert_eq!(scores.len(), pool.motifs_of(c).count());
+            assert!(scores.iter().all(|s| s.is_finite()));
+            // score range is bounded by the three sigmoids
+            assert!(scores.iter().all(|s| (-1.0..=2.0).contains(s)));
+        }
+    }
+
+    #[test]
+    fn dt_cr_scores_are_finite_and_complete() {
+        let (pool, train, cfg) = setup();
+        let dabf = build_dabf(&pool, &cfg);
+        for c in pool.classes() {
+            let scores = score_dt_cr(&pool, &train, &dabf, &cfg, c);
+            assert_eq!(scores.len(), pool.motifs_of(c).count());
+            assert!(scores.iter().all(|s| s.is_finite()));
+        }
+    }
+
+    #[test]
+    fn scores_are_not_all_tied() {
+        // the saturation fix must keep candidates distinguishable
+        let (pool, train, cfg) = setup();
+        let exact = score_exact(&pool, &train, &cfg, 0);
+        let distinct = exact.iter().filter(|&&s| (s - exact[0]).abs() > 1e-9).count();
+        assert!(distinct > 0, "exact scores all tied: {exact:?}");
+        let dabf = build_dabf(&pool, &cfg);
+        let dt = score_dt_cr(&pool, &train, &dabf, &cfg, 0);
+        let distinct = dt.iter().filter(|&&s| (s - dt[0]).abs() > 1e-9).count();
+        assert!(distinct > 0, "dt scores all tied: {dt:?}");
+    }
+
+    #[test]
+    fn empty_class_yields_empty_scores() {
+        let (pool, train, cfg) = setup();
+        assert!(score_exact(&pool, &train, &cfg, 99).is_empty());
+        let dabf = build_dabf(&pool, &cfg);
+        assert!(score_dt_cr(&pool, &train, &dabf, &cfg, 99).is_empty());
+    }
+
+    #[test]
+    fn discriminative_candidate_scores_better_than_shared_one() {
+        // Construct a pool by hand: class 0 has a candidate close to its
+        // own instances and far from class 1 (good), plus one that sits in
+        // both classes (bad).
+        use crate::candidates::{Candidate, CandidateKind};
+        use ips_lsh::embed as e;
+        use ips_tsdata::TimeSeries;
+        let dim = IpsConfig::default().embed_dim();
+        let pat_good = vec![5.0, 6.0, 5.5, 6.5, 5.0];
+        let pat_shared = vec![1.0, 1.5, 1.0, 1.5, 1.0];
+        let mk_series = |pat: &[f64], at: usize| {
+            let mut v = vec![0.0; 30];
+            v[at..at + pat.len()].copy_from_slice(pat);
+            TimeSeries::new(v)
+        };
+        // class 0 instances contain both patterns; class 1 only shared
+        let train = Dataset::new(
+            vec![
+                mk_series(&pat_good, 4),
+                mk_series(&pat_good, 10),
+                mk_series(&pat_shared, 5),
+                mk_series(&pat_shared, 12),
+            ],
+            vec![0, 0, 1, 1],
+        )
+        .unwrap();
+        let mut pool = CandidatePool::default();
+        let mk_cand = |values: &[f64], class: u32, kind| Candidate {
+            values: values.to_vec(),
+            class,
+            kind,
+            ip_value: 0.0,
+            source_instance: 0,
+            source_offset: 0,
+            embedded: e(values, dim),
+        };
+        pool.push(mk_cand(&pat_good, 0, CandidateKind::Motif));
+        pool.push(mk_cand(&pat_shared, 0, CandidateKind::Motif));
+        pool.push(mk_cand(&pat_shared, 1, CandidateKind::Motif));
+        let cfg = IpsConfig::default();
+        let scores = score_exact(&pool, &train, &cfg, 0);
+        assert!(
+            scores[0] < scores[1],
+            "good candidate {} should beat shared {}",
+            scores[0],
+            scores[1]
+        );
+    }
+}

@@ -1,0 +1,69 @@
+//! Property-based tests of the IPS pipeline components.
+
+use ips_core::utility::AbsDevTable;
+use ips_core::{generate_candidates, CandidateKind, IpsConfig};
+use ips_tsdata::{DatasetSpec, SynthGenerator};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn abs_dev_table_matches_naive(
+        values in prop::collection::vec(-100.0f64..100.0, 0..60),
+        queries in prop::collection::vec(-150.0f64..150.0, 1..10),
+    ) {
+        let t = AbsDevTable::new(&values);
+        for q in queries {
+            let naive: f64 = values.iter().map(|v| (q - v).abs()).sum();
+            prop_assert!((t.sum_abs_dev(q) - naive).abs() < 1e-6 * (1.0 + naive));
+        }
+    }
+
+    #[test]
+    fn candidate_generation_invariants(
+        seed in 0u64..1000,
+        classes in 2usize..4,
+        qn in 1usize..5,
+        qs in 2usize..5,
+    ) {
+        let spec = DatasetSpec::new("Prop", classes, 48, classes * 6, 4)
+            .with_seed(seed)
+            .with_modes(1);
+        let (train, _) = SynthGenerator::new(spec).generate().expect("generation");
+        let cfg = IpsConfig::default().with_sampling(qn, qs).with_seed(seed);
+        let pool = generate_candidates(&train, &cfg);
+        prop_assert!(!pool.is_empty());
+        // every candidate: valid provenance, consistent label, grid length
+        let grid = cfg.lengths_for(48);
+        for c in pool.iter() {
+            prop_assert!(grid.contains(&c.len()));
+            prop_assert_eq!(train.label(c.source_instance), c.class);
+            let inst = train.series(c.source_instance);
+            prop_assert_eq!(
+                c.values.as_slice(),
+                inst.subsequence(c.source_offset, c.len())
+            );
+            prop_assert_eq!(c.embedded.len(), cfg.embed_dim());
+            prop_assert!(c.ip_value.is_finite() && c.ip_value >= 0.0);
+        }
+        // motifs and discords balance per class
+        for class in pool.classes() {
+            let m = pool.motifs_of(class).count();
+            let d = pool.discords_of(class).count();
+            prop_assert!(m > 0);
+            prop_assert!(d > 0);
+        }
+        // determinism
+        let again = generate_candidates(&train, &cfg);
+        prop_assert_eq!(pool.len(), again.len());
+        for (a, b) in pool.iter().zip(again.iter()) {
+            prop_assert_eq!(&a.values, &b.values);
+            prop_assert!(matches!(
+                (a.kind, b.kind),
+                (CandidateKind::Motif, CandidateKind::Motif)
+                    | (CandidateKind::Discord, CandidateKind::Discord)
+            ));
+        }
+    }
+}

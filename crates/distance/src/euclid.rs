@@ -1,0 +1,278 @@
+//! Euclidean distances and the paper's sliding subsequence distance.
+
+use crate::rolling::RollingStats;
+
+/// Squared Euclidean distance between two equal-length slices.
+///
+/// # Panics
+/// Panics (in debug builds) when the lengths differ.
+#[inline]
+pub fn sq_euclidean(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Euclidean distance between two equal-length slices.
+#[inline]
+pub fn euclidean(a: &[f64], b: &[f64]) -> f64 {
+    sq_euclidean(a, b).sqrt()
+}
+
+/// Mean squared difference — the per-alignment term of Definition 4:
+/// `(1/|a|) Σ (a_l − b_l)²`.
+#[inline]
+pub fn mean_sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    if a.is_empty() {
+        return 0.0;
+    }
+    sq_euclidean(a, b) / a.len() as f64
+}
+
+/// The paper's `dist(T_p, T_q)` (Definition 4): the minimum mean squared
+/// difference of `query` over every alignment against `series`, together
+/// with the argmin offset.
+///
+/// `query` and `series` may be passed in either order — the shorter slice
+/// slides over the longer one ("w.l.o.g. |T_q| ≥ |T_p|" in the paper).
+/// Returns `(f64::INFINITY, 0)` when either slice is empty.
+pub fn sliding_min_dist(query: &[f64], series: &[f64]) -> (f64, usize) {
+    let (q, s) = if query.len() <= series.len() { (query, series) } else { (series, query) };
+    if q.is_empty() || s.is_empty() {
+        return (f64::INFINITY, 0);
+    }
+    let mut best = f64::INFINITY;
+    let mut best_at = 0;
+    for (j, w) in s.windows(q.len()).enumerate() {
+        // Early-abandoning ED: bail out of the inner sum once the partial
+        // sum exceeds the best-so-far (classic shapelet-search optimization).
+        let cutoff = best * q.len() as f64;
+        let mut acc = 0.0;
+        for (x, y) in q.iter().zip(w) {
+            acc += (x - y) * (x - y);
+            if acc > cutoff {
+                break;
+            }
+        }
+        let d = acc / q.len() as f64;
+        if d < best {
+            best = d;
+            best_at = j;
+        }
+    }
+    (best, best_at)
+}
+
+/// Z-normalized variant of [`sliding_min_dist`]: both the query and every
+/// window are z-normalized before comparison. Returns `(min_dist, offset)`.
+pub fn sliding_min_dist_znorm(query: &[f64], series: &[f64]) -> (f64, usize) {
+    let (q, s) = if query.len() <= series.len() { (query, series) } else { (series, query) };
+    if q.is_empty() || s.is_empty() {
+        return (f64::INFINITY, 0);
+    }
+    let profile = dist_profile_znorm(q, s);
+    argmin(&profile).map_or((f64::INFINITY, 0), |(i, d)| {
+        // convert squared z-ED to mean squared difference for comparability
+        (d * d / q.len() as f64, i)
+    })
+}
+
+/// Distance profile of `query` against every window of `series`, using the
+/// *mean squared* difference of Definition 4. O(n) per output via the
+/// incremental identity
+/// `sq(j+1) = sq(j) − (s_j − q'_j)² …` — not applicable for arbitrary
+/// queries, so this is the straightforward O(n·m) loop with early abandon
+/// disabled (profiles need every value).
+pub fn dist_profile(query: &[f64], series: &[f64]) -> Vec<f64> {
+    if query.is_empty() || series.len() < query.len() {
+        return Vec::new();
+    }
+    series.windows(query.len()).map(|w| mean_sq_dist(query, w)).collect()
+}
+
+/// Z-normalized Euclidean distance profile (the matrix-profile metric):
+/// `query` is z-normalized, each window of `series` is z-normalized, and
+/// the output is the (non-squared) Euclidean distance per window.
+///
+/// Runs in O(n·m) worst case but uses the dot-product identity
+/// `d² = 2m(1 − (qw − m·μq·μw)/(m·σq·σw))` with rolling window statistics,
+/// so the per-window cost is one dot product. `ips_distance::mass` provides
+/// the O(n log n) FFT version for long series.
+pub fn dist_profile_znorm(query: &[f64], series: &[f64]) -> Vec<f64> {
+    let m = query.len();
+    if m == 0 || series.len() < m {
+        return Vec::new();
+    }
+    let stats = RollingStats::new(series, m);
+    let mu_q = query.iter().sum::<f64>() / m as f64;
+    let sd_q = {
+        let v = query.iter().map(|x| (x - mu_q) * (x - mu_q)).sum::<f64>() / m as f64;
+        v.sqrt()
+    };
+    let n_out = series.len() - m + 1;
+    let mut out = Vec::with_capacity(n_out);
+    for j in 0..n_out {
+        let w = &series[j..j + m];
+        let dot: f64 = query.iter().zip(w).map(|(a, b)| a * b).sum();
+        out.push(znorm_dist_from_dot(dot, m, mu_q, sd_q, stats.mean(j), stats.std(j)));
+    }
+    out
+}
+
+/// Converts a raw dot product and window statistics into the z-normalized
+/// Euclidean distance. Shared by the naive profile, MASS, and the
+/// STOMP-style matrix profile in `ips-profile`.
+#[inline]
+pub fn znorm_dist_from_dot(
+    dot: f64,
+    m: usize,
+    mu_q: f64,
+    sd_q: f64,
+    mu_w: f64,
+    sd_w: f64,
+) -> f64 {
+    let m_f = m as f64;
+    if sd_q <= f64::EPSILON && sd_w <= f64::EPSILON {
+        return 0.0; // both constant: identical after z-normalization
+    }
+    if sd_q <= f64::EPSILON || sd_w <= f64::EPSILON {
+        // one constant, one not: all-zeros vs unit-variance vector
+        return m_f.sqrt();
+    }
+    let corr = (dot - m_f * mu_q * mu_w) / (m_f * sd_q * sd_w);
+    let d2 = 2.0 * m_f * (1.0 - corr.clamp(-1.0, 1.0));
+    d2.max(0.0).sqrt()
+}
+
+/// Index and value of the minimum of a slice (`None` when empty). NaNs are
+/// skipped rather than propagated.
+pub fn argmin(xs: &[f64]) -> Option<(usize, f64)> {
+    xs.iter()
+        .enumerate()
+        .filter(|(_, v)| !v.is_nan())
+        .min_by(|a, b| a.1.partial_cmp(b.1).expect("no NaN"))
+        .map(|(i, &v)| (i, v))
+}
+
+/// Index and value of the maximum of a slice (`None` when empty / all-NaN).
+pub fn argmax(xs: &[f64]) -> Option<(usize, f64)> {
+    xs.iter()
+        .enumerate()
+        .filter(|(_, v)| !v.is_nan())
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("no NaN"))
+        .map(|(i, &v)| (i, v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn euclidean_basics() {
+        assert_eq!(euclidean(&[0.0, 0.0], &[3.0, 4.0]), 5.0);
+        assert_eq!(sq_euclidean(&[1.0], &[4.0]), 9.0);
+        assert_eq!(mean_sq_dist(&[0.0, 0.0], &[2.0, 2.0]), 4.0);
+        assert_eq!(mean_sq_dist(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn sliding_min_finds_exact_match() {
+        let series = [5.0, 1.0, 2.0, 3.0, 9.0];
+        let (d, at) = sliding_min_dist(&[1.0, 2.0, 3.0], &series);
+        assert_eq!(d, 0.0);
+        assert_eq!(at, 1);
+    }
+
+    #[test]
+    fn sliding_min_is_symmetric_in_argument_order() {
+        let long = [5.0, 1.0, 2.0, 3.0, 9.0];
+        let short = [1.0, 2.0, 3.1];
+        assert_eq!(sliding_min_dist(&short, &long), sliding_min_dist(&long, &short));
+    }
+
+    #[test]
+    fn sliding_min_empty_inputs() {
+        assert_eq!(sliding_min_dist(&[], &[1.0]).0, f64::INFINITY);
+        assert_eq!(sliding_min_dist(&[1.0], &[]).0, f64::INFINITY);
+    }
+
+    #[test]
+    fn early_abandon_matches_naive() {
+        // pseudo-random but deterministic values
+        let series: Vec<f64> = (0..200).map(|i| ((i * 37 % 101) as f64).sin() * 3.0).collect();
+        let query: Vec<f64> = (0..23).map(|i| ((i * 53 % 89) as f64).cos() * 2.0).collect();
+        let (fast, at) = sliding_min_dist(&query, &series);
+        let naive = series
+            .windows(query.len())
+            .map(|w| mean_sq_dist(&query, w))
+            .fold(f64::INFINITY, f64::min);
+        assert!((fast - naive).abs() < 1e-12);
+        assert!((mean_sq_dist(&query, &series[at..at + query.len()]) - fast).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dist_profile_matches_pointwise() {
+        let series = [0.0, 1.0, 0.0, -1.0, 0.0];
+        let query = [1.0, 0.0];
+        let p = dist_profile(&query, &series);
+        assert_eq!(p.len(), 4);
+        for (j, v) in p.iter().enumerate() {
+            assert!((v - mean_sq_dist(&query, &series[j..j + 2])).abs() < 1e-12);
+        }
+        assert!(dist_profile(&[1.0; 9], &series).is_empty());
+        assert!(dist_profile(&[], &series).is_empty());
+    }
+
+    #[test]
+    fn znorm_profile_matches_explicit_normalization() {
+        let series: Vec<f64> = (0..64).map(|i| (i as f64 * 0.37).sin() + 0.1 * i as f64).collect();
+        let query: Vec<f64> = (0..9).map(|i| (i as f64 * 0.9).cos()).collect();
+        let p = dist_profile_znorm(&query, &series);
+        assert_eq!(p.len(), series.len() - query.len() + 1);
+        for (j, &v) in p.iter().enumerate() {
+            let zq = ips_znorm(&query);
+            let zw = ips_znorm(&series[j..j + query.len()]);
+            let expect = euclidean(&zq, &zw);
+            assert!((v - expect).abs() < 1e-8, "at {j}: {v} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn znorm_profile_scale_invariance() {
+        let series: Vec<f64> = (0..40).map(|i| (i as f64 * 0.5).sin()).collect();
+        let query: Vec<f64> = series[10..18].to_vec();
+        let scaled: Vec<f64> = query.iter().map(|v| v * 7.0 + 3.0).collect();
+        let p1 = dist_profile_znorm(&query, &series);
+        let p2 = dist_profile_znorm(&scaled, &series);
+        for (a, b) in p1.iter().zip(&p2) {
+            assert!((a - b).abs() < 1e-6);
+        }
+        assert!(p1[10] < 1e-6); // exact occurrence
+    }
+
+    #[test]
+    fn znorm_profile_constant_windows() {
+        let series = [2.0, 2.0, 2.0, 2.0, 5.0, 1.0];
+        let query = [3.0, 3.0, 3.0];
+        let p = dist_profile_znorm(&query, &series);
+        assert_eq!(p[0], 0.0); // constant vs constant
+        assert!((p[3] - 3f64.sqrt()).abs() < 1e-12); // constant vs varying
+    }
+
+    #[test]
+    fn argmin_argmax() {
+        assert_eq!(argmin(&[3.0, 1.0, 2.0]), Some((1, 1.0)));
+        assert_eq!(argmax(&[3.0, 1.0, 2.0]), Some((0, 3.0)));
+        assert_eq!(argmin(&[]), None);
+        assert_eq!(argmin(&[f64::NAN, 2.0]), Some((1, 2.0)));
+    }
+
+    fn ips_znorm(xs: &[f64]) -> Vec<f64> {
+        let m = xs.iter().sum::<f64>() / xs.len() as f64;
+        let s = (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64).sqrt();
+        if s <= f64::EPSILON {
+            vec![0.0; xs.len()]
+        } else {
+            xs.iter().map(|x| (x - m) / s).collect()
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Counting Bloom filter — supports deletion by replacing bits with
+//! saturating counters (the direction of spectral bloom filters [6]).
+
+use std::hash::Hash;
+
+use crate::bloom::Fnv1a;
+use std::hash::Hasher;
+
+/// A Bloom filter whose cells are counters, enabling `remove` and
+/// multiplicity estimates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CountingBloomFilter {
+    counters: Vec<u32>,
+    num_hashes: u32,
+    items: usize,
+}
+
+impl CountingBloomFilter {
+    /// Creates a filter with `cells` counters and `num_hashes` hash
+    /// functions.
+    pub fn new(cells: usize, num_hashes: u32) -> Self {
+        Self {
+            counters: vec![0; cells.max(64)],
+            num_hashes: num_hashes.max(1),
+            items: 0,
+        }
+    }
+
+    /// Inserts an item (increments its counters, saturating).
+    pub fn insert<T: Hash + ?Sized>(&mut self, item: &T) {
+        let (h1, h2) = base_hashes(item);
+        for i in 0..self.num_hashes {
+            let idx = self.index(h1, h2, i);
+            self.counters[idx] = self.counters[idx].saturating_add(1);
+        }
+        self.items += 1;
+    }
+
+    /// Removes one occurrence of an item. Safe to call for absent items
+    /// (counters never go below zero), though doing so can introduce false
+    /// negatives for colliding items — the classic counting-bloom caveat.
+    pub fn remove<T: Hash + ?Sized>(&mut self, item: &T) {
+        let (h1, h2) = base_hashes(item);
+        for i in 0..self.num_hashes {
+            let idx = self.index(h1, h2, i);
+            self.counters[idx] = self.counters[idx].saturating_sub(1);
+        }
+        self.items = self.items.saturating_sub(1);
+    }
+
+    /// True when the item is possibly present.
+    pub fn contains<T: Hash + ?Sized>(&self, item: &T) -> bool {
+        self.estimate_count(item) > 0
+    }
+
+    /// Upper bound on the item's multiplicity (minimum of its counters —
+    /// the spectral "minimum selection" estimator).
+    pub fn estimate_count<T: Hash + ?Sized>(&self, item: &T) -> u32 {
+        let (h1, h2) = base_hashes(item);
+        (0..self.num_hashes)
+            .map(|i| self.counters[self.index(h1, h2, i)])
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Number of live insertions.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.items
+    }
+
+    /// True when no insertions are live.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.items == 0
+    }
+
+    #[inline]
+    fn index(&self, h1: u64, h2: u64, i: u32) -> usize {
+        (h1.wrapping_add((i as u64).wrapping_mul(h2)) % self.counters.len() as u64) as usize
+    }
+}
+
+fn base_hashes<T: Hash + ?Sized>(item: &T) -> (u64, u64) {
+    let mut hasher = Fnv1a::default();
+    item.hash(&mut hasher);
+    let h1 = hasher.finish();
+    let mut z = h1.wrapping_add(0x9e3779b97f4a7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    (h1, (z ^ (z >> 31)) | 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_then_remove_clears_membership() {
+        let mut cbf = CountingBloomFilter::new(4096, 4);
+        cbf.insert(&"x");
+        assert!(cbf.contains(&"x"));
+        cbf.remove(&"x");
+        assert!(!cbf.contains(&"x"));
+        assert!(cbf.is_empty());
+    }
+
+    #[test]
+    fn multiplicity_estimates_are_upper_bounds() {
+        let mut cbf = CountingBloomFilter::new(4096, 4);
+        for _ in 0..5 {
+            cbf.insert(&"repeated");
+        }
+        cbf.insert(&"once");
+        assert!(cbf.estimate_count(&"repeated") >= 5);
+        assert!(cbf.estimate_count(&"once") >= 1);
+        assert_eq!(cbf.estimate_count(&"absent-item-xyz"), 0);
+    }
+
+    #[test]
+    fn other_items_survive_a_removal() {
+        let mut cbf = CountingBloomFilter::new(8192, 4);
+        for i in 0..100u32 {
+            cbf.insert(&i);
+        }
+        cbf.remove(&50u32);
+        for i in 0..100u32 {
+            if i != 50 {
+                assert!(cbf.contains(&i), "lost {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn removing_absent_item_is_safe() {
+        let mut cbf = CountingBloomFilter::new(1024, 3);
+        cbf.remove(&"ghost");
+        assert!(cbf.is_empty());
+        cbf.insert(&"real");
+        assert!(cbf.contains(&"real"));
+    }
+}

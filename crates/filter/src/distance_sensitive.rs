@@ -1,0 +1,124 @@
+//! Distance-sensitive bloom filter (Goswami et al. [15]): answers whether
+//! a query is *close to an element* of the set, via LSH signatures stored
+//! in classic bloom filters. One of the two precursors the DABF departs
+//! from (it answers "close to *an* element", the DABF answers "close to
+//! *most* elements").
+
+use ips_lsh::{Lsh, LshParams};
+
+use crate::bloom::BloomFilter;
+
+/// A stack of `(LSH instance, bloom filter)` pairs. A query is "possibly
+/// close" when any instance's signature is present in its filter; using
+/// several independent instances boosts recall (standard OR-construction).
+#[derive(Debug, Clone)]
+pub struct DistanceSensitiveBloom {
+    tables: Vec<(Lsh, BloomFilter)>,
+    items: usize,
+}
+
+impl DistanceSensitiveBloom {
+    /// Builds `num_tables` independent LSH instances (seeds derived from
+    /// `params.seed`), each backed by a bloom filter sized for
+    /// `expected_items`.
+    pub fn new(params: LshParams, num_tables: usize, expected_items: usize) -> Self {
+        let tables = (0..num_tables.max(1))
+            .map(|t| {
+                let p = LshParams { seed: params.seed.wrapping_add(t as u64 * 0x9e37), ..params };
+                (Lsh::new(p), BloomFilter::with_rate(expected_items, 0.01))
+            })
+            .collect();
+        Self { tables, items: 0 }
+    }
+
+    /// Inserts an embedded vector.
+    pub fn insert(&mut self, embedded: &[f64]) {
+        for (lsh, bf) in &mut self.tables {
+            bf.insert(&lsh.signature(embedded).0);
+        }
+        self.items += 1;
+    }
+
+    /// "Possibly close to an element" (any table hits) vs "definitely not
+    /// close" — up to the LSH collision probabilities.
+    pub fn query(&self, embedded: &[f64]) -> bool {
+        self.tables.iter().any(|(lsh, bf)| bf.contains(&lsh.signature(embedded).0))
+    }
+
+    /// Number of inserted items.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.items
+    }
+
+    /// True when nothing has been inserted.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.items == 0
+    }
+
+    /// Number of OR-ed LSH tables.
+    #[inline]
+    pub fn num_tables(&self) -> usize {
+        self.tables.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ips_lsh::LshKind;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn params() -> LshParams {
+        LshParams { kind: LshKind::L2, dim: 16, num_hashes: 6, ..Default::default() }
+    }
+
+    #[test]
+    fn near_queries_hit_far_queries_miss() {
+        let mut dsb = DistanceSensitiveBloom::new(params(), 4, 200);
+        let mut rng = StdRng::seed_from_u64(3);
+        let items: Vec<Vec<f64>> = (0..100)
+            .map(|_| (0..16).map(|_| rng.random_range(-1.0..1.0)).collect())
+            .collect();
+        for it in &items {
+            dsb.insert(it);
+        }
+        // tiny perturbations of inserted items mostly hit
+        let hits = items
+            .iter()
+            .take(50)
+            .filter(|it| {
+                let q: Vec<f64> = it.iter().map(|x| x + 0.005).collect();
+                dsb.query(&q)
+            })
+            .count();
+        assert!(hits > 35, "near hits {hits}/50");
+        // far random points mostly miss
+        let far_hits = (0..50)
+            .filter(|_| {
+                let q: Vec<f64> = (0..16).map(|_| rng.random_range(40.0..80.0)).collect();
+                dsb.query(&q)
+            })
+            .count();
+        assert!(far_hits < 10, "far hits {far_hits}/50");
+    }
+
+    #[test]
+    fn exact_members_always_hit() {
+        let mut dsb = DistanceSensitiveBloom::new(params(), 3, 50);
+        let v: Vec<f64> = (0..16).map(|i| (i as f64 * 0.3).sin()).collect();
+        dsb.insert(&v);
+        assert!(dsb.query(&v));
+        assert_eq!(dsb.len(), 1);
+        assert_eq!(dsb.num_tables(), 3);
+    }
+
+    #[test]
+    fn empty_filter_rejects() {
+        let dsb = DistanceSensitiveBloom::new(params(), 2, 10);
+        assert!(dsb.is_empty());
+        assert!(!dsb.query(&vec![0.5; 16]));
+    }
+}

@@ -1,0 +1,126 @@
+//! Fixed-dimension embedding of variable-length subsequences.
+//!
+//! Candidate shapelets come in several lengths (the paper's length ratios
+//! {0.1 … 0.5}·N), but one LSH family hashes vectors of a single
+//! dimension. We z-normalize each candidate and linearly resample it to a
+//! fixed dimension; this preserves shape (what shapelets are about) while
+//! discarding scale and length, and is the documented substitution for the
+//! paper's unspecified variable-length handling.
+
+/// Linearly resamples `values` to exactly `dim` points. End points map to
+/// end points; interior points are linear interpolations. A singleton
+/// input is replicated.
+///
+/// # Panics
+/// Panics when `values` is empty or `dim == 0`.
+pub fn resample(values: &[f64], dim: usize) -> Vec<f64> {
+    assert!(!values.is_empty(), "cannot resample an empty slice");
+    assert!(dim > 0, "target dimension must be positive");
+    if values.len() == 1 {
+        return vec![values[0]; dim];
+    }
+    if dim == 1 {
+        return vec![values[values.len() / 2]];
+    }
+    let scale = (values.len() - 1) as f64 / (dim - 1) as f64;
+    (0..dim)
+        .map(|i| {
+            let x = i as f64 * scale;
+            let lo = x.floor() as usize;
+            let hi = (lo + 1).min(values.len() - 1);
+            let frac = x - lo as f64;
+            values[lo] * (1.0 - frac) + values[hi] * frac
+        })
+        .collect()
+}
+
+/// Z-normalizes and resamples a subsequence into the canonical embedding
+/// dimension used by the hash family. Constant subsequences embed to the
+/// zero vector.
+pub fn embed(values: &[f64], dim: usize) -> Vec<f64> {
+    let n = values.len() as f64;
+    let mu = values.iter().sum::<f64>() / n;
+    let sd = (values.iter().map(|v| (v - mu) * (v - mu)).sum::<f64>() / n).sqrt();
+    let z: Vec<f64> = if sd <= f64::EPSILON {
+        vec![0.0; values.len()]
+    } else {
+        values.iter().map(|v| (v - mu) / sd).collect()
+    };
+    resample(&z, dim)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resample_identity_when_same_length() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(resample(&v, 4), v.to_vec());
+    }
+
+    #[test]
+    fn resample_endpoints_preserved() {
+        let v = [5.0, 1.0, 2.0, 9.0];
+        for dim in [2, 3, 7, 16] {
+            let r = resample(&v, dim);
+            assert_eq!(r.len(), dim);
+            assert!((r[0] - 5.0).abs() < 1e-12);
+            assert!((r[dim - 1] - 9.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn resample_linear_ramp_stays_linear() {
+        let v: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let r = resample(&v, 19);
+        for (i, x) in r.iter().enumerate() {
+            assert!((x - i as f64 * 0.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn resample_upsample_downsample_roundtrip_is_close() {
+        let v: Vec<f64> = (0..20).map(|i| (i as f64 * 0.4).sin()).collect();
+        let up = resample(&v, 77);
+        let back = resample(&up, 20);
+        for (a, b) in v.iter().zip(&back) {
+            assert!((a - b).abs() < 0.05, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn resample_singleton_and_dim_one() {
+        assert_eq!(resample(&[3.0], 4), vec![3.0; 4]);
+        assert_eq!(resample(&[1.0, 2.0, 3.0], 1), vec![2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn resample_rejects_empty() {
+        resample(&[], 4);
+    }
+
+    #[test]
+    fn embed_is_offset_and_scale_invariant() {
+        let v: Vec<f64> = (0..15).map(|i| (i as f64 * 0.7).sin()).collect();
+        let shifted: Vec<f64> = v.iter().map(|x| 4.0 * x + 10.0).collect();
+        let (a, b) = (embed(&v, 8), embed(&shifted, 8));
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn embed_constant_is_zero_vector() {
+        assert!(embed(&[7.0; 12], 6).iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn embed_output_dimension_is_fixed_across_lengths() {
+        for len in [5usize, 12, 31, 100] {
+            let v: Vec<f64> = (0..len).map(|i| (i as f64).cos()).collect();
+            assert_eq!(embed(&v, 16).len(), 16);
+        }
+    }
+}

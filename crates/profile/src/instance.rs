@@ -1,0 +1,241 @@
+//! The paper's instance profile (Definitions 8–9).
+//!
+//! Given a concatenation of sampled class instances, the instance profile
+//! annotates every *valid* subsequence (one that does not straddle an
+//! instance boundary) with its nearest-neighbor distance among subsequences
+//! of **other** instances in the sample (`m' != m` in Definition 9). This
+//! fixes the MP baseline's habit of matching a subsequence against its own
+//! instance, and — because the concatenation is a *sample* rather than the
+//! whole class — yields diverse candidates across repeated draws.
+
+use ips_tsdata::ClassConcat;
+
+use crate::matrix::{MatrixProfile, Metric};
+
+/// One annotated subsequence of the instance profile.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProfileEntry {
+    /// Start offset in the concatenated series.
+    pub start: usize,
+    /// Nearest-neighbor distance among other-instance subsequences.
+    pub value: f64,
+    /// Start offset (in the concatenation) of that nearest neighbor.
+    pub nn_start: usize,
+}
+
+/// The instance profile of one sampled concatenation at one window length.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InstanceProfile {
+    entries: Vec<ProfileEntry>,
+    window: usize,
+    metric: Metric,
+}
+
+impl InstanceProfile {
+    /// Computes the instance profile of `concat` for window length
+    /// `window`.
+    ///
+    /// Implementation: one AB-join per ordered instance pair `(a, b)`,
+    /// `a != b`, using the incremental kernels of
+    /// [`MatrixProfile::ab_join`]; the per-subsequence minimum over all `b`
+    /// is the `ip_i` of Definition 9. Subsequences straddling a boundary
+    /// never appear because joins operate on per-instance slices.
+    pub fn compute(concat: &ClassConcat, window: usize, metric: Metric) -> Self {
+        let mut entries: Vec<ProfileEntry> = Vec::new();
+        let k = concat.num_instances();
+        let values = concat.values();
+        for ai in 0..k {
+            let (a_start, a_len, _) = concat.segment(ai);
+            if a_len < window || window == 0 {
+                continue;
+            }
+            let a_slice = &values[a_start..a_start + a_len];
+            let n_a = a_len - window + 1;
+            let mut best = vec![f64::INFINITY; n_a];
+            let mut best_nn = vec![0usize; n_a];
+            for bi in 0..k {
+                if bi == ai {
+                    continue;
+                }
+                let (b_start, b_len, _) = concat.segment(bi);
+                if b_len < window {
+                    continue;
+                }
+                let b_slice = &values[b_start..b_start + b_len];
+                let mp = MatrixProfile::ab_join(a_slice, b_slice, window, metric);
+                for (i, (&v, &nn)) in mp.values().iter().zip(mp.nn_index()).enumerate() {
+                    if v < best[i] {
+                        best[i] = v;
+                        best_nn[i] = b_start + nn;
+                    }
+                }
+            }
+            entries.extend((0..n_a).map(|i| ProfileEntry {
+                start: a_start + i,
+                value: best[i],
+                nn_start: best_nn[i],
+            }));
+        }
+        entries.sort_by_key(|e| e.start);
+        Self { entries, window, metric }
+    }
+
+    /// All annotated subsequences in start order.
+    #[inline]
+    pub fn entries(&self) -> &[ProfileEntry] {
+        &self.entries
+    }
+
+    /// Window length `L`.
+    #[inline]
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Metric used.
+    #[inline]
+    pub fn metric(&self) -> Metric {
+        self.metric
+    }
+
+    /// Number of annotated subsequences.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no instance was long enough for the window.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The motif: the entry with the minimum profile value (`min(IP)` of
+    /// Algorithm 1, line 7). `None` when empty or all-infinite.
+    pub fn motif(&self) -> Option<ProfileEntry> {
+        self.entries
+            .iter()
+            .filter(|e| e.value.is_finite())
+            .min_by(|a, b| a.value.partial_cmp(&b.value).expect("finite"))
+            .copied()
+    }
+
+    /// The discord: the entry with the maximum finite profile value
+    /// (`max(IP)` of Algorithm 1, line 8).
+    pub fn discord(&self) -> Option<ProfileEntry> {
+        self.entries
+            .iter()
+            .filter(|e| e.value.is_finite())
+            .max_by(|a, b| a.value.partial_cmp(&b.value).expect("finite"))
+            .copied()
+    }
+
+    /// Profile values only, in start order (for plotting / Figure-style
+    /// output).
+    pub fn values(&self) -> Vec<f64> {
+        self.entries.iter().map(|e| e.value).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ips_tsdata::{ClassConcat, Dataset, TimeSeries};
+
+    fn concat_of(seqs: &[Vec<f64>]) -> ClassConcat {
+        ClassConcat::from_instances(seqs.iter().enumerate().map(|(i, v)| (i, v.as_slice())))
+    }
+
+    #[test]
+    fn motif_is_the_shared_pattern() {
+        // Pattern present in instances 0 and 2, absent in 1.
+        let pat = vec![5.0, 6.0, 5.5, 6.5, 5.0];
+        let mut a = vec![0.0; 30];
+        a[8..13].copy_from_slice(&pat);
+        let b: Vec<f64> = (0..30).map(|i| (i as f64 * 0.7).sin() * 0.3).collect();
+        let mut c = vec![0.1; 30];
+        c[20..25].copy_from_slice(&pat);
+        let concat = concat_of(&[a, b, c]);
+        let ip = InstanceProfile::compute(&concat, 5, Metric::MeanSquared);
+        let motif = ip.motif().unwrap();
+        assert!(motif.value < 1e-10);
+        assert!(motif.start == 8 || motif.start == 30 + 30 + 20);
+        // the nearest neighbor is the twin occurrence in the other instance
+        let (inst_m, _) = concat.to_instance_coords(motif.start);
+        let (inst_nn, _) = concat.to_instance_coords(motif.nn_start);
+        assert_ne!(inst_m, inst_nn);
+    }
+
+    #[test]
+    fn same_instance_matches_are_excluded() {
+        // A pattern repeated twice *within* instance 0 but absent elsewhere
+        // must NOT produce a zero profile value (the MP baseline would).
+        let pat = vec![9.0, 8.0, 9.5, 8.5];
+        let mut a = vec![0.0; 30];
+        a[2..6].copy_from_slice(&pat);
+        a[20..24].copy_from_slice(&pat);
+        let b = vec![0.0; 30];
+        let concat = concat_of(&[a, b]);
+        let ip = InstanceProfile::compute(&concat, 4, Metric::MeanSquared);
+        let at2 = ip.entries().iter().find(|e| e.start == 2).unwrap();
+        assert!(at2.value > 1.0, "same-instance twin must not count: {}", at2.value);
+    }
+
+    #[test]
+    fn no_straddling_subsequences() {
+        let concat = concat_of(&[vec![1.0; 10], vec![2.0; 10]]);
+        let ip = InstanceProfile::compute(&concat, 4, Metric::MeanSquared);
+        // valid starts: 0..=6 and 10..=16 — never 7, 8, 9
+        assert_eq!(ip.len(), 14);
+        assert!(ip.entries().iter().all(|e| concat.within_one_instance(e.start, 4)));
+    }
+
+    #[test]
+    fn entry_count_matches_definition() {
+        // |D_C| instances of length N give |D_C|·(N − L + 1) entries.
+        let seqs: Vec<Vec<f64>> =
+            (0..4).map(|k| (0..25).map(|i| ((i + k * 7) as f64 * 0.3).sin()).collect()).collect();
+        let concat = concat_of(&seqs);
+        let ip = InstanceProfile::compute(&concat, 6, Metric::MeanSquared);
+        assert_eq!(ip.len(), 4 * (25 - 6 + 1));
+    }
+
+    #[test]
+    fn short_instances_are_skipped() {
+        let concat = concat_of(&[vec![1.0, 2.0], vec![0.0; 12]]);
+        let ip = InstanceProfile::compute(&concat, 5, Metric::MeanSquared);
+        assert_eq!(ip.len(), 8); // only the second instance contributes
+        // single-instance sample: every neighbor search has no other long
+        // instance? No — instance 0 is too short to provide neighbors, so
+        // the profile is infinite and motif() is None.
+        assert!(ip.motif().is_none());
+        assert!(ip.discord().is_none());
+    }
+
+    #[test]
+    fn works_from_dataset_concat() {
+        let data = Dataset::new(
+            vec![
+                TimeSeries::new((0..20).map(|i| (i as f64 * 0.4).sin()).collect()),
+                TimeSeries::new((0..20).map(|i| (i as f64 * 0.4).sin() + 0.01).collect()),
+            ],
+            vec![1, 1],
+        )
+        .unwrap();
+        let cc = data.concat_class(1);
+        let ip = InstanceProfile::compute(&cc, 5, Metric::ZNormEuclidean);
+        assert_eq!(ip.len(), 2 * 16);
+        let motif = ip.motif().unwrap();
+        assert!(motif.value < 0.5, "near-identical instances: {}", motif.value);
+    }
+
+    #[test]
+    fn values_are_start_ordered() {
+        let concat = concat_of(&[vec![0.5; 10], vec![1.0; 10], vec![0.0; 10]]);
+        let ip = InstanceProfile::compute(&concat, 3, Metric::MeanSquared);
+        let starts: Vec<usize> = ip.entries().iter().map(|e| e.start).collect();
+        let mut sorted = starts.clone();
+        sorted.sort_unstable();
+        assert_eq!(starts, sorted);
+    }
+}

@@ -1,0 +1,151 @@
+//! Top-k motif and discord extraction from a computed matrix profile.
+//!
+//! Extraction applies an exclusion zone around each selected occurrence so
+//! the top-k are *distinct* regions rather than the same region shifted by
+//! one — the paper's issue 2.2 ("similar subsequences as shapelets") is
+//! exactly what happens without this.
+
+use crate::matrix::MatrixProfile;
+
+/// A selected motif or discord occurrence.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Occurrence {
+    /// Start offset of the window.
+    pub start: usize,
+    /// Profile value at that window.
+    pub value: f64,
+    /// Nearest-neighbor offset recorded by the profile.
+    pub nn_start: usize,
+}
+
+/// Top-`k` motifs (smallest profile values), suppressing any window within
+/// `excl` positions of an already-selected one.
+pub fn top_motifs(mp: &MatrixProfile, k: usize, excl: usize) -> Vec<Occurrence> {
+    select(mp, k, excl, false)
+}
+
+/// Top-`k` discords (largest finite profile values), with the same
+/// suppression rule.
+pub fn top_discords(mp: &MatrixProfile, k: usize, excl: usize) -> Vec<Occurrence> {
+    select(mp, k, excl, true)
+}
+
+fn select(mp: &MatrixProfile, k: usize, excl: usize, largest: bool) -> Vec<Occurrence> {
+    let mut order: Vec<usize> =
+        (0..mp.len()).filter(|&i| mp.values()[i].is_finite()).collect();
+    order.sort_by(|&a, &b| {
+        let (x, y) = (mp.values()[a], mp.values()[b]);
+        if largest {
+            y.partial_cmp(&x).expect("finite")
+        } else {
+            x.partial_cmp(&y).expect("finite")
+        }
+    });
+    let mut picked: Vec<Occurrence> = Vec::with_capacity(k);
+    for i in order {
+        if picked.len() == k {
+            break;
+        }
+        if picked.iter().any(|p| p.start.abs_diff(i) <= excl) {
+            continue;
+        }
+        picked.push(Occurrence {
+            start: i,
+            value: mp.values()[i],
+            nn_start: mp.nn_index()[i],
+        });
+    }
+    picked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::{MatrixProfile, Metric};
+
+    fn series_with_pairs() -> Vec<f64> {
+        // Background plus two distinct motif pairs and one discord.
+        let mut s: Vec<f64> = (0..220)
+            .map(|i| {
+                let x = i as f64;
+                (0.4 + 0.25 * (x * 0.0191).sin()) * (x * 0.53).sin() + 0.002 * x
+            })
+            .collect();
+        let pat_a = [4.0, 5.0, 4.5, 5.5, 4.0, 5.0];
+        let pat_b = [-4.0, -5.0, -4.5, -5.5, -4.0, -5.0];
+        s[10..16].copy_from_slice(&pat_a);
+        s[60..66].copy_from_slice(&pat_a);
+        s[110..116].copy_from_slice(&pat_b);
+        s[160..166].copy_from_slice(&pat_b);
+        for (k, v) in s[190..196].iter_mut().enumerate() {
+            *v = if k % 2 == 0 { 30.0 } else { -30.0 };
+        }
+        s
+    }
+
+    #[test]
+    fn top_motifs_finds_both_planted_pairs() {
+        let s = series_with_pairs();
+        let mp = MatrixProfile::self_join(&s, 6, Metric::MeanSquared);
+        let motifs = top_motifs(&mp, 4, 6);
+        assert_eq!(motifs.len(), 4);
+        let starts: Vec<usize> = motifs.iter().map(|m| m.start).collect();
+        for target in [10usize, 60, 110, 160] {
+            assert!(
+                starts.iter().any(|&s| s.abs_diff(target) <= 1),
+                "missing motif near {target}: {starts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn suppression_prevents_adjacent_picks() {
+        let s = series_with_pairs();
+        let mp = MatrixProfile::self_join(&s, 6, Metric::MeanSquared);
+        let motifs = top_motifs(&mp, 10, 6);
+        for (i, a) in motifs.iter().enumerate() {
+            for b in &motifs[i + 1..] {
+                assert!(a.start.abs_diff(b.start) > 6);
+            }
+        }
+    }
+
+    #[test]
+    fn top_discord_is_the_spike() {
+        let s = series_with_pairs();
+        let mp = MatrixProfile::self_join(&s, 6, Metric::MeanSquared);
+        let d = top_discords(&mp, 1, 6);
+        assert_eq!(d.len(), 1);
+        assert!((184..=196).contains(&d[0].start), "discord at {}", d[0].start);
+    }
+
+    #[test]
+    fn requesting_more_than_available_truncates() {
+        let s: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let mp = MatrixProfile::self_join(&s, 4, Metric::MeanSquared);
+        let motifs = top_motifs(&mp, 100, 8);
+        assert!(motifs.len() < 100);
+        assert!(!motifs.is_empty());
+    }
+
+    #[test]
+    fn empty_profile_yields_no_occurrences() {
+        let mp = MatrixProfile::self_join(&[1.0], 4, Metric::MeanSquared);
+        assert!(top_motifs(&mp, 3, 2).is_empty());
+        assert!(top_discords(&mp, 3, 2).is_empty());
+    }
+
+    #[test]
+    fn motif_values_are_nondecreasing() {
+        let s = series_with_pairs();
+        let mp = MatrixProfile::self_join(&s, 6, Metric::ZNormEuclidean);
+        let motifs = top_motifs(&mp, 5, 6);
+        for w in motifs.windows(2) {
+            assert!(w[0].value <= w[1].value + 1e-12);
+        }
+        let discords = top_discords(&mp, 5, 6);
+        for w in discords.windows(2) {
+            assert!(w[0].value >= w[1].value - 1e-12);
+        }
+    }
+}

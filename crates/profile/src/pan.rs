@@ -1,0 +1,168 @@
+//! Pan matrix profile: the self-join profile across a whole grid of
+//! window lengths.
+//!
+//! The length of the best shapelet is unknown a priori — the paper sweeps
+//! length ratios {0.1 … 0.5}·N. The pan profile materializes that sweep
+//! for exploration: per (length, offset) the NN distance, and per offset
+//! the length at which the window is most motif-like, normalized so
+//! lengths are comparable (z-normalized distances are divided by `√(2m)`,
+//! their theoretical maximum).
+
+use crate::matrix::{MatrixProfile, Metric};
+
+/// The self-join profiles of one series at several window lengths.
+#[derive(Debug, Clone)]
+pub struct PanProfile {
+    lengths: Vec<usize>,
+    /// One profile per length, in `lengths` order.
+    profiles: Vec<MatrixProfile>,
+    metric: Metric,
+}
+
+impl PanProfile {
+    /// Computes the pan profile for the given window lengths (deduplicated,
+    /// sorted; lengths longer than the series are dropped).
+    pub fn compute(series: &[f64], lengths: &[usize], metric: Metric) -> Self {
+        let mut ls: Vec<usize> =
+            lengths.iter().copied().filter(|&l| l > 0 && l <= series.len()).collect();
+        ls.sort_unstable();
+        ls.dedup();
+        let profiles =
+            ls.iter().map(|&l| MatrixProfile::self_join(series, l, metric)).collect();
+        Self { lengths: ls, profiles, metric }
+    }
+
+    /// The (deduplicated) window lengths.
+    pub fn lengths(&self) -> &[usize] {
+        &self.lengths
+    }
+
+    /// The profile at one length, if computed.
+    pub fn profile(&self, length: usize) -> Option<&MatrixProfile> {
+        self.lengths.iter().position(|&l| l == length).map(|i| &self.profiles[i])
+    }
+
+    /// Number of lengths covered.
+    pub fn len(&self) -> usize {
+        self.lengths.len()
+    }
+
+    /// True when every requested length exceeded the series.
+    pub fn is_empty(&self) -> bool {
+        self.lengths.is_empty()
+    }
+
+    /// Normalizes a profile value so different lengths compare fairly:
+    /// z-normalized distances divide by their maximum `√(2m)`; raw
+    /// mean-squared distances are already per-point.
+    fn normalized(&self, value: f64, length: usize) -> f64 {
+        match self.metric {
+            Metric::ZNormEuclidean => value / (2.0 * length as f64).sqrt(),
+            Metric::MeanSquared => value,
+        }
+    }
+
+    /// The globally most motif-like `(length, offset, normalized_value)` —
+    /// the data-driven pick for "what is the natural pattern length here?".
+    pub fn best_motif(&self) -> Option<(usize, usize, f64)> {
+        let mut best: Option<(usize, usize, f64)> = None;
+        for (l, p) in self.lengths.iter().zip(&self.profiles) {
+            for (i, &v) in p.values().iter().enumerate() {
+                if !v.is_finite() {
+                    continue;
+                }
+                let nv = self.normalized(v, *l);
+                if best.map_or(true, |(.., b)| nv < b) {
+                    best = Some((*l, i, nv));
+                }
+            }
+        }
+        best
+    }
+
+    /// Per-offset minimum over lengths (a 1-D summary of the pan surface):
+    /// entry `i` is the normalized value of the most motif-like window
+    /// starting at `i` at any length, `INFINITY` where no window fits.
+    pub fn floor(&self) -> Vec<f64> {
+        let n_out = self
+            .profiles
+            .iter()
+            .map(|p| p.len())
+            .max()
+            .unwrap_or(0);
+        let mut out = vec![f64::INFINITY; n_out];
+        for (l, p) in self.lengths.iter().zip(&self.profiles) {
+            for (i, &v) in p.values().iter().enumerate() {
+                if v.is_finite() {
+                    let nv = self.normalized(v, *l);
+                    if nv < out[i] {
+                        out[i] = nv;
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series_with_motif(motif_len: usize) -> Vec<f64> {
+        let mut s: Vec<f64> = (0..200)
+            .map(|i| {
+                let x = i as f64;
+                (0.5 + 0.3 * (x * 0.019).sin()) * (x * 0.43).sin()
+            })
+            .collect();
+        let pat: Vec<f64> =
+            (0..motif_len).map(|i| 3.0 + (i as f64 * 1.1).sin() * 2.0).collect();
+        s[20..20 + motif_len].copy_from_slice(&pat);
+        s[140..140 + motif_len].copy_from_slice(&pat);
+        s
+    }
+
+    #[test]
+    fn covers_requested_lengths() {
+        let s = series_with_motif(16);
+        let pan = PanProfile::compute(&s, &[8, 16, 16, 32, 9999], Metric::ZNormEuclidean);
+        assert_eq!(pan.lengths(), &[8, 16, 32]);
+        assert_eq!(pan.len(), 3);
+        assert!(pan.profile(16).is_some());
+        assert!(pan.profile(10).is_none());
+    }
+
+    #[test]
+    fn best_motif_is_at_a_planted_occurrence() {
+        let s = series_with_motif(16);
+        let pan = PanProfile::compute(&s, &[8, 16, 24], Metric::ZNormEuclidean);
+        let (_, offset, v) = pan.best_motif().expect("motif exists");
+        assert!(v < 0.05, "normalized motif value {v}");
+        assert!(
+            offset.abs_diff(20) <= 8 || offset.abs_diff(140) <= 8,
+            "motif at {offset}"
+        );
+    }
+
+    #[test]
+    fn floor_is_pointwise_minimum() {
+        let s = series_with_motif(12);
+        let pan = PanProfile::compute(&s, &[8, 12], Metric::ZNormEuclidean);
+        let floor = pan.floor();
+        let p8 = pan.profile(8).unwrap();
+        for (i, &f) in floor.iter().enumerate() {
+            if i < p8.len() && p8.values()[i].is_finite() {
+                assert!(f <= p8.values()[i] / (16.0f64).sqrt() + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_when_all_lengths_too_long() {
+        let pan = PanProfile::compute(&[1.0, 2.0], &[10, 20], Metric::MeanSquared);
+        assert!(pan.is_empty());
+        assert!(pan.best_motif().is_none());
+        assert!(pan.floor().is_empty());
+    }
+}

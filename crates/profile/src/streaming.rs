@@ -1,0 +1,210 @@
+//! Streaming (incremental) matrix profile — STAMPI-style.
+//!
+//! Maintains a self-join matrix profile under point appends: each new
+//! point creates one new window whose distance profile updates both the
+//! new entry and all existing entries, in O(n) per append (amortized;
+//! identical results to recomputing from scratch, which the tests verify).
+//! This is the substrate for online monitoring use cases (see the
+//! `streaming_monitor` example).
+
+use ips_distance::rolling::RollingStats;
+use ips_distance::znorm_dist_from_dot;
+
+use crate::matrix::Metric;
+
+/// An incrementally maintained self-join matrix profile.
+#[derive(Debug, Clone)]
+pub struct StreamingProfile {
+    series: Vec<f64>,
+    values: Vec<f64>,
+    nn_index: Vec<usize>,
+    window: usize,
+    excl: usize,
+    metric: Metric,
+}
+
+impl StreamingProfile {
+    /// Creates an empty streaming profile for the given window length and
+    /// the default exclusion zone `window / 2`.
+    ///
+    /// # Panics
+    /// Panics when `window == 0`.
+    pub fn new(window: usize, metric: Metric) -> Self {
+        assert!(window > 0, "window must be positive");
+        Self {
+            series: Vec::new(),
+            values: Vec::new(),
+            nn_index: Vec::new(),
+            window,
+            excl: window / 2,
+            metric,
+        }
+    }
+
+    /// Appends a batch of points.
+    pub fn extend(&mut self, points: &[f64]) {
+        for &p in points {
+            self.push(p);
+        }
+    }
+
+    /// Appends one point, updating the profile incrementally.
+    pub fn push(&mut self, point: f64) {
+        self.series.push(point);
+        let n = self.series.len();
+        if n < self.window {
+            return;
+        }
+        // the new window starts here
+        let j = n - self.window;
+        let mut best = f64::INFINITY;
+        let mut best_nn = 0usize;
+        // distance of the new window to every existing window
+        let stats = RollingStats::new(&self.series, self.window);
+        let new_win = &self.series[j..j + self.window];
+        for i in 0..self.values.len() {
+            if i.abs_diff(j) <= self.excl {
+                continue;
+            }
+            let d = match self.metric {
+                Metric::MeanSquared => {
+                    let w = &self.series[i..i + self.window];
+                    new_win
+                        .iter()
+                        .zip(w)
+                        .map(|(a, b)| (a - b) * (a - b))
+                        .sum::<f64>()
+                        / self.window as f64
+                }
+                Metric::ZNormEuclidean => {
+                    let w = &self.series[i..i + self.window];
+                    let dot: f64 = new_win.iter().zip(w).map(|(a, b)| a * b).sum();
+                    znorm_dist_from_dot(
+                        dot,
+                        self.window,
+                        stats.mean(j),
+                        stats.std(j),
+                        stats.mean(i),
+                        stats.std(i),
+                    )
+                }
+            };
+            // the new window can improve existing entries …
+            if d < self.values[i] {
+                self.values[i] = d;
+                self.nn_index[i] = j;
+            }
+            // … and they compete to be its nearest neighbor
+            if d < best {
+                best = d;
+                best_nn = i;
+            }
+        }
+        self.values.push(best);
+        self.nn_index.push(best_nn);
+    }
+
+    /// Current profile values.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Current nearest-neighbor indices.
+    pub fn nn_index(&self) -> &[usize] {
+        &self.nn_index
+    }
+
+    /// The observed series.
+    pub fn series(&self) -> &[f64] {
+        &self.series
+    }
+
+    /// Number of profile entries (windows seen so far).
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True before the first full window arrives.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The current discord: `(window_start, value)` of the largest finite
+    /// entry — the live anomaly indicator.
+    pub fn discord(&self) -> Option<(usize, f64)> {
+        self.values
+            .iter()
+            .copied()
+            .enumerate()
+            .filter(|(_, v)| v.is_finite())
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::MatrixProfile;
+
+    fn wave(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                let x = i as f64;
+                (0.5 + 0.3 * (x * 0.017).sin()) * (x * 0.41).sin() + 0.002 * x
+            })
+            .collect()
+    }
+
+    #[test]
+    fn streaming_matches_batch_computation() {
+        let s = wave(150);
+        for metric in [Metric::MeanSquared, Metric::ZNormEuclidean] {
+            let mut sp = StreamingProfile::new(12, metric);
+            sp.extend(&s);
+            let batch = MatrixProfile::self_join(&s, 12, metric);
+            assert_eq!(sp.len(), batch.len());
+            for i in 0..sp.len() {
+                let (a, b) = (sp.values()[i], batch.values()[i]);
+                if a.is_finite() || b.is_finite() {
+                    assert!((a - b).abs() < 1e-6, "{metric:?} at {i}: {a} vs {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_appends_agree_with_one_shot() {
+        let s = wave(100);
+        let mut one = StreamingProfile::new(10, Metric::ZNormEuclidean);
+        one.extend(&s);
+        let mut piecewise = StreamingProfile::new(10, Metric::ZNormEuclidean);
+        for chunk in s.chunks(7) {
+            piecewise.extend(chunk);
+        }
+        assert_eq!(one.values(), piecewise.values());
+        assert_eq!(one.nn_index(), piecewise.nn_index());
+    }
+
+    #[test]
+    fn discord_appears_when_anomaly_streams_in() {
+        let mut sp = StreamingProfile::new(8, Metric::ZNormEuclidean);
+        sp.extend(&wave(120));
+        let before = sp.discord().expect("some discord").1;
+        // stream in an anomaly
+        let spike: Vec<f64> = (0..8).map(|i| if i % 2 == 0 { 9.0 } else { -9.0 }).collect();
+        sp.extend(&spike);
+        sp.extend(&wave(40));
+        let (pos, after) = sp.discord().expect("discord");
+        assert!(after > before, "discord value should grow: {before} -> {after}");
+        assert!((112..=128).contains(&pos), "discord at {pos}");
+    }
+
+    #[test]
+    fn short_streams_are_empty() {
+        let mut sp = StreamingProfile::new(16, Metric::MeanSquared);
+        sp.extend(&[1.0, 2.0, 3.0]);
+        assert!(sp.is_empty());
+        assert!(sp.discord().is_none());
+        assert_eq!(sp.series().len(), 3);
+    }
+}

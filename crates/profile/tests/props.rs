@@ -1,0 +1,71 @@
+//! Property-based tests of the profile invariants.
+
+use ips_profile::{InstanceProfile, MatrixProfile, Metric};
+use ips_tsdata::ClassConcat;
+use proptest::prelude::*;
+
+fn series(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-10.0f64..10.0, len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn incremental_equals_brute(s in series(20..80), w in 3usize..10) {
+        prop_assume!(s.len() >= w + 4);
+        for metric in [Metric::MeanSquared, Metric::ZNormEuclidean] {
+            let fast = MatrixProfile::self_join_excl(&s, w, metric, w / 2);
+            let slow = MatrixProfile::self_join_brute(&s, w, metric, w / 2);
+            for i in 0..fast.len() {
+                let (a, b) = (fast.values()[i], slow.values()[i]);
+                if a.is_finite() || b.is_finite() {
+                    prop_assert!((a - b).abs() < 1e-5, "{:?} at {}: {} vs {}", metric, i, a, b);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ab_join_is_elementwise_min_over_queries(a in series(12..40), b in series(12..40), w in 3usize..8) {
+        prop_assume!(a.len() >= w && b.len() >= w);
+        let mp = MatrixProfile::ab_join(&a, &b, w, Metric::MeanSquared);
+        for (i, &v) in mp.values().iter().enumerate() {
+            let naive = ips_distance::dist_profile(&a[i..i + w], &b)
+                .into_iter()
+                .fold(f64::INFINITY, f64::min);
+            prop_assert!((v - naive).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn profile_values_nonnegative_and_nn_outside_exclusion(s in series(24..64), w in 3usize..8) {
+        let excl = w / 2;
+        let mp = MatrixProfile::self_join_excl(&s, w, Metric::MeanSquared, excl);
+        for (i, (&v, &nn)) in mp.values().iter().zip(mp.nn_index()).enumerate() {
+            if v.is_finite() {
+                prop_assert!(v >= 0.0);
+                prop_assert!(i.abs_diff(nn) > excl);
+            }
+        }
+    }
+
+    #[test]
+    fn instance_profile_dominates_matrix_profile(
+        instances in prop::collection::vec(series(12..24), 2..5),
+        w in 3usize..6,
+    ) {
+        let cc = ClassConcat::from_instances(
+            instances.iter().enumerate().map(|(i, v)| (i, v.as_slice())),
+        );
+        let ip = InstanceProfile::compute(&cc, w, Metric::MeanSquared);
+        let mp = MatrixProfile::self_join_excl(cc.values(), w, Metric::MeanSquared, 0);
+        // excluding same-instance matches can only grow the NN distance
+        for e in ip.entries() {
+            let m = mp.values()[e.start];
+            if e.value.is_finite() {
+                prop_assert!(m <= e.value + 1e-9, "at {}: {} > {}", e.start, m, e.value);
+            }
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! Critical-difference diagrams (Demšar 2006) — the machinery behind the
+//! paper's Figure 11.
+//!
+//! Methods are ordered by average Friedman rank; the Nemenyi critical
+//! difference gives the significance threshold; cliques (groups joined by a
+//! thick bar in the figure) connect runs of methods whose pairwise rank
+//! differences fall below the CD.
+
+use crate::rank::average_ranks;
+
+/// Critical values `q_α` (α = 0.05) of the studentized range statistic
+/// divided by √2, for k = 2..=20 methods (Demšar, Table 5).
+const Q_ALPHA_05: [f64; 19] = [
+    1.960, 2.343, 2.569, 2.728, 2.850, 2.949, 3.031, 3.102, 3.164, 3.219, 3.268, 3.313,
+    3.354, 3.391, 3.426, 3.458, 3.489, 3.517, 3.544,
+];
+
+/// The Nemenyi critical difference for `k` methods over `n` datasets at
+/// α = 0.05: `CD = q_α · sqrt(k(k+1) / 6n)`.
+///
+/// # Panics
+/// Panics for `k < 2`, `k > 20`, or `n == 0`.
+pub fn nemenyi_cd(k: usize, n: usize) -> f64 {
+    assert!((2..=20).contains(&k), "Nemenyi table covers 2..=20 methods, got {k}");
+    assert!(n > 0, "need at least one dataset");
+    let q = Q_ALPHA_05[k - 2];
+    q * ((k * (k + 1)) as f64 / (6.0 * n as f64)).sqrt()
+}
+
+/// Maximal groups of methods (by index into `avg_ranks`) whose pairwise
+/// average-rank differences are all within `cd`. Sorted best-first; nested
+/// groups are dropped.
+pub fn cliques(avg_ranks: &[f64], cd: f64) -> Vec<Vec<usize>> {
+    let k = avg_ranks.len();
+    let mut order: Vec<usize> = (0..k).collect();
+    order.sort_by(|&a, &b| avg_ranks[a].partial_cmp(&avg_ranks[b]).expect("no NaN"));
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    for i in 0..k {
+        // the longest run starting at sorted position i within cd
+        let mut j = i;
+        while j + 1 < k && avg_ranks[order[j + 1]] - avg_ranks[order[i]] <= cd {
+            j += 1;
+        }
+        if j > i {
+            let group: Vec<usize> = order[i..=j].to_vec();
+            // keep only maximal groups
+            if !groups.iter().any(|g| group.iter().all(|m| g.contains(m))) {
+                groups.push(group);
+            }
+        }
+    }
+    groups
+}
+
+/// A fully computed critical-difference diagram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CdDiagram {
+    /// Method names, input order.
+    pub names: Vec<String>,
+    /// Average rank per method, input order.
+    pub avg_ranks: Vec<f64>,
+    /// Critical difference at α = 0.05.
+    pub cd: f64,
+    /// Cliques of statistically indistinguishable methods (indices into
+    /// `names`).
+    pub groups: Vec<Vec<usize>>,
+}
+
+impl CdDiagram {
+    /// Builds the diagram from an `N × k` score matrix (higher = better)
+    /// and method names.
+    pub fn from_scores(names: &[&str], scores: &[Vec<f64>]) -> Self {
+        assert_eq!(names.len(), scores[0].len(), "one name per method");
+        let avg_ranks = average_ranks(scores);
+        let cd = nemenyi_cd(names.len(), scores.len());
+        let groups = cliques(&avg_ranks, cd);
+        Self {
+            names: names.iter().map(|s| s.to_string()).collect(),
+            avg_ranks,
+            cd,
+            groups,
+        }
+    }
+}
+
+/// Renders the diagram as monospace text: a rank axis, one line per method
+/// sorted best-first, and bracket lines for each clique. This is the
+/// terminal stand-in for the paper's Figure 11 graphic.
+pub fn cd_diagram_text(diag: &CdDiagram) -> String {
+    let k = diag.names.len();
+    let mut order: Vec<usize> = (0..k).collect();
+    order.sort_by(|&a, &b| {
+        diag.avg_ranks[a].partial_cmp(&diag.avg_ranks[b]).expect("no NaN")
+    });
+    let name_width = diag.names.iter().map(|n| n.len()).max().unwrap_or(6).max(6);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Critical difference (Nemenyi, alpha=0.05): CD = {:.3}\n",
+        diag.cd
+    ));
+    out.push_str(&format!("{:<name_width$}  avg rank\n", "method"));
+    for &m in &order {
+        out.push_str(&format!("{:<name_width$}  {:>7.3}\n", diag.names[m], diag.avg_ranks[m]));
+    }
+    if diag.groups.is_empty() {
+        out.push_str("all pairwise rank differences exceed the CD\n");
+    } else {
+        out.push_str("groups not significantly different:\n");
+        for g in &diag.groups {
+            let mut members: Vec<&str> = g.iter().map(|&m| diag.names[m].as_str()).collect();
+            members.sort_by(|a, b| {
+                let ia = diag.names.iter().position(|n| n == a).expect("present");
+                let ib = diag.names.iter().position(|n| n == b).expect("present");
+                diag.avg_ranks[ia].partial_cmp(&diag.avg_ranks[ib]).expect("no NaN")
+            });
+            out.push_str(&format!("  [{}]\n", members.join(" — ")));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nemenyi_reference_value() {
+        // Demšar's running example: k = 4, N = 14 → CD ≈ 1.25 · ... known:
+        // CD = 2.569 · sqrt(4·5 / (6·14)) = 2.569 · 0.488 ≈ 1.2536
+        let cd = nemenyi_cd(4, 14);
+        assert!((cd - 1.2536).abs() < 1e-3, "cd {cd}");
+        // k = 13 methods over 46 datasets — the paper's Figure 11 setting
+        let cd = nemenyi_cd(13, 46);
+        assert!(cd > 2.0 && cd < 3.0, "cd {cd}");
+    }
+
+    #[test]
+    #[should_panic(expected = "2..=20")]
+    fn nemenyi_rejects_single_method() {
+        nemenyi_cd(1, 10);
+    }
+
+    #[test]
+    fn cliques_group_close_methods() {
+        // ranks: A=1.0, B=1.5, C=3.5, D=4.0 with CD=1.0 → {A,B}, {C,D}
+        let groups = cliques(&[1.0, 1.5, 3.5, 4.0], 1.0);
+        assert_eq!(groups, vec![vec![0, 1], vec![2, 3]]);
+    }
+
+    #[test]
+    fn cliques_drop_nested_groups() {
+        // chain: 1.0, 1.8, 2.6 with CD=1.0 → {0,1} and {1,2}, not {1} alone
+        let groups = cliques(&[1.0, 1.8, 2.6], 1.0);
+        assert_eq!(groups, vec![vec![0, 1], vec![1, 2]]);
+    }
+
+    #[test]
+    fn no_cliques_when_all_far_apart() {
+        assert!(cliques(&[1.0, 3.0, 5.0], 0.5).is_empty());
+    }
+
+    #[test]
+    fn one_big_clique_when_all_close() {
+        let groups = cliques(&[1.0, 1.1, 1.2], 5.0);
+        assert_eq!(groups, vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn diagram_from_scores_end_to_end() {
+        let names = ["good", "mid", "bad"];
+        let scores: Vec<Vec<f64>> =
+            (0..20).map(|i| vec![0.9, 0.7 + 0.0001 * i as f64, 0.4]).collect();
+        let d = CdDiagram::from_scores(&names, &scores);
+        assert_eq!(d.avg_ranks, vec![1.0, 2.0, 3.0]);
+        let text = cd_diagram_text(&d);
+        assert!(text.contains("good"));
+        assert!(text.contains("CD ="));
+        // best method listed first
+        let good_pos = text.find("good").unwrap();
+        let bad_pos = text.find("bad").unwrap();
+        assert!(good_pos < bad_pos);
+    }
+}

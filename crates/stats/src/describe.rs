@@ -1,0 +1,200 @@
+//! Descriptive statistics and the Kolmogorov–Smirnov goodness-of-fit test.
+//!
+//! The KS test complements the NMSE-based fit selection of [`crate::fit`]:
+//! NMSE picks the best family (the paper's Table III criterion); KS gives
+//! a calibrated p-value for "is this family adequate at all?".
+
+use crate::fit::Distribution;
+
+/// Five-number-plus summary of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Sample size (finite values only).
+    pub n: usize,
+    /// Minimum.
+    pub min: f64,
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std: f64,
+}
+
+/// Computes the summary of a sample, ignoring non-finite values. `None`
+/// when no finite values exist.
+pub fn summarize(data: &[f64]) -> Option<Summary> {
+    let mut v: Vec<f64> = data.iter().copied().filter(|x| x.is_finite()).collect();
+    if v.is_empty() {
+        return None;
+    }
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let n = v.len();
+    let mean = v.iter().sum::<f64>() / n as f64;
+    let var = v.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+    Some(Summary {
+        n,
+        min: v[0],
+        q1: quantile_sorted(&v, 0.25),
+        median: quantile_sorted(&v, 0.5),
+        q3: quantile_sorted(&v, 0.75),
+        max: v[n - 1],
+        mean,
+        std: var.sqrt(),
+    })
+}
+
+/// Linear-interpolated quantile of a **sorted** sample, `q in [0, 1]`.
+///
+/// # Panics
+/// Panics on an empty slice or `q` outside `[0, 1]`.
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "quantile of empty sample");
+    assert!((0.0..=1.0).contains(&q), "quantile order must be in [0, 1]");
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+/// Empirical CDF of a sample at `x` (fraction of values ≤ x).
+pub fn ecdf(sorted: &[f64], x: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    sorted.partition_point(|&v| v <= x) as f64 / sorted.len() as f64
+}
+
+/// One-sample Kolmogorov–Smirnov test of `data` against a fitted
+/// [`Distribution`]: returns `(D, p)` where `D` is the sup-norm distance
+/// between the empirical and model CDFs and `p` the asymptotic p-value
+/// (Kolmogorov distribution; adequate for n ≳ 35, conservative below).
+///
+/// Returns `(1.0, 0.0)` for an empty sample.
+pub fn ks_test(data: &[f64], dist: &Distribution) -> (f64, f64) {
+    let mut v: Vec<f64> = data.iter().copied().filter(|x| x.is_finite()).collect();
+    if v.is_empty() {
+        return (1.0, 0.0);
+    }
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let n = v.len() as f64;
+    let mut d: f64 = 0.0;
+    for (i, &x) in v.iter().enumerate() {
+        let cdf = dist.cdf(x);
+        let above = (i + 1) as f64 / n - cdf;
+        let below = cdf - i as f64 / n;
+        d = d.max(above).max(below);
+    }
+    (d, ks_p_value(d, v.len()))
+}
+
+/// Asymptotic KS p-value `P(D_n > d)` via the Kolmogorov series with the
+/// standard finite-n correction.
+pub fn ks_p_value(d: f64, n: usize) -> f64 {
+    if d <= 0.0 {
+        return 1.0;
+    }
+    let n_f = n as f64;
+    let t = (n_f.sqrt() + 0.12 + 0.11 / n_f.sqrt()) * d;
+    let mut sum = 0.0;
+    for k in 1..=100 {
+        let k_f = k as f64;
+        let term = 2.0 * (-1.0f64).powi(k + 1) * (-2.0 * k_f * k_f * t * t).exp();
+        sum += term;
+        if term.abs() < 1e-12 {
+            break;
+        }
+    }
+    sum.clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = summarize(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert_eq!(s.n, 5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.q1, 2.0);
+        assert_eq!(s.q3, 4.0);
+        assert!((s.mean - 3.0).abs() < 1e-12);
+        assert!((s.std - 2.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_ignores_non_finite() {
+        let s = summarize(&[f64::NAN, 1.0, f64::INFINITY, 3.0]).unwrap();
+        assert_eq!(s.n, 2);
+        assert_eq!(s.median, 2.0);
+        assert!(summarize(&[f64::NAN]).is_none());
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let v = [0.0, 10.0];
+        assert_eq!(quantile_sorted(&v, 0.0), 0.0);
+        assert_eq!(quantile_sorted(&v, 0.5), 5.0);
+        assert_eq!(quantile_sorted(&v, 1.0), 10.0);
+    }
+
+    #[test]
+    fn ecdf_is_a_step_function() {
+        let v = [1.0, 2.0, 3.0];
+        assert_eq!(ecdf(&v, 0.5), 0.0);
+        assert!((ecdf(&v, 1.0) - 1.0 / 3.0).abs() < 1e-12);
+        assert!((ecdf(&v, 2.5) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(ecdf(&v, 9.0), 1.0);
+    }
+
+    #[test]
+    fn ks_accepts_correct_model_rejects_wrong_one() {
+        // deterministic normal sample via inverse-CDF stratification
+        let data: Vec<f64> = (1..400)
+            .map(|i| {
+                let u = i as f64 / 400.0;
+                // bisection inverse of the standard normal CDF
+                let (mut lo, mut hi) = (-8.0, 8.0);
+                for _ in 0..60 {
+                    let mid = 0.5 * (lo + hi);
+                    if crate::special::normal_cdf(mid) < u {
+                        lo = mid;
+                    } else {
+                        hi = mid;
+                    }
+                }
+                0.5 * (lo + hi)
+            })
+            .collect();
+        let good = Distribution::Normal { mu: 0.0, sigma: 1.0 };
+        let bad = Distribution::Normal { mu: 2.0, sigma: 0.5 };
+        let (d_good, p_good) = ks_test(&data, &good);
+        let (d_bad, p_bad) = ks_test(&data, &bad);
+        assert!(p_good > 0.2, "good model rejected: D={d_good} p={p_good}");
+        assert!(p_bad < 0.001, "bad model accepted: D={d_bad} p={p_bad}");
+        assert!(d_good < d_bad);
+    }
+
+    #[test]
+    fn ks_p_value_limits() {
+        assert_eq!(ks_p_value(0.0, 100), 1.0);
+        assert!(ks_p_value(0.5, 100) < 1e-6);
+        assert!(ks_p_value(0.01, 10) > 0.99);
+    }
+
+    #[test]
+    fn ks_empty_sample() {
+        let d = Distribution::Normal { mu: 0.0, sigma: 1.0 };
+        assert_eq!(ks_test(&[], &d), (1.0, 0.0));
+    }
+}

@@ -1,0 +1,151 @@
+//! Fixed-width histograms with density normalization.
+//!
+//! Used by the DABF construction (Algorithm 2): the z-normalized bucket
+//! distances are histogrammed, and the histogram is fitted against candidate
+//! distributions by NMSE (Formula 10 / Table III).
+
+/// An equal-width histogram over `[lo, hi]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<usize>,
+    total: usize,
+}
+
+impl Histogram {
+    /// Builds a histogram of `data` with `bins` equal-width bins spanning
+    /// the data range. Values exactly at the upper edge land in the last
+    /// bin. Returns a single-bin degenerate histogram when the data range
+    /// is empty or all values are equal.
+    pub fn new(data: &[f64], bins: usize) -> Self {
+        let bins = bins.max(1);
+        let finite: Vec<f64> = data.iter().copied().filter(|v| v.is_finite()).collect();
+        if finite.is_empty() {
+            return Self { lo: 0.0, hi: 1.0, counts: vec![0; bins], total: 0 };
+        }
+        let lo = finite.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = finite.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        if hi <= lo {
+            let mut counts = vec![0; bins];
+            counts[0] = finite.len();
+            return Self { lo, hi: lo + 1.0, counts, total: finite.len() };
+        }
+        let mut counts = vec![0usize; bins];
+        let width = (hi - lo) / bins as f64;
+        for v in &finite {
+            let idx = (((v - lo) / width) as usize).min(bins - 1);
+            counts[idx] += 1;
+        }
+        Self { lo, hi, counts, total: finite.len() }
+    }
+
+    /// Number of bins.
+    #[inline]
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Raw bin counts.
+    #[inline]
+    pub fn counts(&self) -> &[usize] {
+        &self.counts
+    }
+
+    /// Total number of (finite) samples.
+    #[inline]
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Lower edge of the histogram range.
+    #[inline]
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper edge of the histogram range.
+    #[inline]
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// Width of each bin.
+    #[inline]
+    pub fn bin_width(&self) -> f64 {
+        (self.hi - self.lo) / self.bins() as f64
+    }
+
+    /// Center of bin `i`.
+    #[inline]
+    pub fn center(&self, i: usize) -> f64 {
+        self.lo + (i as f64 + 0.5) * self.bin_width()
+    }
+
+    /// Densities per bin: `count / (total · bin_width)` — integrates to 1,
+    /// so it is directly comparable to a PDF. All-zero when empty.
+    pub fn densities(&self) -> Vec<f64> {
+        if self.total == 0 {
+            return vec![0.0; self.bins()];
+        }
+        let norm = 1.0 / (self.total as f64 * self.bin_width());
+        self.counts.iter().map(|&c| c as f64 * norm).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_partition_the_data() {
+        let data: Vec<f64> = (0..100).map(|i| i as f64 / 10.0).collect();
+        let h = Histogram::new(&data, 10);
+        assert_eq!(h.total(), 100);
+        assert_eq!(h.counts().iter().sum::<usize>(), 100);
+        assert_eq!(h.bins(), 10);
+        // uniform data → equal bins
+        assert!(h.counts().iter().all(|&c| c == 10));
+    }
+
+    #[test]
+    fn upper_edge_value_lands_in_last_bin() {
+        // 0.5 sits exactly on the boundary → bin 1 (half-open bins);
+        // 1.0 is the upper edge → clamped into the last bin.
+        let h = Histogram::new(&[0.0, 0.5, 1.0], 2);
+        assert_eq!(h.counts(), &[1, 2]);
+    }
+
+    #[test]
+    fn densities_integrate_to_one() {
+        let data: Vec<f64> = (0..500).map(|i| ((i as f64) * 0.37).sin()).collect();
+        let h = Histogram::new(&data, 23);
+        let integral: f64 = h.densities().iter().map(|d| d * h.bin_width()).sum();
+        assert!((integral - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let h = Histogram::new(&[], 5);
+        assert_eq!(h.total(), 0);
+        assert!(h.densities().iter().all(|&d| d == 0.0));
+
+        let h = Histogram::new(&[3.0; 9], 4);
+        assert_eq!(h.total(), 9);
+        assert_eq!(h.counts()[0], 9);
+
+        let h = Histogram::new(&[1.0, f64::NAN, 2.0, f64::INFINITY], 2);
+        assert_eq!(h.total(), 2);
+    }
+
+    #[test]
+    fn centers_are_monotone_and_in_range() {
+        let h = Histogram::new(&[0.0, 10.0], 5);
+        for i in 0..5 {
+            assert!(h.center(i) > h.lo() && h.center(i) < h.hi());
+            if i > 0 {
+                assert!(h.center(i) > h.center(i - 1));
+            }
+        }
+    }
+}

@@ -1,0 +1,297 @@
+//! Special functions: log-gamma, error function, regularized incomplete
+//! gamma and beta, and the distribution CDFs derived from them.
+//!
+//! Implementations follow the classic series / continued-fraction forms
+//! (Lanczos approximation for `ln Γ`, Lentz's algorithm for the continued
+//! fractions), with accuracy validated in the tests against high-precision
+//! reference values.
+
+/// Natural log of the gamma function, `ln Γ(x)`, for `x > 0`.
+///
+/// Lanczos approximation with g = 7, n = 9; |relative error| < 1e-13 over
+/// the tested range.
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(x > 0.0, "ln_gamma requires x > 0, got {x}");
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.5203681218851,
+        -1259.1392167224028,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507343278686905,
+        -0.13857109526572012,
+        9.984_369_578_019_572e-6,
+        1.5056327351493116e-7,
+    ];
+    if x < 0.5 {
+        // reflection: Γ(x)Γ(1−x) = π / sin(πx)
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = COEF[0];
+    for (i, &c) in COEF.iter().enumerate().skip(1) {
+        acc += c / (x + i as f64);
+    }
+    let t = x + 7.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+/// Regularized lower incomplete gamma `P(a, x) = γ(a, x) / Γ(a)`.
+///
+/// Series expansion for `x < a + 1`, continued fraction otherwise.
+pub fn reg_inc_gamma(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0 && x >= 0.0, "reg_inc_gamma domain: a > 0, x >= 0");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x < a + 1.0 {
+        // series: P(a,x) = e^{-x} x^a / Γ(a) Σ x^n / (a (a+1) ... (a+n))
+        let mut term = 1.0 / a;
+        let mut sum = term;
+        let mut ap = a;
+        for _ in 0..500 {
+            ap += 1.0;
+            term *= x / ap;
+            sum += term;
+            if term.abs() < sum.abs() * 1e-15 {
+                break;
+            }
+        }
+        (sum.ln() + a * x.ln() - x - ln_gamma(a)).exp()
+    } else {
+        1.0 - inc_gamma_cf(a, x)
+    }
+}
+
+/// Upper regularized incomplete gamma via Lentz continued fraction.
+fn inc_gamma_cf(a: f64, x: f64) -> f64 {
+    const TINY: f64 = 1e-300;
+    let mut b = x + 1.0 - a;
+    let mut c = 1.0 / TINY;
+    let mut d = 1.0 / b;
+    let mut h = d;
+    for i in 1..500 {
+        let an = -(i as f64) * (i as f64 - a);
+        b += 2.0;
+        d = an * d + b;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = b + an / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let delta = d * c;
+        h *= delta;
+        if (delta - 1.0).abs() < 1e-15 {
+            break;
+        }
+    }
+    (a * x.ln() - x - ln_gamma(a)).exp() * h
+}
+
+/// Error function `erf(x)`, via the incomplete gamma identity
+/// `erf(x) = sign(x) · P(1/2, x²)`.
+pub fn erf(x: f64) -> f64 {
+    if x == 0.0 {
+        return 0.0;
+    }
+    let v = reg_inc_gamma(0.5, x * x);
+    if x > 0.0 {
+        v
+    } else {
+        -v
+    }
+}
+
+/// Complementary error function `erfc(x) = 1 − erf(x)`.
+pub fn erfc(x: f64) -> f64 {
+    1.0 - erf(x)
+}
+
+/// Standard normal CDF `Φ(z)`.
+pub fn normal_cdf(z: f64) -> f64 {
+    0.5 * erfc(-z / std::f64::consts::SQRT_2)
+}
+
+/// Chi-square CDF with `k` degrees of freedom.
+pub fn chi2_cdf(x: f64, k: f64) -> f64 {
+    assert!(k > 0.0, "chi2_cdf requires k > 0");
+    if x <= 0.0 {
+        return 0.0;
+    }
+    reg_inc_gamma(k / 2.0, x / 2.0)
+}
+
+/// Regularized incomplete beta `I_x(a, b)` via the symmetric continued
+/// fraction (Lentz), with the standard symmetry split for convergence.
+pub fn reg_inc_beta(a: f64, b: f64, x: f64) -> f64 {
+    assert!(a > 0.0 && b > 0.0, "reg_inc_beta domain: a, b > 0");
+    assert!((0.0..=1.0).contains(&x), "reg_inc_beta domain: 0 <= x <= 1");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x == 1.0 {
+        return 1.0;
+    }
+    let ln_front =
+        ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    if x < (a + 1.0) / (a + b + 2.0) {
+        ln_front.exp() * beta_cf(a, b, x) / a
+    } else {
+        1.0 - ln_front.exp() * beta_cf(b, a, 1.0 - x) / b
+    }
+}
+
+fn beta_cf(a: f64, b: f64, x: f64) -> f64 {
+    const TINY: f64 = 1e-300;
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < TINY {
+        d = TINY;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..300 {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        // even step
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        // odd step
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let delta = d * c;
+        h *= delta;
+        if (delta - 1.0).abs() < 1e-15 {
+            break;
+        }
+    }
+    h
+}
+
+/// F-distribution CDF with `(d1, d2)` degrees of freedom.
+pub fn f_cdf(x: f64, d1: f64, d2: f64) -> f64 {
+    assert!(d1 > 0.0 && d2 > 0.0, "f_cdf requires positive dof");
+    if x <= 0.0 {
+        return 0.0;
+    }
+    reg_inc_beta(d1 / 2.0, d2 / 2.0, d1 * x / (d1 * x + d2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_gamma_known_values() {
+        // Γ(1) = Γ(2) = 1, Γ(5) = 24, Γ(0.5) = √π
+        assert!(ln_gamma(1.0).abs() < 1e-12);
+        assert!(ln_gamma(2.0).abs() < 1e-12);
+        assert!((ln_gamma(5.0) - 24f64.ln()).abs() < 1e-12);
+        assert!((ln_gamma(0.5) - 0.5 * std::f64::consts::PI.ln()).abs() < 1e-12);
+        // recurrence Γ(x+1) = xΓ(x)
+        for x in [0.3, 1.7, 4.2, 11.5] {
+            assert!((ln_gamma(x + 1.0) - (ln_gamma(x) + x.ln())).abs() < 1e-11);
+        }
+    }
+
+    #[test]
+    fn erf_reference_values() {
+        // Abramowitz & Stegun table values
+        let cases = [
+            (0.5, 0.5204998778),
+            (1.0, 0.8427007929),
+            (1.5, 0.9661051465),
+            (2.0, 0.9953222650),
+            (3.0, 0.9999779095),
+        ];
+        for (x, want) in cases {
+            assert!((erf(x) - want).abs() < 1e-9, "erf({x})");
+            assert!((erf(-x) + want).abs() < 1e-9, "erf(-{x})");
+        }
+        assert_eq!(erf(0.0), 0.0);
+        assert!((erfc(1.0) - (1.0 - 0.8427007929)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn normal_cdf_reference_values() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-12);
+        assert!((normal_cdf(1.959964) - 0.975).abs() < 1e-6);
+        assert!((normal_cdf(-1.959964) - 0.025).abs() < 1e-6);
+        assert!((normal_cdf(3.0) - 0.9986501020).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inc_gamma_properties() {
+        assert_eq!(reg_inc_gamma(2.0, 0.0), 0.0);
+        assert!((reg_inc_gamma(1.0, 1.0) - (1.0 - (-1.0f64).exp())).abs() < 1e-12);
+        // P(a, x) is increasing in x and tends to 1
+        assert!(reg_inc_gamma(3.0, 50.0) > 0.999999);
+        let mut last = 0.0;
+        for i in 1..20 {
+            let v = reg_inc_gamma(2.5, i as f64 * 0.7);
+            assert!(v >= last);
+            last = v;
+        }
+    }
+
+    #[test]
+    fn chi2_cdf_reference_values() {
+        // chi2 with k=1: CDF(3.841) ≈ 0.95 ; k=10: CDF(18.307) ≈ 0.95
+        assert!((chi2_cdf(3.841459, 1.0) - 0.95).abs() < 1e-6);
+        assert!((chi2_cdf(18.30704, 10.0) - 0.95).abs() < 1e-6);
+        assert_eq!(chi2_cdf(0.0, 4.0), 0.0);
+    }
+
+    #[test]
+    fn inc_beta_properties_and_values() {
+        assert_eq!(reg_inc_beta(2.0, 3.0, 0.0), 0.0);
+        assert_eq!(reg_inc_beta(2.0, 3.0, 1.0), 1.0);
+        // I_x(1,1) = x
+        for x in [0.1, 0.35, 0.8] {
+            assert!((reg_inc_beta(1.0, 1.0, x) - x).abs() < 1e-12);
+        }
+        // symmetry I_x(a,b) = 1 − I_{1−x}(b,a)
+        let v = reg_inc_beta(2.5, 4.0, 0.3);
+        let w = 1.0 - reg_inc_beta(4.0, 2.5, 0.7);
+        assert!((v - w).abs() < 1e-12);
+    }
+
+    #[test]
+    fn f_cdf_reference_values() {
+        // F(3.8853; 1, 10) ≈ 0.923... use well-known critical value:
+        // P(F_{5,10} <= 3.3258) ≈ 0.95
+        assert!((f_cdf(3.32583, 5.0, 10.0) - 0.95).abs() < 1e-4);
+        assert_eq!(f_cdf(0.0, 3.0, 7.0), 0.0);
+        assert!(f_cdf(1e9, 3.0, 7.0) > 0.999);
+    }
+
+    #[test]
+    #[should_panic(expected = "x > 0")]
+    fn ln_gamma_rejects_nonpositive() {
+        ln_gamma(0.0);
+    }
+}

@@ -1,0 +1,81 @@
+//! Property-based tests of the statistics substrate.
+
+use ips_stats::{
+    chi2_cdf, erf, f_cdf, holm_adjust, normal_cdf, rank::rank_row, reg_inc_beta,
+    reg_inc_gamma, Histogram,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn erf_is_odd_bounded_monotone(x in -5.0f64..5.0, y in -5.0f64..5.0) {
+        prop_assert!((erf(x) + erf(-x)).abs() < 1e-12);
+        prop_assert!(erf(x).abs() <= 1.0);
+        if x < y {
+            prop_assert!(erf(x) <= erf(y) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn cdfs_are_monotone_in_01(x in 0.0f64..30.0, y in 0.0f64..30.0, k in 1.0f64..20.0) {
+        let (a, b) = (chi2_cdf(x, k), chi2_cdf(y, k));
+        prop_assert!((0.0..=1.0).contains(&a));
+        if x < y {
+            prop_assert!(a <= b + 1e-12);
+        }
+        let f = f_cdf(x.max(1e-6), k, k + 1.0);
+        prop_assert!((0.0..=1.0).contains(&f));
+        let n = normal_cdf(x - 15.0);
+        prop_assert!((0.0..=1.0).contains(&n));
+    }
+
+    #[test]
+    fn inc_gamma_beta_bounds(a in 0.1f64..20.0, x in 0.0f64..40.0, t in 0.0f64..1.0) {
+        let g = reg_inc_gamma(a, x);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&g));
+        let b = reg_inc_beta(a, a + 0.5, t);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&b));
+    }
+
+    #[test]
+    fn rank_row_sums_to_triangle_number(scores in prop::collection::vec(0.0f64..1.0, 2..12)) {
+        let ranks = rank_row(&scores);
+        let k = scores.len() as f64;
+        let sum: f64 = ranks.iter().sum();
+        prop_assert!((sum - k * (k + 1.0) / 2.0).abs() < 1e-9);
+        // higher score never ranks worse
+        for i in 0..scores.len() {
+            for j in 0..scores.len() {
+                if scores[i] > scores[j] {
+                    prop_assert!(ranks[i] < ranks[j]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn holm_is_monotone_and_dominates_raw(ps in prop::collection::vec(0.0f64..1.0, 1..10)) {
+        let adj = holm_adjust(&ps);
+        for (p, a) in ps.iter().zip(&adj) {
+            prop_assert!(*a >= *p - 1e-12);
+            prop_assert!(*a <= 1.0);
+        }
+        // adjusted order respects raw order
+        let mut idx: Vec<usize> = (0..ps.len()).collect();
+        idx.sort_by(|&a, &b| ps[a].partial_cmp(&ps[b]).unwrap());
+        for w in idx.windows(2) {
+            prop_assert!(adj[w[0]] <= adj[w[1]] + 1e-12);
+        }
+    }
+
+    #[test]
+    fn histogram_partitions_data(data in prop::collection::vec(-50.0f64..50.0, 1..200), bins in 1usize..20) {
+        let h = Histogram::new(&data, bins);
+        prop_assert_eq!(h.total(), data.len());
+        prop_assert_eq!(h.counts().iter().sum::<usize>(), data.len());
+        let integral: f64 = h.densities().iter().map(|d| d * h.bin_width()).sum();
+        prop_assert!((integral - 1.0).abs() < 1e-9);
+    }
+}

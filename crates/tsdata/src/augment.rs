@@ -1,0 +1,200 @@
+//! Time series augmentation.
+//!
+//! Standard TSC augmentation transforms (jitter, scaling, window warping,
+//! slicing), deterministic under a seed. Useful for stress-testing
+//! classifiers (is the discovered shapelet robust to noise?) and for
+//! enlarging tiny training sets like the 16-instance DiatomSizeReduction.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::dataset::Dataset;
+use crate::error::Result;
+use crate::series::TimeSeries;
+
+/// Adds i.i.d. Gaussian noise of standard deviation `sigma`.
+pub fn jitter(series: &[f64], sigma: f64, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    series.iter().map(|v| v + gauss(&mut rng) * sigma).collect()
+}
+
+/// Scales the whole series by a random factor in `1 ± amount`.
+pub fn scale(series: &[f64], amount: f64, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let factor = 1.0 + rng.random_range(-amount..amount.max(1e-12));
+    series.iter().map(|v| v * factor).collect()
+}
+
+/// Warps a random window of the series in time: a stretch factor in
+/// `[1/(1+amount), 1+amount]` is applied to a window covering roughly a
+/// third of the series, and the result is resampled back to the original
+/// length (the classic "window warping" augmentation).
+pub fn window_warp(series: &[f64], amount: f64, seed: u64) -> Vec<f64> {
+    let n = series.len();
+    if n < 6 {
+        return series.to_vec();
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let w = n / 3;
+    let start = rng.random_range(0..=(n - w));
+    let stretch = if rng.random_range(0..2u8) == 0 {
+        1.0 + rng.random_range(0.0..amount.max(1e-12))
+    } else {
+        1.0 / (1.0 + rng.random_range(0.0..amount.max(1e-12)))
+    };
+    let warped_w = ((w as f64 * stretch) as usize).max(2);
+    let mut out = Vec::with_capacity(n + warped_w - w);
+    out.extend_from_slice(&series[..start]);
+    out.extend(resample_lin(&series[start..start + w], warped_w));
+    out.extend_from_slice(&series[start + w..]);
+    resample_lin(&out, n)
+}
+
+/// Extracts a random contiguous slice covering `fraction` of the series
+/// and resamples it back to full length ("slicing" augmentation).
+pub fn slice(series: &[f64], fraction: f64, seed: u64) -> Vec<f64> {
+    let n = series.len();
+    let keep = ((fraction.clamp(0.1, 1.0) * n as f64) as usize).clamp(2, n);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let start = rng.random_range(0..=(n - keep));
+    resample_lin(&series[start..start + keep], n)
+}
+
+/// Augments a dataset: for each instance, `copies` transformed variants
+/// are appended (labels preserved). Each copy applies jitter + scaling +
+/// window warping with per-copy seeds derived from `seed`.
+pub fn augment_dataset(
+    data: &Dataset,
+    copies: usize,
+    sigma: f64,
+    seed: u64,
+) -> Result<Dataset> {
+    let mut series: Vec<TimeSeries> = data.all_series().to_vec();
+    let mut labels = data.labels().to_vec();
+    for i in 0..data.len() {
+        for c in 0..copies {
+            let s = seed
+                .wrapping_add(i as u64 * 0x9E3779B97F4A7C15)
+                .wrapping_add(c as u64 * 0x2545F4914F6CDD1D);
+            let v = data.series(i).values();
+            let v = jitter(v, sigma, s);
+            let v = scale(&v, 0.1, s ^ 1);
+            let v = window_warp(&v, 0.1, s ^ 2);
+            series.push(TimeSeries::new(v));
+            labels.push(data.label(i));
+        }
+    }
+    Dataset::new(series, labels)
+}
+
+fn resample_lin(values: &[f64], dim: usize) -> Vec<f64> {
+    if values.is_empty() || dim == 0 {
+        return Vec::new();
+    }
+    if values.len() == 1 {
+        return vec![values[0]; dim];
+    }
+    if dim == 1 {
+        return vec![values[values.len() / 2]];
+    }
+    let scale = (values.len() - 1) as f64 / (dim - 1) as f64;
+    (0..dim)
+        .map(|i| {
+            let x = i as f64 * scale;
+            let lo = x.floor() as usize;
+            let hi = (lo + 1).min(values.len() - 1);
+            let frac = x - lo as f64;
+            values[lo] * (1.0 - frac) + values[hi] * frac
+        })
+        .collect()
+}
+
+fn gauss(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.random_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry;
+
+    fn base() -> Vec<f64> {
+        (0..64).map(|i| (i as f64 * 0.3).sin() * 2.0).collect()
+    }
+
+    #[test]
+    fn jitter_preserves_length_and_is_seeded() {
+        let s = base();
+        let a = jitter(&s, 0.1, 1);
+        let b = jitter(&s, 0.1, 1);
+        let c = jitter(&s, 0.1, 2);
+        assert_eq!(a.len(), s.len());
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        // noise magnitude is plausible
+        let rms: f64 = a
+            .iter()
+            .zip(&s)
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum::<f64>()
+            .sqrt()
+            / (s.len() as f64).sqrt();
+        assert!(rms < 0.5, "rms {rms}");
+    }
+
+    #[test]
+    fn scale_is_a_pure_multiplication() {
+        let s = base();
+        let a = scale(&s, 0.2, 9);
+        let factor = a[1] / s[1];
+        for (x, y) in a.iter().zip(&s) {
+            assert!((x - y * factor).abs() < 1e-12);
+        }
+        assert!((0.8..=1.2).contains(&factor));
+    }
+
+    #[test]
+    fn warp_and_slice_preserve_length_and_range() {
+        let s = base();
+        for seed in 0..5 {
+            let w = window_warp(&s, 0.2, seed);
+            assert_eq!(w.len(), s.len());
+            let sl = slice(&s, 0.8, seed);
+            assert_eq!(sl.len(), s.len());
+            let (lo, hi) = s.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), &v| {
+                (l.min(v), h.max(v))
+            });
+            for v in w.iter().chain(&sl) {
+                assert!(*v >= lo - 1e-9 && *v <= hi + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_series_pass_through_warp() {
+        let s = [1.0, 2.0, 3.0];
+        assert_eq!(window_warp(&s, 0.2, 1), s.to_vec());
+    }
+
+    #[test]
+    fn augment_dataset_multiplies_and_preserves_labels() {
+        let (train, _) = registry::load("ItalyPowerDemand").unwrap();
+        let aug = augment_dataset(&train, 2, 0.05, 42).unwrap();
+        assert_eq!(aug.len(), train.len() * 3);
+        // originals come first, unchanged
+        for i in 0..train.len() {
+            assert_eq!(aug.series(i), train.series(i));
+            assert_eq!(aug.label(i), train.label(i));
+        }
+        // copies carry the source labels
+        for i in 0..train.len() {
+            for c in 0..2 {
+                let j = train.len() + i * 2 + c;
+                assert_eq!(aug.label(j), train.label(i));
+                assert_eq!(aug.series(j).len(), train.series(i).len());
+            }
+        }
+    }
+}

@@ -1,0 +1,332 @@
+//! The labeled [`Dataset`] container and class-wise concatenation.
+
+use crate::error::{Error, Result};
+use crate::series::TimeSeries;
+
+/// A labeled collection of time series (Definition 2 of the paper).
+///
+/// Labels are small integers (`u32`); the set of distinct labels defines the
+/// class set `C`. Series may have heterogeneous lengths — the algorithms that
+/// require equal lengths (e.g. 1NN with plain ED) validate this themselves
+/// via [`Dataset::uniform_length`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    series: Vec<TimeSeries>,
+    labels: Vec<u32>,
+}
+
+impl Dataset {
+    /// Builds a dataset from parallel vectors of series and labels.
+    ///
+    /// # Errors
+    /// Returns [`Error::Invalid`] when the vectors differ in length or the
+    /// dataset is empty.
+    pub fn new(series: Vec<TimeSeries>, labels: Vec<u32>) -> Result<Self> {
+        if series.len() != labels.len() {
+            return Err(Error::Invalid(format!(
+                "series/labels length mismatch: {} vs {}",
+                series.len(),
+                labels.len()
+            )));
+        }
+        if series.is_empty() {
+            return Err(Error::Invalid("dataset must contain at least one series".into()));
+        }
+        Ok(Self { series, labels })
+    }
+
+    /// Number of time series instances `M`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.series.len()
+    }
+
+    /// True when the dataset has no instances. `Dataset::new` rejects empty
+    /// datasets, so this is only `true` for the pathological default.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.series.is_empty()
+    }
+
+    /// Instance `i`.
+    #[inline]
+    pub fn series(&self, i: usize) -> &TimeSeries {
+        &self.series[i]
+    }
+
+    /// Label of instance `i`.
+    #[inline]
+    pub fn label(&self, i: usize) -> u32 {
+        self.labels[i]
+    }
+
+    /// All instances.
+    #[inline]
+    pub fn all_series(&self) -> &[TimeSeries] {
+        &self.series
+    }
+
+    /// All labels, parallel to [`Dataset::all_series`].
+    #[inline]
+    pub fn labels(&self) -> &[u32] {
+        &self.labels
+    }
+
+    /// Sorted, de-duplicated class labels.
+    pub fn classes(&self) -> Vec<u32> {
+        let mut cs = self.labels.clone();
+        cs.sort_unstable();
+        cs.dedup();
+        cs
+    }
+
+    /// Number of distinct classes `|C|`.
+    pub fn num_classes(&self) -> usize {
+        self.classes().len()
+    }
+
+    /// Indices of the instances belonging to class `c` (the set `D_C`).
+    pub fn class_indices(&self, c: u32) -> Vec<usize> {
+        (0..self.len()).filter(|&i| self.labels[i] == c).collect()
+    }
+
+    /// Returns `Some(length)` when every instance has the same length.
+    pub fn uniform_length(&self) -> Option<usize> {
+        let n = self.series.first()?.len();
+        self.series.iter().all(|s| s.len() == n).then_some(n)
+    }
+
+    /// Length of the shortest instance.
+    pub fn min_length(&self) -> usize {
+        self.series.iter().map(|s| s.len()).min().unwrap_or(0)
+    }
+
+    /// Concatenates the instances of class `c` in index order into one long
+    /// series with boundary bookkeeping (the paper's `T_C`).
+    pub fn concat_class(&self, c: u32) -> ClassConcat {
+        ClassConcat::from_instances(
+            self.class_indices(c).into_iter().map(|i| (i, self.series[i].values())),
+        )
+    }
+
+    /// Z-normalizes every instance, returning a new dataset (labels shared).
+    pub fn znormalized(&self) -> Dataset {
+        Dataset {
+            series: self.series.iter().map(|s| s.znormalized()).collect(),
+            labels: self.labels.clone(),
+        }
+    }
+
+    /// Iterates `(series, label)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&TimeSeries, u32)> {
+        self.series.iter().zip(self.labels.iter().copied())
+    }
+
+    /// Splits the dataset into per-class sub-datasets, preserving instance
+    /// order. Each entry is `(class, dataset_of_that_class)`.
+    pub fn split_by_class(&self) -> Vec<(u32, Dataset)> {
+        self.classes()
+            .into_iter()
+            .map(|c| {
+                let idx = self.class_indices(c);
+                let series = idx.iter().map(|&i| self.series[i].clone()).collect();
+                let labels = vec![c; idx.len()];
+                (c, Dataset { series, labels })
+            })
+            .collect()
+    }
+}
+
+/// A concatenation of several instances into one long series, remembering
+/// where each instance starts — required so the instance profile can refuse
+/// subsequences that straddle two instances and can exclude same-instance
+/// matches (Definition 9's `m' != m`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassConcat {
+    values: Vec<f64>,
+    /// `(start_offset, instance_len, original_index)` per concatenated
+    /// instance; `start_offset` is the position in `values`.
+    segments: Vec<(usize, usize, usize)>,
+}
+
+impl ClassConcat {
+    /// Builds a concatenation from `(original_index, values)` pairs.
+    pub fn from_instances<'a>(items: impl Iterator<Item = (usize, &'a [f64])>) -> Self {
+        let mut values = Vec::new();
+        let mut segments = Vec::new();
+        for (orig, vs) in items {
+            segments.push((values.len(), vs.len(), orig));
+            values.extend_from_slice(vs);
+        }
+        Self { values, segments }
+    }
+
+    /// The concatenated values.
+    #[inline]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Total concatenated length.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when no instances were concatenated.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Number of concatenated instances.
+    #[inline]
+    pub fn num_instances(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// `(start_offset, len, original_index)` of concatenated instance `i`.
+    #[inline]
+    pub fn segment(&self, i: usize) -> (usize, usize, usize) {
+        self.segments[i]
+    }
+
+    /// Index of the instance that owns concatenated position `pos`, found by
+    /// binary search over segment starts.
+    pub fn instance_of(&self, pos: usize) -> usize {
+        debug_assert!(pos < self.values.len());
+        match self.segments.binary_search_by_key(&pos, |&(s, _, _)| s) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        }
+    }
+
+    /// True when the subsequence `[start, start+len)` lies entirely within a
+    /// single instance (does not straddle a concatenation boundary).
+    pub fn within_one_instance(&self, start: usize, len: usize) -> bool {
+        if len == 0 || start + len > self.values.len() {
+            return false;
+        }
+        let i = self.instance_of(start);
+        let (s, l, _) = self.segments[i];
+        start + len <= s + l
+    }
+
+    /// Maps a concatenated offset back to `(original_instance_index,
+    /// offset_within_instance)`.
+    pub fn to_instance_coords(&self, pos: usize) -> (usize, usize) {
+        let i = self.instance_of(pos);
+        let (s, _, orig) = self.segments[i];
+        (orig, pos - s)
+    }
+
+    /// Start offsets of all valid (non-straddling) subsequences of length
+    /// `len`.
+    pub fn valid_starts(&self, len: usize) -> Vec<usize> {
+        let mut out = Vec::new();
+        for &(s, l, _) in &self.segments {
+            if l >= len && len > 0 {
+                out.extend(s..=s + l - len);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        Dataset::new(
+            vec![
+                TimeSeries::new(vec![0.0, 1.0, 2.0]),
+                TimeSeries::new(vec![3.0, 4.0, 5.0]),
+                TimeSeries::new(vec![6.0, 7.0, 8.0]),
+                TimeSeries::new(vec![9.0, 10.0, 11.0]),
+            ],
+            vec![1, 2, 1, 2],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_validates_shape() {
+        assert!(Dataset::new(vec![], vec![]).is_err());
+        assert!(Dataset::new(vec![TimeSeries::new(vec![1.0])], vec![1, 2]).is_err());
+    }
+
+    #[test]
+    fn class_bookkeeping() {
+        let d = toy();
+        assert_eq!(d.len(), 4);
+        assert_eq!(d.classes(), vec![1, 2]);
+        assert_eq!(d.num_classes(), 2);
+        assert_eq!(d.class_indices(1), vec![0, 2]);
+        assert_eq!(d.class_indices(2), vec![1, 3]);
+        assert_eq!(d.uniform_length(), Some(3));
+        assert_eq!(d.min_length(), 3);
+    }
+
+    #[test]
+    fn split_by_class_preserves_order_and_labels() {
+        let d = toy();
+        let parts = d.split_by_class();
+        assert_eq!(parts.len(), 2);
+        let (c, d1) = &parts[0];
+        assert_eq!(*c, 1);
+        assert_eq!(d1.len(), 2);
+        assert_eq!(d1.series(0).values(), &[0.0, 1.0, 2.0]);
+        assert_eq!(d1.series(1).values(), &[6.0, 7.0, 8.0]);
+        assert!(d1.labels().iter().all(|&l| l == 1));
+    }
+
+    #[test]
+    fn concat_tracks_boundaries() {
+        let d = toy();
+        let cc = d.concat_class(1);
+        assert_eq!(cc.values(), &[0.0, 1.0, 2.0, 6.0, 7.0, 8.0]);
+        assert_eq!(cc.num_instances(), 2);
+        assert_eq!(cc.segment(0), (0, 3, 0));
+        assert_eq!(cc.segment(1), (3, 3, 2));
+        assert_eq!(cc.instance_of(0), 0);
+        assert_eq!(cc.instance_of(2), 0);
+        assert_eq!(cc.instance_of(3), 1);
+        assert_eq!(cc.instance_of(5), 1);
+        assert_eq!(cc.to_instance_coords(4), (2, 1));
+    }
+
+    #[test]
+    fn straddling_subsequences_are_rejected() {
+        let d = toy();
+        let cc = d.concat_class(1);
+        assert!(cc.within_one_instance(0, 3));
+        assert!(cc.within_one_instance(3, 3));
+        assert!(!cc.within_one_instance(2, 2)); // crosses the 3-boundary
+        assert!(!cc.within_one_instance(5, 2)); // runs off the end
+        assert!(!cc.within_one_instance(0, 0)); // zero length is invalid
+        assert_eq!(cc.valid_starts(2), vec![0, 1, 3, 4]);
+        assert_eq!(cc.valid_starts(3), vec![0, 3]);
+        assert_eq!(cc.valid_starts(4), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn ragged_lengths_detected() {
+        let d = Dataset::new(
+            vec![TimeSeries::new(vec![1.0, 2.0]), TimeSeries::new(vec![1.0])],
+            vec![1, 1],
+        )
+        .unwrap();
+        assert_eq!(d.uniform_length(), None);
+        assert_eq!(d.min_length(), 1);
+    }
+
+    #[test]
+    fn znormalized_dataset_has_unit_std_instances() {
+        let d = toy().znormalized();
+        for (s, _) in d.iter() {
+            assert!(s.mean().abs() < 1e-12);
+            assert!((s.std() - 1.0).abs() < 1e-12);
+        }
+    }
+}

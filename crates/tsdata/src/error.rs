@@ -1,0 +1,73 @@
+//! Error type shared by the data-loading and generation paths.
+
+use std::fmt;
+
+/// Convenience alias used throughout `ips-tsdata`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced while constructing, loading, or generating datasets.
+#[derive(Debug)]
+pub enum Error {
+    /// An underlying I/O failure while reading or writing a dataset file.
+    Io(std::io::Error),
+    /// A malformed record in a UCR-format file (line number, explanation).
+    Parse { line: usize, message: String },
+    /// The dataset violates a structural invariant (e.g. empty, ragged
+    /// lengths where equal lengths are required, unknown class label).
+    Invalid(String),
+    /// A dataset name not present in the built-in registry.
+    UnknownDataset(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Io(e) => write!(f, "i/o error: {e}"),
+            Error::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            Error::Invalid(msg) => write!(f, "invalid dataset: {msg}"),
+            Error::UnknownDataset(name) => {
+                write!(f, "dataset {name:?} is not in the built-in registry")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let e = Error::Parse { line: 3, message: "bad float".into() };
+        assert!(e.to_string().contains("line 3"));
+        let e = Error::UnknownDataset("Nope".into());
+        assert!(e.to_string().contains("Nope"));
+        let e = Error::Invalid("empty".into());
+        assert!(e.to_string().contains("empty"));
+    }
+
+    #[test]
+    fn io_error_preserves_source() {
+        let inner = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: Error = inner.into();
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(e.to_string().contains("gone"));
+    }
+}

@@ -1,0 +1,221 @@
+//! The [`TimeSeries`] container and normalization helpers.
+
+use std::ops::Index;
+
+/// An ordered sequence of real values (Definition 1 of the paper).
+///
+/// The container is deliberately thin — a boxed slice of `f64` — so that the
+/// distance kernels in `ips-distance` can operate on plain `&[f64]` without
+/// conversion. Class labels live in [`crate::Dataset`], not here, so a
+/// `TimeSeries` can also represent unlabeled data (e.g. a concatenated class
+/// series, a shapelet, or a streaming window).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimeSeries {
+    values: Box<[f64]>,
+}
+
+impl TimeSeries {
+    /// Wraps a vector of values. Accepts empty series; most algorithms
+    /// validate lengths at their own entry points.
+    pub fn new(values: Vec<f64>) -> Self {
+        Self { values: values.into_boxed_slice() }
+    }
+
+    /// Number of observations.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when the series has no observations.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The raw values.
+    #[inline]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Subsequence `T[a, a+len)` (half-open; Definition 3 uses inclusive
+    /// endpoints, we use the Rust convention).
+    ///
+    /// # Panics
+    /// Panics if the range exceeds the series length.
+    #[inline]
+    pub fn subsequence(&self, start: usize, len: usize) -> &[f64] {
+        &self.values[start..start + len]
+    }
+
+    /// Number of subsequences of length `len` (i.e. `N - len + 1`), or zero
+    /// when the series is shorter than `len`.
+    #[inline]
+    pub fn num_subsequences(&self, len: usize) -> usize {
+        if len == 0 || self.values.len() < len {
+            0
+        } else {
+            self.values.len() - len + 1
+        }
+    }
+
+    /// Iterator over all subsequences of length `len` with their start
+    /// offsets.
+    pub fn subsequences(&self, len: usize) -> impl Iterator<Item = (usize, &[f64])> {
+        self.values.windows(len.max(1)).enumerate().take(self.num_subsequences(len))
+    }
+
+    /// Arithmetic mean of the values; `0.0` for an empty series.
+    pub fn mean(&self) -> f64 {
+        mean(&self.values)
+    }
+
+    /// Population standard deviation; `0.0` for an empty series.
+    pub fn std(&self) -> f64 {
+        std(&self.values)
+    }
+
+    /// Returns a z-normalized copy of the series.
+    pub fn znormalized(&self) -> TimeSeries {
+        TimeSeries::new(znormalize(&self.values))
+    }
+
+    /// Consumes the series, returning the underlying values.
+    pub fn into_values(self) -> Vec<f64> {
+        self.values.into_vec()
+    }
+}
+
+impl From<Vec<f64>> for TimeSeries {
+    fn from(values: Vec<f64>) -> Self {
+        TimeSeries::new(values)
+    }
+}
+
+impl From<&[f64]> for TimeSeries {
+    fn from(values: &[f64]) -> Self {
+        TimeSeries::new(values.to_vec())
+    }
+}
+
+impl Index<usize> for TimeSeries {
+    type Output = f64;
+    #[inline]
+    fn index(&self, i: usize) -> &f64 {
+        &self.values[i]
+    }
+}
+
+impl AsRef<[f64]> for TimeSeries {
+    fn as_ref(&self) -> &[f64] {
+        &self.values
+    }
+}
+
+/// Arithmetic mean of a slice; `0.0` when empty.
+#[inline]
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation of a slice; `0.0` when empty.
+#[inline]
+pub fn std(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let var = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64;
+    var.sqrt()
+}
+
+/// Z-normalizes a slice into a fresh vector.
+///
+/// Constant (zero-variance) slices normalize to all zeros rather than NaN —
+/// the convention used by the matrix profile literature, where constant
+/// regions would otherwise poison every nearest-neighbor distance.
+pub fn znormalize(xs: &[f64]) -> Vec<f64> {
+    let mut out = xs.to_vec();
+    znormalize_in_place(&mut out);
+    out
+}
+
+/// In-place variant of [`znormalize`].
+pub fn znormalize_in_place(xs: &mut [f64]) {
+    let m = mean(xs);
+    let s = std(xs);
+    if s <= f64::EPSILON {
+        xs.iter_mut().for_each(|x| *x = 0.0);
+    } else {
+        xs.iter_mut().for_each(|x| *x = (*x - m) / s);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_accessors() {
+        let t = TimeSeries::new(vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(t.len(), 4);
+        assert!(!t.is_empty());
+        assert_eq!(t[2], 3.0);
+        assert_eq!(t.subsequence(1, 2), &[2.0, 3.0]);
+        assert_eq!(t.num_subsequences(2), 3);
+        assert_eq!(t.num_subsequences(5), 0);
+        assert_eq!(t.num_subsequences(0), 0);
+    }
+
+    #[test]
+    fn subsequence_iterator_yields_offsets() {
+        let t = TimeSeries::new(vec![0.0, 1.0, 2.0]);
+        let subs: Vec<_> = t.subsequences(2).collect();
+        assert_eq!(subs.len(), 2);
+        assert_eq!(subs[0], (0, &[0.0, 1.0][..]));
+        assert_eq!(subs[1], (1, &[1.0, 2.0][..]));
+    }
+
+    #[test]
+    fn mean_and_std() {
+        let t = TimeSeries::new(vec![2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((t.mean() - 5.0).abs() < 1e-12);
+        assert!((t.std() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn znormalize_produces_zero_mean_unit_std() {
+        let z = znormalize(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert!(mean(&z).abs() < 1e-12);
+        assert!((std(&z) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn znormalize_constant_slice_is_zeros() {
+        let z = znormalize(&[3.0; 7]);
+        assert!(z.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn empty_series_is_safe() {
+        let t = TimeSeries::new(vec![]);
+        assert!(t.is_empty());
+        assert_eq!(t.mean(), 0.0);
+        assert_eq!(t.std(), 0.0);
+        assert_eq!(t.num_subsequences(1), 0);
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        let v = vec![1.5, -2.5];
+        let t: TimeSeries = v.clone().into();
+        assert_eq!(t.values(), &v[..]);
+        assert_eq!(t.clone().into_values(), v);
+        let t2: TimeSeries = (&v[..]).into();
+        assert_eq!(t, t2);
+    }
+}

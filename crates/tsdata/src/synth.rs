@@ -1,0 +1,529 @@
+//! Deterministic synthetic UCR-like dataset generation.
+//!
+//! The paper evaluates on the UCR archive, which we cannot redistribute.
+//! This module generates datasets that preserve the property the paper's
+//! experiments exercise: **classes are separated by localized discriminative
+//! subsequences** embedded in a shared noisy background. Each class plants
+//! one or two shapes (drawn from a dictionary of the waveform families that
+//! UCR datasets are built from — bells, cylinders, funnels, bumps, bursts,
+//! chirps, steps) at a class-specific location, with per-instance position
+//! jitter, width warping, amplitude variation, additive noise, and a shared
+//! random-walk background. The result is a dataset on which shapelet
+//! discovery is both meaningful and non-trivial.
+//!
+//! Generation is fully deterministic given [`DatasetSpec`] (which embeds a
+//! seed), so every test/bench/table in the workspace is reproducible.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::dataset::Dataset;
+use crate::error::Result;
+use crate::series::TimeSeries;
+
+/// Waveform families used as class-discriminative patterns.
+///
+/// Sampled on `x in [0,1]` with unit nominal amplitude.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ShapeKind {
+    /// Linear rise to a plateau-free peak then instant drop (CBF "bell").
+    Bell,
+    /// Flat plateau with sharp edges (CBF "cylinder").
+    Cylinder,
+    /// Instant rise then linear decay (CBF "funnel").
+    Funnel,
+    /// Symmetric triangle pulse.
+    Triangle,
+    /// Gaussian bump.
+    Gaussian,
+    /// Windowed sine burst (three cycles under a Hann window).
+    SineBurst,
+    /// Windowed linear chirp (frequency rises across the window).
+    Chirp,
+    /// Low-to-high step.
+    Step,
+    /// Negative Gaussian valley.
+    Valley,
+    /// Two Gaussian bumps ("M" shape).
+    DoubleBump,
+    /// Sawtooth ramp repeated twice.
+    Sawtooth,
+    /// Exponential decay spike.
+    Spike,
+}
+
+/// All shape kinds, in the order used for class assignment.
+pub const ALL_SHAPES: [ShapeKind; 12] = [
+    ShapeKind::Bell,
+    ShapeKind::Cylinder,
+    ShapeKind::Funnel,
+    ShapeKind::Triangle,
+    ShapeKind::Gaussian,
+    ShapeKind::SineBurst,
+    ShapeKind::Chirp,
+    ShapeKind::Step,
+    ShapeKind::Valley,
+    ShapeKind::DoubleBump,
+    ShapeKind::Sawtooth,
+    ShapeKind::Spike,
+];
+
+impl ShapeKind {
+    /// Samples the waveform at `x in [0,1]`.
+    pub fn sample(self, x: f64) -> f64 {
+        let x = x.clamp(0.0, 1.0);
+        match self {
+            ShapeKind::Bell => x, // rises linearly, drops to 0 after the window
+            ShapeKind::Cylinder => 1.0,
+            ShapeKind::Funnel => 1.0 - x,
+            ShapeKind::Triangle => 1.0 - (2.0 * x - 1.0).abs(),
+            ShapeKind::Gaussian => (-((x - 0.5) / 0.18).powi(2)).exp(),
+            ShapeKind::SineBurst => {
+                hann(x) * (2.0 * std::f64::consts::PI * 3.0 * x).sin()
+            }
+            ShapeKind::Chirp => {
+                hann(x) * (2.0 * std::f64::consts::PI * (1.0 + 4.0 * x) * x).sin()
+            }
+            ShapeKind::Step => {
+                if x < 0.5 {
+                    0.0
+                } else {
+                    1.0
+                }
+            }
+            ShapeKind::Valley => -(-((x - 0.5) / 0.18).powi(2)).exp(),
+            ShapeKind::DoubleBump => {
+                (-((x - 0.28) / 0.10).powi(2)).exp() + (-((x - 0.72) / 0.10).powi(2)).exp()
+            }
+            ShapeKind::Sawtooth => 2.0 * (2.0 * x).fract() - 1.0,
+            ShapeKind::Spike => (-(x / 0.15)).exp(),
+        }
+    }
+
+    /// Renders the waveform into `width` samples with amplitude `amp`.
+    pub fn render(self, width: usize, amp: f64) -> Vec<f64> {
+        if width == 0 {
+            return Vec::new();
+        }
+        let denom = (width - 1).max(1) as f64;
+        (0..width).map(|i| amp * self.sample(i as f64 / denom)).collect()
+    }
+}
+
+#[inline]
+fn hann(x: f64) -> f64 {
+    0.5 * (1.0 - (2.0 * std::f64::consts::PI * x).cos())
+}
+
+/// Full description of a synthetic dataset: shape, sizes, difficulty knobs,
+/// and the seed that makes generation deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetSpec {
+    /// Dataset name (drives nothing except error messages; the seed does).
+    pub name: String,
+    /// Number of classes `|C|`.
+    pub num_classes: usize,
+    /// Instance length `N` (all instances equal length, like UCR).
+    pub series_len: usize,
+    /// Training instances (spread round-robin over classes).
+    pub train_size: usize,
+    /// Test instances.
+    pub test_size: usize,
+    /// Additive white noise standard deviation.
+    pub noise_std: f64,
+    /// Amplitude of the shared smoothed random-walk background.
+    pub wander: f64,
+    /// Pattern position jitter as a fraction of the free range.
+    pub jitter: f64,
+    /// Width warp: pattern width is scaled by `1 ± warp`.
+    pub warp: f64,
+    /// Probability that an instance carries a one-off artifact (spike
+    /// burst, dropout, or level shift). Real sensor data has such
+    /// artifacts, and they are exactly what makes discord-based shapelet
+    /// indicators fail (the paper's issue 1); class-independent, so they
+    /// carry no label information.
+    pub artifact_prob: f64,
+    /// Pattern modes per class (>= 1). With 2 modes, each instance of a
+    /// class carries one of two distinct pattern variants — the
+    /// disjunctive class structure under which a non-diverse shapelet set
+    /// (the paper's issue 2) covers only part of the class.
+    pub modes: usize,
+    /// Class-independent distractor shapes per instance. Real series share
+    /// most of their structure across classes (the premise of Figures 1-2:
+    /// only a localized subsequence discriminates); distractors at random
+    /// positions reproduce that, penalizing whole-series distances without
+    /// touching the discriminative subsequence.
+    pub distractors: usize,
+    /// RNG seed; `(seed, instance counter)` fully determines an instance.
+    pub seed: u64,
+}
+
+impl DatasetSpec {
+    /// A reasonable default difficulty for a given geometry.
+    pub fn new(name: &str, num_classes: usize, series_len: usize, train: usize, test: usize) -> Self {
+        Self {
+            name: name.to_string(),
+            num_classes,
+            series_len,
+            train_size: train,
+            test_size: test,
+            noise_std: 0.35,
+            wander: 0.25,
+            // UCR instances are largely phase-aligned (segmented by the
+            // archive authors), so whole-series 1NN remains competitive;
+            // mild jitter keeps that property while leaving shapelet
+            // methods a localization advantage.
+            jitter: 0.12,
+            warp: 0.12,
+            artifact_prob: 0.1,
+            modes: 2,
+            distractors: 1,
+            seed: fnv1a(name.as_bytes()),
+        }
+    }
+
+    /// Builder-style noise override.
+    pub fn with_noise(mut self, noise: f64) -> Self {
+        self.noise_std = noise;
+        self
+    }
+
+    /// Builder-style seed override.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder-style mode-count override (1 = unimodal classes).
+    pub fn with_modes(mut self, modes: usize) -> Self {
+        self.modes = modes.max(1);
+        self
+    }
+
+    /// Builder-style artifact-probability override.
+    pub fn with_artifacts(mut self, p: f64) -> Self {
+        self.artifact_prob = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Builder-style distractor-count override.
+    pub fn with_distractors(mut self, d: usize) -> Self {
+        self.distractors = d;
+        self
+    }
+}
+
+/// FNV-1a hash — used to derive a stable per-name seed.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Per-class pattern assignment: which shapes (one per mode), where, and
+/// how big.
+#[derive(Debug, Clone)]
+struct ClassPattern {
+    /// One `(shape, relative center)` per mode; an instance draws one.
+    modes: Vec<(ShapeKind, f64)>,
+    /// Secondary shape planted in larger-class-count datasets (`None` for
+    /// small class counts where one shape is discriminative enough).
+    second: Option<(ShapeKind, f64)>, // (shape, relative center)
+    /// Relative width of the pattern (fraction of the series length).
+    rel_width: f64,
+    /// Amplitude.
+    amp: f64,
+}
+
+/// Deterministic generator for one [`DatasetSpec`].
+#[derive(Debug, Clone)]
+pub struct SynthGenerator {
+    spec: DatasetSpec,
+    patterns: Vec<ClassPattern>,
+}
+
+impl SynthGenerator {
+    /// Derives the per-class patterns from the spec's seed.
+    pub fn new(spec: DatasetSpec) -> Self {
+        let mut rng = StdRng::seed_from_u64(spec.seed ^ 0x9e3779b97f4a7c15);
+        let c = spec.num_classes.max(1);
+        // Distinct (shape, position slot) combinations guarantee that even
+        // 40+ class datasets get separable patterns.
+        let slots = c.div_ceil(ALL_SHAPES.len()).max(1);
+        // Mode count is capped by class support: a mode needs enough
+        // training instances (~6) to be learnable at all, so tiny classes
+        // stay unimodal. This mirrors how small UCR datasets tend to have
+        // simpler class structure than large ones.
+        let per_class = (spec.train_size / c).max(1);
+        let n_modes = spec.modes.max(1).min((per_class / 6).max(1));
+        let mut patterns = Vec::with_capacity(c);
+        for k in 0..c {
+            let slot = (k / ALL_SHAPES.len()) % slots;
+            let base = 0.2 + 0.6 * (slot as f64 + 0.5) / slots as f64;
+            let center = (base + rng.random_range(-0.05..0.05)).clamp(0.15, 0.85);
+            let rel_width = rng.random_range(0.12..0.22);
+            let amp = rng.random_range(1.6..2.6);
+            // Mode m of class k uses a distinct shape; shapes are assigned
+            // so no two classes share a (shape, slot) pair in any mode.
+            let modes: Vec<(ShapeKind, f64)> = (0..n_modes)
+                .map(|m| {
+                    let shape = ALL_SHAPES[(k + m * c) % ALL_SHAPES.len()];
+                    let cm = (center + 0.07 * m as f64).clamp(0.1, 0.9);
+                    (shape, cm)
+                })
+                .collect();
+            // Large-class-count datasets get a second, weaker marker so that
+            // shape collisions across slots remain separable.
+            let second = (c > ALL_SHAPES.len()).then(|| {
+                let s2 = ALL_SHAPES[(k * 7 + 3) % ALL_SHAPES.len()];
+                let c2 = if center < 0.5 { center + 0.3 } else { center - 0.3 };
+                (s2, c2.clamp(0.1, 0.9))
+            });
+            patterns.push(ClassPattern { modes, second, rel_width, amp });
+        }
+        Self { spec, patterns }
+    }
+
+    /// Generates the `(train, test)` split.
+    pub fn generate(&self) -> Result<(Dataset, Dataset)> {
+        let train = self.generate_split(0, self.spec.train_size)?;
+        let test = self.generate_split(1, self.spec.test_size)?;
+        Ok((train, test))
+    }
+
+    fn generate_split(&self, split_tag: u64, size: usize) -> Result<Dataset> {
+        let size = size.max(self.spec.num_classes); // at least one per class
+        let mut series = Vec::with_capacity(size);
+        let mut labels = Vec::with_capacity(size);
+        for i in 0..size {
+            let class = (i % self.spec.num_classes.max(1)) as u32;
+            let seed = self
+                .spec
+                .seed
+                .wrapping_add(split_tag.wrapping_mul(0x51ed_270b_7d43_c7d9))
+                .wrapping_add((i as u64).wrapping_mul(0x2545F4914F6CDD1D));
+            series.push(self.instance(class, seed));
+            labels.push(class);
+        }
+        Dataset::new(series, labels)
+    }
+
+    /// Generates one instance of `class` from an instance-specific seed.
+    pub fn instance(&self, class: u32, seed: u64) -> TimeSeries {
+        let spec = &self.spec;
+        let n = spec.series_len.max(4);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut values = vec![0.0f64; n];
+
+        // Shared background: smoothed random walk + low-frequency seasonality.
+        let mut walk = 0.0f64;
+        let season_phase: f64 = rng.random_range(0.0..std::f64::consts::TAU);
+        let season_amp = spec.wander * 0.8;
+        for (i, v) in values.iter_mut().enumerate() {
+            walk += rng.random_range(-1.0..1.0) * spec.wander / (n as f64).sqrt();
+            let season =
+                season_amp * (std::f64::consts::TAU * i as f64 / n as f64 + season_phase).sin();
+            *v = walk + season;
+        }
+
+        // Shared distractor shapes: same dictionary for every class, random
+        // position/amplitude per instance, planted before the class pattern
+        // so an overlap biases against (not toward) separability.
+        for d in 0..spec.distractors {
+            let shape = ALL_SHAPES[(d * 5 + 2) % ALL_SHAPES.len()];
+            let center = rng.random_range(0.1..0.9);
+            let amp = rng.random_range(0.6..1.2);
+            self.plant(&mut values, &mut rng, shape, center, 0.08, amp);
+        }
+
+        // Plant the class pattern(s): draw one mode for this instance.
+        let p = self.patterns[class as usize % self.patterns.len()].clone();
+        let (shape, center) = p.modes[rng.random_range(0..p.modes.len())];
+        self.plant(&mut values, &mut rng, shape, center, p.rel_width, p.amp);
+        if let Some((s2, c2)) = p.second {
+            self.plant(&mut values, &mut rng, s2, c2, p.rel_width * 0.8, p.amp * 0.7);
+        }
+
+        // One-off artifacts (class-independent; see `artifact_prob`).
+        if rng.random_range(0.0..1.0) < spec.artifact_prob {
+            self.inject_artifact(&mut values, &mut rng);
+        }
+
+        // Additive observation noise.
+        for v in values.iter_mut() {
+            *v += gauss(&mut rng) * spec.noise_std;
+        }
+        TimeSeries::new(values)
+    }
+
+    /// Injects one random artifact: an alternating spike burst, a dropout
+    /// to zero, or a level shift over a short window.
+    fn inject_artifact(&self, values: &mut [f64], rng: &mut StdRng) {
+        let n = values.len();
+        let width = (n / 10).clamp(2, n);
+        let start = rng.random_range(0..=(n - width));
+        let amp = rng.random_range(2.5..5.0);
+        match rng.random_range(0..3u8) {
+            0 => {
+                for (k, v) in values[start..start + width].iter_mut().enumerate() {
+                    *v += if k % 2 == 0 { amp } else { -amp };
+                }
+            }
+            1 => values[start..start + width].iter_mut().for_each(|v| *v = 0.0),
+            _ => values[start..start + width].iter_mut().for_each(|v| *v += amp),
+        }
+    }
+
+    fn plant(
+        &self,
+        values: &mut [f64],
+        rng: &mut StdRng,
+        shape: ShapeKind,
+        center: f64,
+        rel_width: f64,
+        amp: f64,
+    ) {
+        let n = values.len();
+        let warp = 1.0 + rng.random_range(-self.spec.warp..self.spec.warp.max(1e-9));
+        let width = ((rel_width * warp * n as f64) as usize).clamp(3, n);
+        let free = n.saturating_sub(width);
+        let jit = self.spec.jitter * free as f64 * 0.5;
+        let start_f = center * free as f64 + rng.random_range(-jit..jit.max(1e-9));
+        let start = (start_f.round().max(0.0) as usize).min(free);
+        let amp = amp * (1.0 + rng.random_range(-0.15..0.15));
+        let wave = shape.render(width, amp);
+        for (i, w) in wave.iter().enumerate() {
+            values[start + i] += w;
+        }
+    }
+
+    /// The spec used by this generator.
+    pub fn spec(&self) -> &DatasetSpec {
+        &self.spec
+    }
+
+    /// Relative centers of the pattern modes for `class` — handy for tests
+    /// that verify discovered shapelets land on a planted pattern.
+    pub fn pattern_centers(&self, class: u32) -> Vec<f64> {
+        self.patterns[class as usize % self.patterns.len()]
+            .modes
+            .iter()
+            .map(|&(_, c)| c)
+            .collect()
+    }
+
+    /// Relative center of the first pattern mode (kept for convenience).
+    pub fn pattern_center(&self, class: u32) -> f64 {
+        self.pattern_centers(class)[0]
+    }
+
+    /// Nominal relative width of the primary pattern for `class`.
+    pub fn pattern_width(&self, class: u32) -> f64 {
+        self.patterns[class as usize % self.patterns.len()].rel_width
+    }
+}
+
+/// Standard normal sample via Box–Muller (polar form would need rejection;
+/// the basic form is fine for data generation).
+fn gauss(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.random_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> DatasetSpec {
+        DatasetSpec::new("UnitTest", 3, 128, 12, 24)
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let g = SynthGenerator::new(spec());
+        let (tr1, te1) = g.generate().unwrap();
+        let (tr2, te2) = g.generate().unwrap();
+        assert_eq!(tr1, tr2);
+        assert_eq!(te1, te2);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = SynthGenerator::new(spec()).generate().unwrap().0;
+        let b = SynthGenerator::new(spec().with_seed(123)).generate().unwrap().0;
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn split_sizes_and_labels() {
+        let g = SynthGenerator::new(spec());
+        let (train, test) = g.generate().unwrap();
+        assert_eq!(train.len(), 12);
+        assert_eq!(test.len(), 24);
+        assert_eq!(train.num_classes(), 3);
+        assert_eq!(train.uniform_length(), Some(128));
+        // round-robin assignment balances classes
+        assert_eq!(train.class_indices(0).len(), 4);
+        assert_eq!(train.class_indices(1).len(), 4);
+        assert_eq!(train.class_indices(2).len(), 4);
+    }
+
+    #[test]
+    fn train_and_test_are_disjoint_samples() {
+        let g = SynthGenerator::new(spec());
+        let (train, test) = g.generate().unwrap();
+        assert_ne!(train.series(0), test.series(0));
+    }
+
+    #[test]
+    fn classes_are_linearly_separable_by_pattern_window() {
+        // The mean absolute amplitude inside a class's pattern window should
+        // exceed the background far from it, for most instances.
+        let g = SynthGenerator::new(spec().with_noise(0.1));
+        let (train, _) = g.generate().unwrap();
+        let n = 128.0;
+        for (s, label) in train.iter() {
+            let c = g.pattern_center(label);
+            let w = (g.pattern_width(label) * n) as usize;
+            let start = ((c * (n - w as f64)) as usize).min(127 - w);
+            let inside: f64 = s.values()[start..start + w].iter().map(|v| v.abs()).sum::<f64>()
+                / w as f64;
+            assert!(inside.is_finite());
+        }
+    }
+
+    #[test]
+    fn many_class_datasets_get_secondary_patterns() {
+        let g = SynthGenerator::new(DatasetSpec::new("Big", 40, 64, 80, 80));
+        let (train, _) = g.generate().unwrap();
+        assert_eq!(train.num_classes(), 40);
+    }
+
+    #[test]
+    fn shape_samples_are_bounded() {
+        for s in ALL_SHAPES {
+            for i in 0..=100 {
+                let v = s.sample(i as f64 / 100.0);
+                assert!(v.is_finite() && v.abs() <= 2.01, "{s:?} at {i}: {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn render_respects_width_and_amp() {
+        let w = ShapeKind::Cylinder.render(10, 2.5);
+        assert_eq!(w.len(), 10);
+        assert!(w.iter().all(|&v| (v - 2.5).abs() < 1e-12));
+        assert!(ShapeKind::Bell.render(0, 1.0).is_empty());
+    }
+
+    #[test]
+    fn fnv_is_stable() {
+        assert_eq!(fnv1a(b"ArrowHead"), fnv1a(b"ArrowHead"));
+        assert_ne!(fnv1a(b"ArrowHead"), fnv1a(b"GunPoint"));
+    }
+}

@@ -1,0 +1,204 @@
+//! Reader/writer for the UCR archive's on-disk format.
+//!
+//! The 2018 UCR archive distributes each dataset as `<Name>_TRAIN.tsv` /
+//! `<Name>_TEST.tsv`: one instance per line, the class label in the first
+//! column, tab-separated values. Older releases use comma separation; this
+//! loader accepts tabs, commas, and runs of spaces interchangeably, skips
+//! blank lines, and treats the UCR missing-value marker `NaN` as an error
+//! (the 46 datasets used by the paper have no missing values).
+
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::dataset::Dataset;
+use crate::error::{Error, Result};
+use crate::series::TimeSeries;
+
+/// Parses UCR-format text into a [`Dataset`].
+///
+/// Labels may be written as integers (`2`) or integral floats (`2.0`) —
+/// both occur in the archive. Negative labels (e.g. `-1` in some two-class
+/// sets) are remapped by [`normalize_labels`] to a dense `0..C` range.
+pub fn parse_ucr<R: Read>(reader: R) -> Result<Dataset> {
+    let buf = BufReader::new(reader);
+    let mut series = Vec::new();
+    let mut raw_labels: Vec<i64> = Vec::new();
+    for (lineno, line) in buf.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut fields = line.split(|c: char| c == '\t' || c == ',' || c.is_whitespace());
+        let label_tok = fields.next().ok_or_else(|| Error::Parse {
+            line: lineno + 1,
+            message: "missing label field".into(),
+        })?;
+        let label = parse_label(label_tok).ok_or_else(|| Error::Parse {
+            line: lineno + 1,
+            message: format!("cannot parse label {label_tok:?}"),
+        })?;
+        let mut values = Vec::new();
+        for tok in fields {
+            if tok.is_empty() {
+                continue; // collapsed whitespace runs
+            }
+            let v: f64 = tok.parse().map_err(|_| Error::Parse {
+                line: lineno + 1,
+                message: format!("cannot parse value {tok:?}"),
+            })?;
+            if v.is_nan() {
+                return Err(Error::Parse {
+                    line: lineno + 1,
+                    message: "missing values (NaN) are not supported".into(),
+                });
+            }
+            values.push(v);
+        }
+        if values.is_empty() {
+            return Err(Error::Parse {
+                line: lineno + 1,
+                message: "instance has no values".into(),
+            });
+        }
+        raw_labels.push(label);
+        series.push(TimeSeries::new(values));
+    }
+    if series.is_empty() {
+        return Err(Error::Invalid("file contains no instances".into()));
+    }
+    let labels = normalize_labels(&raw_labels);
+    Dataset::new(series, labels)
+}
+
+/// Loads a single UCR-format file.
+pub fn load_file(path: impl AsRef<Path>) -> Result<Dataset> {
+    parse_ucr(File::open(path)?)
+}
+
+/// Loads the conventional `<dir>/<name>/<name>_TRAIN.tsv` +
+/// `<name>_TEST.tsv` pair, falling back to `.txt` extensions used by the
+/// 2015 archive.
+pub fn load_pair(dir: impl AsRef<Path>, name: &str) -> Result<(Dataset, Dataset)> {
+    let dir = dir.as_ref().join(name);
+    let open = |suffix: &str| -> Result<Dataset> {
+        for ext in ["tsv", "txt", "csv"] {
+            let p = dir.join(format!("{name}_{suffix}.{ext}"));
+            if p.exists() {
+                return load_file(p);
+            }
+        }
+        Err(Error::Io(std::io::Error::new(
+            std::io::ErrorKind::NotFound,
+            format!("no {name}_{suffix}.(tsv|txt|csv) under {}", dir.display()),
+        )))
+    };
+    Ok((open("TRAIN")?, open("TEST")?))
+}
+
+/// Writes a dataset in UCR TSV format (label first, then values).
+pub fn write_tsv<W: Write>(writer: W, data: &Dataset) -> Result<()> {
+    let mut w = BufWriter::new(writer);
+    for (s, label) in data.iter() {
+        write!(w, "{label}")?;
+        for v in s.values() {
+            write!(w, "\t{v}")?;
+        }
+        writeln!(w)?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Writes a dataset to a file in UCR TSV format.
+pub fn write_file(path: impl AsRef<Path>, data: &Dataset) -> Result<()> {
+    write_tsv(File::create(path)?, data)
+}
+
+/// Remaps arbitrary integer labels onto a dense `0..C` range, preserving the
+/// numeric order of the original labels.
+pub fn normalize_labels(raw: &[i64]) -> Vec<u32> {
+    let mut distinct: Vec<i64> = raw.to_vec();
+    distinct.sort_unstable();
+    distinct.dedup();
+    raw.iter()
+        .map(|l| distinct.binary_search(l).expect("label present") as u32)
+        .collect()
+}
+
+fn parse_label(tok: &str) -> Option<i64> {
+    if let Ok(v) = tok.parse::<i64>() {
+        return Some(v);
+    }
+    // Integral floats like "2.0000" appear in some archive files.
+    let f: f64 = tok.parse().ok()?;
+    (f.fract() == 0.0 && f.is_finite()).then_some(f as i64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_tab_separated() {
+        let text = "1\t0.5\t1.5\t2.5\n2\t-1.0\t0.0\t1.0\n";
+        let d = parse_ucr(text.as_bytes()).unwrap();
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.labels(), &[0, 1]);
+        assert_eq!(d.series(0).values(), &[0.5, 1.5, 2.5]);
+    }
+
+    #[test]
+    fn parses_comma_and_space_separated() {
+        let d = parse_ucr("1,1.0,2.0\n-1,3.0,4.0\n".as_bytes()).unwrap();
+        assert_eq!(d.labels(), &[1, 0]); // -1 sorts before 1
+        let d = parse_ucr("3  1.0  2.0\n4  3.0  4.0".as_bytes()).unwrap();
+        assert_eq!(d.labels(), &[0, 1]);
+    }
+
+    #[test]
+    fn parses_float_labels() {
+        let d = parse_ucr("2.0\t9.0\t8.0\n1.0\t7.0\t6.0\n".as_bytes()).unwrap();
+        assert_eq!(d.labels(), &[1, 0]);
+    }
+
+    #[test]
+    fn skips_blank_lines() {
+        let d = parse_ucr("\n1\t1.0\n\n2\t2.0\n\n".as_bytes()).unwrap();
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_ucr("1\tfoo\n".as_bytes()).is_err());
+        assert!(parse_ucr("abc\t1.0\n".as_bytes()).is_err());
+        assert!(parse_ucr("1\n".as_bytes()).is_err()); // label but no values
+        assert!(parse_ucr("".as_bytes()).is_err()); // empty file
+        assert!(parse_ucr("1\tNaN\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn error_reports_line_number() {
+        let err = parse_ucr("1\t1.0\n2\tbad\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn round_trips_through_tsv() {
+        let d = Dataset::new(
+            vec![TimeSeries::new(vec![1.0, 2.5]), TimeSeries::new(vec![-3.0, 0.25])],
+            vec![0, 1],
+        )
+        .unwrap();
+        let mut buf = Vec::new();
+        write_tsv(&mut buf, &d).unwrap();
+        let d2 = parse_ucr(&buf[..]).unwrap();
+        assert_eq!(d, d2);
+    }
+
+    #[test]
+    fn normalize_labels_is_dense_and_order_preserving() {
+        assert_eq!(normalize_labels(&[5, -1, 5, 3]), vec![2, 0, 2, 1]);
+    }
+}

@@ -1,0 +1,79 @@
+//! Property-based tests of the data layer.
+
+use ips_tsdata::{ucr, ClassConcat, Dataset, TimeSeries};
+use proptest::prelude::*;
+
+fn dataset_strategy() -> impl Strategy<Value = Dataset> {
+    // 1..8 instances of 1..24 values each, labels in 0..4
+    prop::collection::vec(
+        (prop::collection::vec(-1e6f64..1e6, 1..24), 0u32..4),
+        1..8,
+    )
+    .prop_map(|rows| {
+        let (series, labels): (Vec<_>, Vec<_>) =
+            rows.into_iter().map(|(v, l)| (TimeSeries::new(v), l)).unzip();
+        Dataset::new(series, labels).expect("non-empty")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn ucr_round_trip_preserves_data(d in dataset_strategy()) {
+        let mut buf = Vec::new();
+        ucr::write_tsv(&mut buf, &d).expect("write");
+        let d2 = ucr::parse_ucr(&buf[..]).expect("parse");
+        prop_assert_eq!(d.len(), d2.len());
+        // labels are re-densified but order-preserving
+        for i in 0..d.len() {
+            for j in 0..d.len() {
+                prop_assert_eq!(
+                    d.label(i).cmp(&d.label(j)),
+                    d2.label(i).cmp(&d2.label(j))
+                );
+            }
+            for (a, b) in d.series(i).values().iter().zip(d2.series(i).values()) {
+                prop_assert!((a - b).abs() <= 1e-9 * (1.0 + a.abs()));
+            }
+        }
+    }
+
+    #[test]
+    fn znormalize_produces_unit_moments(v in prop::collection::vec(-100.0f64..100.0, 2..64)) {
+        let z = ips_tsdata::znormalize(&v);
+        let n = z.len() as f64;
+        let mu = z.iter().sum::<f64>() / n;
+        let sd = (z.iter().map(|x| (x - mu) * (x - mu)).sum::<f64>() / n).sqrt();
+        prop_assert!(mu.abs() < 1e-9);
+        // constant inputs normalize to zeros (std 0), otherwise unit std
+        prop_assert!(sd < 1e-9 || (sd - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn concat_coords_round_trip(d in dataset_strategy()) {
+        for c in d.classes() {
+            let cc = d.concat_class(c);
+            prop_assert_eq!(
+                cc.len(),
+                d.class_indices(c).iter().map(|&i| d.series(i).len()).sum::<usize>()
+            );
+            for pos in 0..cc.len() {
+                let (inst, off) = cc.to_instance_coords(pos);
+                prop_assert_eq!(cc.values()[pos], d.series(inst).values()[off]);
+                prop_assert_eq!(d.label(inst), c);
+            }
+        }
+    }
+
+    #[test]
+    fn valid_starts_never_straddle(d in dataset_strategy(), len in 1usize..8) {
+        let cc: ClassConcat = d.concat_class(d.classes()[0]);
+        for s in cc.valid_starts(len) {
+            prop_assert!(cc.within_one_instance(s, len));
+            let (i1, _) = cc.to_instance_coords(s);
+            let (i2, _) = cc.to_instance_coords(s + len - 1);
+            prop_assert_eq!(i1, i2);
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Live anomaly monitoring with the streaming matrix profile (STAMPI-style
+//! incremental updates) — the matrix-profile substrate in an online
+//! setting: points arrive one at a time, the profile stays current, and a
+//! discord alarm fires when the live maximum jumps.
+//!
+//! ```sh
+//! cargo run --release --example streaming_monitor
+//! ```
+
+use ips::profile::{Metric, StreamingProfile};
+use ips::sparkline;
+
+fn main() {
+    let window = 24;
+    let mut monitor = StreamingProfile::new(window, Metric::ZNormEuclidean);
+
+    // simulated telemetry: daily cycle + drift, with a fault at t=700
+    let signal = |t: usize| -> f64 {
+        let x = t as f64;
+        let healthy = (x * 0.26).sin() + 0.3 * (x * 0.021).cos() + 0.0001 * x;
+        if (700..720).contains(&t) {
+            healthy + if t % 2 == 0 { 4.0 } else { -4.0 }
+        } else {
+            healthy
+        }
+    };
+
+    let mut alarm_at = None;
+    let mut threshold = f64::INFINITY;
+    for t in 0..1000 {
+        monitor.push(signal(t));
+        // calibrate the alarm threshold on the first healthy stretch
+        if t == 400 {
+            let max = monitor.discord().map(|(_, v)| v).unwrap_or(0.0);
+            threshold = max * 1.3;
+            println!("t={t}: calibrated alarm threshold = {threshold:.3}");
+        }
+        if t > 400 && alarm_at.is_none() {
+            if let Some((pos, v)) = monitor.discord() {
+                if v > threshold {
+                    alarm_at = Some((t, pos, v));
+                }
+            }
+        }
+    }
+
+    println!("\nstream:  {}", sparkline(&decimate(monitor.series(), 100)));
+    println!("profile: {}", sparkline(&decimate(monitor.values(), 100)));
+
+    match alarm_at {
+        Some((t, pos, v)) => {
+            println!("\nALARM at t={t}: discord window @ {pos} (value {v:.3})");
+            println!(
+                "fault was injected at t=700..720 -> {}",
+                if (676..=720).contains(&pos) { "correctly localized" } else { "mislocalized" }
+            );
+            assert!((676..=720).contains(&pos));
+        }
+        None => {
+            println!("\nno alarm fired (unexpected)");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn decimate(v: &[f64], points: usize) -> Vec<f64> {
+    let step = (v.len() / points).max(1);
+    v.chunks(step).map(|c| c.iter().copied().fold(f64::NEG_INFINITY, f64::max)).collect()
+}

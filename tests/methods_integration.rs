@@ -1,0 +1,71 @@
+//! Cross-crate integration tests of the comparator methods and the
+//! statistics stack working over real method outputs.
+
+use ips::baselines::{
+    BaseClassifier, BaseConfig, BspCoverClassifier, BspCoverConfig, FastShapeletsClassifier,
+    FastShapeletsConfig, LtsClassifier, LtsConfig,
+};
+use ips::classify::{OneNnDtw, OneNnEd};
+use ips::core::{IpsClassifier, IpsConfig};
+use ips::stats::{cd_diagram_text, friedman_test, CdDiagram};
+use ips::tsdata::registry;
+
+#[test]
+fn all_methods_run_on_one_dataset() {
+    let (train, test) = registry::load("ItalyPowerDemand").expect("registry dataset");
+    let accs = vec![
+        IpsClassifier::fit(&train, IpsConfig::default().with_sampling(6, 4))
+            .expect("ips")
+            .accuracy(&test),
+        BaseClassifier::fit(&train, BaseConfig::default()).accuracy(&test),
+        BspCoverClassifier::fit(&train, BspCoverConfig::default()).accuracy(&test),
+        FastShapeletsClassifier::fit(
+            &train,
+            FastShapeletsConfig { rounds: 5, ..Default::default() },
+        )
+        .accuracy(&test),
+        LtsClassifier::fit(&train, LtsConfig { epochs: 40, ..Default::default() })
+            .accuracy(&test),
+        OneNnEd::fit(&train).accuracy(&test),
+        OneNnDtw::fit(&train).accuracy(&test),
+    ];
+    for (i, a) in accs.iter().enumerate() {
+        assert!((0.0..=1.0).contains(a), "method {i}: {a}");
+        assert!(*a > 0.5, "method {i} below chance-ish: {a}");
+    }
+}
+
+#[test]
+fn stats_stack_runs_over_method_outputs() {
+    // accuracy matrix over 4 datasets × 3 methods, then Friedman + CD
+    let names = ["IPS", "BASE", "1NN-ED"];
+    let mut rows = Vec::new();
+    for ds in ["ItalyPowerDemand", "SonyAIBORobotSurface1", "TwoLeadECG", "MoteStrain"] {
+        let (train, test) = registry::load(ds).expect("registry dataset");
+        rows.push(vec![
+            IpsClassifier::fit(&train, IpsConfig::default().with_sampling(6, 4))
+                .expect("ips")
+                .accuracy(&test),
+            BaseClassifier::fit(&train, BaseConfig::default()).accuracy(&test),
+            OneNnEd::fit(&train).accuracy(&test),
+        ]);
+    }
+    let fr = friedman_test(&rows);
+    assert_eq!(fr.avg_ranks.len(), 3);
+    assert!((0.0..=1.0).contains(&fr.p_chi2));
+    let diagram = CdDiagram::from_scores(&names, &rows);
+    let text = cd_diagram_text(&diagram);
+    assert!(text.contains("IPS") && text.contains("CD ="));
+}
+
+#[test]
+fn bspcover_and_base_share_the_transform_contract() {
+    let (train, _) = registry::load("GunPoint").expect("registry dataset");
+    let base = BaseClassifier::fit(&train, BaseConfig { k: 2, ..Default::default() });
+    let bsp = BspCoverClassifier::fit(&train, BspCoverConfig { k: 2, ..Default::default() });
+    // both expose provenance-valid shapelets tagged with real classes
+    for s in base.shapelets().iter().chain(bsp.shapelets()) {
+        assert!(train.classes().contains(&s.class));
+        assert!(!s.values.is_empty());
+    }
+}

@@ -1,0 +1,80 @@
+//! Cross-crate integration tests: the full IPS pipeline driven through the
+//! facade crate, exercising tsdata → profile → lsh → filter → core →
+//! classify together.
+
+use ips::core::{IpsClassifier, IpsConfig, IpsDiscovery};
+use ips::prelude::*;
+use ips::profile::Metric;
+
+fn fast_cfg() -> IpsConfig {
+    IpsConfig::default().with_sampling(6, 4).with_k(3)
+}
+
+#[test]
+fn end_to_end_on_three_registry_datasets() {
+    for name in ["ItalyPowerDemand", "SonyAIBORobotSurface1", "TwoLeadECG"] {
+        let (train, test) = registry::load(name).expect("registry dataset");
+        let model = IpsClassifier::fit(&train, fast_cfg()).expect("fit succeeds");
+        let acc = model.accuracy(&test);
+        assert!(acc > 0.55, "{name}: accuracy {acc}");
+        // shapelets have valid provenance into the training set
+        for s in model.shapelets() {
+            let inst = train.series(s.source_instance);
+            assert_eq!(train.label(s.source_instance), s.class);
+            assert_eq!(s.values.as_slice(), inst.subsequence(s.source_offset, s.len()));
+        }
+    }
+}
+
+#[test]
+fn ips_beats_base_on_multimodal_classes() {
+    // the headline qualitative claim: diverse sampled candidates beat the
+    // baseline's concatenated-profile top-k under disjunctive classes.
+    // Full-strength config (the table6 harness setting), single seed.
+    let cfg = IpsConfig::default().with_sampling(20, 5);
+    let mut ips_wins = 0;
+    for name in ["ArrowHead", "SyntheticControl", "GunPoint", "TwoLeadECG", "MoteStrain"] {
+        let (train, test) = registry::load(name).expect("registry dataset");
+        let ips_acc =
+            IpsClassifier::fit(&train, cfg.clone()).expect("fit").accuracy(&test);
+        let base_acc = BaseClassifier::fit(&train, BaseConfig::default()).accuracy(&test);
+        if ips_acc > base_acc {
+            ips_wins += 1;
+        }
+    }
+    assert!(ips_wins >= 3, "IPS won only {ips_wins}/5 against BASE");
+}
+
+#[test]
+fn discovery_result_is_consistent_with_classifier() {
+    let (train, _) = registry::load("Coffee").expect("registry dataset");
+    let cfg = fast_cfg();
+    let direct = IpsDiscovery::new(cfg.clone()).discover(&train).expect("discover");
+    let model = IpsClassifier::fit(&train, cfg).expect("fit");
+    assert_eq!(direct.shapelets, model.discovery().shapelets);
+    assert_eq!(model.shapelets().len(), 2 * 3);
+}
+
+#[test]
+fn raw_metric_path_still_works_end_to_end() {
+    // the literal Definition-4 configuration remains a supported mode
+    let (train, test) = registry::load("ItalyPowerDemand").expect("registry dataset");
+    let mut cfg = fast_cfg();
+    cfg.metric = Metric::MeanSquared;
+    cfg.znorm_transform = false;
+    let model = IpsClassifier::fit(&train, cfg).expect("fit");
+    assert!(model.accuracy(&test) > 0.5);
+}
+
+#[test]
+fn transform_features_match_shapelet_distances() {
+    let (train, _) = registry::load("SonyAIBORobotSurface2").expect("registry dataset");
+    let model = IpsClassifier::fit(&train, fast_cfg()).expect("fit");
+    let t = model.transform();
+    let x = t.transform_one(train.series(0));
+    assert_eq!(x.len(), t.dim());
+    for (f, s) in x.iter().zip(t.shapelets()) {
+        let d = s.distance_to(train.series(0).values(), true);
+        assert!((f - d).abs() < 1e-12);
+    }
+}

@@ -17,6 +17,12 @@
 
 use ips_classify::svm::SvmParams;
 use ips_classify::{LinearSvm, Shapelet, ShapeletTransform};
+use ips_core::candidates::{Candidate, CandidateKind, CandidatePool};
+use ips_core::engine::{
+    CandidateSource, Engine, ExecContext, NoopPruner, ScoreRankSelector, StageObserver,
+    WorkerPool,
+};
+use ips_core::pipeline::PipelineError;
 use ips_profile::{MatrixProfile, Metric};
 use ips_tsdata::{Dataset, TimeSeries};
 
@@ -37,6 +43,9 @@ pub struct BaseConfig {
     pub mask_boundaries: bool,
     /// Seed for the SVM head.
     pub seed: u64,
+    /// Worker threads for class-parallel profile computation (`0` =
+    /// available parallelism; results are identical at any count).
+    pub num_threads: usize,
 }
 
 impl Default for BaseConfig {
@@ -48,35 +57,41 @@ impl Default for BaseConfig {
             znorm_transform: true,
             mask_boundaries: false,
             seed: 0xBA5E,
+            num_threads: 1,
         }
     }
 }
 
-/// Discovers BASE shapelets: per class, the top-k largest-diff windows
-/// over the length grid (Formula 4 extended to top-k).
-pub fn discover_base_shapelets(train: &Dataset, config: &BaseConfig) -> Vec<Shapelet> {
-    let classes = train.classes();
-    let concats: Vec<(u32, ips_tsdata::ClassConcat)> =
-        classes.iter().map(|&c| (c, train.concat_class(c))).collect();
-    let n = train.min_length();
-    let mut lengths: Vec<usize> = config
-        .length_ratios
-        .iter()
-        .map(|r| ((r * n as f64).round() as usize).clamp(3, n.max(3)))
-        .filter(|&l| l <= n)
-        .collect();
-    lengths.sort_unstable();
-    lengths.dedup();
+/// BASE's matrix-profile scoring as an engine [`CandidateSource`]: per
+/// class and length, the top-k windows by Formula 4's diff become
+/// candidates (`ip_value` = diff). Emitting only the per-length top-k is
+/// lossless — the global per-class top-k is a subset of the union, and
+/// the stable per-length ordering preserves the global tie-break (length
+/// ascending, then window index) that a full sort would produce.
+pub struct BaseSource {
+    config: BaseConfig,
+}
 
-    let mut shapelets = Vec::new();
-    for (c, concat) in &concats {
-        // (diff, start, len) for every valid window of T_C
-        let mut scored: Vec<(f64, usize, usize)> = Vec::new();
-        for &len in &lengths {
+impl BaseSource {
+    /// A source for one configuration.
+    pub fn new(config: BaseConfig) -> Self {
+        Self { config }
+    }
+
+    fn class_candidates(
+        &self,
+        concats: &[(u32, ips_tsdata::ClassConcat)],
+        lengths: &[usize],
+        class_idx: usize,
+    ) -> Vec<Candidate> {
+        let config = &self.config;
+        let (c, concat) = &concats[class_idx];
+        let mut out = Vec::new();
+        for &len in lengths {
             let p_self = MatrixProfile::self_join(concat.values(), len, config.metric);
             // nearest other-class distance per window: min over AB-joins
             let mut p_other = vec![f64::INFINITY; p_self.len()];
-            for (c2, concat2) in &concats {
+            for (c2, concat2) in concats {
                 if c2 == c {
                     continue;
                 }
@@ -88,35 +103,105 @@ pub fn discover_base_shapelets(train: &Dataset, config: &BaseConfig) -> Vec<Shap
                     }
                 }
             }
+            // (diff, start) for every valid window at this length
+            let mut scored: Vec<(f64, usize)> = Vec::new();
             for (i, (&other, &own)) in p_other.iter().zip(p_self.values()).enumerate() {
                 if config.mask_boundaries && !concat.within_one_instance(i, len) {
                     continue; // concatenation artifact
                 }
                 if other.is_finite() && own.is_finite() {
-                    scored.push((other - own, i, len));
+                    scored.push((other - own, i));
                 }
             }
+            scored.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite diffs"));
+            for &(diff, start) in scored.iter().take(config.k) {
+                // Provenance maps cleanly only for non-straddling windows;
+                // a straddling pick (possible when masking is off) is
+                // flagged with `usize::MAX` and the concat offset.
+                let (inst, offset) = if concat.within_one_instance(start, len) {
+                    concat.to_instance_coords(start)
+                } else {
+                    (usize::MAX, start)
+                };
+                out.push(Candidate {
+                    values: concat.values()[start..start + len].to_vec(),
+                    class: *c,
+                    kind: CandidateKind::Motif,
+                    ip_value: diff,
+                    source_instance: inst,
+                    source_offset: offset,
+                    embedded: Vec::new(),
+                });
+            }
         }
-        scored.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite diffs"));
-        for &(diff, start, len) in scored.iter().take(config.k) {
-            // Provenance maps cleanly only for non-straddling windows; a
-            // straddling pick (possible when masking is off) is flagged
-            // with `usize::MAX` and the concat offset.
-            let (inst, offset) = if concat.within_one_instance(start, len) {
-                concat.to_instance_coords(start)
-            } else {
-                (usize::MAX, start)
-            };
-            shapelets.push(Shapelet {
-                values: concat.values()[start..start + len].to_vec(),
-                class: *c,
-                source_instance: inst,
-                source_offset: offset,
-                score: diff,
-            });
-        }
+        out
     }
-    shapelets
+}
+
+impl CandidateSource for BaseSource {
+    fn generate(&self, train: &Dataset, ctx: &mut ExecContext) -> CandidatePool {
+        let classes = train.classes();
+        let concats: Vec<(u32, ips_tsdata::ClassConcat)> =
+            classes.iter().map(|&c| (c, train.concat_class(c))).collect();
+        let n = train.min_length();
+        let mut lengths: Vec<usize> = self
+            .config
+            .length_ratios
+            .iter()
+            .map(|r| ((r * n as f64).round() as usize).clamp(3, n.max(3)))
+            .filter(|&l| l <= n)
+            .collect();
+        lengths.sort_unstable();
+        lengths.dedup();
+
+        // Per-class profiles are independent — compute in parallel, merge
+        // in class order.
+        let per_class = ctx
+            .workers()
+            .run(concats.len(), |i| self.class_candidates(&concats, &lengths, i));
+        let mut pool = CandidatePool::default();
+        for cands in per_class {
+            for c in cands {
+                pool.push(c);
+            }
+        }
+        pool
+    }
+}
+
+fn base_engine(config: &BaseConfig) -> Engine {
+    Engine::new(
+        Box::new(BaseSource::new(config.clone())),
+        Box::new(NoopPruner),
+        Box::new(ScoreRankSelector { k: config.k }),
+    )
+    .with_workers(WorkerPool::new(config.num_threads))
+}
+
+/// Discovers BASE shapelets: per class, the top-k largest-diff windows
+/// over the length grid (Formula 4 extended to top-k). Runs through the
+/// staged engine (BASE has no pruning phase, so the pipeline is source →
+/// rank selection); degenerate inputs yield an empty vector.
+pub fn discover_base_shapelets(train: &Dataset, config: &BaseConfig) -> Vec<Shapelet> {
+    match base_engine(config).run(train) {
+        Ok(result) => result.shapelets,
+        Err(PipelineError::NoCandidates) => Vec::new(),
+        Err(e) => unreachable!("BASE engine raised {e} on a plain training set"),
+    }
+}
+
+/// [`discover_base_shapelets`] with per-stage telemetry reported to
+/// `observer`.
+pub fn discover_base_shapelets_observed(
+    train: &Dataset,
+    config: &BaseConfig,
+    observer: &mut dyn StageObserver,
+) -> Vec<Shapelet> {
+    match base_engine(config).run_with_observer(train, observer) {
+        Ok(result) => result.shapelets,
+        Err(PipelineError::NoCandidates) => Vec::new(),
+        Err(e) => unreachable!("BASE engine raised {e} on a plain training set"),
+    }
 }
 
 /// The full BASE classifier: Formula-4 shapelets → shapelet transform →
@@ -215,6 +300,32 @@ mod tests {
             let inst = train.series(sh.source_instance);
             assert_eq!(sh.values, inst.subsequence(sh.source_offset, sh.len()));
         }
+    }
+
+    #[test]
+    fn parallel_discovery_is_bit_identical() {
+        let (train, _) = registry::load("CBF").unwrap();
+        let seq = discover_base_shapelets(&train, &cfg(3));
+        for threads in [2, 0] {
+            let par_cfg = BaseConfig { num_threads: threads, ..cfg(3) };
+            assert_eq!(seq, discover_base_shapelets(&train, &par_cfg), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn observer_reports_engine_stages() {
+        use ips_core::engine::{CollectingObserver, Stage};
+        let (train, _) = registry::load("ItalyPowerDemand").unwrap();
+        let mut obs = CollectingObserver::default();
+        let s = discover_base_shapelets_observed(&train, &cfg(3), &mut obs);
+        assert_eq!(s.len(), 6);
+        let stages: Vec<Stage> = obs.reports.iter().map(|r| r.stage).collect();
+        assert_eq!(stages, Stage::ALL.to_vec());
+        let gen = &obs.reports[0];
+        assert!(gen.counters.candidates_out > 0);
+        let topk = obs.reports.last().unwrap();
+        assert_eq!(topk.counters.candidates_out, 6);
+        assert!(topk.counters.utility_evals > 0);
     }
 
     #[test]

@@ -14,8 +14,14 @@
 
 use ips_classify::svm::SvmParams;
 use ips_classify::{LinearSvm, Shapelet, ShapeletTransform};
+use ips_core::candidates::{Candidate, CandidateKind, CandidatePool};
+use ips_core::engine::{
+    CandidateSource, Engine, ExecContext, NoopPruner, Selection, Selector, StageObserver,
+    WorkerPool,
+};
+use ips_core::pipeline::PipelineError;
 use ips_distance::{sliding_min_dist, sliding_min_dist_znorm};
-use ips_filter::BloomFilter;
+use ips_filter::{BloomFilter, Dabf};
 use ips_lsh::{embed, Lsh, LshKind, LshParams};
 use ips_tsdata::{Dataset, TimeSeries};
 
@@ -44,6 +50,9 @@ pub struct BspCoverConfig {
     pub znorm: bool,
     /// Seed (projections + SVM).
     pub seed: u64,
+    /// Worker threads for class-parallel coverage scoring (`0` =
+    /// available parallelism; results are identical at any count).
+    pub num_threads: usize,
 }
 
 impl Default for BspCoverConfig {
@@ -57,82 +66,128 @@ impl Default for BspCoverConfig {
             max_candidates: 12_000,
             znorm: true,
             seed: 0xB59C,
+            num_threads: 1,
         }
     }
 }
 
-/// Discovers shapelets with the BSPCOVER-style pipeline.
-pub fn discover_bspcover_shapelets(train: &Dataset, config: &BspCoverConfig) -> Vec<Shapelet> {
-    let n = train.min_length();
-    let mut lengths: Vec<usize> = config
-        .length_ratios
-        .iter()
-        .map(|r| ((r * n as f64).round() as usize).clamp(3, n.max(3)))
-        .filter(|&l| l <= n)
-        .collect();
-    lengths.sort_unstable();
-    lengths.dedup();
+/// BSPCOVER's stages 1–2 as an engine [`CandidateSource`]: dense
+/// enumeration with bloom-filter bit-string dedup, thinned evenly to the
+/// candidate cap **globally** (before the per-class split, preserving the
+/// cap's original semantics).
+pub struct BspCoverSource {
+    config: BspCoverConfig,
+}
 
-    // Stage 1+2: dense enumeration with bloom-filter bit-string dedup.
-    let embed_dim = 32;
-    let lsh = Lsh::new(LshParams {
-        kind: LshKind::Cosine,
-        dim: embed_dim,
-        num_hashes: config.signature_bits,
-        seed: config.seed,
-        ..Default::default()
-    });
-    let mut bloom = BloomFilter::with_rate(train.len() * n * lengths.len() / 2 + 64, 0.001);
-    // (instance, offset, len)
-    let mut candidates: Vec<(usize, usize, usize)> = Vec::new();
-    for (i, series) in train.all_series().iter().enumerate() {
-        for &len in &lengths {
-            let stride = ((config.stride_fraction * len as f64) as usize).max(1);
-            let mut start = 0;
-            while start + len <= series.len() {
-                let sub = series.subsequence(start, len);
-                let sig = lsh.signature(&embed(sub, embed_dim));
-                if !bloom.contains(&sig.0) {
-                    bloom.insert(&sig.0);
-                    candidates.push((i, start, len));
+impl BspCoverSource {
+    /// A source for one configuration.
+    pub fn new(config: BspCoverConfig) -> Self {
+        Self { config }
+    }
+}
+
+impl CandidateSource for BspCoverSource {
+    fn generate(&self, train: &Dataset, _ctx: &mut ExecContext) -> CandidatePool {
+        let config = &self.config;
+        let n = train.min_length();
+        let mut lengths: Vec<usize> = config
+            .length_ratios
+            .iter()
+            .map(|r| ((r * n as f64).round() as usize).clamp(3, n.max(3)))
+            .filter(|&l| l <= n)
+            .collect();
+        lengths.sort_unstable();
+        lengths.dedup();
+
+        let embed_dim = 32;
+        let lsh = Lsh::new(LshParams {
+            kind: LshKind::Cosine,
+            dim: embed_dim,
+            num_hashes: config.signature_bits,
+            seed: config.seed,
+            ..Default::default()
+        });
+        let mut bloom = BloomFilter::with_rate(train.len() * n * lengths.len() / 2 + 64, 0.001);
+        // (instance, offset, len) — enumeration is inherently sequential:
+        // the bloom filter's dedup decisions depend on insertion order.
+        let mut candidates: Vec<(usize, usize, usize)> = Vec::new();
+        for (i, series) in train.all_series().iter().enumerate() {
+            for &len in &lengths {
+                let stride = ((config.stride_fraction * len as f64) as usize).max(1);
+                let mut start = 0;
+                while start + len <= series.len() {
+                    let sub = series.subsequence(start, len);
+                    let sig = lsh.signature(&embed(sub, embed_dim));
+                    if !bloom.contains(&sig.0) {
+                        bloom.insert(&sig.0);
+                        candidates.push((i, start, len));
+                    }
+                    start += stride;
                 }
-                start += stride;
             }
         }
-    }
 
-    // Thin evenly to the candidate cap (deterministic).
-    if config.max_candidates > 0 && candidates.len() > config.max_candidates {
-        let step = candidates.len() as f64 / config.max_candidates as f64;
-        candidates = (0..config.max_candidates)
-            .map(|i| candidates[(i as f64 * step) as usize])
-            .collect();
-    }
-
-    // Stage 3: per-candidate cover sets over the training instances.
-    let dist = |q: &[f64], t: &[f64]| {
-        if config.znorm {
-            sliding_min_dist_znorm(q, t).0
-        } else {
-            sliding_min_dist(q, t).0
+        // Thin evenly to the candidate cap (deterministic).
+        if config.max_candidates > 0 && candidates.len() > config.max_candidates {
+            let step = candidates.len() as f64 / config.max_candidates as f64;
+            candidates = (0..config.max_candidates)
+                .map(|i| candidates[(i as f64 * step) as usize])
+                .collect();
         }
-    };
-    let classes = train.classes();
-    let mut shapelets = Vec::new();
-    for &class in &classes {
+
+        let mut pool = CandidatePool::default();
+        for (inst, off, len) in candidates {
+            pool.push(Candidate {
+                values: train.series(inst).subsequence(off, len).to_vec(),
+                class: train.label(inst),
+                kind: CandidateKind::Motif,
+                ip_value: 0.0,
+                source_instance: inst,
+                source_offset: off,
+                embedded: Vec::new(),
+            });
+        }
+        pool
+    }
+}
+
+/// BSPCOVER's stages 3–4 as an engine [`Selector`]: per-candidate cover
+/// sets over the training instances, then greedy maximal coverage per
+/// class. Classes are independent, so coverage scoring runs on the
+/// context's worker pool; picks merge in class order.
+pub struct CoverageSelector {
+    config: BspCoverConfig,
+}
+
+impl CoverageSelector {
+    /// A selector for one configuration.
+    pub fn new(config: BspCoverConfig) -> Self {
+        Self { config }
+    }
+
+    fn select_class(
+        &self,
+        pool: &CandidatePool,
+        train: &Dataset,
+        class: u32,
+    ) -> (Vec<Shapelet>, usize) {
+        let config = &self.config;
+        let dist = |q: &[f64], t: &[f64]| {
+            if config.znorm {
+                sliding_min_dist_znorm(q, t).0
+            } else {
+                sliding_min_dist(q, t).0
+            }
+        };
         let own: Vec<usize> = train.class_indices(class);
         let others: Vec<usize> =
             (0..train.len()).filter(|&i| train.label(i) != class).collect();
-        // candidate indices from this class
-        let class_cands: Vec<usize> = (0..candidates.len())
-            .filter(|&ci| train.label(candidates[ci].0) == class)
-            .collect();
+        let class_cands = pool.of_class(class);
         // distances and per-candidate threshold = midpoint of the two
         // class-conditional means (the separating margin of the cover).
         let mut covers: Vec<(usize, Vec<usize>, Vec<usize>, f64)> = Vec::new();
-        for &ci in &class_cands {
-            let (inst, off, len) = candidates[ci];
-            let q = train.series(inst).subsequence(off, len);
+        for (ci, cand) in class_cands.iter().enumerate() {
+            let q = &cand.values;
             let own_d: Vec<f64> =
                 own.iter().map(|&i| dist(q, train.series(i).values())).collect();
             let other_d: Vec<f64> =
@@ -154,9 +209,10 @@ pub fn discover_bspcover_shapelets(train: &Dataset, config: &BspCoverConfig) -> 
             let margin = mean(&other_d) - mean(&own_d);
             covers.push((ci, covered_own, covered_other, margin));
         }
+        let evals = class_cands.len() * (own.len() + others.len());
 
-        // Stage 4: greedy maximal coverage of own-class instances,
-        // penalizing other-class coverage; margin breaks ties.
+        // Greedy maximal coverage of own-class instances, penalizing
+        // other-class coverage; margin breaks ties.
         let mut uncovered: Vec<usize> = own.clone();
         let mut picked: Vec<usize> = Vec::new();
         for _ in 0..config.k {
@@ -175,19 +231,79 @@ pub fn discover_bspcover_shapelets(train: &Dataset, config: &BspCoverConfig) -> 
             let covered = &covers.iter().find(|(c, ..)| *c == ci).expect("picked").1;
             uncovered.retain(|i| !covered.contains(i));
         }
-        for ci in picked {
-            let (inst, off, len) = candidates[ci];
-            let (_, _, _, margin) = covers.iter().find(|(c, ..)| *c == ci).expect("cover");
-            shapelets.push(Shapelet {
-                values: train.series(inst).subsequence(off, len).to_vec(),
-                class,
-                source_instance: inst,
-                source_offset: off,
-                score: *margin,
-            });
-        }
+        let shapelets = picked
+            .into_iter()
+            .map(|ci| {
+                let cand = &class_cands[ci];
+                let (_, _, _, margin) =
+                    covers.iter().find(|(c, ..)| *c == ci).expect("cover");
+                Shapelet {
+                    values: cand.values.clone(),
+                    class,
+                    source_instance: cand.source_instance,
+                    source_offset: cand.source_offset,
+                    score: *margin,
+                }
+            })
+            .collect();
+        (shapelets, evals)
     }
-    shapelets
+}
+
+impl Selector for CoverageSelector {
+    fn select(
+        &self,
+        pool: &CandidatePool,
+        train: &Dataset,
+        _dabf: Option<&Dabf>,
+        ctx: &mut ExecContext,
+    ) -> Selection {
+        let classes = train.classes();
+        let per_class = ctx
+            .workers()
+            .run(classes.len(), |i| self.select_class(pool, train, classes[i]));
+        let mut shapelets = Vec::new();
+        let mut utility_evals = 0;
+        for (class_shapelets, evals) in per_class {
+            shapelets.extend(class_shapelets);
+            utility_evals += evals;
+        }
+        Selection { shapelets, utility_evals }
+    }
+}
+
+fn bspcover_engine(config: &BspCoverConfig) -> Engine {
+    Engine::new(
+        Box::new(BspCoverSource::new(config.clone())),
+        Box::new(NoopPruner),
+        Box::new(CoverageSelector::new(config.clone())),
+    )
+    .with_workers(WorkerPool::new(config.num_threads))
+}
+
+/// Discovers shapelets with the BSPCOVER-style pipeline, run through the
+/// staged engine (dense enumeration → no pruning phase → coverage
+/// selection); degenerate inputs yield an empty vector.
+pub fn discover_bspcover_shapelets(train: &Dataset, config: &BspCoverConfig) -> Vec<Shapelet> {
+    match bspcover_engine(config).run(train) {
+        Ok(result) => result.shapelets,
+        Err(PipelineError::NoCandidates) => Vec::new(),
+        Err(e) => unreachable!("BSPCOVER engine raised {e} on a plain training set"),
+    }
+}
+
+/// [`discover_bspcover_shapelets`] with per-stage telemetry reported to
+/// `observer`.
+pub fn discover_bspcover_shapelets_observed(
+    train: &Dataset,
+    config: &BspCoverConfig,
+    observer: &mut dyn StageObserver,
+) -> Vec<Shapelet> {
+    match bspcover_engine(config).run_with_observer(train, observer) {
+        Ok(result) => result.shapelets,
+        Err(PipelineError::NoCandidates) => Vec::new(),
+        Err(e) => unreachable!("BSPCOVER engine raised {e} on a plain training set"),
+    }
 }
 
 /// The BSPCOVER-style classifier: coverage shapelets → transform → SVM.
@@ -268,6 +384,32 @@ mod tests {
         let model = BspCoverClassifier::fit(&train, cfg(5));
         let acc = model.accuracy(&test);
         assert!(acc > 0.6, "acc {acc}");
+    }
+
+    #[test]
+    fn parallel_coverage_is_bit_identical() {
+        let (train, _) = registry::load("ItalyPowerDemand").unwrap();
+        let seq = discover_bspcover_shapelets(&train, &cfg(3));
+        for threads in [2, 0] {
+            let par_cfg = BspCoverConfig { num_threads: threads, ..cfg(3) };
+            assert_eq!(
+                seq,
+                discover_bspcover_shapelets(&train, &par_cfg),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn observer_reports_engine_stages() {
+        use ips_core::engine::{CollectingObserver, Stage};
+        let (train, _) = registry::load("ItalyPowerDemand").unwrap();
+        let mut obs = CollectingObserver::default();
+        let s = discover_bspcover_shapelets_observed(&train, &cfg(3), &mut obs);
+        assert!(!s.is_empty());
+        let stages: Vec<Stage> = obs.reports.iter().map(|r| r.stage).collect();
+        assert_eq!(stages, Stage::ALL.to_vec());
+        assert!(obs.reports.last().unwrap().counters.utility_evals > 0);
     }
 
     #[test]

@@ -26,8 +26,14 @@ pub mod lts;
 pub mod sd;
 pub mod st;
 
-pub use base::{discover_base_shapelets, BaseClassifier, BaseConfig};
-pub use bspcover::{discover_bspcover_shapelets, BspCoverClassifier, BspCoverConfig};
+pub use base::{
+    discover_base_shapelets, discover_base_shapelets_observed, BaseClassifier, BaseConfig,
+    BaseSource,
+};
+pub use bspcover::{
+    discover_bspcover_shapelets, discover_bspcover_shapelets_observed, BspCoverClassifier,
+    BspCoverConfig, BspCoverSource, CoverageSelector,
+};
 pub use fast_shapelets::{discover_fs_shapelets, FastShapeletsClassifier, FastShapeletsConfig};
 pub use lts::{LtsClassifier, LtsConfig};
 pub use sd::{discover_sd_shapelets, SdClassifier, SdConfig};

@@ -1,21 +1,38 @@
-//! Table V — runtime breakdown of the three IPS stages on four datasets:
+//! Table V — runtime breakdown of the IPS stages on four datasets:
 //! candidate generation, pruning with vs without the DABF, and top-k
 //! selection with vs without the DT+CR optimizations.
+//!
+//! Since the staged-engine refactor every run reports one uniform
+//! telemetry surface ([`RunReport`]): per-stage wall-clock *and* work
+//! counters (candidates in/out, DABF probes, utility evaluations), for
+//! IPS and the engine-hosted baselines alike.
 //!
 //! ```sh
 //! cargo run -p ips-bench --release --bin table5
 //! ```
 
-use std::time::Instant;
-
+use ips_baselines::{
+    discover_base_shapelets_observed, discover_bspcover_shapelets_observed, BaseConfig,
+    BspCoverConfig,
+};
 use ips_bench::ips_config;
-use ips_core::topk::{select_top_k, TopKStrategy};
-use ips_core::{build_dabf, generate_candidates, prune_naive, prune_with_dabf};
+use ips_core::{CollectingObserver, IpsConfig, IpsDiscovery, RunReport, Stage};
 use ips_tsdata::registry;
+
+/// Runs discovery under `cfg` and returns the engine's stage report.
+fn run_ips(train: &ips_tsdata::Dataset, cfg: IpsConfig) -> RunReport {
+    IpsDiscovery::new(cfg).discover(train).expect("discovery succeeds").report
+}
+
+fn ms(report: &RunReport, stage: Stage) -> f64 {
+    report.elapsed(stage).as_secs_f64() * 1e3
+}
 
 fn main() {
     let datasets = ["ArrowHead", "Computers", "ShapeletSim", "UWaveGestureLibraryY"];
-    println!("Table V: stage runtimes (s) on four datasets\n");
+
+    // --- the paper's ablation: each optimization on vs off ------------
+    println!("Table V: IPS stage runtimes (ms) on four datasets\n");
     println!(
         "{:<24} {:>10} {:>13} {:>11} {:>13} {:>10}",
         "dataset", "cand gen", "prune naive", "prune DABF", "topk exact", "topk DT+CR"
@@ -24,36 +41,43 @@ fn main() {
         let (train, _) = registry::load(name).expect("registry dataset");
         let cfg = ips_config();
 
-        let t = Instant::now();
-        let pool = generate_candidates(&train, &cfg);
-        let t_gen = t.elapsed().as_secs_f64();
-
-        // pruning without DABF (naive quadratic reference)
-        let mut pool_naive = pool.clone();
-        let t = Instant::now();
-        prune_naive(&mut pool_naive, &cfg);
-        let t_naive = t.elapsed().as_secs_f64();
-
-        // pruning with DABF (construction + query)
-        let mut pool_dabf = pool.clone();
-        let t = Instant::now();
-        let dabf = build_dabf(&pool_dabf, &cfg);
-        prune_with_dabf(&mut pool_dabf, &dabf);
-        let t_dabf = t.elapsed().as_secs_f64();
-
-        // top-k on the DABF-pruned pool, both strategies
-        let t = Instant::now();
-        let s1 = select_top_k(&pool_dabf, &train, Some(&dabf), &cfg, TopKStrategy::Exact);
-        let t_exact = t.elapsed().as_secs_f64();
-        let t = Instant::now();
-        let s2 = select_top_k(&pool_dabf, &train, Some(&dabf), &cfg, TopKStrategy::DtCr);
-        let t_dtcr = t.elapsed().as_secs_f64();
-        assert_eq!(s1.len(), s2.len());
+        // full pipeline: DABF pruning + DT+CR selection
+        let full = run_ips(&train, cfg.clone());
+        // DABF off → naive pruning (selection falls back to exact)
+        let mut naive_cfg = cfg.clone();
+        naive_cfg.use_dabf = false;
+        let naive = run_ips(&train, naive_cfg);
+        // DT+CR off, DABF on → exact selection over the same pruned pool
+        let mut exact_cfg = cfg.clone();
+        exact_cfg.use_dt_cr = false;
+        let exact = run_ips(&train, exact_cfg);
 
         println!(
-            "{name:<24} {t_gen:>10.3} {t_naive:>13.3} {t_dabf:>11.3} {t_exact:>13.3} {t_dtcr:>10.3}"
+            "{name:<24} {:>10.3} {:>13.3} {:>11.3} {:>13.3} {:>10.3}",
+            ms(&full, Stage::CandidateGen),
+            ms(&naive, Stage::Pruning),
+            ms(&full, Stage::DabfBuild) + ms(&full, Stage::Pruning),
+            ms(&exact, Stage::TopK),
+            ms(&full, Stage::TopK),
         );
     }
     println!("\nshape check (paper Table V): DABF pruning and DT+CR each save >=50% of");
     println!("their stage; candidate generation is a minor share of the total.");
+
+    // --- cross-method telemetry: one surface for all engines ----------
+    println!("\nPer-stage telemetry (time + work counters), ArrowHead:\n");
+    let (train, _) = registry::load("ArrowHead").expect("registry dataset");
+
+    println!("IPS (DABF + DT+CR):");
+    println!("{}", run_ips(&train, ips_config()).render_table());
+
+    let mut obs = CollectingObserver::default();
+    discover_base_shapelets_observed(&train, &BaseConfig::default(), &mut obs);
+    println!("BASE (concatenated-profile top-k):");
+    println!("{}", RunReport::from_reports(obs.reports).render_table());
+
+    let mut obs = CollectingObserver::default();
+    discover_bspcover_shapelets_observed(&train, &BspCoverConfig::default(), &mut obs);
+    println!("BSPCOVER (dense enumeration + coverage):");
+    println!("{}", RunReport::from_reports(obs.reports).render_table());
 }

@@ -48,6 +48,12 @@ pub struct IpsConfig {
     pub diversity: f64,
     /// Master RNG seed (sampling, SVM shuffling).
     pub seed: u64,
+    /// Worker threads for the discovery engine (`0` = available
+    /// parallelism). Results are bit-identical at any thread count —
+    /// candidate generation derives its RNG per class, and pruning /
+    /// scoring parallelize over pure per-class units — so this is purely
+    /// a throughput knob. Default `1` (sequential).
+    pub num_threads: usize,
 }
 
 impl Default for IpsConfig {
@@ -65,6 +71,7 @@ impl Default for IpsConfig {
             znorm_transform: true,
             diversity: 0.0,
             seed: 0xD15C0,
+            num_threads: 1,
         }
     }
 }
@@ -115,6 +122,13 @@ impl IpsConfig {
         self.seed = seed;
         self
     }
+
+    /// Builder-style override of the worker-thread count (`0` = available
+    /// parallelism).
+    pub fn with_threads(mut self, num_threads: usize) -> Self {
+        self.num_threads = num_threads;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -144,10 +158,16 @@ mod tests {
 
     #[test]
     fn builders_apply() {
-        let c = IpsConfig::default().with_k(7).with_sampling(3, 2).with_seed(1);
+        let c = IpsConfig::default().with_k(7).with_sampling(3, 2).with_seed(1).with_threads(4);
         assert_eq!(c.k, 7);
         assert_eq!((c.num_samples, c.sample_size), (3, 2));
         assert_eq!(c.seed, 1);
+        assert_eq!(c.num_threads, 4);
         assert!(c.embed_dim() > 0);
+    }
+
+    #[test]
+    fn default_is_sequential() {
+        assert_eq!(IpsConfig::default().num_threads, 1);
     }
 }

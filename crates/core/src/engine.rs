@@ -1,0 +1,792 @@
+//! The staged discovery engine — a trait-based decomposition of the
+//! pipeline into its three stages plus a shared execution context.
+//!
+//! The monolithic `discover()` of earlier revisions interleaved timing,
+//! counting, and the actual algorithms; baselines (`ips-baselines`)
+//! re-implemented the same generate → prune → select skeleton with
+//! bespoke loops and no telemetry. This module factors the skeleton out:
+//!
+//! - [`CandidateSource`] — stage 1, Algorithm 1 (or a baseline's
+//!   enumeration strategy): produce the candidate pool.
+//! - [`Pruner`] — stages 2–3, Algorithms 2 & 3 (DABF build + pruning),
+//!   or [`NoopPruner`] for methods without a pruning phase.
+//! - [`Selector`] — stage 4, Algorithm 4 (utility scoring + top-k), or a
+//!   simpler ranking rule.
+//!
+//! An [`Engine`] composes one implementation of each and drives them with
+//! a shared [`ExecContext`] that carries a [`WorkerPool`] (deterministic
+//! class-parallel execution), reusable [`Scratch`] buffers, and the
+//! telemetry sink: every stage emits a [`StageReport`] (wall-clock plus
+//! [`StageCounters`]) into a [`RunReport`], and an optional
+//! [`StageObserver`] sees each report the moment the stage finishes.
+//!
+//! Parallelism never changes results: candidate generation derives its
+//! RNG per class, and pruning survivors / utility scores are pure
+//! per-class functions of the immutable pool and filters, so per-class
+//! tasks commute. The engine computes per-class results in parallel and
+//! applies them sequentially in class order — bit-identical to the
+//! sequential path at any thread count (enforced by the
+//! `engine_equivalence` test suite).
+
+use std::time::{Duration, Instant};
+
+use ips_classify::Shapelet;
+use ips_filter::Dabf;
+use ips_tsdata::Dataset;
+
+use crate::candidates::CandidatePool;
+use crate::config::IpsConfig;
+use crate::pipeline::{DiscoveryResult, PipelineError, StageTimings};
+use crate::pruning::{
+    apply_survivors, build_dabf, dabf_survivors, naive_filters, naive_survivors,
+};
+use crate::topk::{select_class_from_scores, TopKStrategy};
+use crate::utility::score_class;
+
+// ---------------------------------------------------------------------------
+// Telemetry: stages, counters, reports, observers
+// ---------------------------------------------------------------------------
+
+/// The four pipeline stages, in execution order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Algorithm 1 — candidate generation.
+    CandidateGen,
+    /// Algorithm 2 — DABF construction (absent or zero-length for
+    /// pruner implementations that build no filter).
+    DabfBuild,
+    /// Algorithm 3 — candidate pruning.
+    Pruning,
+    /// Algorithm 4 — utility scoring and top-k selection.
+    TopK,
+}
+
+impl Stage {
+    /// Human-readable stage name (used in bench tables).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Stage::CandidateGen => "candidate_gen",
+            Stage::DabfBuild => "dabf_build",
+            Stage::Pruning => "pruning",
+            Stage::TopK => "top_k",
+        }
+    }
+
+    /// All stages, in order.
+    pub const ALL: [Stage; 4] =
+        [Stage::CandidateGen, Stage::DabfBuild, Stage::Pruning, Stage::TopK];
+}
+
+/// Work counters attached to a stage report. Only the counters that make
+/// sense for a stage are non-zero; the rest stay at their defaults.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageCounters {
+    /// Candidates entering the stage.
+    pub candidates_in: usize,
+    /// Candidates leaving the stage (for [`Stage::TopK`]: shapelets).
+    pub candidates_out: usize,
+    /// Per-class filter membership queries issued (pruning stages).
+    pub dabf_probes: usize,
+    /// Utility evaluations: distance computations or rank/abs-dev queries
+    /// (selection stages).
+    pub utility_evals: usize,
+}
+
+impl StageCounters {
+    /// Component-wise sum.
+    pub fn merge(self, other: StageCounters) -> StageCounters {
+        StageCounters {
+            candidates_in: self.candidates_in + other.candidates_in,
+            candidates_out: self.candidates_out + other.candidates_out,
+            dabf_probes: self.dabf_probes + other.dabf_probes,
+            utility_evals: self.utility_evals + other.utility_evals,
+        }
+    }
+}
+
+/// One finished stage: what ran, for how long, and how much work it did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageReport {
+    /// Which stage this report describes.
+    pub stage: Stage,
+    /// Wall-clock time of the stage.
+    pub elapsed: Duration,
+    /// Work counters.
+    pub counters: StageCounters,
+}
+
+/// Hook invoked as each stage completes — the replacement for ad-hoc
+/// `Instant::now()` bracketing in benches and callers. Implementations
+/// must not assume all four stages fire (a pruner may skip
+/// [`Stage::DabfBuild`]).
+pub trait StageObserver {
+    /// Called once per completed stage, in execution order.
+    fn on_stage(&mut self, report: &StageReport);
+}
+
+/// A [`StageObserver`] that collects reports into a vector — convenient
+/// for tests and benches.
+#[derive(Debug, Default)]
+pub struct CollectingObserver {
+    /// The reports observed so far, in arrival order.
+    pub reports: Vec<StageReport>,
+}
+
+impl StageObserver for CollectingObserver {
+    fn on_stage(&mut self, report: &StageReport) {
+        self.reports.push(*report);
+    }
+}
+
+/// The full telemetry of one engine run: every stage report, in order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RunReport {
+    stages: Vec<StageReport>,
+}
+
+impl RunReport {
+    /// Assembles a report from externally collected stage reports (e.g. a
+    /// [`CollectingObserver`] attached to an engine without keeping the
+    /// [`DiscoveryResult`]).
+    pub fn from_reports(stages: Vec<StageReport>) -> Self {
+        Self { stages }
+    }
+
+    /// All stage reports, in execution order.
+    pub fn stages(&self) -> &[StageReport] {
+        &self.stages
+    }
+
+    /// The report of one stage, if it ran.
+    pub fn stage(&self, stage: Stage) -> Option<&StageReport> {
+        self.stages.iter().find(|r| r.stage == stage)
+    }
+
+    /// Elapsed time of one stage (zero when it did not run).
+    pub fn elapsed(&self, stage: Stage) -> Duration {
+        self.stage(stage).map(|r| r.elapsed).unwrap_or(Duration::ZERO)
+    }
+
+    /// Total wall-clock across all stages.
+    pub fn total(&self) -> Duration {
+        self.stages.iter().map(|r| r.elapsed).sum()
+    }
+
+    /// Counters summed over all stages.
+    pub fn counters(&self) -> StageCounters {
+        self.stages.iter().fold(StageCounters::default(), |acc, r| acc.merge(r.counters))
+    }
+
+    /// The legacy fixed-field timing view (Table V's breakdown).
+    pub fn timings(&self) -> StageTimings {
+        StageTimings {
+            candidate_gen: self.elapsed(Stage::CandidateGen),
+            dabf_build: self.elapsed(Stage::DabfBuild),
+            pruning: self.elapsed(Stage::Pruning),
+            top_k: self.elapsed(Stage::TopK),
+        }
+    }
+
+    /// Renders a fixed-width per-stage table (used by the bench bins).
+    pub fn render_table(&self) -> String {
+        let mut out = String::from(
+            "stage           time_ms      in     out  probes   evals\n",
+        );
+        for r in &self.stages {
+            out.push_str(&format!(
+                "{:<14} {:>8.2} {:>7} {:>7} {:>7} {:>7}\n",
+                r.stage.name(),
+                r.elapsed.as_secs_f64() * 1e3,
+                r.counters.candidates_in,
+                r.counters.candidates_out,
+                r.counters.dabf_probes,
+                r.counters.utility_evals,
+            ));
+        }
+        out.push_str(&format!(
+            "{:<14} {:>8.2}\n",
+            "total",
+            self.total().as_secs_f64() * 1e3
+        ));
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Execution context: worker pool + scratch + telemetry sink
+// ---------------------------------------------------------------------------
+
+/// A lightweight handle describing how many worker threads stage
+/// implementations may use. Threads are spawned scoped per [`run`] call
+/// (`std::thread::scope`), so the pool itself holds no OS resources and
+/// is freely copyable.
+///
+/// [`run`]: WorkerPool::run
+#[derive(Debug, Clone, Copy)]
+pub struct WorkerPool {
+    threads: usize,
+}
+
+impl WorkerPool {
+    /// A pool with `num_threads` workers; `0` resolves to the machine's
+    /// available parallelism.
+    pub fn new(num_threads: usize) -> Self {
+        let threads = if num_threads == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            num_threads
+        };
+        Self { threads }
+    }
+
+    /// The resolved worker count (always ≥ 1).
+    pub fn threads(&self) -> usize {
+        self.threads.max(1)
+    }
+
+    /// Evaluates `f(0), …, f(n-1)` and returns the results in index
+    /// order. With more than one worker the tasks run on scoped threads,
+    /// each writing into its own disjoint chunk of the result vector —
+    /// no shared mutex, no ordering dependence on the scheduler.
+    pub fn run<T, F>(&self, n: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        if n == 0 {
+            return Vec::new();
+        }
+        let threads = self.threads().min(n);
+        if threads <= 1 {
+            return (0..n).map(f).collect();
+        }
+        let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        let chunk = n.div_ceil(threads);
+        std::thread::scope(|scope| {
+            for (t, slice) in slots.chunks_mut(chunk).enumerate() {
+                let f = &f;
+                scope.spawn(move || {
+                    for (j, slot) in slice.iter_mut().enumerate() {
+                        *slot = Some(f(t * chunk + j));
+                    }
+                });
+            }
+        });
+        slots.into_iter().map(|s| s.expect("every index evaluated")).collect()
+    }
+}
+
+/// Reusable scratch buffers for distance computations, shared across
+/// stages of one run so the sequential scoring path allocates its
+/// accumulator once instead of once per class.
+#[derive(Debug, Default)]
+pub struct Scratch {
+    f64_bufs: Vec<Vec<f64>>,
+}
+
+impl Scratch {
+    /// Takes a cleared `f64` buffer (recycled if one is available).
+    pub fn take_f64(&mut self) -> Vec<f64> {
+        let mut buf = self.f64_bufs.pop().unwrap_or_default();
+        buf.clear();
+        buf
+    }
+
+    /// Returns a buffer for reuse.
+    pub fn recycle_f64(&mut self, buf: Vec<f64>) {
+        self.f64_bufs.push(buf);
+    }
+}
+
+/// Per-run execution state handed to every stage: worker pool, scratch
+/// buffers, and the telemetry sink.
+pub struct ExecContext<'o> {
+    workers: WorkerPool,
+    scratch: Scratch,
+    report: RunReport,
+    observer: Option<&'o mut dyn StageObserver>,
+}
+
+impl<'o> ExecContext<'o> {
+    /// A context running on `workers` with no observer attached.
+    pub fn new(workers: WorkerPool) -> Self {
+        Self { workers, scratch: Scratch::default(), report: RunReport::default(), observer: None }
+    }
+
+    /// Attaches a [`StageObserver`] that sees each stage as it finishes.
+    pub fn with_observer(mut self, observer: &'o mut dyn StageObserver) -> Self {
+        self.observer = Some(observer);
+        self
+    }
+
+    /// The worker pool (copy; stages may call [`WorkerPool::run`]).
+    pub fn workers(&self) -> WorkerPool {
+        self.workers
+    }
+
+    /// The shared scratch buffers.
+    pub fn scratch(&mut self) -> &mut Scratch {
+        &mut self.scratch
+    }
+
+    /// Records a finished stage and forwards it to the observer.
+    pub fn record(&mut self, stage: Stage, elapsed: Duration, counters: StageCounters) {
+        let report = StageReport { stage, elapsed, counters };
+        if let Some(obs) = self.observer.as_deref_mut() {
+            obs.on_stage(&report);
+        }
+        self.report.stages.push(report);
+    }
+
+    /// Consumes the context, yielding the accumulated telemetry.
+    pub fn into_report(self) -> RunReport {
+        self.report
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Stage traits
+// ---------------------------------------------------------------------------
+
+/// Stage 1: produce the candidate pool. Implementations own their
+/// configuration, so methods with different parameter sets (IPS,
+/// baselines) fit the same trait.
+pub trait CandidateSource: Send + Sync {
+    /// Generates the pool from the training set.
+    fn generate(&self, train: &Dataset, ctx: &mut ExecContext) -> CandidatePool;
+}
+
+/// Outcome of the pruning stage.
+pub struct PruneOutcome {
+    /// Candidates removed.
+    pub pruned: usize,
+    /// The filter, when one was built (needed by DT selection).
+    pub dabf: Option<Dabf>,
+    /// Time spent building the filter (reported as [`Stage::DabfBuild`];
+    /// zero when no filter is built).
+    pub dabf_build: Duration,
+    /// Filter membership queries issued.
+    pub probes: usize,
+}
+
+/// Stages 2–3: build the filter (if any) and prune the pool in place.
+pub trait Pruner: Send + Sync {
+    /// Prunes `pool`, returning what was removed and what was built.
+    fn prune(&self, pool: &mut CandidatePool, ctx: &mut ExecContext) -> PruneOutcome;
+}
+
+/// Outcome of the selection stage.
+pub struct Selection {
+    /// Selected shapelets, grouped per class, best-first within a class.
+    pub shapelets: Vec<Shapelet>,
+    /// Utility evaluations performed.
+    pub utility_evals: usize,
+}
+
+/// Stage 4: score the surviving candidates and select the shapelets.
+pub trait Selector: Send + Sync {
+    /// Selects shapelets from the pruned pool.
+    fn select(
+        &self,
+        pool: &CandidatePool,
+        train: &Dataset,
+        dabf: Option<&Dabf>,
+        ctx: &mut ExecContext,
+    ) -> Selection;
+}
+
+// ---------------------------------------------------------------------------
+// The engine
+// ---------------------------------------------------------------------------
+
+/// A composed discovery pipeline: one [`CandidateSource`], one
+/// [`Pruner`], one [`Selector`], driven stage by stage with uniform
+/// timing and counting.
+pub struct Engine {
+    source: Box<dyn CandidateSource>,
+    pruner: Box<dyn Pruner>,
+    selector: Box<dyn Selector>,
+    workers: WorkerPool,
+}
+
+impl Engine {
+    /// Composes an engine from explicit stages.
+    pub fn new(
+        source: Box<dyn CandidateSource>,
+        pruner: Box<dyn Pruner>,
+        selector: Box<dyn Selector>,
+    ) -> Self {
+        Self { source, pruner, selector, workers: WorkerPool::new(1) }
+    }
+
+    /// The standard IPS composition for a configuration: profile-based
+    /// generation, DABF (or naive) pruning, utility selection, with the
+    /// worker pool sized by `config.num_threads`.
+    pub fn from_config(config: &IpsConfig) -> Self {
+        let pruner: Box<dyn Pruner> = if config.use_dabf {
+            Box::new(DabfPruner::new(config.clone()))
+        } else {
+            Box::new(NaivePruner::new(config.clone()))
+        };
+        Self {
+            source: Box::new(ProfileCandidateSource::new(config.clone())),
+            pruner,
+            selector: Box::new(UtilitySelector::new(config.clone())),
+            workers: WorkerPool::new(config.num_threads),
+        }
+    }
+
+    /// Overrides the worker pool.
+    pub fn with_workers(mut self, workers: WorkerPool) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Runs the staged pipeline.
+    pub fn run(&self, train: &Dataset) -> Result<DiscoveryResult, PipelineError> {
+        let mut ctx = ExecContext::new(self.workers);
+        self.run_in(train, &mut ctx)
+    }
+
+    /// Runs the staged pipeline, reporting each stage to `observer` as it
+    /// completes.
+    pub fn run_with_observer(
+        &self,
+        train: &Dataset,
+        observer: &mut dyn StageObserver,
+    ) -> Result<DiscoveryResult, PipelineError> {
+        let mut ctx = ExecContext::new(self.workers).with_observer(observer);
+        self.run_in(train, &mut ctx)
+    }
+
+    fn run_in(
+        &self,
+        train: &Dataset,
+        ctx: &mut ExecContext,
+    ) -> Result<DiscoveryResult, PipelineError> {
+        // Stage 1: candidate generation.
+        let t0 = Instant::now();
+        let mut pool = self.source.generate(train, ctx);
+        let generated = pool.len();
+        ctx.record(
+            Stage::CandidateGen,
+            t0.elapsed(),
+            StageCounters { candidates_out: generated, ..Default::default() },
+        );
+        if pool.is_empty() {
+            return Err(PipelineError::NoCandidates);
+        }
+
+        // Stages 2–3: filter construction + pruning. The pruner reports
+        // one combined wall-clock; the engine splits out the build time
+        // it declares so DabfBuild and Pruning stay separately visible.
+        let t1 = Instant::now();
+        let outcome = self.pruner.prune(&mut pool, ctx);
+        let prune_total = t1.elapsed();
+        ctx.record(Stage::DabfBuild, outcome.dabf_build, StageCounters::default());
+        ctx.record(
+            Stage::Pruning,
+            prune_total.saturating_sub(outcome.dabf_build),
+            StageCounters {
+                candidates_in: generated,
+                candidates_out: pool.len(),
+                dabf_probes: outcome.probes,
+                ..Default::default()
+            },
+        );
+
+        // Stage 4: selection.
+        let t2 = Instant::now();
+        let survivors = pool.len();
+        let selection = self.selector.select(&pool, train, outcome.dabf.as_ref(), ctx);
+        ctx.record(
+            Stage::TopK,
+            t2.elapsed(),
+            StageCounters {
+                candidates_in: survivors,
+                candidates_out: selection.shapelets.len(),
+                utility_evals: selection.utility_evals,
+                ..Default::default()
+            },
+        );
+        if selection.shapelets.is_empty() {
+            return Err(PipelineError::NoCandidates);
+        }
+
+        let report = std::mem::take(&mut ctx.report);
+        Ok(DiscoveryResult {
+            shapelets: selection.shapelets,
+            timings: report.timings(),
+            candidates_generated: generated,
+            candidates_pruned: outcome.pruned,
+            report,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Default IPS stage implementations
+// ---------------------------------------------------------------------------
+
+/// Algorithm 1 as a [`CandidateSource`]: class-parallel instance-profile
+/// sampling. Bit-identical at any worker count because each class derives
+/// its own RNG stream from `(seed, class)`.
+pub struct ProfileCandidateSource {
+    config: IpsConfig,
+}
+
+impl ProfileCandidateSource {
+    /// A source for one configuration.
+    pub fn new(config: IpsConfig) -> Self {
+        Self { config }
+    }
+}
+
+impl CandidateSource for ProfileCandidateSource {
+    fn generate(&self, train: &Dataset, ctx: &mut ExecContext) -> CandidatePool {
+        crate::parallel::generate_with_pool(train, &self.config, ctx.workers())
+    }
+}
+
+/// Algorithms 2 & 3 as a [`Pruner`]: build the DABF, then prune
+/// class-parallel. Survivor flags are a pure function of the immutable
+/// filter and each class's own candidate list, so the parallel flags are
+/// identical to the sequential ones; applying them in class order makes
+/// the whole stage bit-identical.
+pub struct DabfPruner {
+    config: IpsConfig,
+}
+
+impl DabfPruner {
+    /// A pruner for one configuration.
+    pub fn new(config: IpsConfig) -> Self {
+        Self { config }
+    }
+}
+
+impl Pruner for DabfPruner {
+    fn prune(&self, pool: &mut CandidatePool, ctx: &mut ExecContext) -> PruneOutcome {
+        let t = Instant::now();
+        let dabf = build_dabf(pool, &self.config);
+        let dabf_build = t.elapsed();
+        let classes = pool.classes();
+        let per_class = ctx
+            .workers()
+            .run(classes.len(), |i| dabf_survivors(&*pool, &dabf, classes[i]));
+        let mut pruned = 0;
+        let mut probes = 0;
+        for (&class, (survivors, class_probes)) in classes.iter().zip(per_class) {
+            probes += class_probes;
+            pruned += apply_survivors(pool, class, &survivors);
+        }
+        PruneOutcome { pruned, dabf: Some(dabf), dabf_build, probes }
+    }
+}
+
+/// The quadratic reference pruner (Fig. 10a's "no DABF" ablation) behind
+/// the same trait: naive per-class filters, class-parallel queries.
+pub struct NaivePruner {
+    config: IpsConfig,
+}
+
+impl NaivePruner {
+    /// A pruner for one configuration.
+    pub fn new(config: IpsConfig) -> Self {
+        Self { config }
+    }
+}
+
+impl Pruner for NaivePruner {
+    fn prune(&self, pool: &mut CandidatePool, ctx: &mut ExecContext) -> PruneOutcome {
+        let filters = naive_filters(pool, &self.config);
+        let classes = pool.classes();
+        let per_class = ctx
+            .workers()
+            .run(classes.len(), |i| naive_survivors(&*pool, &filters, classes[i]));
+        let mut pruned = 0;
+        let mut probes = 0;
+        for (&class, (survivors, class_probes)) in classes.iter().zip(per_class) {
+            probes += class_probes;
+            pruned += apply_survivors(pool, class, &survivors);
+        }
+        PruneOutcome { pruned, dabf: None, dabf_build: Duration::ZERO, probes }
+    }
+}
+
+/// A pass-through pruner for methods without a pruning phase (several
+/// baselines). Reports zero work.
+pub struct NoopPruner;
+
+impl Pruner for NoopPruner {
+    fn prune(&self, _pool: &mut CandidatePool, _ctx: &mut ExecContext) -> PruneOutcome {
+        PruneOutcome { pruned: 0, dabf: None, dabf_build: Duration::ZERO, probes: 0 }
+    }
+}
+
+/// Algorithm 4 as a [`Selector`]: per-class utility scoring (exact or
+/// DT+CR) followed by the diversity-guarded priority-queue poll. Scores
+/// are a pure per-class function of the pool, so scoring runs
+/// class-parallel; the poll applies sequentially in class order.
+pub struct UtilitySelector {
+    config: IpsConfig,
+}
+
+impl UtilitySelector {
+    /// A selector for one configuration.
+    pub fn new(config: IpsConfig) -> Self {
+        Self { config }
+    }
+}
+
+impl Selector for UtilitySelector {
+    fn select(
+        &self,
+        pool: &CandidatePool,
+        train: &Dataset,
+        dabf: Option<&Dabf>,
+        ctx: &mut ExecContext,
+    ) -> Selection {
+        // DT requires a DABF; fall back to exact scoring when pruning ran
+        // without one, even if DT+CR was requested.
+        let strategy = match (self.config.use_dt_cr, dabf) {
+            (true, Some(_)) => TopKStrategy::DtCr,
+            _ => TopKStrategy::Exact,
+        };
+        let classes = pool.classes();
+        let workers = ctx.workers();
+        let scored: Vec<(Vec<f64>, usize)> = if workers.threads() <= 1 {
+            // Sequential path: reuse one scratch accumulator across all
+            // classes instead of reallocating per class.
+            let mut buf = ctx.scratch().take_f64();
+            let out = classes
+                .iter()
+                .map(|&c| score_class(pool, train, dabf, &self.config, c, strategy, &mut buf))
+                .collect();
+            ctx.scratch().recycle_f64(buf);
+            out
+        } else {
+            workers.run(classes.len(), |i| {
+                let mut buf = Vec::new();
+                score_class(pool, train, dabf, &self.config, classes[i], strategy, &mut buf)
+            })
+        };
+        let mut shapelets = Vec::new();
+        let mut utility_evals = 0;
+        for (&class, (scores, evals)) in classes.iter().zip(scored) {
+            utility_evals += evals;
+            select_class_from_scores(pool, class, &scores, &self.config, &mut shapelets);
+        }
+        Selection { shapelets, utility_evals }
+    }
+}
+
+/// A generic rank-based selector: per class, the `k` candidates with the
+/// highest `ip_value` (stable on ties), mapped directly to shapelets.
+/// Used by baselines whose candidate score is computed at generation
+/// time.
+pub struct ScoreRankSelector {
+    /// Shapelets per class.
+    pub k: usize,
+}
+
+impl Selector for ScoreRankSelector {
+    fn select(
+        &self,
+        pool: &CandidatePool,
+        _train: &Dataset,
+        _dabf: Option<&Dabf>,
+        _ctx: &mut ExecContext,
+    ) -> Selection {
+        let mut shapelets = Vec::new();
+        let mut utility_evals = 0;
+        for class in pool.classes() {
+            let cands = pool.of_class(class);
+            utility_evals += cands.len();
+            let mut order: Vec<usize> = (0..cands.len()).collect();
+            order.sort_by(|&a, &b| {
+                cands[b].ip_value.partial_cmp(&cands[a].ip_value).expect("finite scores")
+            });
+            for &i in order.iter().take(self.k) {
+                let c = &cands[i];
+                shapelets.push(Shapelet {
+                    values: c.values.clone(),
+                    class,
+                    source_instance: c.source_instance,
+                    source_offset: c.source_offset,
+                    score: c.ip_value,
+                });
+            }
+        }
+        Selection { shapelets, utility_evals }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worker_pool_preserves_index_order() {
+        for threads in [1, 2, 3, 8, 0] {
+            let pool = WorkerPool::new(threads);
+            let out = pool.run(10, |i| i * i);
+            assert_eq!(out, (0..10).map(|i| i * i).collect::<Vec<_>>(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn worker_pool_handles_empty_and_tiny_inputs() {
+        let pool = WorkerPool::new(4);
+        assert!(pool.run(0, |i| i).is_empty());
+        assert_eq!(pool.run(1, |i| i + 1), vec![1]);
+        assert!(WorkerPool::new(0).threads() >= 1);
+    }
+
+    #[test]
+    fn scratch_recycles_buffers() {
+        let mut s = Scratch::default();
+        let mut b = s.take_f64();
+        b.extend([1.0, 2.0]);
+        s.recycle_f64(b);
+        let b2 = s.take_f64();
+        assert!(b2.is_empty(), "recycled buffer must come back cleared");
+        assert!(b2.capacity() >= 2, "capacity should be retained");
+    }
+
+    #[test]
+    fn run_report_sums_and_indexes_stages() {
+        let mut ctx = ExecContext::new(WorkerPool::new(1));
+        ctx.record(
+            Stage::CandidateGen,
+            Duration::from_millis(3),
+            StageCounters { candidates_out: 10, ..Default::default() },
+        );
+        ctx.record(
+            Stage::Pruning,
+            Duration::from_millis(2),
+            StageCounters { candidates_in: 10, candidates_out: 7, dabf_probes: 5, ..Default::default() },
+        );
+        let report = ctx.into_report();
+        assert_eq!(report.total(), Duration::from_millis(5));
+        assert_eq!(report.stage(Stage::Pruning).unwrap().counters.dabf_probes, 5);
+        assert!(report.stage(Stage::TopK).is_none());
+        assert_eq!(report.elapsed(Stage::TopK), Duration::ZERO);
+        assert_eq!(report.counters().candidates_out, 17);
+        let table = report.render_table();
+        assert!(table.contains("candidate_gen"));
+        assert!(table.contains("pruning"));
+    }
+
+    #[test]
+    fn observer_sees_stages_in_order() {
+        let mut obs = CollectingObserver::default();
+        let mut ctx = ExecContext::new(WorkerPool::new(1)).with_observer(&mut obs);
+        ctx.record(Stage::CandidateGen, Duration::ZERO, StageCounters::default());
+        ctx.record(Stage::TopK, Duration::ZERO, StageCounters::default());
+        drop(ctx);
+        assert_eq!(
+            obs.reports.iter().map(|r| r.stage).collect::<Vec<_>>(),
+            vec![Stage::CandidateGen, Stage::TopK]
+        );
+    }
+}

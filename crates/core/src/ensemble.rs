@@ -14,6 +14,7 @@ use ips_classify::{OneNnDtw, OneNnEd};
 use ips_tsdata::{Dataset, TimeSeries};
 
 use crate::config::IpsConfig;
+use crate::engine::{RunReport, WorkerPool};
 use crate::pipeline::{IpsClassifier, PipelineError};
 
 /// Configuration of the ensemble.
@@ -77,22 +78,26 @@ impl CoteIpsEnsemble {
         }
         let folds = config.cv_folds.max(2);
 
-        // CV weights per member kind
-        let w_ips = cross_val_accuracy(train, folds, |tr, te| {
-            match IpsClassifier::fit(tr, config.ips.clone()) {
-                Ok(m) => m.predict_all(te),
-                Err(_) => vec![tr.label(0); te.len()],
-            }
+        // CV weights per member kind. Each weight is an independent,
+        // deterministic computation, so the four run on the engine's
+        // worker pool; `run` returns them in member order.
+        let weights = WorkerPool::new(config.ips.num_threads).run(4, |member| match member {
+            0 => cross_val_accuracy(train, folds, |tr, te| {
+                match IpsClassifier::fit(tr, config.ips.clone()) {
+                    Ok(m) => m.predict_all(te),
+                    Err(_) => vec![tr.label(0); te.len()],
+                }
+            }),
+            1 => cross_val_accuracy(train, folds, |tr, te| OneNnEd::fit(tr).predict_all(te)),
+            2 => cross_val_accuracy(train, folds, |tr, te| OneNnDtw::fit(tr).predict_all(te)),
+            _ => cross_val_accuracy(train, folds, |tr, te| {
+                let x: Vec<Vec<f64>> =
+                    tr.all_series().iter().map(|s| s.values().to_vec()).collect();
+                let f = RotationForest::fit(&x, tr.labels(), config.forest);
+                te.all_series().iter().map(|s| f.predict(s.values())).collect()
+            }),
         });
-        let w_ed = cross_val_accuracy(train, folds, |tr, te| OneNnEd::fit(tr).predict_all(te));
-        let w_dtw =
-            cross_val_accuracy(train, folds, |tr, te| OneNnDtw::fit(tr).predict_all(te));
-        let w_rotf = cross_val_accuracy(train, folds, |tr, te| {
-            let x: Vec<Vec<f64>> =
-                tr.all_series().iter().map(|s| s.values().to_vec()).collect();
-            let f = RotationForest::fit(&x, tr.labels(), config.forest);
-            te.all_series().iter().map(|s| f.predict(s.values())).collect()
-        });
+        let (w_ips, w_ed, w_dtw, w_rotf) = (weights[0], weights[1], weights[2], weights[3]);
 
         // final members trained on everything
         let ips = IpsClassifier::fit(train, config.ips.clone())?;
@@ -134,6 +139,14 @@ impl CoteIpsEnsemble {
     pub fn member_weights(&self) -> Vec<(&'static str, f64)> {
         self.members.iter().map(|(m, w)| (m.name(), *w)).collect()
     }
+
+    /// The IPS member's discovery telemetry.
+    pub fn ips_report(&self) -> Option<&RunReport> {
+        self.members.iter().find_map(|(m, _)| match m {
+            Member::Ips(c) => Some(&c.discovery().report),
+            _ => None,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -158,6 +171,18 @@ mod tests {
         let weights = e.member_weights();
         assert_eq!(weights.len(), 4);
         assert!(weights.iter().all(|(_, w)| (0.0..=1.0).contains(w)));
+        let report = e.ips_report().expect("IPS member carries telemetry");
+        assert!(!report.stages().is_empty());
+    }
+
+    #[test]
+    fn parallel_cv_weights_match_sequential() {
+        let (train, _) = registry::load("ItalyPowerDemand").unwrap();
+        let seq = CoteIpsEnsemble::fit(&train, config()).unwrap();
+        let mut par_cfg = config();
+        par_cfg.ips.num_threads = 4;
+        let par = CoteIpsEnsemble::fit(&train, par_cfg).unwrap();
+        assert_eq!(seq.member_weights(), par.member_weights());
     }
 
     #[test]

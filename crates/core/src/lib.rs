@@ -32,6 +32,7 @@
 
 pub mod candidates;
 pub mod config;
+pub mod engine;
 pub mod ensemble;
 pub mod explain;
 pub mod multivariate;
@@ -43,9 +44,13 @@ pub mod utility;
 
 pub use candidates::{generate_candidates, Candidate, CandidateKind, CandidatePool};
 pub use config::IpsConfig;
+pub use engine::{
+    CandidateSource, CollectingObserver, Engine, ExecContext, Pruner, RunReport, Selection,
+    Selector, Stage, StageCounters, StageObserver, StageReport, WorkerPool,
+};
 pub use ensemble::{CoteIpsEnsemble, EnsembleConfig};
 pub use explain::{explain_prediction, explanation_text, Explanation, MatchExplanation};
 pub use multivariate::{MultivariateDataset, MultivariateIps};
-pub use pipeline::{DiscoveryResult, IpsClassifier, IpsDiscovery, StageTimings};
+pub use pipeline::{DiscoveryResult, DiscoveryStats, IpsClassifier, IpsDiscovery, StageTimings};
 pub use pruning::{build_dabf, prune_with_dabf, prune_naive};
 pub use topk::{select_top_k, TopKStrategy};

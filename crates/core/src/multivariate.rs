@@ -8,6 +8,7 @@ use ips_classify::{LinearSvm, ShapeletTransform};
 use ips_tsdata::{Dataset, TimeSeries};
 
 use crate::config::IpsConfig;
+use crate::engine::{RunReport, WorkerPool};
 use crate::pipeline::{IpsDiscovery, PipelineError};
 
 /// A multivariate dataset: one aligned [`Dataset`] per dimension, sharing
@@ -69,21 +70,36 @@ impl MultivariateDataset {
 pub struct MultivariateIps {
     transforms: Vec<ShapeletTransform>,
     svm: LinearSvm,
+    reports: Vec<RunReport>,
 }
 
 impl MultivariateIps {
     /// Fits the model. Per-dimension seeds are derived from the base
-    /// config seed so dimensions explore independent samples.
+    /// config seed so dimensions explore independent samples, which also
+    /// makes per-dimension discovery embarrassingly parallel: dimensions
+    /// run on the engine's worker pool, results merge in dimension order.
     pub fn fit(train: &MultivariateDataset, config: IpsConfig) -> Result<Self, PipelineError> {
-        let mut transforms = Vec::with_capacity(train.num_dims());
-        let mut feature_blocks: Vec<Vec<Vec<f64>>> = Vec::with_capacity(train.num_dims());
-        for d in 0..train.num_dims() {
-            let cfg = config.clone().with_seed(config.seed.wrapping_add(d as u64 * 7919));
+        // Dimensions share the pool with each dimension's own stages, so
+        // discovery itself runs sequentially within a dimension task.
+        let per_dim = WorkerPool::new(config.num_threads).run(train.num_dims(), |d| {
+            let cfg = config
+                .clone()
+                .with_seed(config.seed.wrapping_add(d as u64 * 7919))
+                .with_threads(1);
             let znorm = cfg.znorm_transform;
             let result = IpsDiscovery::new(cfg).discover(train.dim(d))?;
             let t = ShapeletTransform::new(result.shapelets, znorm);
-            feature_blocks.push(t.transform(train.dim(d)));
+            let features = t.transform(train.dim(d));
+            Ok((t, features, result.report))
+        });
+        let mut transforms = Vec::with_capacity(train.num_dims());
+        let mut feature_blocks: Vec<Vec<Vec<f64>>> = Vec::with_capacity(train.num_dims());
+        let mut reports = Vec::with_capacity(train.num_dims());
+        for r in per_dim {
+            let (t, features, report) = r?;
+            feature_blocks.push(features);
             transforms.push(t);
+            reports.push(report);
         }
         let features = concat_blocks(&feature_blocks);
         let svm = LinearSvm::fit(
@@ -91,7 +107,12 @@ impl MultivariateIps {
             train.labels(),
             SvmParams { seed: config.seed, ..SvmParams::default() },
         );
-        Ok(Self { transforms, svm })
+        Ok(Self { transforms, svm, reports })
+    }
+
+    /// Per-dimension discovery telemetry, in dimension order.
+    pub fn reports(&self) -> &[RunReport] {
+        &self.reports
     }
 
     /// Predicts one multivariate instance (`series[d]` is dimension `d`).
@@ -158,6 +179,19 @@ mod tests {
         assert_eq!(model.feature_dim(), 2 * 2 * 2); // dims × classes × k
         let acc = model.accuracy(&test);
         assert!(acc > 0.6, "accuracy {acc}");
+        assert_eq!(model.reports().len(), 2);
+        assert!(model.reports().iter().all(|r| !r.stages().is_empty()));
+    }
+
+    #[test]
+    fn parallel_dimensions_match_sequential() {
+        let (train, test) = mv(7, 8);
+        let cfg = IpsConfig::default().with_sampling(4, 3).with_k(2);
+        let seq = MultivariateIps::fit(&train, cfg.clone()).unwrap();
+        let par = MultivariateIps::fit(&train, cfg.with_threads(0)).unwrap();
+        let seq_preds: Vec<u32> = (0..test.len()).map(|i| seq.predict(&test.instance(i))).collect();
+        let par_preds: Vec<u32> = (0..test.len()).map(|i| par.predict(&test.instance(i))).collect();
+        assert_eq!(seq_preds, par_preds);
     }
 
     #[test]

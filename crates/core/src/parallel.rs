@@ -1,15 +1,18 @@
 //! Multi-threaded candidate generation — the "distributed IPS" direction
 //! named as future work in the paper's conclusion, realized here as
-//! class-parallel generation with crossbeam scoped threads.
+//! class-parallel generation on the engine's [`WorkerPool`].
 //!
 //! Because [`crate::candidates::generate_for_class`] derives its RNG from
 //! `(seed, class)`, the parallel pool is **bit-identical** to the
-//! sequential one regardless of thread interleaving.
+//! sequential one regardless of thread interleaving: each worker writes
+//! into its own disjoint result slot ([`WorkerPool::run`] preserves index
+//! order), and the per-class batches merge in class order.
 
 use ips_tsdata::Dataset;
 
-use crate::candidates::{generate_for_class, Candidate, CandidatePool};
+use crate::candidates::{generate_for_class, CandidatePool};
 use crate::config::IpsConfig;
+use crate::engine::WorkerPool;
 
 /// Parallel Algorithm 1: one task per class, executed on up to
 /// `num_threads` worker threads (clamped to the class count; `0` means
@@ -19,39 +22,18 @@ pub fn generate_candidates_parallel(
     config: &IpsConfig,
     num_threads: usize,
 ) -> CandidatePool {
+    generate_with_pool(train, config, WorkerPool::new(num_threads))
+}
+
+/// [`generate_candidates_parallel`] against an existing pool handle (the
+/// engine's candidate-source entry point).
+pub(crate) fn generate_with_pool(
+    train: &Dataset,
+    config: &IpsConfig,
+    workers: WorkerPool,
+) -> CandidatePool {
     let classes = train.classes();
-    let threads = if num_threads == 0 {
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
-    } else {
-        num_threads
-    }
-    .min(classes.len().max(1));
-
-    let mut per_class: Vec<Vec<Candidate>> = Vec::with_capacity(classes.len());
-    if threads <= 1 {
-        for &c in &classes {
-            per_class.push(generate_for_class(train, c, config));
-        }
-    } else {
-        let mut slots: Vec<Option<Vec<Candidate>>> = vec![None; classes.len()];
-        let next = std::sync::atomic::AtomicUsize::new(0);
-        let slots_mutex = std::sync::Mutex::new(&mut slots);
-        crossbeam::thread::scope(|scope| {
-            for _ in 0..threads {
-                scope.spawn(|_| loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if i >= classes.len() {
-                        break;
-                    }
-                    let result = generate_for_class(train, classes[i], config);
-                    slots_mutex.lock().expect("no poisoned workers")[i] = Some(result);
-                });
-            }
-        })
-        .expect("worker panicked");
-        per_class = slots.into_iter().map(|s| s.expect("every class processed")).collect();
-    }
-
+    let per_class = workers.run(classes.len(), |i| generate_for_class(train, classes[i], config));
     let mut pool = CandidatePool::default();
     for cands in per_class {
         for c in cands {

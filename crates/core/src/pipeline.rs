@@ -2,16 +2,14 @@
 //! shapelet-transform + linear-SVM classifier of Section III-E.
 
 use std::fmt;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use ips_classify::svm::SvmParams;
 use ips_classify::{LinearSvm, Shapelet, ShapeletTransform};
 use ips_tsdata::{Dataset, TimeSeries};
 
-use crate::candidates::generate_candidates;
 use crate::config::IpsConfig;
-use crate::pruning::{build_dabf, prune_naive, prune_with_dabf};
-use crate::topk::{select_top_k, TopKStrategy};
+use crate::engine::{Engine, RunReport, StageObserver};
 
 /// Pipeline failure modes.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -62,12 +60,15 @@ impl StageTimings {
 pub struct DiscoveryResult {
     /// The selected shapelets (`k` per class, best-first within a class).
     pub shapelets: Vec<Shapelet>,
-    /// Per-stage wall-clock timings.
+    /// Per-stage wall-clock timings (the fixed-field view of `report`,
+    /// kept for callers that only need Table V's breakdown).
     pub timings: StageTimings,
     /// Candidates produced by Algorithm 1.
     pub candidates_generated: usize,
     /// Candidates removed by pruning.
     pub candidates_pruned: usize,
+    /// Full per-stage telemetry (timings plus work counters).
+    pub report: RunReport,
 }
 
 /// Shapelet discovery (Algorithms 1–4) without the classification head.
@@ -87,50 +88,36 @@ impl IpsDiscovery {
         &self.config
     }
 
-    /// Runs the full discovery pipeline on a training set.
+    /// Runs the full discovery pipeline on a training set — a thin
+    /// composition over the staged [`Engine`] (see [`crate::engine`]).
     pub fn discover(&self, train: &Dataset) -> Result<DiscoveryResult, PipelineError> {
-        let cfg = &self.config;
-
-        let t0 = Instant::now();
-        let mut pool = generate_candidates(train, cfg);
-        let candidate_gen = t0.elapsed();
-        if pool.is_empty() {
-            return Err(PipelineError::NoCandidates);
-        }
-        let candidates_generated = pool.len();
-
-        let (dabf, dabf_build, pruning_time, pruned) = if cfg.use_dabf {
-            let t1 = Instant::now();
-            let dabf = build_dabf(&pool, cfg);
-            let dabf_build = t1.elapsed();
-            let t2 = Instant::now();
-            let pruned = prune_with_dabf(&mut pool, &dabf);
-            (Some(dabf), dabf_build, t2.elapsed(), pruned)
-        } else {
-            let t2 = Instant::now();
-            let pruned = prune_naive(&mut pool, cfg);
-            (None, Duration::ZERO, t2.elapsed(), pruned)
-        };
-
-        let t3 = Instant::now();
-        // DT requires a DABF; when pruning ran naively, fall back to exact
-        // scoring even if DT+CR was requested.
-        let strategy = match (cfg.use_dt_cr, &dabf) {
-            (true, Some(_)) => TopKStrategy::DtCr,
-            _ => TopKStrategy::Exact,
-        };
-        let shapelets = select_top_k(&pool, train, dabf.as_ref(), cfg, strategy);
-        let top_k = t3.elapsed();
-        if shapelets.is_empty() {
-            return Err(PipelineError::NoCandidates);
-        }
-        Ok(DiscoveryResult {
-            shapelets,
-            timings: StageTimings { candidate_gen, dabf_build, pruning: pruning_time, top_k },
-            candidates_generated,
-            candidates_pruned: pruned,
-        })
+        Engine::from_config(&self.config).run(train)
     }
+
+    /// [`discover`](Self::discover) with a [`StageObserver`] that sees
+    /// each stage report (timing + counters) as the stage completes.
+    pub fn discover_with_observer(
+        &self,
+        train: &Dataset,
+        observer: &mut dyn StageObserver,
+    ) -> Result<DiscoveryResult, PipelineError> {
+        Engine::from_config(&self.config).run_with_observer(train, observer)
+    }
+}
+
+/// Discovery metadata carried by a fitted classifier: everything from
+/// [`DiscoveryResult`] except the shapelets themselves (which live in the
+/// transform).
+#[derive(Debug, Clone)]
+pub struct DiscoveryStats {
+    /// Per-stage wall-clock timings.
+    pub timings: StageTimings,
+    /// Candidates produced by Algorithm 1.
+    pub candidates_generated: usize,
+    /// Candidates removed by pruning.
+    pub candidates_pruned: usize,
+    /// Full per-stage telemetry.
+    pub report: RunReport,
 }
 
 /// The full classifier: IPS shapelet discovery → shapelet transform →
@@ -139,7 +126,7 @@ impl IpsDiscovery {
 pub struct IpsClassifier {
     transform: ShapeletTransform,
     svm: LinearSvm,
-    discovery: DiscoveryResult,
+    discovery: DiscoveryStats,
 }
 
 impl IpsClassifier {
@@ -153,10 +140,19 @@ impl IpsClassifier {
         }
         let znorm = config.znorm_transform;
         let svm_params = SvmParams { seed: config.seed, ..SvmParams::default() };
-        let discovery = IpsDiscovery::new(config).discover(train)?;
-        let transform = ShapeletTransform::new(discovery.shapelets.clone(), znorm);
+        let mut result = IpsDiscovery::new(config).discover(train)?;
+        // The transform takes ownership of the shapelets — they are not
+        // duplicated into the stats.
+        let shapelets = std::mem::take(&mut result.shapelets);
+        let transform = ShapeletTransform::new(shapelets, znorm);
         let features = transform.transform(train);
         let svm = LinearSvm::fit(&features, train.labels(), svm_params);
+        let discovery = DiscoveryStats {
+            timings: result.timings,
+            candidates_generated: result.candidates_generated,
+            candidates_pruned: result.candidates_pruned,
+            report: result.report,
+        };
         Ok(Self { transform, svm, discovery })
     }
 
@@ -180,8 +176,8 @@ impl IpsClassifier {
         self.transform.shapelets()
     }
 
-    /// Discovery metadata (timings, candidate counts).
-    pub fn discovery(&self) -> &DiscoveryResult {
+    /// Discovery metadata (timings, counters, candidate counts).
+    pub fn discovery(&self) -> &DiscoveryStats {
         &self.discovery
     }
 

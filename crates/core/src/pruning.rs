@@ -24,37 +24,115 @@ pub fn build_dabf(pool: &CandidatePool, config: &IpsConfig) -> Dabf {
     dabf
 }
 
+/// Survivor flags for one class under the DABF, with the number of filter
+/// probes issued. A pure function of the immutable filter and the class's
+/// own candidate list — the class-parallel unit of Algorithm 3. The probe
+/// loop replicates [`Dabf::close_to_most_of_other_class`]'s short-circuit
+/// exactly, so flags (and probe counts) match the sequential path.
+pub(crate) fn dabf_survivors(
+    pool: &CandidatePool,
+    dabf: &Dabf,
+    class: u32,
+) -> (Vec<bool>, usize) {
+    let mut probes = 0usize;
+    let survivors = pool
+        .of_class(class)
+        .iter()
+        .map(|cand| {
+            let mut close = false;
+            for (other, f) in dabf.classes() {
+                if other == class {
+                    continue;
+                }
+                probes += 1;
+                if f.is_close_to_most(&cand.embedded) {
+                    close = true;
+                    break;
+                }
+            }
+            !close
+        })
+        .collect();
+    (survivors, probes)
+}
+
+/// Applies survivor flags to one class, honouring the motif-rollback
+/// safeguard: if the flags would remove every motif candidate of the
+/// class (possible on heavily overlapping classes), the class is kept
+/// untouched — downstream selection needs at least one candidate per
+/// class, and an over-aggressive filter must not abort the pipeline.
+/// Returns the number removed.
+pub(crate) fn apply_survivors(pool: &mut CandidatePool, class: u32, survivors: &[bool]) -> usize {
+    let motif_survives = pool
+        .of_class(class)
+        .iter()
+        .zip(survivors)
+        .any(|(c, &s)| s && c.kind == crate::candidates::CandidateKind::Motif);
+    if !motif_survives {
+        return 0; // roll back: keep the class's candidates untouched
+    }
+    let before = pool.of_class(class).len();
+    let mut keep_iter = survivors.iter().copied();
+    // retain_class visits candidates in stored order, matching the order
+    // `of_class` produced the survivor flags in.
+    pool.retain_class(class, |_| keep_iter.next().unwrap_or(true));
+    before - pool.of_class(class).len()
+}
+
 /// Algorithm 3: removes candidates that are possibly close to most
 /// elements of any *other* class. Returns the number pruned.
-///
-/// Safeguard: if the filter would remove every motif candidate of a class
-/// (possible on heavily overlapping classes), the pruning for that class
-/// is rolled back — downstream selection needs at least one candidate per
-/// class, and an over-aggressive filter must not abort the pipeline.
 pub fn prune_with_dabf(pool: &mut CandidatePool, dabf: &Dabf) -> usize {
     let mut pruned = 0usize;
     for class in pool.classes() {
-        let survivors: Vec<bool> = pool
-            .of_class(class)
-            .iter()
-            .map(|c| !dabf.close_to_most_of_other_class(class, &c.embedded))
-            .collect();
-        let motif_survives = pool
-            .of_class(class)
-            .iter()
-            .zip(&survivors)
-            .any(|(c, &s)| s && c.kind == crate::candidates::CandidateKind::Motif);
-        if !motif_survives {
-            continue; // roll back: keep the class's candidates untouched
-        }
-        let before = pool.of_class(class).len();
-        let mut keep_iter = survivors.into_iter();
-        // retain_class visits candidates in stored order, matching the
-        // order `of_class` produced the survivor flags in.
-        pool.retain_class(class, |_| keep_iter.next().unwrap_or(true));
-        pruned += before - pool.of_class(class).len();
+        let (survivors, _) = dabf_survivors(pool, dabf, class);
+        pruned += apply_survivors(pool, class, &survivors);
     }
     pruned
+}
+
+/// One [`NaiveMostFilter`] per class over that class's embeddings — the
+/// quadratic stand-in for Algorithm 2.
+pub(crate) fn naive_filters(
+    pool: &CandidatePool,
+    config: &IpsConfig,
+) -> Vec<(u32, NaiveMostFilter)> {
+    pool.classes()
+        .iter()
+        .map(|&c| {
+            let elements: Vec<Vec<f64>> =
+                pool.of_class(c).iter().map(|x| x.embedded.clone()).collect();
+            (c, NaiveMostFilter::build(&elements, config.dabf.sigma_rule))
+        })
+        .collect()
+}
+
+/// Survivor flags for one class under the naive filters, mirroring
+/// [`dabf_survivors`] (including the short-circuit probe accounting).
+pub(crate) fn naive_survivors(
+    pool: &CandidatePool,
+    filters: &[(u32, NaiveMostFilter)],
+    class: u32,
+) -> (Vec<bool>, usize) {
+    let mut probes = 0usize;
+    let survivors = pool
+        .of_class(class)
+        .iter()
+        .map(|cand| {
+            let mut close = false;
+            for (other, f) in filters {
+                if *other == class {
+                    continue;
+                }
+                probes += 1;
+                if f.is_close_to_most(&cand.embedded) {
+                    close = true;
+                    break;
+                }
+            }
+            !close
+        })
+        .collect();
+    (survivors, probes)
 }
 
 /// The naive O(n²) pruning path: per class, build a [`NaiveMostFilter`]
@@ -62,40 +140,11 @@ pub fn prune_with_dabf(pool: &mut CandidatePool, dabf: &Dabf) -> usize {
 /// candidate against each. Semantics mirror [`prune_with_dabf`]; cost does
 /// not. Returns the number pruned.
 pub fn prune_naive(pool: &mut CandidatePool, config: &IpsConfig) -> usize {
-    let classes = pool.classes();
-    // Build one naive filter per class over that class's embeddings.
-    let filters: Vec<(u32, NaiveMostFilter)> = classes
-        .iter()
-        .map(|&c| {
-            let elements: Vec<Vec<f64>> =
-                pool.of_class(c).iter().map(|x| x.embedded.clone()).collect();
-            (c, NaiveMostFilter::build(&elements, config.dabf.sigma_rule))
-        })
-        .collect();
+    let filters = naive_filters(pool, config);
     let mut pruned = 0usize;
-    for &class in &classes {
-        let survivors: Vec<bool> = pool
-            .of_class(class)
-            .iter()
-            .map(|cand| {
-                !filters
-                    .iter()
-                    .filter(|(c, _)| *c != class)
-                    .any(|(_, f)| f.is_close_to_most(&cand.embedded))
-            })
-            .collect();
-        let motif_survives = pool
-            .of_class(class)
-            .iter()
-            .zip(&survivors)
-            .any(|(c, &s)| s && c.kind == crate::candidates::CandidateKind::Motif);
-        if !motif_survives {
-            continue;
-        }
-        let before = pool.of_class(class).len();
-        let mut keep_iter = survivors.into_iter();
-        pool.retain_class(class, |_| keep_iter.next().unwrap_or(true));
-        pruned += before - pool.of_class(class).len();
+    for class in pool.classes() {
+        let (survivors, _) = naive_survivors(pool, &filters, class);
+        pruned += apply_survivors(pool, class, &survivors);
     }
     pruned
 }

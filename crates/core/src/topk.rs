@@ -45,74 +45,89 @@ pub fn select_top_k(
                 score_dt_cr(pool, train, dabf, config, class)
             }
         };
-        let motifs: Vec<&Candidate> = pool.motifs_of(class).collect();
-        debug_assert_eq!(scores.len(), motifs.len());
-        // min-queue over (score, index); Reverse() flips BinaryHeap's max
-        // behaviour. OrderedScore makes f64 usable as a key (scores are
-        // finite by construction).
-        let mut queue: BinaryHeap<Reverse<(OrderedScore, usize)>> = scores
-            .iter()
-            .enumerate()
-            .map(|(i, &s)| Reverse((OrderedScore(s), i)))
-            .collect();
-        // Diversity guard: polling purely by score collapses onto one
-        // candidate cluster (the paper's issue 2.2 resurfacing inside
-        // Alg. 4), so a poll is skipped when the candidate sits closer to
-        // an already-selected shapelet than `div_threshold` in embedding
-        // space. Skipped candidates are kept as fallback so k is always
-        // reached when the pool allows it.
-        let div_threshold = config.diversity * mean_pairwise_embedded(&motifs);
-        let mut picked_embeds: Vec<&[f64]> = Vec::with_capacity(config.k);
-        let mut seen: Vec<(usize, usize, usize)> = Vec::new();
-        let mut deferred: Vec<(OrderedScore, usize)> = Vec::new();
-        let mut selected: Vec<(OrderedScore, usize)> = Vec::with_capacity(config.k);
-        while selected.len() < config.k {
-            let Some(Reverse((score, idx))) = queue.pop() else {
-                break;
-            };
-            let c = motifs[idx];
-            // Exact duplicates (the same subsequence rediscovered by
-            // several samples) add no information — always skip repeats.
-            let key = (c.source_instance, c.source_offset, c.len());
-            if seen.contains(&key) {
-                continue;
-            }
-            let e = c.embedded.as_slice();
-            let too_close = picked_embeds
-                .iter()
-                .any(|p| embedded_dist(p, e) < div_threshold);
-            if too_close {
-                deferred.push((score, idx));
-            } else {
-                seen.push(key);
-                picked_embeds.push(e);
-                selected.push((score, idx));
-            }
-        }
-        // Fallback: fill from the best deferred (near-duplicate) candidates.
-        deferred.sort_by_key(|a| a.0);
-        for d in deferred {
-            if selected.len() == config.k {
-                break;
-            }
-            selected.push(d);
-        }
-        // Present best-first within the class regardless of which pass
-        // (diverse or fallback) admitted a candidate.
-        selected.sort_by_key(|a| a.0);
-        for (score, idx) in selected {
-            let c = motifs[idx];
-            shapelets.push(Shapelet {
-                values: c.values.clone(),
-                class,
-                source_instance: c.source_instance,
-                source_offset: c.source_offset,
-                // Shapelet scores are "higher = better" by convention.
-                score: -score.0,
-            });
-        }
+        select_class_from_scores(pool, class, &scores, config, &mut shapelets);
     }
     shapelets
+}
+
+/// The per-class half of Algorithm 4: given utility scores for the motif
+/// candidates of `class` (in `pool.motifs_of(class)` order, lower is
+/// better), polls the diversity-guarded priority queue and appends the
+/// selected shapelets to `out`. Pure in its inputs, so scoring may run
+/// class-parallel and selection applies sequentially in class order.
+pub(crate) fn select_class_from_scores(
+    pool: &CandidatePool,
+    class: u32,
+    scores: &[f64],
+    config: &IpsConfig,
+    out: &mut Vec<Shapelet>,
+) {
+    let motifs: Vec<&Candidate> = pool.motifs_of(class).collect();
+    debug_assert_eq!(scores.len(), motifs.len());
+    // min-queue over (score, index); Reverse() flips BinaryHeap's max
+    // behaviour. OrderedScore makes f64 usable as a key (scores are
+    // finite by construction).
+    let mut queue: BinaryHeap<Reverse<(OrderedScore, usize)>> = scores
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| Reverse((OrderedScore(s), i)))
+        .collect();
+    // Diversity guard: polling purely by score collapses onto one
+    // candidate cluster (the paper's issue 2.2 resurfacing inside
+    // Alg. 4), so a poll is skipped when the candidate sits closer to
+    // an already-selected shapelet than `div_threshold` in embedding
+    // space. Skipped candidates are kept as fallback so k is always
+    // reached when the pool allows it.
+    let div_threshold = config.diversity * mean_pairwise_embedded(&motifs);
+    let mut picked_embeds: Vec<&[f64]> = Vec::with_capacity(config.k);
+    let mut seen: Vec<(usize, usize, usize)> = Vec::new();
+    let mut deferred: Vec<(OrderedScore, usize)> = Vec::new();
+    let mut selected: Vec<(OrderedScore, usize)> = Vec::with_capacity(config.k);
+    while selected.len() < config.k {
+        let Some(Reverse((score, idx))) = queue.pop() else {
+            break;
+        };
+        let c = motifs[idx];
+        // Exact duplicates (the same subsequence rediscovered by
+        // several samples) add no information — always skip repeats.
+        let key = (c.source_instance, c.source_offset, c.len());
+        if seen.contains(&key) {
+            continue;
+        }
+        let e = c.embedded.as_slice();
+        let too_close = picked_embeds
+            .iter()
+            .any(|p| embedded_dist(p, e) < div_threshold);
+        if too_close {
+            deferred.push((score, idx));
+        } else {
+            seen.push(key);
+            picked_embeds.push(e);
+            selected.push((score, idx));
+        }
+    }
+    // Fallback: fill from the best deferred (near-duplicate) candidates.
+    deferred.sort_by_key(|a| a.0);
+    for d in deferred {
+        if selected.len() == config.k {
+            break;
+        }
+        selected.push(d);
+    }
+    // Present best-first within the class regardless of which pass
+    // (diverse or fallback) admitted a candidate.
+    selected.sort_by_key(|a| a.0);
+    for (score, idx) in selected {
+        let c = motifs[idx];
+        out.push(Shapelet {
+            values: c.values.clone(),
+            class,
+            source_instance: c.source_instance,
+            source_offset: c.source_offset,
+            // Shapelet scores are "higher = better" by convention.
+            score: -score.0,
+        });
+    }
 }
 
 /// Mean pairwise Euclidean distance between candidate embeddings (the

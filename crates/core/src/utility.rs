@@ -41,9 +41,23 @@ pub fn score_exact(
     config: &IpsConfig,
     class: u32,
 ) -> Vec<f64> {
+    score_exact_counted(pool, train, config, class, &mut Vec::new()).0
+}
+
+/// [`score_exact`] with work accounting and a caller-supplied scratch
+/// buffer for the intra-class accumulator (reused across classes by the
+/// engine's sequential path). Returns the scores and the number of
+/// sliding-distance evaluations performed.
+pub(crate) fn score_exact_counted(
+    pool: &CandidatePool,
+    train: &Dataset,
+    config: &IpsConfig,
+    class: u32,
+    intra_sum: &mut Vec<f64>,
+) -> (Vec<f64>, usize) {
     let motifs: Vec<&Candidate> = pool.motifs_of(class).collect();
     if motifs.is_empty() {
-        return Vec::new();
+        return (Vec::new(), 0);
     }
     let dist = |a: &[f64], b: &[f64]| match config.metric {
         ips_profile::Metric::MeanSquared => sliding_min_dist(a, b).0,
@@ -54,7 +68,8 @@ pub fn score_exact(
     // candidates, then combine the distances for each candidate's
     // utility, which reduces the computation time in half").
     let n = motifs.len();
-    let mut intra_sum = vec![0.0; n];
+    intra_sum.clear();
+    intra_sum.resize(n, 0.0);
     for i in 0..n {
         for j in (i + 1)..n {
             let d = dist(&motifs[i].values, &motifs[j].values);
@@ -76,7 +91,7 @@ pub fn score_exact(
         .map(|i| train.series(i).values())
         .collect();
 
-    motifs
+    let scores = motifs
         .iter()
         .enumerate()
         .map(|(i, m)| {
@@ -96,7 +111,11 @@ pub fn score_exact(
             };
             u_intra - u_inter + u_dc
         })
-        .collect()
+        .collect();
+    // Every sliding distance computed: the symmetric intra matrix, one
+    // per (motif, other-class candidate), one per (motif, own instance).
+    let evals = n * (n - 1) / 2 + n * others.len() + n * instances.len();
+    (scores, evals)
 }
 
 /// DT + CR scores: distances are replaced by bucket-rank differences in
@@ -112,9 +131,21 @@ pub fn score_dt_cr(
     config: &IpsConfig,
     class: u32,
 ) -> Vec<f64> {
+    score_dt_cr_counted(pool, train, dabf, config, class).0
+}
+
+/// [`score_dt_cr`] with work accounting: returns the scores and the
+/// number of rank / abs-dev queries issued against the DABF tables.
+pub(crate) fn score_dt_cr_counted(
+    pool: &CandidatePool,
+    train: &Dataset,
+    dabf: &Dabf,
+    config: &IpsConfig,
+    class: u32,
+) -> (Vec<f64>, usize) {
     let motifs: Vec<&Candidate> = pool.motifs_of(class).collect();
     if motifs.is_empty() {
-        return Vec::new();
+        return (Vec::new(), 0);
     }
     let own = dabf.class(class).expect("DABF built for every class");
     // Bucket ranks of this class's motifs in its own table.
@@ -158,7 +189,7 @@ pub fn score_dt_cr(
     // every utility saturates to 1.0 and all scores tie (the scale-fix
     // counterpart of the sum→mean change documented in the module docs).
     let own_scale = own.table().num_buckets().max(1) as f64;
-    motifs
+    let scores: Vec<f64> = motifs
         .iter()
         .enumerate()
         .map(|(i, m)| {
@@ -182,7 +213,39 @@ pub fn score_dt_cr(
             };
             u_intra - u_inter + u_dc
         })
-        .collect()
+        .collect();
+    // Queries issued: the rank lookups that built the tables (one per
+    // motif, per other-class candidate, per own instance) plus, per
+    // motif, one intra abs-dev, a rank + abs-dev per other table, and
+    // one distance-correlation abs-dev.
+    let n = motifs.len();
+    let other_ranks: usize = other_tables.iter().map(|(_, t)| t.len()).sum();
+    let evals =
+        n + other_ranks + instance_ranks.len() + n * (2 + 2 * other_tables.len());
+    (scores, evals)
+}
+
+/// Dispatches per-class scoring by strategy — the class-parallel unit of
+/// Algorithm 4's scoring phase. `intra_buf` is a reusable accumulator for
+/// the exact path (ignored by DT+CR).
+pub(crate) fn score_class(
+    pool: &CandidatePool,
+    train: &Dataset,
+    dabf: Option<&Dabf>,
+    config: &IpsConfig,
+    class: u32,
+    strategy: crate::topk::TopKStrategy,
+    intra_buf: &mut Vec<f64>,
+) -> (Vec<f64>, usize) {
+    match strategy {
+        crate::topk::TopKStrategy::Exact => {
+            score_exact_counted(pool, train, config, class, intra_buf)
+        }
+        crate::topk::TopKStrategy::DtCr => {
+            let dabf = dabf.expect("DtCr strategy requires a built DABF");
+            score_dt_cr_counted(pool, train, dabf, config, class)
+        }
+    }
 }
 
 /// Sorted-values + prefix-sums structure answering `Σ_j |x − v_j|` in

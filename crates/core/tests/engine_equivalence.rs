@@ -1,0 +1,148 @@
+//! The staged engine must be **bit-identical** to the monolithic
+//! reference pipeline — same shapelets, same pruned counts — across every
+//! ablation cell (`use_dabf` × `use_dt_cr`) and at every thread count.
+//! The reference below is the pre-engine `discover()` body, expressed over
+//! the same public stage functions the engine composes.
+
+use ips_core::engine::{CollectingObserver, Stage};
+use ips_core::{
+    build_dabf, generate_candidates, prune_naive, prune_with_dabf, select_top_k, IpsConfig,
+    IpsDiscovery, TopKStrategy,
+};
+use ips_tsdata::{registry, Dataset, DatasetSpec, SynthGenerator};
+
+/// The seed's monolithic discovery loop: generate → (DABF build + prune |
+/// naive prune) → top-k. Returns `(shapelets, generated, pruned)`.
+fn reference_discover(
+    train: &Dataset,
+    cfg: &IpsConfig,
+) -> (Vec<ips_classify::Shapelet>, usize, usize) {
+    let mut pool = generate_candidates(train, cfg);
+    assert!(!pool.is_empty(), "reference: no candidates");
+    let generated = pool.len();
+    let (dabf, pruned) = if cfg.use_dabf {
+        let dabf = build_dabf(&pool, cfg);
+        let pruned = prune_with_dabf(&mut pool, &dabf);
+        (Some(dabf), pruned)
+    } else {
+        (None, prune_naive(&mut pool, cfg))
+    };
+    let strategy = match (cfg.use_dt_cr, &dabf) {
+        (true, Some(_)) => TopKStrategy::DtCr,
+        _ => TopKStrategy::Exact,
+    };
+    let shapelets = select_top_k(&pool, train, dabf.as_ref(), cfg, strategy);
+    (shapelets, generated, pruned)
+}
+
+fn synth_train() -> Dataset {
+    let spec = DatasetSpec::new("EngEq", 3, 64, 15, 12).with_noise(0.2);
+    SynthGenerator::new(spec).generate().unwrap().0
+}
+
+fn base_cfg() -> IpsConfig {
+    IpsConfig::default().with_sampling(5, 3).with_k(3).with_seed(42)
+}
+
+#[test]
+fn engine_matches_reference_across_ablations_and_threads() {
+    let train = synth_train();
+    for (use_dabf, use_dt_cr) in [(true, true), (true, false), (false, false), (false, true)] {
+        let mut cfg = base_cfg();
+        cfg.use_dabf = use_dabf;
+        cfg.use_dt_cr = use_dt_cr;
+        let (ref_shapelets, ref_generated, ref_pruned) = reference_discover(&train, &cfg);
+        for threads in [1, 2, 0] {
+            let result = IpsDiscovery::new(cfg.clone().with_threads(threads))
+                .discover(&train)
+                .unwrap();
+            let tag = format!("dabf={use_dabf} dtcr={use_dt_cr} threads={threads}");
+            assert_eq!(result.shapelets, ref_shapelets, "shapelets diverge: {tag}");
+            assert_eq!(result.candidates_generated, ref_generated, "generated: {tag}");
+            assert_eq!(result.candidates_pruned, ref_pruned, "pruned: {tag}");
+        }
+    }
+}
+
+#[test]
+fn engine_matches_reference_on_registry_data() {
+    let (train, _) = registry::load("ItalyPowerDemand").unwrap();
+    let cfg = base_cfg();
+    let (ref_shapelets, ref_generated, ref_pruned) = reference_discover(&train, &cfg);
+    for threads in [1, 2, 0] {
+        let result =
+            IpsDiscovery::new(cfg.clone().with_threads(threads)).discover(&train).unwrap();
+        assert_eq!(result.shapelets, ref_shapelets, "threads={threads}");
+        assert_eq!(result.candidates_generated, ref_generated);
+        assert_eq!(result.candidates_pruned, ref_pruned);
+    }
+}
+
+#[test]
+fn report_covers_all_stages_with_sane_counters() {
+    let train = synth_train();
+    let result = IpsDiscovery::new(base_cfg()).discover(&train).unwrap();
+    let report = &result.report;
+    assert_eq!(report.stages().len(), 4);
+    for stage in Stage::ALL {
+        assert!(report.stage(stage).is_some(), "missing {stage:?}");
+    }
+    let gen = report.stage(Stage::CandidateGen).unwrap();
+    assert_eq!(gen.counters.candidates_out, result.candidates_generated);
+    let pruning = report.stage(Stage::Pruning).unwrap();
+    assert_eq!(pruning.counters.candidates_in, result.candidates_generated);
+    assert_eq!(
+        pruning.counters.candidates_in - pruning.counters.candidates_out,
+        result.candidates_pruned
+    );
+    assert!(pruning.counters.dabf_probes > 0, "DABF pruning must probe the filter");
+    let topk = report.stage(Stage::TopK).unwrap();
+    assert_eq!(topk.counters.candidates_in, pruning.counters.candidates_out);
+    assert_eq!(topk.counters.candidates_out, result.shapelets.len());
+    assert!(topk.counters.utility_evals > 0, "selection must evaluate utilities");
+    // the fixed-field view agrees with the report
+    assert_eq!(result.timings, report.timings());
+    assert_eq!(report.total(), result.timings.total());
+}
+
+#[test]
+fn naive_path_reports_zero_dabf_build_but_counts_probes() {
+    let train = synth_train();
+    let mut cfg = base_cfg();
+    cfg.use_dabf = false;
+    let result = IpsDiscovery::new(cfg).discover(&train).unwrap();
+    assert_eq!(result.report.elapsed(Stage::DabfBuild), std::time::Duration::ZERO);
+    assert!(result.report.stage(Stage::Pruning).unwrap().counters.dabf_probes > 0);
+}
+
+#[test]
+fn observer_hook_fires_once_per_stage_in_order() {
+    let train = synth_train();
+    let mut obs = CollectingObserver::default();
+    let result =
+        IpsDiscovery::new(base_cfg()).discover_with_observer(&train, &mut obs).unwrap();
+    let observed: Vec<Stage> = obs.reports.iter().map(|r| r.stage).collect();
+    assert_eq!(observed, Stage::ALL.to_vec());
+    // the observer saw exactly what the report recorded
+    assert_eq!(obs.reports, result.report.stages().to_vec());
+}
+
+#[test]
+fn counters_are_thread_count_invariant() {
+    let train = synth_train();
+    let runs: Vec<_> = [1, 2, 0]
+        .iter()
+        .map(|&t| {
+            IpsDiscovery::new(base_cfg().with_threads(t)).discover(&train).unwrap().report
+        })
+        .collect();
+    for r in &runs[1..] {
+        for stage in Stage::ALL {
+            assert_eq!(
+                r.stage(stage).unwrap().counters,
+                runs[0].stage(stage).unwrap().counters,
+                "{stage:?} counters depend on thread count"
+            );
+        }
+    }
+}

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Tier-1 gate: what CI and the roadmap treat as "the build is healthy".
+#
+#   scripts/tier1.sh          # release build + full test suite
+#   scripts/tier1.sh --quick  # debug build + lib tests only
+#
+# Formatting is reported but does not fail the gate (the tree predates the
+# pinned rustfmt; reformat-the-world churn is deliberately avoided).
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+QUICK=0
+[[ "${1:-}" == "--quick" ]] && QUICK=1
+
+if [[ "$QUICK" == 1 ]]; then
+    echo "==> cargo build (debug)"
+    cargo build --workspace
+    echo "==> cargo test --lib"
+    cargo test -q --workspace --lib
+else
+    echo "==> cargo build --release"
+    cargo build --release
+    echo "==> cargo test"
+    cargo test -q
+fi
+
+echo "==> rustfmt (advisory)"
+if ! cargo fmt --check >/dev/null 2>&1; then
+    echo "    note: tree is not rustfmt-clean (advisory only, not a gate)"
+fi
+
+echo "tier-1: OK"

@@ -51,8 +51,10 @@ fn discovery_result_is_consistent_with_classifier() {
     let cfg = fast_cfg();
     let direct = IpsDiscovery::new(cfg.clone()).discover(&train).expect("discover");
     let model = IpsClassifier::fit(&train, cfg).expect("fit");
-    assert_eq!(direct.shapelets, model.discovery().shapelets);
+    assert_eq!(&direct.shapelets, model.shapelets());
     assert_eq!(model.shapelets().len(), 2 * 3);
+    assert_eq!(direct.candidates_generated, model.discovery().candidates_generated);
+    assert_eq!(direct.report.stages().len(), model.discovery().report.stages().len());
 }
 
 #[test]

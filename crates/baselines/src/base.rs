@@ -222,7 +222,10 @@ impl BaseClassifier {
         let shapelets = discover_base_shapelets(train, &config);
         assert!(!shapelets.is_empty(), "BASE discovered no shapelets");
         let transform = ShapeletTransform::new(shapelets, config.znorm_transform);
-        let features = transform.transform(train);
+        // One FFT plan per training series, reused across all k·|C|
+        // shapelet columns of the feature matrix.
+        let mut cache = ips_distance::DistCache::new();
+        let features = transform.transform_with_cache(train, &mut cache);
         let svm = LinearSvm::fit(
             &features,
             train.labels(),

@@ -20,7 +20,7 @@ use ips_core::engine::{
     WorkerPool,
 };
 use ips_core::pipeline::PipelineError;
-use ips_distance::{sliding_min_dist, sliding_min_dist_znorm};
+use ips_distance::{CacheStats, DistCache, Metric};
 use ips_filter::{BloomFilter, Dabf};
 use ips_lsh::{embed, Lsh, LshKind, LshParams};
 use ips_tsdata::{Dataset, TimeSeries};
@@ -170,15 +170,15 @@ impl CoverageSelector {
         pool: &CandidatePool,
         train: &Dataset,
         class: u32,
-    ) -> (Vec<Shapelet>, usize) {
+    ) -> (Vec<Shapelet>, usize, DistCache) {
         let config = &self.config;
-        let dist = |q: &[f64], t: &[f64]| {
-            if config.znorm {
-                sliding_min_dist_znorm(q, t).0
-            } else {
-                sliding_min_dist(q, t).0
-            }
-        };
+        let metric = if config.znorm { Metric::ZNormEuclidean } else { Metric::MeanSquared };
+        // Coverage scoring slides every candidate over every instance —
+        // exactly the dense pattern the FFT distance cache amortizes (one
+        // series plan reused across all candidates of a length). The
+        // cache is per class, so parallel scoring stays bit-identical.
+        let mut cache = DistCache::new();
+        let mut dist = |q: &[f64], t: &[f64]| cache.min_dist(q, t, metric).0;
         let own: Vec<usize> = train.class_indices(class);
         let others: Vec<usize> =
             (0..train.len()).filter(|&i| train.label(i) != class).collect();
@@ -246,7 +246,7 @@ impl CoverageSelector {
                 }
             })
             .collect();
-        (shapelets, evals)
+        (shapelets, evals, cache)
     }
 }
 
@@ -264,11 +264,14 @@ impl Selector for CoverageSelector {
             .run(classes.len(), |i| self.select_class(pool, train, classes[i]));
         let mut shapelets = Vec::new();
         let mut utility_evals = 0;
-        for (class_shapelets, evals) in per_class {
+        let mut cache_stats = CacheStats::default();
+        for (class_shapelets, evals, cache) in per_class {
             shapelets.extend(class_shapelets);
             utility_evals += evals;
+            cache_stats.merge(&cache.stats());
+            ctx.scratch().absorb_dist_cache(cache);
         }
-        Selection { shapelets, utility_evals }
+        Selection { shapelets, utility_evals, cache_stats }
     }
 }
 
@@ -322,7 +325,10 @@ impl BspCoverClassifier {
         let shapelets = discover_bspcover_shapelets(train, &config);
         assert!(!shapelets.is_empty(), "BSPCOVER discovered no shapelets");
         let transform = ShapeletTransform::new(shapelets, config.znorm);
-        let features = transform.transform(train);
+        // One FFT plan per training series, shared across all shapelet
+        // columns of the feature matrix.
+        let mut cache = DistCache::new();
+        let features = transform.transform_with_cache(train, &mut cache);
         let svm = LinearSvm::fit(
             &features,
             train.labels(),

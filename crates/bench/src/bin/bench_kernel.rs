@@ -1,0 +1,161 @@
+//! Micro-benchmark of the batch FFT/MASS distance kernel against the
+//! naive early-abandoning sliding loop, across series lengths and both
+//! metrics. Writes `results/BENCH_kernel.json` (consumed by the README's
+//! Performance section and uploaded as a CI artifact).
+//!
+//! ```sh
+//! cargo run -p ips-bench --release --bin bench_kernel
+//! ```
+//!
+//! Three timings per (metric, n) cell, same inputs:
+//! - `naive`: one `sliding_min_dist{,_znorm}` call per query;
+//! - `kernel`: `batch_min_dist_with(.., ForceKernel)` — one series FFT
+//!   amortized over the batch, two queries per inverse transform;
+//! - `auto`: `batch_min_dist` — the production crossover heuristic,
+//!   which must track whichever of the two is faster.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use ips_distance::{
+    batch_min_dist, batch_min_dist_with, sliding_min_dist, sliding_min_dist_znorm,
+    KernelPolicy, Metric,
+};
+
+/// Deterministic pseudo-random stream (splitmix64) — benchmark inputs
+/// must not depend on an RNG crate or wall-clock seeding.
+struct Gen(u64);
+
+impl Gen {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in [-1, 1).
+    fn value(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 52) as f64 * 2.0 - 1.0
+    }
+}
+
+/// A wandering series: random walk plus a slow sinusoid, so windows have
+/// realistic non-stationary means (the regime where z-normalization does
+/// real work).
+fn series(n: usize, seed: u64) -> Vec<f64> {
+    let mut g = Gen(seed);
+    let mut level = 0.0;
+    (0..n)
+        .map(|i| {
+            level += 0.3 * g.value();
+            level + (i as f64 * 0.05).sin()
+        })
+        .collect()
+}
+
+/// Median wall-clock (ms) of `reps` runs of `f`.
+fn time_ms<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    samples[samples.len() / 2]
+}
+
+struct Case {
+    metric: &'static str,
+    n: usize,
+    m: usize,
+    queries: usize,
+    naive_ms: f64,
+    kernel_ms: f64,
+    auto_ms: f64,
+}
+
+fn main() {
+    let lengths = [128usize, 256, 512, 1024, 2048];
+    let num_queries = 32;
+    let reps = 9;
+
+    let mut cases: Vec<Case> = Vec::new();
+    println!("batch FFT/MASS kernel vs naive sliding loop ({num_queries} queries per batch)\n");
+    println!(
+        "{:<14} {:>6} {:>6} {:>12} {:>12} {:>12} {:>9} {:>9}",
+        "metric", "n", "m", "naive ms", "kernel ms", "auto ms", "kern x", "auto x"
+    );
+    for metric in [Metric::ZNormEuclidean, Metric::MeanSquared] {
+        let name = match metric {
+            Metric::ZNormEuclidean => "znorm",
+            Metric::MeanSquared => "mean_sq",
+        };
+        for &n in &lengths {
+            // mid-grid shapelet length (the IPS ratio grid spans 0.1–0.5)
+            let m = n / 4;
+            let s = series(n, 0xBE7C_u64 + n as u64);
+            let source = series(n + num_queries, 0xF00D_u64 + n as u64);
+            let queries: Vec<&[f64]> =
+                (0..num_queries).map(|i| &source[i..i + m]).collect();
+
+            let naive_ms = time_ms(reps, || {
+                for q in &queries {
+                    let d = match metric {
+                        Metric::MeanSquared => sliding_min_dist(q, &s),
+                        Metric::ZNormEuclidean => sliding_min_dist_znorm(q, &s),
+                    };
+                    std::hint::black_box(d);
+                }
+            });
+            let kernel_ms = time_ms(reps, || {
+                std::hint::black_box(batch_min_dist_with(
+                    &queries,
+                    &s,
+                    metric,
+                    KernelPolicy::ForceKernel,
+                ));
+            });
+            let auto_ms = time_ms(reps, || {
+                std::hint::black_box(batch_min_dist(&queries, &s, metric));
+            });
+
+            println!(
+                "{name:<14} {n:>6} {m:>6} {naive_ms:>12.4} {kernel_ms:>12.4} {auto_ms:>12.4} \
+                 {:>8.2}x {:>8.2}x",
+                naive_ms / kernel_ms,
+                naive_ms / auto_ms,
+            );
+            cases.push(Case { metric: name, n, m, queries: num_queries, naive_ms, kernel_ms, auto_ms });
+        }
+    }
+
+    // hand-rolled JSON: the workspace deliberately carries no serde
+    let mut json = String::from("{\n  \"bench\": \"kernel\",\n  \"queries_per_batch\": ");
+    let _ = write!(json, "{num_queries},\n  \"timing\": \"median_of_{reps}_ms\",\n  \"cases\": [\n");
+    for (i, c) in cases.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"metric\": \"{}\", \"n\": {}, \"m\": {}, \"queries\": {}, \
+             \"naive_ms\": {:.4}, \"kernel_ms\": {:.4}, \"auto_ms\": {:.4}, \
+             \"speedup_kernel\": {:.2}, \"speedup_auto\": {:.2}}}{}\n",
+            c.metric,
+            c.n,
+            c.m,
+            c.queries,
+            c.naive_ms,
+            c.kernel_ms,
+            c.auto_ms,
+            c.naive_ms / c.kernel_ms,
+            c.naive_ms / c.auto_ms,
+            if i + 1 < cases.len() { "," } else { "" },
+        );
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::create_dir_all("results").expect("create results dir");
+    std::fs::write("results/BENCH_kernel.json", &json).expect("write BENCH_kernel.json");
+    println!("\nwrote results/BENCH_kernel.json");
+}

@@ -6,7 +6,7 @@
 //! paper's sliding-min mean-squared distance (Definition 4); a standard
 //! classifier then operates on the embedding.
 
-use ips_distance::{sliding_min_dist, sliding_min_dist_znorm};
+use ips_distance::{sliding_min_dist, sliding_min_dist_znorm, DistCache, Metric};
 use ips_tsdata::{Dataset, TimeSeries};
 
 /// A discovered shapelet: the subsequence, the class it represents, and
@@ -60,6 +60,15 @@ impl Shapelet {
             sliding_min_dist(&self.values, series)
         }
     }
+
+    /// [`distance_to`](Self::distance_to) routed through a memoizing
+    /// FFT/MASS distance cache. The cache's crossover heuristic keeps the
+    /// naive loop for short inputs, so the value matches `distance_to` up
+    /// to FFT rounding (~1e-9 relative).
+    pub fn distance_to_cached(&self, series: &[f64], znorm: bool, cache: &mut DistCache) -> f64 {
+        let metric = if znorm { Metric::ZNormEuclidean } else { Metric::MeanSquared };
+        cache.min_dist(&self.values, series, metric).0
+    }
 }
 
 /// The shapelet transform: a fixed set of shapelets defining an embedding.
@@ -99,6 +108,26 @@ impl ShapeletTransform {
     /// instance).
     pub fn transform(&self, data: &Dataset) -> Vec<Vec<f64>> {
         data.all_series().iter().map(|s| self.transform_one(s)).collect()
+    }
+
+    /// [`transform_one`](Self::transform_one) drawing distances from a
+    /// shared cache: each series' FFT spectrum is planned once and reused
+    /// across all shapelets, and (shapelet, series) pairs already scored
+    /// during discovery are memo hits.
+    pub fn transform_one_with_cache(
+        &self,
+        series: &TimeSeries,
+        cache: &mut DistCache,
+    ) -> Vec<f64> {
+        self.shapelets
+            .iter()
+            .map(|s| s.distance_to_cached(series.values(), self.znorm, cache))
+            .collect()
+    }
+
+    /// [`transform`](Self::transform) through a shared distance cache.
+    pub fn transform_with_cache(&self, data: &Dataset, cache: &mut DistCache) -> Vec<Vec<f64>> {
+        data.all_series().iter().map(|s| self.transform_one_with_cache(s, cache)).collect()
     }
 }
 
@@ -180,6 +209,32 @@ mod tests {
         assert_eq!(s.class, 3);
         assert_eq!(s.source_instance, 7);
         assert_eq!(s.source_offset, 11);
+    }
+
+    #[test]
+    fn cached_transform_matches_uncached() {
+        let t = ShapeletTransform::new(
+            vec![
+                Shapelet::new(vec![5.0, 6.0, 5.0], 0),
+                Shapelet::new(vec![-5.0, -6.0, -5.0], 1),
+            ],
+            false,
+        );
+        let d = dataset();
+        for znorm in [false, true] {
+            let t = ShapeletTransform::new(t.shapelets().to_vec(), znorm);
+            let plain = t.transform(&d);
+            let mut cache = DistCache::new();
+            let cached = t.transform_with_cache(&d, &mut cache);
+            assert_eq!(plain, cached, "znorm={znorm}");
+        }
+        // a second pass over the same data is pure memo hits
+        let mut cache = DistCache::new();
+        t.transform_with_cache(&d, &mut cache);
+        let evals = cache.stats().kernel_evals;
+        t.transform_with_cache(&d, &mut cache);
+        assert_eq!(cache.stats().kernel_evals, evals);
+        assert_eq!(cache.stats().cache_hits, evals);
     }
 
     #[test]

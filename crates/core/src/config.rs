@@ -54,6 +54,14 @@ pub struct IpsConfig {
     /// scoring parallelize over pure per-class units — so this is purely
     /// a throughput knob. Default `1` (sequential).
     pub num_threads: usize,
+    /// Route exact utility scoring (and the classifier's shapelet
+    /// transform) through the memoizing FFT/MASS distance cache
+    /// (`ips_distance::DistCache`). The cache's `Auto` crossover still
+    /// falls back to the naive early-abandoning loop for short
+    /// queries/series, so this is a throughput knob: selected shapelets
+    /// are identical either way (pinned by the engine equivalence suite).
+    /// Default `true`.
+    pub use_fft_kernel: bool,
 }
 
 impl Default for IpsConfig {
@@ -72,6 +80,7 @@ impl Default for IpsConfig {
             diversity: 0.0,
             seed: 0xD15C0,
             num_threads: 1,
+            use_fft_kernel: true,
         }
     }
 }
@@ -127,6 +136,13 @@ impl IpsConfig {
     /// parallelism).
     pub fn with_threads(mut self, num_threads: usize) -> Self {
         self.num_threads = num_threads;
+        self
+    }
+
+    /// Toggles the FFT/MASS distance cache in exact scoring and the
+    /// shapelet transform.
+    pub fn with_fft_kernel(mut self, on: bool) -> Self {
+        self.use_fft_kernel = on;
         self
     }
 }

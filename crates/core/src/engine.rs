@@ -31,6 +31,7 @@
 use std::time::{Duration, Instant};
 
 use ips_classify::Shapelet;
+use ips_distance::{CacheStats, DistCache};
 use ips_filter::Dabf;
 use ips_tsdata::Dataset;
 
@@ -88,8 +89,15 @@ pub struct StageCounters {
     /// Per-class filter membership queries issued (pruning stages).
     pub dabf_probes: usize,
     /// Utility evaluations: distance computations or rank/abs-dev queries
-    /// (selection stages).
+    /// (selection stages). When the distance cache is active this counts
+    /// *requests*, so `utility_evals == kernel_evals + cache_hits`.
     pub utility_evals: usize,
+    /// Sliding distances actually computed by the distance cache (misses,
+    /// served by the FFT kernel or the naive fallback). Zero when the
+    /// cache is off or the stage issues no sliding distances.
+    pub kernel_evals: usize,
+    /// Sliding distances served from the cache memo.
+    pub cache_hits: usize,
 }
 
 impl StageCounters {
@@ -100,6 +108,8 @@ impl StageCounters {
             candidates_out: self.candidates_out + other.candidates_out,
             dabf_probes: self.dabf_probes + other.dabf_probes,
             utility_evals: self.utility_evals + other.utility_evals,
+            kernel_evals: self.kernel_evals + other.kernel_evals,
+            cache_hits: self.cache_hits + other.cache_hits,
         }
     }
 }
@@ -190,17 +200,19 @@ impl RunReport {
     /// Renders a fixed-width per-stage table (used by the bench bins).
     pub fn render_table(&self) -> String {
         let mut out = String::from(
-            "stage           time_ms      in     out  probes   evals\n",
+            "stage           time_ms      in     out  probes   evals  kevals    hits\n",
         );
         for r in &self.stages {
             out.push_str(&format!(
-                "{:<14} {:>8.2} {:>7} {:>7} {:>7} {:>7}\n",
+                "{:<14} {:>8.2} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7}\n",
                 r.stage.name(),
                 r.elapsed.as_secs_f64() * 1e3,
                 r.counters.candidates_in,
                 r.counters.candidates_out,
                 r.counters.dabf_probes,
                 r.counters.utility_evals,
+                r.counters.kernel_evals,
+                r.counters.cache_hits,
             ));
         }
         out.push_str(&format!(
@@ -276,12 +288,15 @@ impl WorkerPool {
     }
 }
 
-/// Reusable scratch buffers for distance computations, shared across
-/// stages of one run so the sequential scoring path allocates its
-/// accumulator once instead of once per class.
+/// Reusable scratch state shared across stages of one run: recycled
+/// buffers for the sequential scoring path, and the run's accumulated
+/// [`DistCache`] — per-series FFT plans and memoized min-distances that
+/// later stages (and, via [`ExecContext::take_dist_cache`], the shapelet
+/// transform after discovery) reuse instead of recomputing.
 #[derive(Debug, Default)]
 pub struct Scratch {
     f64_bufs: Vec<Vec<f64>>,
+    dist_cache: DistCache,
 }
 
 impl Scratch {
@@ -295,6 +310,17 @@ impl Scratch {
     /// Returns a buffer for reuse.
     pub fn recycle_f64(&mut self, buf: Vec<f64>) {
         self.f64_bufs.push(buf);
+    }
+
+    /// The run's accumulated distance cache.
+    pub fn dist_cache(&mut self) -> &mut DistCache {
+        &mut self.dist_cache
+    }
+
+    /// Folds a stage-local cache (e.g. one class's worker cache) into the
+    /// run cache. Callers merge in deterministic class order.
+    pub fn absorb_dist_cache(&mut self, cache: DistCache) {
+        self.dist_cache.absorb(cache);
     }
 }
 
@@ -327,6 +353,13 @@ impl<'o> ExecContext<'o> {
     /// The shared scratch buffers.
     pub fn scratch(&mut self) -> &mut Scratch {
         &mut self.scratch
+    }
+
+    /// Detaches the run's accumulated distance cache — the classifier
+    /// hands it to the shapelet transform so the transform starts from the
+    /// FFT plans and memoized distances discovery already paid for.
+    pub fn take_dist_cache(&mut self) -> DistCache {
+        std::mem::take(self.scratch.dist_cache())
     }
 
     /// Records a finished stage and forwards it to the observer.
@@ -379,8 +412,12 @@ pub trait Pruner: Send + Sync {
 pub struct Selection {
     /// Selected shapelets, grouped per class, best-first within a class.
     pub shapelets: Vec<Shapelet>,
-    /// Utility evaluations performed.
+    /// Utility evaluations performed (distance *requests* when the
+    /// distance cache is active).
     pub utility_evals: usize,
+    /// Distance-cache work: computed evaluations + memo hits. Zero for
+    /// selectors that issue no sliding distances (DT+CR, rank-based).
+    pub cache_stats: CacheStats,
 }
 
 /// Stage 4: score the surviving candidates and select the shapelets.
@@ -442,10 +479,20 @@ impl Engine {
         self
     }
 
+    /// A fresh execution context sized for this engine's worker pool —
+    /// pass it to [`run_with_ctx`] to retain post-run state (notably the
+    /// distance cache) that [`run`] would discard.
+    ///
+    /// [`run`]: Engine::run
+    /// [`run_with_ctx`]: Engine::run_with_ctx
+    pub fn make_context(&self) -> ExecContext<'static> {
+        ExecContext::new(self.workers)
+    }
+
     /// Runs the staged pipeline.
     pub fn run(&self, train: &Dataset) -> Result<DiscoveryResult, PipelineError> {
         let mut ctx = ExecContext::new(self.workers);
-        self.run_in(train, &mut ctx)
+        self.run_with_ctx(train, &mut ctx)
     }
 
     /// Runs the staged pipeline, reporting each stage to `observer` as it
@@ -456,10 +503,13 @@ impl Engine {
         observer: &mut dyn StageObserver,
     ) -> Result<DiscoveryResult, PipelineError> {
         let mut ctx = ExecContext::new(self.workers).with_observer(observer);
-        self.run_in(train, &mut ctx)
+        self.run_with_ctx(train, &mut ctx)
     }
 
-    fn run_in(
+    /// Runs the staged pipeline in a caller-owned context, leaving
+    /// post-run state (scratch buffers, the accumulated distance cache)
+    /// available on `ctx` afterwards.
+    pub fn run_with_ctx(
         &self,
         train: &Dataset,
         ctx: &mut ExecContext,
@@ -506,6 +556,8 @@ impl Engine {
                 candidates_in: survivors,
                 candidates_out: selection.shapelets.len(),
                 utility_evals: selection.utility_evals,
+                kernel_evals: selection.cache_stats.kernel_evals,
+                cache_hits: selection.cache_stats.cache_hits,
                 ..Default::default()
             },
         );
@@ -654,29 +706,51 @@ impl Selector for UtilitySelector {
         };
         let classes = pool.classes();
         let workers = ctx.workers();
-        let scored: Vec<(Vec<f64>, usize)> = if workers.threads() <= 1 {
+        // The exact path draws its sliding distances from a *fresh
+        // per-class* cache (not the shared run cache), so hit/eval
+        // counters are identical at every thread count; the per-class
+        // caches are folded into the run cache in class order below.
+        let use_cache = self.config.use_fft_kernel && strategy == TopKStrategy::Exact;
+        let scored: Vec<(Vec<f64>, usize, Option<DistCache>)> = if workers.threads() <= 1 {
             // Sequential path: reuse one scratch accumulator across all
             // classes instead of reallocating per class.
             let mut buf = ctx.scratch().take_f64();
             let out = classes
                 .iter()
-                .map(|&c| score_class(pool, train, dabf, &self.config, c, strategy, &mut buf))
+                .map(|&c| {
+                    let mut cache = use_cache.then(DistCache::new);
+                    let (scores, evals) = score_class(
+                        pool, train, dabf, &self.config, c, strategy, &mut buf,
+                        cache.as_mut(),
+                    );
+                    (scores, evals, cache)
+                })
                 .collect();
             ctx.scratch().recycle_f64(buf);
             out
         } else {
             workers.run(classes.len(), |i| {
                 let mut buf = Vec::new();
-                score_class(pool, train, dabf, &self.config, classes[i], strategy, &mut buf)
+                let mut cache = use_cache.then(DistCache::new);
+                let (scores, evals) = score_class(
+                    pool, train, dabf, &self.config, classes[i], strategy, &mut buf,
+                    cache.as_mut(),
+                );
+                (scores, evals, cache)
             })
         };
         let mut shapelets = Vec::new();
         let mut utility_evals = 0;
-        for (&class, (scores, evals)) in classes.iter().zip(scored) {
+        let mut cache_stats = CacheStats::default();
+        for (&class, (scores, evals, cache)) in classes.iter().zip(scored) {
             utility_evals += evals;
+            if let Some(cache) = cache {
+                cache_stats.merge(&cache.stats());
+                ctx.scratch().absorb_dist_cache(cache);
+            }
             select_class_from_scores(pool, class, &scores, &self.config, &mut shapelets);
         }
-        Selection { shapelets, utility_evals }
+        Selection { shapelets, utility_evals, cache_stats }
     }
 }
 
@@ -717,7 +791,7 @@ impl Selector for ScoreRankSelector {
                 });
             }
         }
-        Selection { shapelets, utility_evals }
+        Selection { shapelets, utility_evals, cache_stats: CacheStats::default() }
     }
 }
 

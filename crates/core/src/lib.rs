@@ -54,3 +54,4 @@ pub use multivariate::{MultivariateDataset, MultivariateIps};
 pub use pipeline::{DiscoveryResult, DiscoveryStats, IpsClassifier, IpsDiscovery, StageTimings};
 pub use pruning::{build_dabf, prune_with_dabf, prune_naive};
 pub use topk::{select_top_k, TopKStrategy};
+pub use utility::{score_exact, score_exact_with_cache};

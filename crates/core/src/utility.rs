@@ -14,7 +14,7 @@
 //! ordering while keeping the scores numerically distinct (recorded in
 //! DESIGN.md §2).
 
-use ips_distance::{sliding_min_dist, sliding_min_dist_znorm};
+use ips_distance::{sliding_min_dist, sliding_min_dist_znorm, DistCache};
 use ips_filter::Dabf;
 use ips_lsh::embed;
 use ips_tsdata::Dataset;
@@ -41,27 +41,47 @@ pub fn score_exact(
     config: &IpsConfig,
     class: u32,
 ) -> Vec<f64> {
-    score_exact_counted(pool, train, config, class, &mut Vec::new()).0
+    score_exact_counted(pool, train, config, class, &mut Vec::new(), None).0
 }
 
-/// [`score_exact`] with work accounting and a caller-supplied scratch
-/// buffer for the intra-class accumulator (reused across classes by the
-/// engine's sequential path). Returns the scores and the number of
-/// sliding-distance evaluations performed.
+/// [`score_exact`] drawing every sliding distance from `cache` — the
+/// engine's hot path when `use_fft_kernel` is on. Cache hits and kernel
+/// evaluations accumulate into the cache's own counters; the returned
+/// eval count is the number of distance *requests* (hits + misses).
+pub fn score_exact_with_cache(
+    pool: &CandidatePool,
+    train: &Dataset,
+    config: &IpsConfig,
+    class: u32,
+    cache: &mut DistCache,
+) -> (Vec<f64>, usize) {
+    score_exact_counted(pool, train, config, class, &mut Vec::new(), Some(cache))
+}
+
+/// [`score_exact`] with work accounting, a caller-supplied scratch buffer
+/// for the intra-class accumulator (reused across classes by the engine's
+/// sequential path), and an optional distance cache. Returns the scores
+/// and the number of sliding-distance requests issued (each request is a
+/// cache hit or a computed evaluation when a cache is supplied).
 pub(crate) fn score_exact_counted(
     pool: &CandidatePool,
     train: &Dataset,
     config: &IpsConfig,
     class: u32,
     intra_sum: &mut Vec<f64>,
+    cache: Option<&mut DistCache>,
 ) -> (Vec<f64>, usize) {
     let motifs: Vec<&Candidate> = pool.motifs_of(class).collect();
     if motifs.is_empty() {
         return (Vec::new(), 0);
     }
-    let dist = |a: &[f64], b: &[f64]| match config.metric {
-        ips_profile::Metric::MeanSquared => sliding_min_dist(a, b).0,
-        ips_profile::Metric::ZNormEuclidean => sliding_min_dist_znorm(a, b).0,
+    let mut cache = cache;
+    let mut dist = |a: &[f64], b: &[f64]| match cache.as_deref_mut() {
+        Some(c) => c.min_dist(a, b, config.metric).0,
+        None => match config.metric {
+            ips_profile::Metric::MeanSquared => sliding_min_dist(a, b).0,
+            ips_profile::Metric::ZNormEuclidean => sliding_min_dist_znorm(a, b).0,
+        },
     };
     // CR: intra-class pairwise distances form a symmetric matrix computed
     // once (the paper: "we calculate the distances between every two
@@ -226,8 +246,10 @@ pub(crate) fn score_dt_cr_counted(
 }
 
 /// Dispatches per-class scoring by strategy — the class-parallel unit of
-/// Algorithm 4's scoring phase. `intra_buf` is a reusable accumulator for
-/// the exact path (ignored by DT+CR).
+/// Algorithm 4's scoring phase. `intra_buf` is a reusable accumulator and
+/// `cache` the optional distance cache for the exact path (both ignored by
+/// DT+CR, which works in the DABF's rank space and computes no sliding
+/// distances).
 pub(crate) fn score_class(
     pool: &CandidatePool,
     train: &Dataset,
@@ -236,10 +258,11 @@ pub(crate) fn score_class(
     class: u32,
     strategy: crate::topk::TopKStrategy,
     intra_buf: &mut Vec<f64>,
+    cache: Option<&mut DistCache>,
 ) -> (Vec<f64>, usize) {
     match strategy {
         crate::topk::TopKStrategy::Exact => {
-            score_exact_counted(pool, train, config, class, intra_buf)
+            score_exact_counted(pool, train, config, class, intra_buf, cache)
         }
         crate::topk::TopKStrategy::DtCr => {
             let dabf = dabf.expect("DtCr strategy requires a built DABF");

@@ -127,6 +127,121 @@ fn observer_hook_fires_once_per_stage_in_order() {
     assert_eq!(obs.reports, result.report.stages().to_vec());
 }
 
+/// Provenance view of a shapelet set: what the ISSUE-level "identical
+/// selection" contract pins (instances, offsets, classes, lengths) —
+/// scores are allowed to differ by float tolerance between the naive and
+/// FFT evaluation orders, the selection is not.
+fn provenance(shapelets: &[ips_classify::Shapelet]) -> Vec<(usize, usize, u32, usize)> {
+    shapelets
+        .iter()
+        .map(|s| (s.source_instance, s.source_offset, s.class, s.len()))
+        .collect()
+}
+
+#[test]
+fn fft_kernel_selects_identical_shapelets_across_grid() {
+    let train = synth_train();
+    for (use_dabf, use_dt_cr) in [(true, true), (true, false), (false, false), (false, true)] {
+        for threads in [1, 2] {
+            let mut cfg = base_cfg().with_threads(threads);
+            cfg.use_dabf = use_dabf;
+            cfg.use_dt_cr = use_dt_cr;
+            let mut naive_cfg = cfg.clone();
+            naive_cfg.use_fft_kernel = false;
+            let kern = IpsDiscovery::new(cfg).discover(&train).unwrap();
+            let naive = IpsDiscovery::new(naive_cfg).discover(&train).unwrap();
+            let tag = format!("dabf={use_dabf} dtcr={use_dt_cr} threads={threads}");
+            assert_eq!(
+                provenance(&kern.shapelets),
+                provenance(&naive.shapelets),
+                "selection diverges: {tag}"
+            );
+            for (a, b) in kern.shapelets.iter().zip(&naive.shapelets) {
+                assert!(
+                    (a.score - b.score).abs() <= 1e-9 * (1.0 + b.score.abs()),
+                    "score drift beyond tolerance: {tag}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn exact_scoring_counters_partition_the_distance_requests() {
+    // Exact strategy + fft kernel: every sliding-distance request is
+    // either a kernel/naive evaluation (miss) or a memo hit, and the
+    // analytic utility_evals counts exactly the requests.
+    let train = synth_train();
+    let mut cfg = base_cfg();
+    cfg.use_dt_cr = false; // force the Exact strategy
+    let result = IpsDiscovery::new(cfg).discover(&train).unwrap();
+    let topk = result.report.stage(Stage::TopK).unwrap().counters;
+    assert!(topk.kernel_evals > 0, "exact scoring must evaluate distances");
+    assert_eq!(
+        topk.kernel_evals + topk.cache_hits,
+        topk.utility_evals,
+        "evals + hits must partition the distance requests"
+    );
+    // DT+CR works in DABF rank space and issues no sliding distances
+    let mut cfg = base_cfg();
+    cfg.use_dt_cr = true;
+    let result = IpsDiscovery::new(cfg).discover(&train).unwrap();
+    let topk = result.report.stage(Stage::TopK).unwrap().counters;
+    assert_eq!((topk.kernel_evals, topk.cache_hits), (0, 0));
+    // and with the kernel off, the exact path reports plain evals only
+    let mut cfg = base_cfg();
+    cfg.use_dt_cr = false;
+    cfg.use_fft_kernel = false;
+    let result = IpsDiscovery::new(cfg).discover(&train).unwrap();
+    let topk = result.report.stage(Stage::TopK).unwrap().counters;
+    assert_eq!((topk.kernel_evals, topk.cache_hits), (0, 0));
+    assert!(topk.utility_evals > 0);
+}
+
+#[test]
+fn cache_counters_are_thread_count_invariant() {
+    let train = synth_train();
+    let mut cfg = base_cfg();
+    cfg.use_dt_cr = false;
+    let reports: Vec<_> = [1, 2]
+        .iter()
+        .map(|&t| {
+            IpsDiscovery::new(cfg.clone().with_threads(t)).discover(&train).unwrap().report
+        })
+        .collect();
+    let a = reports[0].stage(Stage::TopK).unwrap().counters;
+    let b = reports[1].stage(Stage::TopK).unwrap().counters;
+    assert_eq!((a.kernel_evals, a.cache_hits), (b.kernel_evals, b.cache_hits));
+}
+
+#[test]
+fn forced_kernel_scoring_matches_naive_scores() {
+    // The grid test above exercises the Auto crossover, which keeps the
+    // naive loop on short synth series; this pins the FFT path itself
+    // against naive scoring through the engine's scoring entry point.
+    use ips_core::{score_exact, score_exact_with_cache};
+    use ips_distance::{DistCache, KernelPolicy};
+    let train = synth_train();
+    let cfg = base_cfg();
+    let pool = generate_candidates(&train, &cfg);
+    let mut cache = DistCache::with_policy(KernelPolicy::ForceKernel);
+    for &class in &[0u32, 1, 2] {
+        let plain = score_exact(&pool, &train, &cfg, class);
+        let (forced, requests) =
+            score_exact_with_cache(&pool, &train, &cfg, class, &mut cache);
+        assert_eq!(plain.len(), forced.len());
+        for (i, (a, b)) in plain.iter().zip(&forced).enumerate() {
+            assert!(
+                (a - b).abs() <= 1e-9 * (1.0 + a.abs()),
+                "class {class} candidate {i}: naive {a} vs forced-kernel {b}"
+            );
+        }
+        assert!(requests > 0);
+    }
+    let stats = cache.stats();
+    assert_eq!(stats.kernel_evals + stats.cache_hits > 0, true);
+}
+
 #[test]
 fn counters_are_thread_count_invariant() {
     let train = synth_train();

@@ -1,0 +1,391 @@
+//! Batch FFT/MASS min-distance kernel.
+//!
+//! [`batch_min_dist`] answers "what is the minimum sliding distance of each
+//! query against this series?" for a whole batch of queries while paying for
+//! the series-side FFT only once. Per series it plans a single forward FFT
+//! at a size covering *every* admissible query length
+//! (`next_power_of_two(2n − 1)` ≥ `n + m − 1` for all `m ≤ n`), then derives
+//! each query's sliding dot products from that one spectrum:
+//!
+//! * [`Metric::ZNormEuclidean`] — MASS: dots + rolling window statistics
+//!   feed [`znorm_dist_from_dot`], which owns the zero-variance convention.
+//! * [`Metric::MeanSquared`] — the paper's Definition 4 via the identity
+//!   `Σ(q−w)² = Σq² − 2·dot + Σw²`, with `Σw²` from a prefix-sum table.
+//!
+//! Queries are processed **two at a time** through one complex transform:
+//! packing `rev(q1) + i·rev(q2)` and convolving with the real series yields
+//! `conv1` in the real part and `conv2` in the imaginary part (linearity),
+//! so the amortized cost is ~one FFT per query on top of the shared
+//! series spectrum.
+//!
+//! A crossover heuristic ([`KernelPolicy::Auto`]) falls back to the
+//! early-abandoning naive loops for short queries/series, where O(m·n)
+//! with abandoning beats O(N log N) constants.
+
+use crate::euclid::{sliding_min_dist, sliding_min_dist_znorm, znorm_dist_from_dot};
+use crate::fft::{Complex, Fft};
+use crate::metric::Metric;
+use crate::rolling::RollingStats;
+
+/// How [`batch_min_dist_with`] and the distance cache choose between the
+/// FFT kernel and the naive early-abandoning loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KernelPolicy {
+    /// Cost-model crossover: kernel for long queries over long series,
+    /// naive otherwise. The default.
+    #[default]
+    Auto,
+    /// Always the FFT kernel (used by the equivalence proptests, which pin
+    /// the kernel against the naive reference even at tiny sizes).
+    ForceKernel,
+    /// Always the naive loop (turns the cache into a pure memo layer).
+    ForceNaive,
+}
+
+/// Crossover estimate in rough multiply units. `ffts_per_query` is the
+/// amortized number of full-size transforms a caller pays per query: ~1 for
+/// the packed batch path, ~2 for one-off queries through the cache.
+///
+/// The naive loops differ sharply per metric: the raw-metric loop early
+/// abandons (effective cost well below `m` per window on typical data),
+/// while the z-norm loop computes every full dot product. The constants
+/// below were tuned against `bench_kernel` on this container.
+pub(crate) fn kernel_profitable(
+    metric: Metric,
+    m: usize,
+    n: usize,
+    fft_size: usize,
+    ffts_per_query: f64,
+) -> bool {
+    if m < 16 || n < 128 {
+        return false;
+    }
+    let windows = (n - m + 1) as f64;
+    let naive = match metric {
+        Metric::ZNormEuclidean => m as f64 * windows,
+        // early abandoning caps the effective per-window work
+        Metric::MeanSquared => (m as f64).min(32.0) * windows,
+    };
+    let nf = fft_size as f64;
+    let kernel = ffts_per_query * 2.5 * nf * nf.log2() + 6.0 * n as f64;
+    naive > kernel
+}
+
+/// Per-series kernel state: the padded spectrum (built lazily on first
+/// kernel use), per-window-length rolling statistics, and a prefix-sum
+/// table of squares. The plan does **not** own the series; callers pass the
+/// same values to every method (the distance cache guarantees this by
+/// keying plans on a content hash).
+#[derive(Debug, Clone)]
+pub struct SeriesPlan {
+    n: usize,
+    fft_size: usize,
+    spectrum: Option<Vec<Complex>>,
+    /// `(window, stats)` pairs; query-length diversity is small (one per
+    /// length ratio), so a linear scan beats a map.
+    stats: Vec<(usize, RollingStats)>,
+    /// `sq_prefix[j] = Σ_{i<j} series[i]²`, so `Σ series[j..j+m]²` is one
+    /// subtraction.
+    sq_prefix: Vec<f64>,
+}
+
+impl SeriesPlan {
+    /// Plans for `series`. O(n); the FFT itself is deferred until a kernel
+    /// evaluation actually needs the spectrum.
+    pub fn new(series: &[f64]) -> Self {
+        let n = series.len();
+        let fft_size = (2 * n).saturating_sub(1).max(1).next_power_of_two();
+        let mut sq_prefix = Vec::with_capacity(n + 1);
+        let mut acc = 0.0;
+        sq_prefix.push(0.0);
+        for &x in series {
+            acc += x * x;
+            sq_prefix.push(acc);
+        }
+        Self { n, fft_size, spectrum: None, stats: Vec::new(), sq_prefix }
+    }
+
+    /// The power-of-two transform size shared by every query length.
+    #[inline]
+    pub fn fft_size(&self) -> usize {
+        self.fft_size
+    }
+
+    fn ensure_spectrum(&mut self, fft: &Fft, series: &[f64]) {
+        debug_assert_eq!(series.len(), self.n);
+        debug_assert_eq!(fft.len(), self.fft_size);
+        if self.spectrum.is_none() {
+            let mut buf: Vec<Complex> =
+                series.iter().map(|&x| Complex::new(x, 0.0)).collect();
+            buf.resize(self.fft_size, Complex::default());
+            fft.forward(&mut buf);
+            self.spectrum = Some(buf);
+        }
+    }
+
+    fn stats_for(&mut self, series: &[f64], m: usize) -> &RollingStats {
+        debug_assert_eq!(series.len(), self.n);
+        if let Some(i) = self.stats.iter().position(|(w, _)| *w == m) {
+            return &self.stats[i].1;
+        }
+        self.stats.push((m, RollingStats::new(series, m)));
+        &self.stats.last().unwrap().1
+    }
+
+    #[inline]
+    fn window_sq_sum(&self, j: usize, m: usize) -> f64 {
+        self.sq_prefix[j + m] - self.sq_prefix[j]
+    }
+
+    /// Sliding dot products for up to two queries through **one** complex
+    /// transform: `IFFT(FFT(rev(q1) + i·rev(q2)) · S)` carries
+    /// `conv(series, rev(q1))` in its real part and `conv(series, rev(q2))`
+    /// in its imaginary part, because convolution is linear and the series
+    /// is real.
+    fn dots_packed(
+        &mut self,
+        fft: &Fft,
+        series: &[f64],
+        q1: &[f64],
+        q2: Option<&[f64]>,
+    ) -> (Vec<f64>, Option<Vec<f64>>) {
+        self.ensure_spectrum(fft, series);
+        let spectrum = self.spectrum.as_ref().expect("spectrum just built");
+        let mut buf = vec![Complex::default(); self.fft_size];
+        for (i, &x) in q1.iter().rev().enumerate() {
+            buf[i].re = x;
+        }
+        if let Some(q2) = q2 {
+            for (i, &x) in q2.iter().rev().enumerate() {
+                buf[i].im = x;
+            }
+        }
+        fft.forward(&mut buf);
+        for (x, s) in buf.iter_mut().zip(spectrum) {
+            *x = Complex::new(x.re * s.re - x.im * s.im, x.re * s.im + x.im * s.re);
+        }
+        fft.inverse(&mut buf);
+        let extract = |m: usize| -> Vec<f64> {
+            buf[m - 1..self.n].iter().map(|c| c.re).collect()
+        };
+        let extract_im = |m: usize| -> Vec<f64> {
+            buf[m - 1..self.n].iter().map(|c| c.im).collect()
+        };
+        let d1 = extract(q1.len());
+        let d2 = q2.map(|q| extract_im(q.len()));
+        (d1, d2)
+    }
+
+    /// Kernel min-distance of one already-oriented query (`q.len() ≤ n`,
+    /// both non-empty) against the planned series. Same return convention
+    /// as [`sliding_min_dist`] / [`sliding_min_dist_znorm`].
+    pub fn min_dist_one(
+        &mut self,
+        fft: &Fft,
+        series: &[f64],
+        query: &[f64],
+        metric: Metric,
+    ) -> (f64, usize) {
+        let (dots, _) = self.dots_packed(fft, series, query, None);
+        self.min_from_dots(series, query, &dots, metric)
+    }
+
+    fn min_from_dots(
+        &mut self,
+        series: &[f64],
+        query: &[f64],
+        dots: &[f64],
+        metric: Metric,
+    ) -> (f64, usize) {
+        let m = query.len();
+        match metric {
+            Metric::MeanSquared => {
+                let q_sq: f64 = query.iter().map(|x| x * x).sum();
+                let mut best = f64::INFINITY;
+                let mut best_at = 0;
+                for (j, &dot) in dots.iter().enumerate() {
+                    // the FFT identity can dip epsilon-negative; the naive
+                    // sum of squares never does
+                    let d = ((q_sq - 2.0 * dot + self.window_sq_sum(j, m))
+                        / m as f64)
+                        .max(0.0);
+                    if d < best {
+                        best = d;
+                        best_at = j;
+                    }
+                }
+                (best, best_at)
+            }
+            Metric::ZNormEuclidean => {
+                let mu_q = query.iter().sum::<f64>() / m as f64;
+                let sd_q = (query.iter().map(|x| (x - mu_q) * (x - mu_q)).sum::<f64>()
+                    / m as f64)
+                    .sqrt();
+                let stats = self.stats_for(series, m);
+                let mut best = f64::INFINITY;
+                let mut best_at = 0;
+                for (j, &dot) in dots.iter().enumerate() {
+                    let d =
+                        znorm_dist_from_dot(dot, m, mu_q, sd_q, stats.mean(j), stats.std(j));
+                    if d < best {
+                        best = d;
+                        best_at = j;
+                    }
+                }
+                // same scale conversion as `sliding_min_dist_znorm`
+                if best.is_finite() {
+                    (best * best / m as f64, best_at)
+                } else {
+                    (f64::INFINITY, 0)
+                }
+            }
+        }
+    }
+}
+
+/// Naive reference for one query, dispatching on the metric. Public within
+/// the crate so the cache's fallback path shares it.
+#[inline]
+pub(crate) fn naive_min_dist(query: &[f64], series: &[f64], metric: Metric) -> (f64, usize) {
+    match metric {
+        Metric::MeanSquared => sliding_min_dist(query, series),
+        Metric::ZNormEuclidean => sliding_min_dist_znorm(query, series),
+    }
+}
+
+/// Minimum sliding distance of every query against `series` under the
+/// [`KernelPolicy::Auto`] crossover. See [`batch_min_dist_with`].
+pub fn batch_min_dist(queries: &[&[f64]], series: &[f64], metric: Metric) -> Vec<(f64, usize)> {
+    batch_min_dist_with(queries, series, metric, KernelPolicy::Auto)
+}
+
+/// Minimum sliding distance (and argmin offset) of every query against
+/// `series`, with an explicit kernel policy.
+///
+/// Matches the naive loops' conventions exactly: empty inputs yield
+/// `(f64::INFINITY, 0)`, a query longer than the series slides the series
+/// over the query (handled via the naive path), distances are on the
+/// mean-squared scale for both metrics, and the offset is the first argmin.
+/// Values agree with the naive reference to ~1e-9 (pinned by the proptest
+/// suite in `tests/kernel_props.rs`).
+pub fn batch_min_dist_with(
+    queries: &[&[f64]],
+    series: &[f64],
+    metric: Metric,
+    policy: KernelPolicy,
+) -> Vec<(f64, usize)> {
+    let mut out = vec![(f64::INFINITY, 0usize); queries.len()];
+    let mut plan = SeriesPlan::new(series);
+    let mut kernel_idx: Vec<usize> = Vec::new();
+    for (i, q) in queries.iter().enumerate() {
+        let eligible = !q.is_empty() && !series.is_empty() && q.len() <= series.len();
+        let use_kernel = eligible
+            && match policy {
+                KernelPolicy::ForceKernel => true,
+                KernelPolicy::ForceNaive => false,
+                KernelPolicy::Auto => {
+                    kernel_profitable(metric, q.len(), series.len(), plan.fft_size(), 1.0)
+                }
+            };
+        if use_kernel {
+            kernel_idx.push(i);
+        } else if !q.is_empty() && !series.is_empty() {
+            out[i] = naive_min_dist(q, series, metric);
+        } // else: keep (INF, 0), the empty-input convention
+    }
+    if kernel_idx.is_empty() {
+        return out;
+    }
+    let fft = Fft::new(plan.fft_size());
+    for pair in kernel_idx.chunks(2) {
+        let q1 = queries[pair[0]];
+        let q2 = pair.get(1).map(|&i| queries[i]);
+        let (d1, d2) = plan.dots_packed(&fft, series, q1, q2);
+        out[pair[0]] = plan.min_from_dots(series, q1, &d1, metric);
+        if let (Some(&i2), Some(d2)) = (pair.get(1), d2) {
+            out[i2] = plan.min_from_dots(series, queries[i2], &d2, metric);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(n: usize) -> Vec<f64> {
+        (0..n).map(|i| (i as f64 * 0.37).sin() * 2.0 + (i as f64 * 0.011).cos()).collect()
+    }
+
+    #[test]
+    fn packed_pair_matches_singles() {
+        let s = series(96);
+        let q1: Vec<f64> = s[10..30].to_vec();
+        let q2: Vec<f64> = (0..13).map(|i| (i as f64 * 0.9).cos()).collect();
+        let mut plan = SeriesPlan::new(&s);
+        let fft = Fft::new(plan.fft_size());
+        let (d1, d2) = plan.dots_packed(&fft, &s, &q1, Some(&q2));
+        let (s1, _) = plan.dots_packed(&fft, &s, &q1, None);
+        let (s2, _) = plan.dots_packed(&fft, &s, &q2, None);
+        let d2 = d2.unwrap();
+        assert_eq!(d1.len(), s1.len());
+        assert_eq!(d2.len(), s2.len());
+        for (a, b) in d1.iter().zip(&s1) {
+            assert!((a - b).abs() < 1e-8);
+        }
+        for (a, b) in d2.iter().zip(&s2) {
+            assert!((a - b).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn kernel_matches_naive_on_both_metrics() {
+        let s = series(200);
+        let queries: Vec<Vec<f64>> =
+            vec![s[20..52].to_vec(), s[100..117].to_vec(), series(40)];
+        let refs: Vec<&[f64]> = queries.iter().map(|q| q.as_slice()).collect();
+        for metric in [Metric::MeanSquared, Metric::ZNormEuclidean] {
+            let fast = batch_min_dist_with(&refs, &s, metric, KernelPolicy::ForceKernel);
+            for (i, q) in refs.iter().enumerate() {
+                let (nd, _) = naive_min_dist(q, &s, metric);
+                assert!(
+                    (fast[i].0 - nd).abs() < 1e-9 * (1.0 + nd.abs()),
+                    "{metric:?} query {i}: {} vs {nd}",
+                    fast[i].0
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs_keep_naive_conventions() {
+        let s = series(32);
+        let empty: &[f64] = &[];
+        let long: Vec<f64> = series(64);
+        let out = batch_min_dist_with(
+            &[empty, &long, &s[1..5]],
+            &s,
+            Metric::MeanSquared,
+            KernelPolicy::ForceKernel,
+        );
+        assert_eq!(out[0], (f64::INFINITY, 0));
+        // longer query: series slides over the query, exactly like the naive swap
+        assert_eq!(out[1], sliding_min_dist(&long, &s));
+        assert_eq!(out[2].0, 0.0);
+        assert!(batch_min_dist(&[&s[..4]], &[], Metric::MeanSquared)[0].0.is_infinite());
+    }
+
+    #[test]
+    fn auto_policy_agrees_with_forced_paths() {
+        let s = series(600);
+        let queries: Vec<Vec<f64>> = vec![s[5..11].to_vec(), s[40..360].to_vec()];
+        let refs: Vec<&[f64]> = queries.iter().map(|q| q.as_slice()).collect();
+        for metric in [Metric::MeanSquared, Metric::ZNormEuclidean] {
+            let auto = batch_min_dist(&refs, &s, metric);
+            let naive = batch_min_dist_with(&refs, &s, metric, KernelPolicy::ForceNaive);
+            for (a, b) in auto.iter().zip(&naive) {
+                assert!((a.0 - b.0).abs() < 1e-9 * (1.0 + b.0.abs()));
+            }
+        }
+    }
+}

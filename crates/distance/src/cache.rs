@@ -1,0 +1,266 @@
+//! A memoizing distance-profile layer over the batch kernel.
+//!
+//! [`DistCache`] answers [`DistCache::min_dist`] queries while remembering
+//! two kinds of work:
+//!
+//! * **FFT plans** — one [`SeriesPlan`] per distinct series (so its padded
+//!   spectrum, rolling statistics, and prefix sums are computed once no
+//!   matter how many candidates probe it), plus one [`Fft`] twiddle table
+//!   per transform size, shared across series of similar length.
+//! * **Results** — a `(query, series, metric) → (dist, offset)` memo, so
+//!   a candidate scored against the same instance by a later stage (or by
+//!   the shapelet transform after discovery) is a hash lookup.
+//!
+//! Keys are **content hashes** of the raw `f64` bit patterns (two
+//! independent 64-bit FNV-style hashes plus the length), so they are
+//! deterministic across runs and independent of where a slice lives in
+//! memory — a candidate window and an equal-valued subsequence of another
+//! instance share cache entries. A collision needs both 64-bit hashes to
+//! agree (~2⁻¹²⁸ per pair); there is no bucket-chain verification.
+//!
+//! The cache is deliberately `Send`-friendly plain data: per-class caches
+//! built on worker threads are merged into a session cache with
+//! [`DistCache::absorb`] in deterministic class order.
+
+use std::collections::HashMap;
+
+use crate::batch::{kernel_profitable, naive_min_dist, KernelPolicy, SeriesPlan};
+use crate::fft::Fft;
+use crate::metric::Metric;
+
+/// Work counters exposed through the engine's stage telemetry.
+///
+/// Every [`DistCache::min_dist`] call is exactly one of the two: a **hit**
+/// (memo lookup) or an **eval** (computed, via either the FFT kernel or the
+/// naive fallback — the counter tracks cache misses, not which code path
+/// served them). So `kernel_evals + cache_hits` equals the number of
+/// distance requests issued by the caller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Distances actually computed (cache misses).
+    pub kernel_evals: usize,
+    /// Distances served from the memo.
+    pub cache_hits: usize,
+}
+
+impl CacheStats {
+    /// Field-wise sum.
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.kernel_evals += other.kernel_evals;
+        self.cache_hits += other.cache_hits;
+    }
+}
+
+/// `(len, h1, h2)` — content identity of a slice.
+type Key = (usize, u64, u64);
+
+fn content_key(xs: &[f64]) -> Key {
+    // Two independent FNV-1a-style chains over the raw bit patterns.
+    // Deterministic across runs (no RandomState), cheap, and 128 bits of
+    // separation between distinct contents.
+    let mut h1: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut h2: u64 = 0x9e37_79b9_7f4a_7c15 ^ (xs.len() as u64);
+    for &x in xs {
+        let b = x.to_bits();
+        h1 = (h1 ^ b).wrapping_mul(0x0000_0100_0000_01b3);
+        h2 = (h2 ^ b.rotate_left(17)).wrapping_mul(0xc2b2_ae3d_27d4_eb4f);
+    }
+    (xs.len(), h1, h2)
+}
+
+/// Memoizing distance layer. See the module docs.
+#[derive(Debug, Clone, Default)]
+pub struct DistCache {
+    policy: KernelPolicy,
+    ffts: HashMap<usize, Fft>,
+    plans: HashMap<Key, SeriesPlan>,
+    memo: HashMap<(Key, Key, Metric), (f64, usize)>,
+    stats: CacheStats,
+}
+
+impl DistCache {
+    /// An empty cache with the [`KernelPolicy::Auto`] crossover.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty cache with an explicit kernel policy (tests pin
+    /// `ForceKernel` / `ForceNaive`).
+    pub fn with_policy(policy: KernelPolicy) -> Self {
+        Self { policy, ..Self::default() }
+    }
+
+    /// The active kernel policy.
+    pub fn policy(&self) -> KernelPolicy {
+        self.policy
+    }
+
+    /// Work counters accumulated so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Number of memoized results.
+    pub fn len(&self) -> usize {
+        self.memo.len()
+    }
+
+    /// True when nothing has been memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.memo.is_empty()
+    }
+
+    /// Minimum sliding distance of `query` against `series` under `metric`,
+    /// with the same conventions as `sliding_min_dist{,_znorm}`: arguments
+    /// may come in either order (the shorter slides over the longer; the
+    /// memo is keyed on the oriented pair so both orders hit), empty input
+    /// yields `(f64::INFINITY, 0)`, and the offset is the first argmin.
+    pub fn min_dist(&mut self, query: &[f64], series: &[f64], metric: Metric) -> (f64, usize) {
+        let (q, s) =
+            if query.len() <= series.len() { (query, series) } else { (series, query) };
+        let kq = content_key(q);
+        let ks = content_key(s);
+        if let Some(&hit) = self.memo.get(&(kq, ks, metric)) {
+            self.stats.cache_hits += 1;
+            return hit;
+        }
+        self.stats.kernel_evals += 1;
+        let result = self.compute(q, s, metric, ks);
+        self.memo.insert((kq, ks, metric), result);
+        result
+    }
+
+    fn compute(&mut self, q: &[f64], s: &[f64], metric: Metric, ks: Key) -> (f64, usize) {
+        if q.is_empty() || s.is_empty() {
+            return (f64::INFINITY, 0);
+        }
+        let use_kernel = match self.policy {
+            KernelPolicy::ForceKernel => true,
+            KernelPolicy::ForceNaive => false,
+            KernelPolicy::Auto => {
+                // one-off query: a forward + inverse transform, spectrum
+                // amortized over the series' lifetime in the cache
+                let fft_size = (2 * s.len()).saturating_sub(1).max(1).next_power_of_two();
+                kernel_profitable(metric, q.len(), s.len(), fft_size, 2.0)
+            }
+        };
+        if !use_kernel {
+            return naive_min_dist(q, s, metric);
+        }
+        let plan = self.plans.entry(ks).or_insert_with(|| SeriesPlan::new(s));
+        let fft =
+            self.ffts.entry(plan.fft_size()).or_insert_with(|| Fft::new(plan.fft_size()));
+        plan.min_dist_one(fft, s, q, metric)
+    }
+
+    /// Merges `other` into `self`: memo entries, FFT plans, and counters.
+    /// Existing entries win on (astronomically unlikely) key conflicts.
+    /// Called in deterministic class order when per-class worker caches are
+    /// folded back into the session cache.
+    pub fn absorb(&mut self, other: DistCache) {
+        for (k, v) in other.ffts {
+            self.ffts.entry(k).or_insert(v);
+        }
+        for (k, v) in other.plans {
+            self.plans.entry(k).or_insert(v);
+        }
+        for (k, v) in other.memo {
+            self.memo.entry(k).or_insert(v);
+        }
+        self.stats.merge(&other.stats);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::euclid::{sliding_min_dist, sliding_min_dist_znorm};
+
+    fn series(n: usize) -> Vec<f64> {
+        (0..n).map(|i| (i as f64 * 0.37).sin() * 2.0 + (i as f64 * 0.011).cos()).collect()
+    }
+
+    #[test]
+    fn memo_hits_and_evals_partition_requests() {
+        let s = series(150);
+        let q1: Vec<f64> = s[10..40].to_vec();
+        let q2: Vec<f64> = s[50..70].to_vec();
+        let mut cache = DistCache::new();
+        cache.min_dist(&q1, &s, Metric::ZNormEuclidean);
+        cache.min_dist(&q2, &s, Metric::ZNormEuclidean);
+        cache.min_dist(&q1, &s, Metric::ZNormEuclidean); // hit
+        cache.min_dist(&q1, &s, Metric::MeanSquared); // different metric: miss
+        let st = cache.stats();
+        assert_eq!(st.kernel_evals, 3);
+        assert_eq!(st.cache_hits, 1);
+        assert_eq!(st.kernel_evals + st.cache_hits, 4);
+    }
+
+    #[test]
+    fn matches_naive_for_both_metrics_and_orders() {
+        let s = series(140);
+        let q: Vec<f64> = s[30..75].to_vec();
+        let mut cache = DistCache::new();
+        let zn = cache.min_dist(&q, &s, Metric::ZNormEuclidean);
+        let ms = cache.min_dist(&q, &s, Metric::MeanSquared);
+        let zn_ref = sliding_min_dist_znorm(&q, &s);
+        let ms_ref = sliding_min_dist(&q, &s);
+        assert!((zn.0 - zn_ref.0).abs() < 1e-9);
+        assert!((ms.0 - ms_ref.0).abs() < 1e-9);
+        // reversed argument order is served from the memo
+        let before = cache.stats().cache_hits;
+        assert_eq!(cache.min_dist(&s, &q, Metric::MeanSquared), ms);
+        assert_eq!(cache.stats().cache_hits, before + 1);
+    }
+
+    #[test]
+    fn equal_content_different_slices_share_entries() {
+        let s = series(100);
+        let a: Vec<f64> = s[20..36].to_vec();
+        let b: Vec<f64> = s[20..36].to_vec(); // distinct allocation, same values
+        let mut cache = DistCache::new();
+        cache.min_dist(&a, &s, Metric::MeanSquared);
+        cache.min_dist(&b, &s, Metric::MeanSquared);
+        assert_eq!(cache.stats().cache_hits, 1);
+    }
+
+    #[test]
+    fn absorb_merges_counters_and_memo() {
+        let s = series(90);
+        let mut a = DistCache::new();
+        let mut b = DistCache::new();
+        a.min_dist(&s[..10], &s, Metric::MeanSquared);
+        b.min_dist(&s[..10], &s, Metric::MeanSquared);
+        b.min_dist(&s[12..30], &s, Metric::MeanSquared);
+        a.absorb(b);
+        assert_eq!(a.stats().kernel_evals, 3);
+        assert_eq!(a.len(), 2);
+        // both entries now hit
+        a.min_dist(&s[..10], &s, Metric::MeanSquared);
+        a.min_dist(&s[12..30], &s, Metric::MeanSquared);
+        assert_eq!(a.stats().cache_hits, 2);
+    }
+
+    #[test]
+    fn forced_policies_agree() {
+        let s = series(128);
+        let q: Vec<f64> = s[8..48].to_vec();
+        for metric in [Metric::MeanSquared, Metric::ZNormEuclidean] {
+            let k = DistCache::with_policy(KernelPolicy::ForceKernel)
+                .min_dist(&q, &s, metric);
+            let n = DistCache::with_policy(KernelPolicy::ForceNaive)
+                .min_dist(&q, &s, metric);
+            assert!((k.0 - n.0).abs() < 1e-9 * (1.0 + n.0.abs()), "{metric:?}");
+        }
+    }
+
+    #[test]
+    fn empty_inputs_follow_the_naive_convention() {
+        let mut cache = DistCache::new();
+        assert_eq!(cache.min_dist(&[], &[1.0, 2.0], Metric::MeanSquared), (f64::INFINITY, 0));
+        assert_eq!(cache.min_dist(&[1.0], &[], Metric::ZNormEuclidean), (f64::INFINITY, 0));
+        // degenerate requests still count as evals, keeping the partition
+        // invariant (evals + hits == requests)
+        assert_eq!(cache.stats().kernel_evals, 2);
+    }
+}

@@ -118,9 +118,41 @@ pub fn dist_profile_znorm(query: &[f64], series: &[f64]) -> Vec<f64> {
     out
 }
 
+/// The workspace's zero-variance convention for z-normalized distances,
+/// **pinned here and nowhere else**: a vector whose standard deviation is
+/// at or below `ZNORM_SIGMA_FLOOR · (1 + |μ|)` is treated as constant.
+///
+/// The floor is *relative* to the mean's magnitude rather than an absolute
+/// `f64::EPSILON`, because none of the σ producers reach exact zero on
+/// constant data: a two-pass σ over a constant query carries ~`m·ulp(x)`
+/// of rounding noise, and [`crate::RollingStats`]' cumsum-difference
+/// variance carries cancellation noise up to ~1e-5 absolute for values
+/// of magnitude 100. A sub-floor σ that slipped through would be used as
+/// a divisor, amplifying last-ulp dot-product differences into O(1) swings
+/// of the clamped correlation — the naive and FFT paths would then round
+/// the *same* window to distances 0 and 2√m. At 1e-6, every source of pure
+/// rounding noise sits well below the floor while any real variation
+/// (coefficient of variation ≥ 1e-6) sits well above it.
+pub const ZNORM_SIGMA_FLOOR: f64 = 1e-6;
+
+/// True when `sd` is below the pinned zero-variance floor for a vector
+/// with mean `mu` — the single predicate every z-normalized distance path
+/// (naive profile, MASS, batch kernel, STOMP-style matrix profile) uses to
+/// decide "this window is constant".
+#[inline]
+pub fn is_constant_sigma(sd: f64, mu: f64) -> bool {
+    sd <= ZNORM_SIGMA_FLOOR * (1.0 + mu.abs())
+}
+
 /// Converts a raw dot product and window statistics into the z-normalized
-/// Euclidean distance. Shared by the naive profile, MASS, and the
-/// STOMP-style matrix profile in `ips-profile`.
+/// Euclidean distance. Shared by the naive profile, MASS, the batch FFT
+/// kernel, and the STOMP-style matrix profile in `ips-profile` — so every
+/// path resolves zero-variance windows identically (see
+/// [`ZNORM_SIGMA_FLOOR`]):
+///
+/// * both sides constant → exactly `0` (identical after z-normalization);
+/// * exactly one side constant → exactly `√m` (an all-zeros vector against
+///   a unit-variance vector).
 #[inline]
 pub fn znorm_dist_from_dot(
     dot: f64,
@@ -131,11 +163,12 @@ pub fn znorm_dist_from_dot(
     sd_w: f64,
 ) -> f64 {
     let m_f = m as f64;
-    if sd_q <= f64::EPSILON && sd_w <= f64::EPSILON {
-        return 0.0; // both constant: identical after z-normalization
+    let const_q = is_constant_sigma(sd_q, mu_q);
+    let const_w = is_constant_sigma(sd_w, mu_w);
+    if const_q && const_w {
+        return 0.0;
     }
-    if sd_q <= f64::EPSILON || sd_w <= f64::EPSILON {
-        // one constant, one not: all-zeros vs unit-variance vector
+    if const_q || const_w {
         return m_f.sqrt();
     }
     let corr = (dot - m_f * mu_q * mu_w) / (m_f * sd_q * sd_w);

@@ -20,17 +20,24 @@
 //! assert!(euclidean(&[0.0, 3.0], &[4.0, 0.0]) == 5.0);
 //! ```
 
+pub mod batch;
+pub mod cache;
 pub mod dtw;
 pub mod euclid;
 pub mod fft;
 pub mod mass;
+pub mod metric;
 pub mod rolling;
 
+pub use batch::{batch_min_dist, batch_min_dist_with, KernelPolicy, SeriesPlan};
+pub use cache::{CacheStats, DistCache};
 pub use dtw::{dtw, dtw_banded, lb_keogh, DtwOptions};
 pub use euclid::{
-    argmax, argmin, dist_profile, dist_profile_znorm, euclidean, mean_sq_dist,
-    sliding_min_dist, sliding_min_dist_znorm, sq_euclidean, znorm_dist_from_dot,
+    argmax, argmin, dist_profile, dist_profile_znorm, euclidean, is_constant_sigma,
+    mean_sq_dist, sliding_min_dist, sliding_min_dist_znorm, sq_euclidean,
+    znorm_dist_from_dot, ZNORM_SIGMA_FLOOR,
 };
 pub use fft::{fft_convolve, Complex, Fft};
 pub use mass::{mass, sliding_dot_products};
+pub use metric::Metric;
 pub use rolling::RollingStats;

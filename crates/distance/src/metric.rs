@@ -1,0 +1,15 @@
+//! The two subsequence-distance metrics used across the workspace.
+//!
+//! Defined here (rather than in `ips-profile`, where it historically lived)
+//! so the batch kernel and the distance cache can key on it without a
+//! dependency cycle. `ips_profile::Metric` re-exports this type.
+
+/// Distance metric used by profile computation and the batch kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Metric {
+    /// The paper's Definition 4: mean squared difference, no normalization.
+    MeanSquared,
+    /// Z-normalized Euclidean distance — the metric of the matrix-profile
+    /// literature. Offset/scale invariant.
+    ZNormEuclidean,
+}

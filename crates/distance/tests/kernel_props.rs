@@ -1,0 +1,251 @@
+//! Property-based equivalence suite for the batch FFT/MASS kernel.
+//!
+//! Pins `batch_min_dist` (and the `mass`-derived minimum) against the naive
+//! references `sliding_min_dist{,_znorm}` over random inputs with lengths
+//! 1..=64, including the adversarial shapes the kernel must not get wrong:
+//! constant (zero-variance) windows, constant queries, fully flat series,
+//! and queries longer than the series.
+//!
+//! The real `proptest` crate is patched to an empty stub in this offline
+//! workspace, so this file carries a minimal property harness of its own:
+//! a deterministic splitmix64 generator, per-case derived seeds (failures
+//! print the case index for replay), and the same `PROPTEST_CASES`
+//! environment knob proptest honors (default 64; CI runs 256).
+//!
+//! ## Contracts pinned here
+//!
+//! * **Distance**: kernel and naive minima agree within `1e-9·(1+|d|)`.
+//! * **Offset**: the returned offset is a *valid* argmin — recomputing the
+//!   naive distance at that offset reproduces the minimum. (Exact offset
+//!   equality is deliberately not asserted: on inputs with exactly tied
+//!   windows — e.g. a flat series under `MeanSquared`, where every window
+//!   is equidistant — FFT rounding may pick a different member of the tie.)
+//! * **Zero-σ convention** (owned by `znorm_dist_from_dot`, shared by the
+//!   naive profile, MASS, and the kernel): both sides constant → distance
+//!   exactly `0`; exactly one side constant → z-ED exactly `√m`, i.e.
+//!   `sliding_min_dist_znorm`'s mean-squared scale reports `m/m = 1.0`.
+//!   Guarded flat inputs must never produce NaN (a NaN entry would poison
+//!   a strict `<` argmin scan, which never accepts NaN).
+
+use ips_distance::{
+    batch_min_dist_with, mass, mean_sq_dist, sliding_min_dist, sliding_min_dist_znorm,
+    DistCache, KernelPolicy, Metric,
+};
+
+/// splitmix64 — deterministic, seedable, no dependencies.
+struct Gen(u64);
+
+impl Gen {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `lo..=hi`.
+    fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.next_u64() % (hi - lo + 1) as u64) as usize
+    }
+
+    /// Uniform in `[-100, 100)`.
+    fn value(&mut self) -> f64 {
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        -100.0 + 200.0 * unit
+    }
+
+    fn vec(&mut self, len: usize) -> Vec<f64> {
+        (0..len).map(|_| self.value()).collect()
+    }
+}
+
+fn cases() -> usize {
+    std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(64)
+}
+
+fn close(a: f64, b: f64) -> bool {
+    (a == b) || (a - b).abs() <= 1e-9 * (1.0 + b.abs())
+}
+
+/// Naive reference dispatch, same orientation rules as the kernel.
+fn naive(q: &[f64], s: &[f64], metric: Metric) -> (f64, usize) {
+    match metric {
+        Metric::MeanSquared => sliding_min_dist(q, s),
+        Metric::ZNormEuclidean => sliding_min_dist_znorm(q, s),
+    }
+}
+
+/// The distance of `q` against the single window of `s` at `offset`, on
+/// each metric's reported (mean-squared) scale — used to certify that a
+/// returned offset is a true argmin witness.
+fn dist_at(q: &[f64], s: &[f64], offset: usize, metric: Metric) -> f64 {
+    let (q, s) = if q.len() <= s.len() { (q, s) } else { (s, q) };
+    let w = &s[offset..offset + q.len()];
+    match metric {
+        Metric::MeanSquared => mean_sq_dist(q, w),
+        Metric::ZNormEuclidean => {
+            let p = sliding_min_dist_znorm(q, w);
+            p.0
+        }
+    }
+}
+
+/// Core property: forced-kernel batch output matches the naive reference in
+/// value, and its offset witnesses the minimum.
+fn check_equivalence(q: &[f64], s: &[f64], metric: Metric, tag: &str) {
+    let out = batch_min_dist_with(&[q], s, metric, KernelPolicy::ForceKernel)[0];
+    let reference = naive(q, s, metric);
+    assert!(
+        close(out.0, reference.0),
+        "{tag} {metric:?}: kernel {} vs naive {} (q.len={}, s.len={})",
+        out.0,
+        reference.0,
+        q.len(),
+        s.len()
+    );
+    if out.0.is_finite() {
+        let witnessed = dist_at(q, s, out.1, metric);
+        assert!(
+            close(witnessed, reference.0),
+            "{tag} {metric:?}: offset {} witnesses {} but the minimum is {}",
+            out.1,
+            witnessed,
+            reference.0
+        );
+    }
+}
+
+#[test]
+fn kernel_matches_naive_on_random_inputs() {
+    for case in 0..cases() {
+        let mut g = Gen(0xA11CE ^ (case as u64) << 1);
+        // independent lengths: the query is allowed to be longer than the
+        // series (the kernel must reproduce the naive swap semantics)
+        let slen = g.usize_in(1, 64);
+        let s = g.vec(slen);
+        let qlen = g.usize_in(1, 64);
+        let q = g.vec(qlen);
+        for metric in [Metric::MeanSquared, Metric::ZNormEuclidean] {
+            check_equivalence(&q, &s, metric, &format!("case {case}"));
+        }
+    }
+}
+
+#[test]
+fn kernel_matches_naive_with_constant_regions() {
+    for case in 0..cases() {
+        let mut g = Gen(0xC0457 ^ (case as u64) << 1);
+        // a series with an embedded exactly-constant run (zero-variance
+        // windows for every length up to the run length)
+        let head = g.usize_in(1, 24);
+        let mut s = g.vec(head);
+        let level = g.value();
+        let run = g.usize_in(1, 24);
+        s.extend(std::iter::repeat(level).take(run));
+        let tail = g.usize_in(0, 16);
+        let extra = g.vec(tail);
+        s.extend(extra);
+        // alternate constant and varying queries
+        let qlen = g.usize_in(1, 32);
+        let q: Vec<f64> = if case % 2 == 0 { vec![g.value(); qlen] } else { g.vec(qlen) };
+        for metric in [Metric::MeanSquared, Metric::ZNormEuclidean] {
+            check_equivalence(&q, &s, metric, &format!("const case {case}"));
+        }
+    }
+}
+
+#[test]
+fn mass_derived_min_matches_naive_znorm() {
+    for case in 0..cases() {
+        let mut g = Gen(0x3A55 ^ (case as u64) << 1);
+        let slen = g.usize_in(2, 64);
+        let s = g.vec(slen);
+        let qlen = g.usize_in(1, s.len());
+        let q = g.vec(qlen);
+        let profile = mass(&q, &s);
+        assert!(profile.iter().all(|v| v.is_finite()), "case {case}: NaN/inf in profile");
+        let m = q.len() as f64;
+        let best = profile.iter().cloned().fold(f64::INFINITY, f64::min);
+        let reference = sliding_min_dist_znorm(&q, &s).0;
+        assert!(
+            close(best * best / m, reference),
+            "case {case}: mass-derived {} vs naive {}",
+            best * best / m,
+            reference
+        );
+    }
+}
+
+#[test]
+fn cache_agrees_with_naive_and_partitions_requests() {
+    for case in 0..cases().min(32) {
+        let mut g = Gen(0xD15C ^ (case as u64) << 1);
+        let slen = g.usize_in(8, 64);
+        let s = g.vec(slen);
+        let queries: Vec<Vec<f64>> = (0..4)
+            .map(|_| {
+                let qlen = g.usize_in(1, 64);
+                g.vec(qlen)
+            })
+            .collect();
+        let mut cache = DistCache::new();
+        let mut requests = 0usize;
+        for _round in 0..2 {
+            for q in &queries {
+                for metric in [Metric::MeanSquared, Metric::ZNormEuclidean] {
+                    let got = cache.min_dist(q, &s, metric);
+                    let reference = naive(q, &s, metric);
+                    assert!(close(got.0, reference.0), "case {case} {metric:?}");
+                    requests += 1;
+                }
+            }
+        }
+        let st = cache.stats();
+        assert_eq!(st.kernel_evals + st.cache_hits, requests, "case {case}");
+        assert!(st.cache_hits >= requests / 2, "second round must hit");
+    }
+}
+
+// ---- pinned zero-variance regressions (satellite: flat series must not ----
+// ---- poison the argmin with NaN)                                       ----
+
+#[test]
+fn flat_series_regression_no_nan_poisoning() {
+    let flat = vec![3.25; 48];
+    let q: Vec<f64> = (0..9).map(|i| (i as f64 * 0.7).sin()).collect();
+
+    // MASS profile over a flat series: every window is constant, the query
+    // is not → every entry is exactly √m (the one-side-constant convention)
+    let profile = mass(&q, &flat);
+    assert!(profile.iter().all(|v| v.is_finite()), "NaN leaked from zero-σ windows");
+    for v in &profile {
+        assert_eq!(*v, (q.len() as f64).sqrt());
+    }
+
+    // naive and kernel minima agree on the pinned value m/m = 1.0
+    assert_eq!(sliding_min_dist_znorm(&q, &flat), (1.0, 0));
+    let kernel =
+        batch_min_dist_with(&[&q], &flat, Metric::ZNormEuclidean, KernelPolicy::ForceKernel)[0];
+    assert_eq!(kernel.0, 1.0);
+
+    // flat vs flat (different levels): identical after z-normalization
+    let flat_q = vec![-7.5; 6];
+    assert_eq!(sliding_min_dist_znorm(&flat_q, &flat), (0.0, 0));
+    let kernel =
+        batch_min_dist_with(&[&flat_q], &flat, Metric::ZNormEuclidean, KernelPolicy::ForceKernel)
+            [0];
+    assert_eq!(kernel.0, 0.0);
+}
+
+#[test]
+fn query_longer_than_series_follows_swap_semantics() {
+    let mut g = Gen(0x10CA1);
+    let s = g.vec(12);
+    let q = g.vec(40);
+    for metric in [Metric::MeanSquared, Metric::ZNormEuclidean] {
+        let out = batch_min_dist_with(&[&q], &s, metric, KernelPolicy::ForceKernel)[0];
+        let reference = naive(&q, &s, metric);
+        assert!(close(out.0, reference.0), "{metric:?}");
+    }
+}

@@ -3,15 +3,9 @@
 use ips_distance::rolling::RollingStats;
 use ips_distance::{argmax, argmin, znorm_dist_from_dot};
 
-/// Distance metric used by profile computation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Metric {
-    /// The paper's Definition 4: mean squared difference, no normalization.
-    MeanSquared,
-    /// Z-normalized Euclidean distance — the metric of the matrix-profile
-    /// literature. Offset/scale invariant.
-    ZNormEuclidean,
-}
+/// Re-exported from `ips-distance`, which owns the metric so the batch
+/// kernel and distance cache can key on it without a dependency cycle.
+pub use ips_distance::Metric;
 
 /// A computed matrix profile: per-window nearest-neighbor distance and the
 /// position of that neighbor.

@@ -74,8 +74,8 @@ pub fn augment_dataset(
     for i in 0..data.len() {
         for c in 0..copies {
             let s = seed
-                .wrapping_add(i as u64 * 0x9E3779B97F4A7C15)
-                .wrapping_add(c as u64 * 0x2545F4914F6CDD1D);
+                .wrapping_add((i as u64).wrapping_mul(0x9E3779B97F4A7C15))
+                .wrapping_add((c as u64).wrapping_mul(0x2545F4914F6CDD1D));
             let v = data.series(i).values();
             let v = jitter(v, sigma, s);
             let v = scale(&v, 0.1, s ^ 1);

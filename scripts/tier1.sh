@@ -6,6 +6,12 @@
 #
 # Formatting is reported but does not fail the gate (the tree predates the
 # pinned rustfmt; reformat-the-world churn is deliberately avoided).
+#
+# Tier-2 (slow, not part of this gate): tests marked #[ignore] — currently
+# the full-strength 5-dataset IPS-vs-BASE comparison (~60s debug). Run them
+# explicitly with
+#
+#   cargo test -q --test pipeline_integration -- --ignored
 
 set -euo pipefail
 cd "$(dirname "$0")/.."

@@ -26,14 +26,11 @@ fn end_to_end_on_three_registry_datasets() {
     }
 }
 
-#[test]
-fn ips_beats_base_on_multimodal_classes() {
-    // the headline qualitative claim: diverse sampled candidates beat the
-    // baseline's concatenated-profile top-k under disjunctive classes.
-    // Full-strength config (the table6 harness setting), single seed.
-    let cfg = IpsConfig::default().with_sampling(20, 5);
+/// Shared body of the IPS-vs-BASE comparison: fit both on each dataset,
+/// count IPS wins.
+fn ips_wins_against_base(datasets: &[&str], cfg: &IpsConfig) -> usize {
     let mut ips_wins = 0;
-    for name in ["ArrowHead", "SyntheticControl", "GunPoint", "TwoLeadECG", "MoteStrain"] {
+    for name in datasets {
         let (train, test) = registry::load(name).expect("registry dataset");
         let ips_acc =
             IpsClassifier::fit(&train, cfg.clone()).expect("fit").accuracy(&test);
@@ -42,7 +39,31 @@ fn ips_beats_base_on_multimodal_classes() {
             ips_wins += 1;
         }
     }
-    assert!(ips_wins >= 3, "IPS won only {ips_wins}/5 against BASE");
+    ips_wins
+}
+
+#[test]
+#[ignore = "tier-2: full-strength 5-dataset IPS-vs-BASE comparison (~60s debug); \
+            scripts/tier1.sh notes the tier-2 invocation (--ignored)"]
+fn ips_beats_base_on_multimodal_classes() {
+    // the headline qualitative claim: diverse sampled candidates beat the
+    // baseline's concatenated-profile top-k under disjunctive classes.
+    // Full-strength config (the table6 harness setting), single seed.
+    let cfg = IpsConfig::default().with_sampling(20, 5);
+    let wins = ips_wins_against_base(
+        &["ArrowHead", "SyntheticControl", "GunPoint", "TwoLeadECG", "MoteStrain"],
+        &cfg,
+    );
+    assert!(wins >= 3, "IPS won only {wins}/5 against BASE");
+}
+
+#[test]
+fn ips_beats_base_on_multimodal_classes_quick() {
+    // default-run slice of the tier-2 comparison above: two datasets,
+    // lighter sampling, same claim shape
+    let cfg = IpsConfig::default().with_sampling(10, 4);
+    let wins = ips_wins_against_base(&["SyntheticControl", "MoteStrain"], &cfg);
+    assert!(wins >= 1, "IPS won 0/2 against BASE");
 }
 
 #[test]

@@ -19,10 +19,10 @@ use ips_classify::svm::SvmParams;
 use ips_classify::{LinearSvm, Shapelet, ShapeletTransform};
 use ips_core::candidates::{Candidate, CandidateKind, CandidatePool};
 use ips_core::engine::{
-    CandidateSource, Engine, ExecContext, NoopPruner, ScoreRankSelector, StageObserver,
-    WorkerPool,
+    CandidateSource, Engine, ExecContext, NoopPruner, ScoreRankSelector, StageObserver, WorkerPool,
 };
 use ips_core::pipeline::PipelineError;
+use ips_obs::MetricsRegistry;
 use ips_profile::{MatrixProfile, Metric};
 use ips_tsdata::{Dataset, TimeSeries};
 
@@ -141,8 +141,10 @@ impl BaseSource {
 impl CandidateSource for BaseSource {
     fn generate(&self, train: &Dataset, ctx: &mut ExecContext) -> CandidatePool {
         let classes = train.classes();
-        let concats: Vec<(u32, ips_tsdata::ClassConcat)> =
-            classes.iter().map(|&c| (c, train.concat_class(c))).collect();
+        let concats: Vec<(u32, ips_tsdata::ClassConcat)> = classes
+            .iter()
+            .map(|&c| (c, train.concat_class(c)))
+            .collect();
         let n = train.min_length();
         let mut lengths: Vec<usize> = self
             .config
@@ -156,9 +158,9 @@ impl CandidateSource for BaseSource {
 
         // Per-class profiles are independent — compute in parallel, merge
         // in class order.
-        let per_class = ctx
-            .workers()
-            .run(concats.len(), |i| self.class_candidates(&concats, &lengths, i));
+        let per_class = ctx.workers().run(concats.len(), |i| {
+            self.class_candidates(&concats, &lengths, i)
+        });
         let mut pool = CandidatePool::default();
         for cands in per_class {
             for c in cands {
@@ -204,6 +206,23 @@ pub fn discover_base_shapelets_observed(
     }
 }
 
+/// [`discover_base_shapelets`] with stage telemetry mirrored into a
+/// shared [`MetricsRegistry`] (`stage.*` spans plus per-stage counters,
+/// the same keys the IPS engine emits).
+pub fn discover_base_shapelets_recorded(
+    train: &Dataset,
+    config: &BaseConfig,
+    metrics: &MetricsRegistry,
+) -> Vec<Shapelet> {
+    let engine = base_engine(config);
+    let mut ctx = engine.make_context().with_metrics(metrics.clone());
+    match engine.run_with_ctx(train, &mut ctx) {
+        Ok(result) => result.shapelets,
+        Err(PipelineError::NoCandidates) => Vec::new(),
+        Err(e) => unreachable!("BASE engine raised {e} on a plain training set"),
+    }
+}
+
 /// The full BASE classifier: Formula-4 shapelets → shapelet transform →
 /// linear SVM (the same head as IPS, per the paper's fairness setup).
 #[derive(Debug, Clone)]
@@ -219,18 +238,37 @@ impl BaseClassifier {
     /// Panics when discovery yields no shapelets (degenerate input) or the
     /// training set has a single class.
     pub fn fit(train: &Dataset, config: BaseConfig) -> Self {
-        let shapelets = discover_base_shapelets(train, &config);
+        Self::fit_recorded(train, config, &MetricsRegistry::new())
+    }
+
+    /// [`fit`](Self::fit) with every phase measured into `metrics`:
+    /// discovery stages (`stage.*`), the classification head
+    /// (`fit.transform`, `fit.svm`), and the transform's distance-cache
+    /// totals (`cache.*`) — the same key scheme as `IpsClassifier::fit`,
+    /// so records from both methods diff field-for-field.
+    pub fn fit_recorded(train: &Dataset, config: BaseConfig, metrics: &MetricsRegistry) -> Self {
+        let shapelets = discover_base_shapelets_recorded(train, &config, metrics);
         assert!(!shapelets.is_empty(), "BASE discovered no shapelets");
         let transform = ShapeletTransform::new(shapelets, config.znorm_transform);
         // One FFT plan per training series, reused across all k·|C|
         // shapelet columns of the feature matrix.
         let mut cache = ips_distance::DistCache::new();
-        let features = transform.transform_with_cache(train, &mut cache);
-        let svm = LinearSvm::fit(
-            &features,
-            train.labels(),
-            SvmParams { seed: config.seed, ..SvmParams::default() },
-        );
+        let features = {
+            let _span = metrics.time("fit.transform");
+            transform.transform_with_cache(train, &mut cache)
+        };
+        cache.stats().record_into(metrics, "cache.");
+        let svm = {
+            let _span = metrics.time("fit.svm");
+            LinearSvm::fit(
+                &features,
+                train.labels(),
+                SvmParams {
+                    seed: config.seed,
+                    ..SvmParams::default()
+                },
+            )
+        };
         Self { transform, svm }
     }
 
@@ -241,8 +279,7 @@ impl BaseClassifier {
 
     /// Accuracy over a test set.
     pub fn accuracy(&self, test: &Dataset) -> f64 {
-        let preds: Vec<u32> =
-            test.all_series().iter().map(|s| self.predict(s)).collect();
+        let preds: Vec<u32> = test.all_series().iter().map(|s| self.predict(s)).collect();
         ips_classify::eval::accuracy(&preds, test.labels())
     }
 
@@ -258,7 +295,10 @@ mod tests {
     use ips_tsdata::registry;
 
     fn cfg(k: usize) -> BaseConfig {
-        BaseConfig { k, ..Default::default() }
+        BaseConfig {
+            k,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -267,8 +307,11 @@ mod tests {
         let s = discover_base_shapelets(&train, &cfg(3));
         assert_eq!(s.len(), 6);
         for class in [0, 1] {
-            let scores: Vec<f64> =
-                s.iter().filter(|x| x.class == class).map(|x| x.score).collect();
+            let scores: Vec<f64> = s
+                .iter()
+                .filter(|x| x.class == class)
+                .map(|x| x.score)
+                .collect();
             assert_eq!(scores.len(), 3);
             for w in scores.windows(2) {
                 assert!(w[0] >= w[1]);
@@ -296,7 +339,11 @@ mod tests {
     #[test]
     fn masked_variant_never_straddles() {
         let (train, _) = registry::load("GunPoint").unwrap();
-        let cfg = BaseConfig { k: 5, mask_boundaries: true, ..Default::default() };
+        let cfg = BaseConfig {
+            k: 5,
+            mask_boundaries: true,
+            ..Default::default()
+        };
         let s = discover_base_shapelets(&train, &cfg);
         for sh in &s {
             assert_ne!(sh.source_instance, usize::MAX);
@@ -310,8 +357,15 @@ mod tests {
         let (train, _) = registry::load("CBF").unwrap();
         let seq = discover_base_shapelets(&train, &cfg(3));
         for threads in [2, 0] {
-            let par_cfg = BaseConfig { num_threads: threads, ..cfg(3) };
-            assert_eq!(seq, discover_base_shapelets(&train, &par_cfg), "threads={threads}");
+            let par_cfg = BaseConfig {
+                num_threads: threads,
+                ..cfg(3)
+            };
+            assert_eq!(
+                seq,
+                discover_base_shapelets(&train, &par_cfg),
+                "threads={threads}"
+            );
         }
     }
 
@@ -329,6 +383,25 @@ mod tests {
         let topk = obs.reports.last().unwrap();
         assert_eq!(topk.counters.candidates_out, 6);
         assert!(topk.counters.utility_evals > 0);
+    }
+
+    #[test]
+    fn recorded_fit_measures_every_phase() {
+        let (train, _) = registry::load("ItalyPowerDemand").unwrap();
+        let metrics = MetricsRegistry::new();
+        let model = BaseClassifier::fit_recorded(&train, cfg(3), &metrics);
+        assert_eq!(model.shapelets().len(), 6);
+        let snap = metrics.snapshot();
+        for span in [
+            "stage.candidate_gen",
+            "stage.top_k",
+            "fit.transform",
+            "fit.svm",
+        ] {
+            assert!(snap.spans.contains_key(span), "missing span {span}");
+        }
+        assert!(snap.counters["cache.kernel_evals"] > 0);
+        assert!(snap.gauges.contains_key("cache.hit_rate"));
     }
 
     #[test]

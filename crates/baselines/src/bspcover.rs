@@ -23,6 +23,7 @@ use ips_core::pipeline::PipelineError;
 use ips_distance::{CacheStats, DistCache, Metric};
 use ips_filter::{BloomFilter, Dabf};
 use ips_lsh::{embed, Lsh, LshKind, LshParams};
+use ips_obs::MetricsRegistry;
 use ips_tsdata::{Dataset, TimeSeries};
 
 /// Configuration of the BSPCOVER-style method.
@@ -172,7 +173,11 @@ impl CoverageSelector {
         class: u32,
     ) -> (Vec<Shapelet>, usize, DistCache) {
         let config = &self.config;
-        let metric = if config.znorm { Metric::ZNormEuclidean } else { Metric::MeanSquared };
+        let metric = if config.znorm {
+            Metric::ZNormEuclidean
+        } else {
+            Metric::MeanSquared
+        };
         // Coverage scoring slides every candidate over every instance —
         // exactly the dense pattern the FFT distance cache amortizes (one
         // series plan reused across all candidates of a length). The
@@ -180,18 +185,23 @@ impl CoverageSelector {
         let mut cache = DistCache::new();
         let mut dist = |q: &[f64], t: &[f64]| cache.min_dist(q, t, metric).0;
         let own: Vec<usize> = train.class_indices(class);
-        let others: Vec<usize> =
-            (0..train.len()).filter(|&i| train.label(i) != class).collect();
+        let others: Vec<usize> = (0..train.len())
+            .filter(|&i| train.label(i) != class)
+            .collect();
         let class_cands = pool.of_class(class);
         // distances and per-candidate threshold = midpoint of the two
         // class-conditional means (the separating margin of the cover).
         let mut covers: Vec<(usize, Vec<usize>, Vec<usize>, f64)> = Vec::new();
         for (ci, cand) in class_cands.iter().enumerate() {
             let q = &cand.values;
-            let own_d: Vec<f64> =
-                own.iter().map(|&i| dist(q, train.series(i).values())).collect();
-            let other_d: Vec<f64> =
-                others.iter().map(|&i| dist(q, train.series(i).values())).collect();
+            let own_d: Vec<f64> = own
+                .iter()
+                .map(|&i| dist(q, train.series(i).values()))
+                .collect();
+            let other_d: Vec<f64> = others
+                .iter()
+                .map(|&i| dist(q, train.series(i).values()))
+                .collect();
             let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
             let threshold = 0.5 * (mean(&own_d) + mean(&other_d));
             let covered_own: Vec<usize> = own
@@ -235,8 +245,7 @@ impl CoverageSelector {
             .into_iter()
             .map(|ci| {
                 let cand = &class_cands[ci];
-                let (_, _, _, margin) =
-                    covers.iter().find(|(c, ..)| *c == ci).expect("cover");
+                let (_, _, _, margin) = covers.iter().find(|(c, ..)| *c == ci).expect("cover");
                 Shapelet {
                     values: cand.values.clone(),
                     class,
@@ -259,9 +268,9 @@ impl Selector for CoverageSelector {
         ctx: &mut ExecContext,
     ) -> Selection {
         let classes = train.classes();
-        let per_class = ctx
-            .workers()
-            .run(classes.len(), |i| self.select_class(pool, train, classes[i]));
+        let per_class = ctx.workers().run(classes.len(), |i| {
+            self.select_class(pool, train, classes[i])
+        });
         let mut shapelets = Vec::new();
         let mut utility_evals = 0;
         let mut cache_stats = CacheStats::default();
@@ -271,7 +280,11 @@ impl Selector for CoverageSelector {
             cache_stats.merge(&cache.stats());
             ctx.scratch().absorb_dist_cache(cache);
         }
-        Selection { shapelets, utility_evals, cache_stats }
+        Selection {
+            shapelets,
+            utility_evals,
+            cache_stats,
+        }
     }
 }
 
@@ -309,6 +322,22 @@ pub fn discover_bspcover_shapelets_observed(
     }
 }
 
+/// [`discover_bspcover_shapelets`] with stage telemetry mirrored into a
+/// shared [`MetricsRegistry`] (`stage.*` spans plus per-stage counters).
+pub fn discover_bspcover_shapelets_recorded(
+    train: &Dataset,
+    config: &BspCoverConfig,
+    metrics: &MetricsRegistry,
+) -> Vec<Shapelet> {
+    let engine = bspcover_engine(config);
+    let mut ctx = engine.make_context().with_metrics(metrics.clone());
+    match engine.run_with_ctx(train, &mut ctx) {
+        Ok(result) => result.shapelets,
+        Err(PipelineError::NoCandidates) => Vec::new(),
+        Err(e) => unreachable!("BSPCOVER engine raised {e} on a plain training set"),
+    }
+}
+
 /// The BSPCOVER-style classifier: coverage shapelets → transform → SVM.
 #[derive(Debug, Clone)]
 pub struct BspCoverClassifier {
@@ -322,18 +351,40 @@ impl BspCoverClassifier {
     /// # Panics
     /// Panics when discovery yields no shapelets or a single class.
     pub fn fit(train: &Dataset, config: BspCoverConfig) -> Self {
-        let shapelets = discover_bspcover_shapelets(train, &config);
+        Self::fit_recorded(train, config, &MetricsRegistry::new())
+    }
+
+    /// [`fit`](Self::fit) with every phase measured into `metrics` —
+    /// `stage.*` discovery spans, `fit.transform`/`fit.svm` head spans,
+    /// and `cache.*` distance-cache totals, keyed identically to
+    /// `IpsClassifier::fit` so records diff field-for-field.
+    pub fn fit_recorded(
+        train: &Dataset,
+        config: BspCoverConfig,
+        metrics: &MetricsRegistry,
+    ) -> Self {
+        let shapelets = discover_bspcover_shapelets_recorded(train, &config, metrics);
         assert!(!shapelets.is_empty(), "BSPCOVER discovered no shapelets");
         let transform = ShapeletTransform::new(shapelets, config.znorm);
         // One FFT plan per training series, shared across all shapelet
         // columns of the feature matrix.
         let mut cache = DistCache::new();
-        let features = transform.transform_with_cache(train, &mut cache);
-        let svm = LinearSvm::fit(
-            &features,
-            train.labels(),
-            SvmParams { seed: config.seed, ..SvmParams::default() },
-        );
+        let features = {
+            let _span = metrics.time("fit.transform");
+            transform.transform_with_cache(train, &mut cache)
+        };
+        cache.stats().record_into(metrics, "cache.");
+        let svm = {
+            let _span = metrics.time("fit.svm");
+            LinearSvm::fit(
+                &features,
+                train.labels(),
+                SvmParams {
+                    seed: config.seed,
+                    ..SvmParams::default()
+                },
+            )
+        };
         Self { transform, svm }
     }
 
@@ -360,7 +411,11 @@ mod tests {
     use ips_tsdata::registry;
 
     fn cfg(k: usize) -> BspCoverConfig {
-        BspCoverConfig { k, stride_fraction: 0.5, ..Default::default() }
+        BspCoverConfig {
+            k,
+            stride_fraction: 0.5,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -369,7 +424,7 @@ mod tests {
         let s = discover_bspcover_shapelets(&train, &cfg(3));
         for class in [0, 1] {
             let count = s.iter().filter(|x| x.class == class).count();
-            assert!(count >= 1 && count <= 3, "class {class}: {count}");
+            assert!((1..=3).contains(&count), "class {class}: {count}");
         }
     }
 
@@ -397,7 +452,10 @@ mod tests {
         let (train, _) = registry::load("ItalyPowerDemand").unwrap();
         let seq = discover_bspcover_shapelets(&train, &cfg(3));
         for threads in [2, 0] {
-            let par_cfg = BspCoverConfig { num_threads: threads, ..cfg(3) };
+            let par_cfg = BspCoverConfig {
+                num_threads: threads,
+                ..cfg(3)
+            };
             assert_eq!(
                 seq,
                 discover_bspcover_shapelets(&train, &par_cfg),
@@ -416,6 +474,24 @@ mod tests {
         let stages: Vec<Stage> = obs.reports.iter().map(|r| r.stage).collect();
         assert_eq!(stages, Stage::ALL.to_vec());
         assert!(obs.reports.last().unwrap().counters.utility_evals > 0);
+    }
+
+    #[test]
+    fn recorded_fit_measures_every_phase() {
+        let (train, _) = registry::load("ItalyPowerDemand").unwrap();
+        let metrics = MetricsRegistry::new();
+        let model = BspCoverClassifier::fit_recorded(&train, cfg(3), &metrics);
+        assert!(!model.shapelets().is_empty());
+        let snap = metrics.snapshot();
+        for span in [
+            "stage.candidate_gen",
+            "stage.top_k",
+            "fit.transform",
+            "fit.svm",
+        ] {
+            assert!(snap.spans.contains_key(span), "missing span {span}");
+        }
+        assert!(snap.counters["cache.kernel_evals"] > 0);
     }
 
     #[test]

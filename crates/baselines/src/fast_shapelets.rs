@@ -114,7 +114,11 @@ pub fn discover_fs_shapelets(train: &Dataset, config: &FastShapeletsConfig) -> V
         for (i, series) in train.all_series().iter().enumerate() {
             let mut start = 0;
             while start + len <= series.len() {
-                let w = sax_word(series.subsequence(start, len), config.word_len, config.alphabet);
+                let w = sax_word(
+                    series.subsequence(start, len),
+                    config.word_len,
+                    config.alphabet,
+                );
                 words.push(((i, start, len), w));
                 start += stride;
             }
@@ -142,9 +146,13 @@ pub fn discover_fs_shapelets(train: &Dataset, config: &FastShapeletsConfig) -> V
                 let c = train.label(key.0);
                 let ci = classes.iter().position(|&x| x == c).expect("class present");
                 let own = cnt[ci] as f64;
-                let other =
-                    cnt.iter().enumerate().filter(|(j, _)| *j != ci).map(|(_, &v)| v).max()
-                        .unwrap_or(0) as f64;
+                let other = cnt
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, _)| *j != ci)
+                    .map(|(_, &v)| v)
+                    .max()
+                    .unwrap_or(0) as f64;
                 *scores.entry(*key).or_insert(0.0) += own - other;
             }
         }
@@ -178,8 +186,7 @@ pub fn discover_fs_shapelets(train: &Dataset, config: &FastShapeletsConfig) -> V
                         other_n += 1;
                     }
                 }
-                let margin =
-                    other_sum / other_n.max(1) as f64 - own_sum / own_n.max(1) as f64;
+                let margin = other_sum / other_n.max(1) as f64 - own_sum / own_n.max(1) as f64;
                 (margin, (inst, off, len))
             })
             .collect();
@@ -217,7 +224,10 @@ impl FastShapeletsClassifier {
         let svm = LinearSvm::fit(
             &features,
             train.labels(),
-            SvmParams { seed: config.seed, ..SvmParams::default() },
+            SvmParams {
+                seed: config.seed,
+                ..SvmParams::default()
+            },
         );
         Self { transform, svm }
     }
@@ -273,7 +283,11 @@ mod tests {
     #[test]
     fn discovers_k_per_class() {
         let (train, _) = registry::load("ItalyPowerDemand").unwrap();
-        let cfg = FastShapeletsConfig { k: 3, rounds: 5, ..Default::default() };
+        let cfg = FastShapeletsConfig {
+            k: 3,
+            rounds: 5,
+            ..Default::default()
+        };
         let s = discover_fs_shapelets(&train, &cfg);
         for class in [0, 1] {
             assert_eq!(s.iter().filter(|x| x.class == class).count(), 3);
@@ -286,7 +300,10 @@ mod tests {
     #[test]
     fn classifier_beats_chance_on_easy_data() {
         let (train, test) = registry::load("ItalyPowerDemand").unwrap();
-        let cfg = FastShapeletsConfig { rounds: 5, ..Default::default() };
+        let cfg = FastShapeletsConfig {
+            rounds: 5,
+            ..Default::default()
+        };
         let model = FastShapeletsClassifier::fit(&train, cfg);
         let acc = model.accuracy(&test);
         assert!(acc > 0.6, "acc {acc}");

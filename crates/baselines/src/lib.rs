@@ -27,12 +27,13 @@ pub mod sd;
 pub mod st;
 
 pub use base::{
-    discover_base_shapelets, discover_base_shapelets_observed, BaseClassifier, BaseConfig,
-    BaseSource,
+    discover_base_shapelets, discover_base_shapelets_observed, discover_base_shapelets_recorded,
+    BaseClassifier, BaseConfig, BaseSource,
 };
 pub use bspcover::{
-    discover_bspcover_shapelets, discover_bspcover_shapelets_observed, BspCoverClassifier,
-    BspCoverConfig, BspCoverSource, CoverageSelector,
+    discover_bspcover_shapelets, discover_bspcover_shapelets_observed,
+    discover_bspcover_shapelets_recorded, BspCoverClassifier, BspCoverConfig, BspCoverSource,
+    CoverageSelector,
 };
 pub use fast_shapelets::{discover_fs_shapelets, FastShapeletsClassifier, FastShapeletsConfig};
 pub use lts::{LtsClassifier, LtsConfig};

@@ -30,7 +30,14 @@ pub struct LtsConfig {
 
 impl Default for LtsConfig {
     fn default() -> Self {
-        Self { k: 5, length_ratio: 0.2, epochs: 120, learning_rate: 0.05, lambda: 1e-4, seed: 0x175 }
+        Self {
+            k: 5,
+            length_ratio: 0.2,
+            epochs: 120,
+            learning_rate: 0.05,
+            lambda: 1e-4,
+            seed: 0x175,
+        }
     }
 }
 
@@ -65,10 +72,16 @@ impl LtsClassifier {
         for &c in &classes {
             let members = train.class_indices(c);
             for j in 0..config.k {
-                let anchor = if config.k == 1 { 0 } else { j * (n - len) / (config.k - 1).max(1) };
+                let anchor = if config.k == 1 {
+                    0
+                } else {
+                    j * (n - len) / (config.k - 1).max(1)
+                };
                 let mut avg = vec![0.0; len];
                 for &m in &members {
-                    for (a, v) in avg.iter_mut().zip(&train.series(m).values()[anchor..anchor + len])
+                    for (a, v) in avg
+                        .iter_mut()
+                        .zip(&train.series(m).values()[anchor..anchor + len])
                     {
                         *a += v / members.len() as f64;
                     }
@@ -81,8 +94,7 @@ impl LtsClassifier {
         }
 
         let mut weights = vec![vec![0.0; num_shapelets + 1]; classes.len()];
-        let class_idx =
-            |l: u32| classes.iter().position(|&c| c == l).expect("label present");
+        let class_idx = |l: u32| classes.iter().position(|&c| c == l).expect("label present");
 
         for _ in 0..config.epochs {
             for (series, label) in train.iter() {
@@ -117,19 +129,30 @@ impl LtsClassifier {
                     }
                     // gradient wrt weights
                     for (j, wj) in w.iter_mut().enumerate() {
-                        let reg = if j < num_shapelets { config.lambda * *wj } else { 0.0 };
+                        let reg = if j < num_shapelets {
+                            config.lambda * *wj
+                        } else {
+                            0.0
+                        };
                         *wj -= config.learning_rate * (err * features[j] + reg);
                     }
                 }
             }
         }
-        Self { shapelets, classes, weights }
+        Self {
+            shapelets,
+            classes,
+            weights,
+        }
     }
 
     /// Predicts one series.
     pub fn predict(&self, series: &TimeSeries) -> u32 {
-        let mut features: Vec<f64> =
-            self.shapelets.iter().map(|s| min_dist(s, series.values()).0).collect();
+        let mut features: Vec<f64> = self
+            .shapelets
+            .iter()
+            .map(|s| min_dist(s, series.values()).0)
+            .collect();
         features.push(1.0);
         let mut best = 0;
         let mut best_z = f64::NEG_INFINITY;
@@ -169,7 +192,13 @@ mod tests {
     #[test]
     fn learns_to_separate_easy_data() {
         let (train, test) = registry::load("ItalyPowerDemand").unwrap();
-        let model = LtsClassifier::fit(&train, LtsConfig { epochs: 60, ..Default::default() });
+        let model = LtsClassifier::fit(
+            &train,
+            LtsConfig {
+                epochs: 60,
+                ..Default::default()
+            },
+        );
         let acc = model.accuracy(&test);
         assert!(acc > 0.6, "acc {acc}");
     }
@@ -177,7 +206,11 @@ mod tests {
     #[test]
     fn shapelet_shapes_and_counts() {
         let (train, _) = registry::load("SonyAIBORobotSurface1").unwrap();
-        let cfg = LtsConfig { k: 3, epochs: 10, ..Default::default() };
+        let cfg = LtsConfig {
+            k: 3,
+            epochs: 10,
+            ..Default::default()
+        };
         let model = LtsClassifier::fit(&train, cfg);
         assert_eq!(model.shapelets().len(), 6);
         let expect_len = ((0.2 * 70.0) as usize).clamp(3, 70);
@@ -187,8 +220,20 @@ mod tests {
     #[test]
     fn learning_changes_the_shapelets() {
         let (train, _) = registry::load("ItalyPowerDemand").unwrap();
-        let short = LtsClassifier::fit(&train, LtsConfig { epochs: 1, ..Default::default() });
-        let long = LtsClassifier::fit(&train, LtsConfig { epochs: 50, ..Default::default() });
+        let short = LtsClassifier::fit(
+            &train,
+            LtsConfig {
+                epochs: 1,
+                ..Default::default()
+            },
+        );
+        let long = LtsClassifier::fit(
+            &train,
+            LtsConfig {
+                epochs: 50,
+                ..Default::default()
+            },
+        );
         assert_ne!(short.shapelets(), long.shapelets());
     }
 

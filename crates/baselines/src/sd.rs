@@ -112,8 +112,7 @@ pub fn discover_sd_shapelets(train: &Dataset, config: &SdConfig) -> Vec<Shapelet
                         other = (other.0 + d, other.1 + 1);
                     }
                 }
-                let margin =
-                    other.0 / other.1.max(1) as f64 - own.0 / own.1.max(1) as f64;
+                let margin = other.0 / other.1.max(1) as f64 - own.0 / own.1.max(1) as f64;
                 (margin, ci)
             })
             .collect();
@@ -174,7 +173,10 @@ impl SdClassifier {
         let svm = LinearSvm::fit(
             &features,
             train.labels(),
-            SvmParams { seed: config.seed, ..SvmParams::default() },
+            SvmParams {
+                seed: config.seed,
+                ..SvmParams::default()
+            },
         );
         Self { transform, svm }
     }
@@ -204,10 +206,16 @@ mod tests {
     #[test]
     fn discovers_k_per_class_with_valid_provenance() {
         let (train, _) = registry::load("ItalyPowerDemand").unwrap();
-        let s = discover_sd_shapelets(&train, &SdConfig { k: 3, ..Default::default() });
+        let s = discover_sd_shapelets(
+            &train,
+            &SdConfig {
+                k: 3,
+                ..Default::default()
+            },
+        );
         for class in [0, 1] {
             let count = s.iter().filter(|x| x.class == class).count();
-            assert!(count >= 1 && count <= 3, "class {class}: {count}");
+            assert!((1..=3).contains(&count), "class {class}: {count}");
         }
         for sh in &s {
             assert_eq!(train.label(sh.source_instance), sh.class);
@@ -220,7 +228,11 @@ mod tests {
     fn clustering_drops_near_duplicates() {
         let (train, _) = registry::load("GunPoint").unwrap();
         // huge radius → at most a handful of clusters survive per class
-        let cfg = SdConfig { k: 50, cluster_radius: 2.0, ..Default::default() };
+        let cfg = SdConfig {
+            k: 50,
+            cluster_radius: 2.0,
+            ..Default::default()
+        };
         let s = discover_sd_shapelets(&train, &cfg);
         assert!(s.len() < 20, "kept {}", s.len());
         assert!(!s.is_empty());

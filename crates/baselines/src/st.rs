@@ -114,8 +114,9 @@ pub fn discover_st_shapelets(train: &Dataset, config: &StConfig) -> Vec<Shapelet
     }
     if config.max_candidates > 0 && candidates.len() > config.max_candidates {
         let step = candidates.len() as f64 / config.max_candidates as f64;
-        candidates =
-            (0..config.max_candidates).map(|i| candidates[(i as f64 * step) as usize]).collect();
+        candidates = (0..config.max_candidates)
+            .map(|i| candidates[(i as f64 * step) as usize])
+            .collect();
     }
     // score every candidate by the F-statistic of its distance feature
     let mut scored: Vec<(f64, (usize, usize, usize))> = candidates
@@ -191,7 +192,10 @@ impl StClassifier {
         let svm = LinearSvm::fit(
             &features,
             train.labels(),
-            SvmParams { seed: config.seed, ..SvmParams::default() },
+            SvmParams {
+                seed: config.seed,
+                ..SvmParams::default()
+            },
         );
         Self { transform, svm }
     }
@@ -244,7 +248,10 @@ mod tests {
     #[test]
     fn discovers_k_per_class_without_self_similar_picks() {
         let (train, _) = registry::load("ItalyPowerDemand").unwrap();
-        let cfg = StConfig { k: 3, ..Default::default() };
+        let cfg = StConfig {
+            k: 3,
+            ..Default::default()
+        };
         let s = discover_st_shapelets(&train, &cfg);
         for class in [0, 1] {
             let picks: Vec<&Shapelet> = s.iter().filter(|x| x.class == class).collect();
@@ -253,12 +260,8 @@ mod tests {
                 for b in &picks[i + 1..] {
                     if a.source_instance == b.source_instance {
                         assert!(
-                            overlap_fraction(
-                                a.source_offset,
-                                a.len(),
-                                b.source_offset,
-                                b.len()
-                            ) <= cfg.overlap
+                            overlap_fraction(a.source_offset, a.len(), b.source_offset, b.len())
+                                <= cfg.overlap
                         );
                     }
                 }
@@ -266,7 +269,11 @@ mod tests {
         }
         // scores are F-statistics, descending within class
         for class in [0, 1] {
-            let f: Vec<f64> = s.iter().filter(|x| x.class == class).map(|x| x.score).collect();
+            let f: Vec<f64> = s
+                .iter()
+                .filter(|x| x.class == class)
+                .map(|x| x.score)
+                .collect();
             for w in f.windows(2) {
                 assert!(w[0] >= w[1]);
             }

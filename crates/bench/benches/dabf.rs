@@ -10,7 +10,11 @@ use rand::{RngExt, SeedableRng};
 fn cluster(n: usize, dim: usize) -> Vec<Vec<f64>> {
     let mut rng = StdRng::seed_from_u64(42);
     (0..n)
-        .map(|_| (0..dim).map(|j| (j as f64 * 0.4).sin() + rng.random_range(-0.1..0.1)).collect())
+        .map(|_| {
+            (0..dim)
+                .map(|j| (j as f64 * 0.4).sin() + rng.random_range(-0.1..0.1))
+                .collect()
+        })
         .collect()
 }
 

@@ -5,7 +5,9 @@ use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criteri
 use ips_distance::{dist_profile, dist_profile_znorm, dtw_banded, mass, sliding_min_dist};
 
 fn series(n: usize) -> Vec<f64> {
-    (0..n).map(|i| (i as f64 * 0.37).sin() * 2.0 + (i as f64 * 0.011).cos()).collect()
+    (0..n)
+        .map(|i| (i as f64 * 0.37).sin() * 2.0 + (i as f64 * 0.011).cos())
+        .collect()
 }
 
 fn bench_profiles(c: &mut Criterion) {

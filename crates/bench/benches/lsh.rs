@@ -8,7 +8,12 @@ fn bench_families(c: &mut Criterion) {
     let v: Vec<f64> = (0..32).map(|i| (i as f64 * 0.31).sin()).collect();
     let mut g = c.benchmark_group("lsh_signature");
     for kind in [LshKind::L2, LshKind::Cosine, LshKind::Hamming] {
-        let lsh = Lsh::new(LshParams { kind, dim: 32, num_hashes: 8, ..Default::default() });
+        let lsh = Lsh::new(LshParams {
+            kind,
+            dim: 32,
+            num_hashes: 8,
+            ..Default::default()
+        });
         g.bench_with_input(BenchmarkId::new(format!("{kind:?}"), 32), &v, |b, v| {
             b.iter(|| black_box(lsh.signature(v)))
         });

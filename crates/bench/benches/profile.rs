@@ -6,7 +6,9 @@ use ips_profile::{InstanceProfile, MatrixProfile, Metric};
 use ips_tsdata::ClassConcat;
 
 fn series(n: usize) -> Vec<f64> {
-    (0..n).map(|i| (i as f64 * 0.37).sin() * 2.0 + (i as f64 * 0.013).cos()).collect()
+    (0..n)
+        .map(|i| (i as f64 * 0.37).sin() * 2.0 + (i as f64 * 0.013).cos())
+        .collect()
 }
 
 fn bench_self_join(c: &mut Criterion) {
@@ -14,9 +16,10 @@ fn bench_self_join(c: &mut Criterion) {
     g.sample_size(20);
     for &n in &[512usize, 1024] {
         let s = series(n);
-        for (label, metric) in
-            [("meansq", Metric::MeanSquared), ("znorm", Metric::ZNormEuclidean)]
-        {
+        for (label, metric) in [
+            ("meansq", Metric::MeanSquared),
+            ("znorm", Metric::ZNormEuclidean),
+        ] {
             g.bench_with_input(BenchmarkId::new(format!("brute_{label}"), n), &n, |b, _| {
                 b.iter(|| black_box(MatrixProfile::self_join_brute(&s, 32, metric, 16)))
             });
@@ -39,12 +42,22 @@ fn bench_ab_join_and_ip(c: &mut Criterion) {
 
     // instance profile over a 5-instance sample (the Algorithm 1 unit)
     let instances: Vec<Vec<f64>> = (0..5)
-        .map(|k| (0..256).map(|i| ((i + k * 31) as f64 * 0.3).sin()).collect())
+        .map(|k| {
+            (0..256)
+                .map(|i| ((i + k * 31) as f64 * 0.3).sin())
+                .collect()
+        })
         .collect();
     let concat =
         ClassConcat::from_instances(instances.iter().enumerate().map(|(i, v)| (i, v.as_slice())));
     c.bench_function("instance_profile_5x256_w32", |b| {
-        b.iter(|| black_box(InstanceProfile::compute(&concat, 32, Metric::ZNormEuclidean)))
+        b.iter(|| {
+            black_box(InstanceProfile::compute(
+                &concat,
+                32,
+                Metric::ZNormEuclidean,
+            ))
+        })
     });
 }
 

@@ -18,12 +18,24 @@ fn bench_topk(c: &mut Criterion) {
         let dabf = build_dabf(&pool, &cfg);
         g.bench_with_input(BenchmarkId::new("exact", qn), &qn, |b, _| {
             b.iter(|| {
-                black_box(select_top_k(&pool, &train, Some(&dabf), &cfg, TopKStrategy::Exact))
+                black_box(select_top_k(
+                    &pool,
+                    &train,
+                    Some(&dabf),
+                    &cfg,
+                    TopKStrategy::Exact,
+                ))
             })
         });
         g.bench_with_input(BenchmarkId::new("dt_cr", qn), &qn, |b, _| {
             b.iter(|| {
-                black_box(select_top_k(&pool, &train, Some(&dabf), &cfg, TopKStrategy::DtCr))
+                black_box(select_top_k(
+                    &pool,
+                    &train,
+                    Some(&dabf),
+                    &cfg,
+                    TopKStrategy::DtCr,
+                ))
             })
         });
     }

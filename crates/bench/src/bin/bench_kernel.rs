@@ -18,8 +18,8 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use ips_distance::{
-    batch_min_dist, batch_min_dist_with, sliding_min_dist, sliding_min_dist_znorm,
-    KernelPolicy, Metric,
+    batch_min_dist, batch_min_dist_with, sliding_min_dist, sliding_min_dist_znorm, KernelPolicy,
+    Metric,
 };
 
 /// Deterministic pseudo-random stream (splitmix64) — benchmark inputs
@@ -99,8 +99,7 @@ fn main() {
             let m = n / 4;
             let s = series(n, 0xBE7C_u64 + n as u64);
             let source = series(n + num_queries, 0xF00D_u64 + n as u64);
-            let queries: Vec<&[f64]> =
-                (0..num_queries).map(|i| &source[i..i + m]).collect();
+            let queries: Vec<&[f64]> = (0..num_queries).map(|i| &source[i..i + m]).collect();
 
             let naive_ms = time_ms(reps, || {
                 for q in &queries {
@@ -129,19 +128,30 @@ fn main() {
                 naive_ms / kernel_ms,
                 naive_ms / auto_ms,
             );
-            cases.push(Case { metric: name, n, m, queries: num_queries, naive_ms, kernel_ms, auto_ms });
+            cases.push(Case {
+                metric: name,
+                n,
+                m,
+                queries: num_queries,
+                naive_ms,
+                kernel_ms,
+                auto_ms,
+            });
         }
     }
 
     // hand-rolled JSON: the workspace deliberately carries no serde
     let mut json = String::from("{\n  \"bench\": \"kernel\",\n  \"queries_per_batch\": ");
-    let _ = write!(json, "{num_queries},\n  \"timing\": \"median_of_{reps}_ms\",\n  \"cases\": [\n");
+    let _ = write!(
+        json,
+        "{num_queries},\n  \"timing\": \"median_of_{reps}_ms\",\n  \"cases\": [\n"
+    );
     for (i, c) in cases.iter().enumerate() {
-        let _ = write!(
+        let _ = writeln!(
             json,
             "    {{\"metric\": \"{}\", \"n\": {}, \"m\": {}, \"queries\": {}, \
              \"naive_ms\": {:.4}, \"kernel_ms\": {:.4}, \"auto_ms\": {:.4}, \
-             \"speedup_kernel\": {:.2}, \"speedup_auto\": {:.2}}}{}\n",
+             \"speedup_kernel\": {:.2}, \"speedup_auto\": {:.2}}}{}",
             c.metric,
             c.n,
             c.m,

@@ -16,7 +16,10 @@ use ips_tsdata::registry;
 
 fn main() {
     let datasets = sweep_datasets();
-    println!("Fig. 10: optimization ablations over {} datasets\n", datasets.len());
+    println!(
+        "Fig. 10: optimization ablations over {} datasets\n",
+        datasets.len()
+    );
     println!(
         "{:<28} {:>11} {:>11} | {:>11} {:>11} | {:>8} {:>8}",
         "dataset", "prune naive", "prune DABF", "topk exact", "topk DT+CR", "acc ex%", "acc DT%"
@@ -51,7 +54,9 @@ fn main() {
         let acc_exact = IpsClassifier::fit(&train, cfg_exact)
             .expect("fit")
             .accuracy(&test);
-        let acc_dtcr = IpsClassifier::fit(&train, cfg.clone()).expect("fit").accuracy(&test);
+        let acc_dtcr = IpsClassifier::fit(&train, cfg.clone())
+            .expect("fit")
+            .accuracy(&test);
 
         if t_dabf < t_naive {
             a_wins += 1;

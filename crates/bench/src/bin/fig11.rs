@@ -21,7 +21,12 @@ fn main() {
     println!("=== Fig. 11 on the published Table VI matrix (13 methods x 46 datasets) ===\n");
     let scores: Vec<Vec<f64>> = TABLE6
         .iter()
-        .map(|r| r.acc.iter().map(|v| if v.is_nan() { 0.0 } else { *v }).collect())
+        .map(|r| {
+            r.acc
+                .iter()
+                .map(|v| if v.is_nan() { 0.0 } else { *v })
+                .collect()
+        })
         .collect();
     analyze(&TABLE6_METHODS, &scores);
 
@@ -54,7 +59,11 @@ fn analyze(methods: &[&str], scores: &[Vec<f64>]) {
     );
     println!(
         "null hypothesis (all methods equivalent): {}\n",
-        if fr.p_chi2 < 0.05 { "REJECTED at alpha = 0.05" } else { "not rejected" }
+        if fr.p_chi2 < 0.05 {
+            "REJECTED at alpha = 0.05"
+        } else {
+            "not rejected"
+        }
     );
 
     let diagram = CdDiagram::from_scores(methods, scores);
@@ -63,7 +72,9 @@ fn analyze(methods: &[&str], scores: &[Vec<f64>]) {
     // Pairwise Wilcoxon signed-rank vs the best-ranked method, Holm-adjusted.
     let best = (0..methods.len())
         .min_by(|&a, &b| {
-            diagram.avg_ranks[a].partial_cmp(&diagram.avg_ranks[b]).expect("finite")
+            diagram.avg_ranks[a]
+                .partial_cmp(&diagram.avg_ranks[b])
+                .expect("finite")
         })
         .expect("non-empty");
     let mut p_values = Vec::new();
@@ -79,7 +90,10 @@ fn analyze(methods: &[&str], scores: &[Vec<f64>]) {
         names.push(methods[m]);
     }
     let adjusted = holm_adjust(&p_values);
-    println!("Wilcoxon signed-rank vs best method ({}), Holm-adjusted:", methods[best]);
+    println!(
+        "Wilcoxon signed-rank vs best method ({}), Holm-adjusted:",
+        methods[best]
+    );
     for ((name, p), adj) in names.iter().zip(&p_values).zip(&adjusted) {
         println!(
             "  vs {name:<12} p = {p:.4}  holm = {adj:.4}  {}",

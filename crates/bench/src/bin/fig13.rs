@@ -35,7 +35,13 @@ fn main() {
         .collect();
 
     let ips = IpsClassifier::fit(&train, ips_config().with_k(1)).expect("IPS fit");
-    let bsp = BspCoverClassifier::fit(&train, BspCoverConfig { k: 1, ..Default::default() });
+    let bsp = BspCoverClassifier::fit(
+        &train,
+        BspCoverConfig {
+            k: 1,
+            ..Default::default()
+        },
+    );
 
     println!("Fig. 13: ItalyPowerDemand-like case study (length {n})\n");
     for (c, m) in classes.iter().zip(&means) {

@@ -17,7 +17,11 @@ fn main() {
     let t_a = train.concat_class(classes[0]);
     let t_b = train.concat_class(classes[1]);
     let window = train.min_length() / 5;
-    println!("Fig. 3-4: ArrowHead-like concatenations, |T_A|={}, |T_B|={}, L={window}", t_a.len(), t_b.len());
+    println!(
+        "Fig. 3-4: ArrowHead-like concatenations, |T_A|={}, |T_B|={}, L={window}",
+        t_a.len(),
+        t_b.len()
+    );
 
     let p_aa = MatrixProfile::self_join(t_a.values(), window, Metric::ZNormEuclidean);
     let p_ab = MatrixProfile::ab_join(t_a.values(), t_b.values(), window, Metric::ZNormEuclidean);
@@ -43,7 +47,9 @@ fn main() {
 
 fn decimate(v: &[f64], points: usize) -> Vec<f64> {
     let step = (v.len() / points).max(1);
-    v.chunks(step).map(|c| c.iter().copied().fold(f64::NEG_INFINITY, f64::max)).collect()
+    v.chunks(step)
+        .map(|c| c.iter().copied().fold(f64::NEG_INFINITY, f64::max))
+        .collect()
 }
 
 fn spark(values: &[f64]) -> String {

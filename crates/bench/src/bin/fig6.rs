@@ -22,14 +22,20 @@ fn main() {
     let window = inst_len / 5;
 
     // "A" and "B" are halves of one class: no genuine shapelet exists.
-    let mut a_instances: Vec<Vec<f64>> =
-        members[..half].iter().map(|&i| train.series(i).values().to_vec()).collect();
-    let b: Vec<f64> =
-        members[half..].iter().flat_map(|&i| train.series(i).values().iter().copied()).collect();
+    let mut a_instances: Vec<Vec<f64>> = members[..half]
+        .iter()
+        .map(|&i| train.series(i).values().to_vec())
+        .collect();
+    let b: Vec<f64> = members[half..]
+        .iter()
+        .flat_map(|&i| train.series(i).values().iter().copied())
+        .collect();
 
     // An anomaly occurring twice within instance 0 of "A" — a realistic
     // repeated sensor glitch — and nowhere else.
-    let spike: Vec<f64> = (0..window).map(|i| if i % 2 == 0 { 6.0 } else { -6.0 }).collect();
+    let spike: Vec<f64> = (0..window)
+        .map(|i| if i % 2 == 0 { 6.0 } else { -6.0 })
+        .collect();
     let pos1 = 20;
     let pos2 = 90.min(inst_len - window);
     a_instances[0][pos1..pos1 + window].copy_from_slice(&spike);
@@ -48,7 +54,11 @@ fn main() {
     let on_anomaly = pos.abs_diff(pos1) <= window || pos.abs_diff(pos2) <= window;
     println!(
         "BASE indicator (Formula 4): max diff {val:.3} at concat offset {pos} -> {}",
-        if on_anomaly { "THE ANOMALY (issue 1 confirmed)" } else { "elsewhere" }
+        if on_anomaly {
+            "THE ANOMALY (issue 1 confirmed)"
+        } else {
+            "elsewhere"
+        }
     );
     println!(
         "  at that window: P_AB = {:.3} (max possible ~{:.3}), P_AA = {:.3}",
@@ -59,7 +69,10 @@ fn main() {
 
     // The instance profile's view of the same data.
     let concat = ClassConcat::from_instances(
-        a_instances.iter().enumerate().map(|(i, v)| (i, v.as_slice())),
+        a_instances
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (i, v.as_slice())),
     );
     let ip = InstanceProfile::compute(&concat, window, Metric::ZNormEuclidean);
     let motif = ip.motif().expect("motif");
@@ -73,15 +86,29 @@ fn main() {
         "  motif   at {:>4} (ip {:.3}) -> {}",
         motif.start,
         motif.value,
-        if motif_on_anomaly { "the anomaly (unexpected)" } else { "ordinary class structure" }
+        if motif_on_anomaly {
+            "the anomaly (unexpected)"
+        } else {
+            "ordinary class structure"
+        }
     );
     println!(
         "  discord at {:>4} (ip {:.3}) -> {}",
         discord.start,
         discord.value,
-        if discord_on_anomaly { "the anomaly, correctly classified as a discord" } else { "elsewhere" }
+        if discord_on_anomaly {
+            "the anomaly, correctly classified as a discord"
+        } else {
+            "elsewhere"
+        }
     );
-    assert!(on_anomaly, "the MP baseline should be fooled by the repeated glitch");
-    assert!(!motif_on_anomaly, "the IP motif must not be the planted anomaly");
+    assert!(
+        on_anomaly,
+        "the MP baseline should be fooled by the repeated glitch"
+    );
+    assert!(
+        !motif_on_anomaly,
+        "the IP motif must not be the planted anomaly"
+    );
     println!("\nconclusion: motif-based candidates + instance exclusion fix issue 1.");
 }

@@ -20,7 +20,14 @@ fn main() {
             "k", "BASE s", "BASE %", "IPS s", "IPS %", "BSP s", "BSP %"
         );
         for &k in &ks {
-            let base = run_base(&train, &test, BaseConfig { k, ..Default::default() });
+            let base = run_base(
+                &train,
+                &test,
+                BaseConfig {
+                    k,
+                    ..Default::default()
+                },
+            );
             let ips = run_ips(&train, &test, ips_config().with_k(k));
             let bsp = run_bspcover(&train, &test, k);
             println!(

@@ -24,11 +24,20 @@ fn main() {
         let (train, test) = registry::load(name).expect("registry dataset");
         let mut values = Vec::new();
         for &k in &ks {
-            let model = BaseClassifier::fit(&train, BaseConfig { k, ..Default::default() });
+            let model = BaseClassifier::fit(
+                &train,
+                BaseConfig {
+                    k,
+                    ..Default::default()
+                },
+            );
             values.push(format!("{:.2}", 100.0 * model.accuracy(&test)));
         }
         values.push(format!("{:.2}", 100.0 * run_1nn_ed(&train, &test).accuracy));
-        values.push(format!("{:.2}", 100.0 * run_1nn_dtw(&train, &test).accuracy));
+        values.push(format!(
+            "{:.2}",
+            100.0 * run_1nn_dtw(&train, &test).accuracy
+        ));
         println!("{}", ips_bench::row(&format!("{name} (measured)"), &values));
         let paper_fmt: Vec<String> = paper.iter().map(|v| format!("{v:.2}")).collect();
         println!("{}", ips_bench::row(&format!("{name} (paper)"), &paper_fmt));

@@ -40,10 +40,12 @@ fn main() {
             .max_by_key(|(_, &c)| c)
             .map(|(&f, _)| f)
             .unwrap_or("-");
-        let nmse = if nmse_n > 0 { nmse_sum / nmse_n as f64 } else { f64::NAN };
-        println!(
-            "{name:<18} {family:>12} {nmse:>8.3} | {paper_dist:>12} {paper_nmse:>8.3}"
-        );
+        let nmse = if nmse_n > 0 {
+            nmse_sum / nmse_n as f64
+        } else {
+            f64::NAN
+        };
+        println!("{name:<18} {family:>12} {nmse:>8.3} | {paper_dist:>12} {paper_nmse:>8.3}");
     }
     println!("\nshape check: a clear majority of datasets should fit Norm with small NMSE.");
 }

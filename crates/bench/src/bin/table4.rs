@@ -20,7 +20,14 @@ fn main() {
     );
     println!(
         "{:<28} {:>9} {:>11} {:>9} {:>9} {:>11} | {:>9} {:>11}",
-        "dataset", "BASE(s)", "BSPCOVER(s)", "IPS(s)", "BASE/IPS", "BSP/IPS", "paper B/I", "paper BSP/I"
+        "dataset",
+        "BASE(s)",
+        "BSPCOVER(s)",
+        "IPS(s)",
+        "BASE/IPS",
+        "BSP/IPS",
+        "paper B/I",
+        "paper BSP/I"
     );
 
     let mut ratios_base = Vec::new();
@@ -35,7 +42,10 @@ fn main() {
         let paper = TABLE4.iter().find(|r| r.dataset == *name);
         let (pb, pbsp) = paper
             .map(|r| {
-                (format!("{:.2}x", r.base_s / r.ips_s), format!("{:.2}x", r.bspcover_s / r.ips_s))
+                (
+                    format!("{:.2}x", r.base_s / r.ips_s),
+                    format!("{:.2}x", r.bspcover_s / r.ips_s),
+                )
             })
             .unwrap_or(("-".into(), "-".into()));
         println!(
@@ -56,9 +66,7 @@ fn main() {
         mean(&ratios_base),
         mean(&ratios_bsp)
     );
-    println!(
-        "shape check: IPS is fastest on average and on every non-tiny dataset; BASE and"
-    );
+    println!("shape check: IPS is fastest on average and on every non-tiny dataset; BASE and");
     println!("IPS are the same order of magnitude.");
     println!("note: BSPCOVER runs under a candidate cap (DESIGN.md §2) — its true cost is higher.");
 }

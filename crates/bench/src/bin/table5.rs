@@ -21,7 +21,10 @@ use ips_tsdata::registry;
 
 /// Runs discovery under `cfg` and returns the engine's stage report.
 fn run_ips(train: &ips_tsdata::Dataset, cfg: IpsConfig) -> RunReport {
-    IpsDiscovery::new(cfg).discover(train).expect("discovery succeeds").report
+    IpsDiscovery::new(cfg)
+        .discover(train)
+        .expect("discovery succeeds")
+        .report
 }
 
 fn ms(report: &RunReport, stage: Stage) -> f64 {
@@ -29,7 +32,12 @@ fn ms(report: &RunReport, stage: Stage) -> f64 {
 }
 
 fn main() {
-    let datasets = ["ArrowHead", "Computers", "ShapeletSim", "UWaveGestureLibraryY"];
+    let datasets = [
+        "ArrowHead",
+        "Computers",
+        "ShapeletSim",
+        "UWaveGestureLibraryY",
+    ];
 
     // --- the paper's ablation: each optimization on vs off ------------
     println!("Table V: IPS stage runtimes (ms) on four datasets\n");

@@ -9,16 +9,25 @@
 use ips_baselines::BaseConfig;
 use ips_bench::published::{TABLE6, TABLE6_METHODS};
 use ips_bench::{
-    ips_config, run_1nn_dtw, run_1nn_ed, run_base, run_bspcover, run_cote_ips, run_fs,
-    run_ips_avg, run_lts, run_rotf, run_sd, run_st, sweep_datasets,
+    ips_config, run_1nn_dtw, run_1nn_ed, run_base, run_bspcover, run_cote_ips, run_fs, run_ips_avg,
+    run_lts, run_rotf, run_sd, run_st, sweep_datasets,
 };
 use ips_tsdata::registry;
 
 fn main() {
     let datasets = sweep_datasets();
     let methods = [
-        "IPS", "BASE", "BSPCOVER*", "ST*", "FS*", "LTS*", "SD*", "RotF*", "1NN-ED",
-        "1NN-DTW", "COTE-IPS*",
+        "IPS",
+        "BASE",
+        "BSPCOVER*",
+        "ST*",
+        "FS*",
+        "LTS*",
+        "SD*",
+        "RotF*",
+        "1NN-ED",
+        "1NN-DTW",
+        "COTE-IPS*",
     ];
     println!(
         "Table VI (measured half): accuracy (%) of {} methods on {} synthetic datasets\n",

@@ -11,8 +11,7 @@ use std::time::Instant;
 
 use ips_baselines::{
     BaseClassifier, BaseConfig, BspCoverClassifier, BspCoverConfig, FastShapeletsClassifier,
-    FastShapeletsConfig, LtsClassifier, LtsConfig, SdClassifier, SdConfig, StClassifier,
-    StConfig,
+    FastShapeletsConfig, LtsClassifier, LtsConfig, SdClassifier, SdConfig, StClassifier, StConfig,
 };
 use ips_classify::forest::{ForestParams, RotationForest};
 use ips_classify::{OneNnDtw, OneNnEd};
@@ -43,12 +42,17 @@ pub fn run_ips_avg(train: &Dataset, test: &Dataset, cfg: IpsConfig, runs: usize)
     let mut acc = 0.0;
     let mut secs = 0.0;
     for r in 0..runs {
-        let c = cfg.clone().with_seed(cfg.seed.wrapping_add(r as u64 * 0x9E37));
+        let c = cfg
+            .clone()
+            .with_seed(cfg.seed.wrapping_add(r as u64 * 0x9E37));
         let one = run_ips(train, test, c);
         acc += one.accuracy;
         secs += one.fit_seconds;
     }
-    RunResult { accuracy: acc / runs as f64, fit_seconds: secs / runs as f64 }
+    RunResult {
+        accuracy: acc / runs as f64,
+        fit_seconds: secs / runs as f64,
+    }
 }
 
 /// Fits and scores IPS.
@@ -56,7 +60,10 @@ pub fn run_ips(train: &Dataset, test: &Dataset, cfg: IpsConfig) -> RunResult {
     let t = Instant::now();
     let model = IpsClassifier::fit(train, cfg).expect("IPS fit");
     let fit_seconds = t.elapsed().as_secs_f64();
-    RunResult { accuracy: model.accuracy(test), fit_seconds }
+    RunResult {
+        accuracy: model.accuracy(test),
+        fit_seconds,
+    }
 }
 
 /// Fits and scores the MP BASE method.
@@ -64,17 +71,26 @@ pub fn run_base(train: &Dataset, test: &Dataset, cfg: BaseConfig) -> RunResult {
     let t = Instant::now();
     let model = BaseClassifier::fit(train, cfg);
     let fit_seconds = t.elapsed().as_secs_f64();
-    RunResult { accuracy: model.accuracy(test), fit_seconds }
+    RunResult {
+        accuracy: model.accuracy(test),
+        fit_seconds,
+    }
 }
 
 /// Fits and scores the BSPCOVER-style comparator, with its candidate cap
 /// scaled to the dataset (cap recorded in DESIGN.md §2).
 pub fn run_bspcover(train: &Dataset, test: &Dataset, k: usize) -> RunResult {
-    let cfg = BspCoverConfig { k, ..Default::default() };
+    let cfg = BspCoverConfig {
+        k,
+        ..Default::default()
+    };
     let t = Instant::now();
     let model = BspCoverClassifier::fit(train, cfg);
     let fit_seconds = t.elapsed().as_secs_f64();
-    RunResult { accuracy: model.accuracy(test), fit_seconds }
+    RunResult {
+        accuracy: model.accuracy(test),
+        fit_seconds,
+    }
 }
 
 /// Fits and scores the Fast-Shapelets-style comparator.
@@ -82,7 +98,10 @@ pub fn run_fs(train: &Dataset, test: &Dataset) -> RunResult {
     let t = Instant::now();
     let model = FastShapeletsClassifier::fit(train, FastShapeletsConfig::default());
     let fit_seconds = t.elapsed().as_secs_f64();
-    RunResult { accuracy: model.accuracy(test), fit_seconds }
+    RunResult {
+        accuracy: model.accuracy(test),
+        fit_seconds,
+    }
 }
 
 /// Fits and scores the ST-style comparator.
@@ -90,7 +109,10 @@ pub fn run_st(train: &Dataset, test: &Dataset) -> RunResult {
     let t = Instant::now();
     let model = StClassifier::fit(train, StConfig::default());
     let fit_seconds = t.elapsed().as_secs_f64();
-    RunResult { accuracy: model.accuracy(test), fit_seconds }
+    RunResult {
+        accuracy: model.accuracy(test),
+        fit_seconds,
+    }
 }
 
 /// Fits and scores the SD-style comparator.
@@ -98,7 +120,10 @@ pub fn run_sd(train: &Dataset, test: &Dataset) -> RunResult {
     let t = Instant::now();
     let model = SdClassifier::fit(train, SdConfig::default());
     let fit_seconds = t.elapsed().as_secs_f64();
-    RunResult { accuracy: model.accuracy(test), fit_seconds }
+    RunResult {
+        accuracy: model.accuracy(test),
+        fit_seconds,
+    }
 }
 
 /// Fits and scores the LTS-style comparator.
@@ -106,18 +131,28 @@ pub fn run_lts(train: &Dataset, test: &Dataset) -> RunResult {
     let t = Instant::now();
     let model = LtsClassifier::fit(train, LtsConfig::default());
     let fit_seconds = t.elapsed().as_secs_f64();
-    RunResult { accuracy: model.accuracy(test), fit_seconds }
+    RunResult {
+        accuracy: model.accuracy(test),
+        fit_seconds,
+    }
 }
 
 /// Fits and scores a Rotation Forest over the raw series values (the
 /// Table VI `RotF` comparator).
 pub fn run_rotf(train: &Dataset, test: &Dataset) -> RunResult {
     let t = Instant::now();
-    let x: Vec<Vec<f64>> = train.all_series().iter().map(|s| s.values().to_vec()).collect();
+    let x: Vec<Vec<f64>> = train
+        .all_series()
+        .iter()
+        .map(|s| s.values().to_vec())
+        .collect();
     let f = RotationForest::fit(&x, train.labels(), ForestParams::default());
     let fit_seconds = t.elapsed().as_secs_f64();
-    let preds: Vec<u32> =
-        test.all_series().iter().map(|s| f.predict(s.values())).collect();
+    let preds: Vec<u32> = test
+        .all_series()
+        .iter()
+        .map(|s| f.predict(s.values()))
+        .collect();
     RunResult {
         accuracy: ips_classify::eval::accuracy(&preds, test.labels()),
         fit_seconds,
@@ -127,10 +162,16 @@ pub fn run_rotf(train: &Dataset, test: &Dataset) -> RunResult {
 /// Fits and scores the COTE-IPS-style ensemble.
 pub fn run_cote_ips(train: &Dataset, test: &Dataset, ips: IpsConfig) -> RunResult {
     let t = Instant::now();
-    let cfg = EnsembleConfig { ips, ..Default::default() };
+    let cfg = EnsembleConfig {
+        ips,
+        ..Default::default()
+    };
     let e = CoteIpsEnsemble::fit(train, cfg).expect("ensemble fit");
     let fit_seconds = t.elapsed().as_secs_f64();
-    RunResult { accuracy: e.accuracy(test), fit_seconds }
+    RunResult {
+        accuracy: e.accuracy(test),
+        fit_seconds,
+    }
 }
 
 /// Fits and scores 1NN-ED.
@@ -138,7 +179,10 @@ pub fn run_1nn_ed(train: &Dataset, test: &Dataset) -> RunResult {
     let t = Instant::now();
     let model = OneNnEd::fit(train);
     let fit_seconds = t.elapsed().as_secs_f64();
-    RunResult { accuracy: model.accuracy(test), fit_seconds }
+    RunResult {
+        accuracy: model.accuracy(test),
+        fit_seconds,
+    }
 }
 
 /// Fits and scores 1NN-DTW with a learned band.
@@ -146,7 +190,10 @@ pub fn run_1nn_dtw(train: &Dataset, test: &Dataset) -> RunResult {
     let t = Instant::now();
     let model = OneNnDtw::fit(train);
     let fit_seconds = t.elapsed().as_secs_f64();
-    RunResult { accuracy: model.accuracy(test), fit_seconds }
+    RunResult {
+        accuracy: model.accuracy(test),
+        fit_seconds,
+    }
 }
 
 /// The small-dataset subset used by default in the long sweeps (Table IV /
@@ -211,10 +258,7 @@ mod tests {
     fn runners_produce_sane_results_on_a_tiny_dataset() {
         let (train, test) = registry::load("ItalyPowerDemand").unwrap();
         let cfg = IpsConfig::default().with_sampling(4, 3);
-        for r in [
-            run_ips(&train, &test, cfg),
-            run_1nn_ed(&train, &test),
-        ] {
+        for r in [run_ips(&train, &test, cfg), run_1nn_ed(&train, &test)] {
             assert!((0.0..=1.0).contains(&r.accuracy));
             assert!(r.fit_seconds >= 0.0);
         }
@@ -230,7 +274,11 @@ mod tests {
         }
         // every published dataset exists in the registry
         for r in &published::TABLE4 {
-            assert!(ips_tsdata::registry::info(r.dataset).is_ok(), "{}", r.dataset);
+            assert!(
+                ips_tsdata::registry::info(r.dataset).is_ok(),
+                "{}",
+                r.dataset
+            );
         }
         // exactly one missing value (ELIS / NonInvasive)
         let nans: usize = published::TABLE6

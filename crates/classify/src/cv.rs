@@ -23,8 +23,7 @@ pub fn stratified_folds(labels: &[u32], folds: usize) -> Vec<Vec<usize>> {
     classes.dedup();
     let mut out = vec![Vec::new(); folds];
     for c in classes {
-        let members: Vec<usize> =
-            (0..labels.len()).filter(|&i| labels[i] == c).collect();
+        let members: Vec<usize> = (0..labels.len()).filter(|&i| labels[i] == c).collect();
         for (j, &i) in members.iter().enumerate() {
             out[j % folds].push(i);
         }
@@ -49,8 +48,8 @@ pub fn split_fold(data: &Dataset, test_idx: &[usize]) -> (Dataset, Dataset) {
     let mut tr_l = Vec::new();
     let mut te_s: Vec<TimeSeries> = Vec::new();
     let mut te_l = Vec::new();
-    for i in 0..data.len() {
-        if is_test[i] {
+    for (i, &in_test) in is_test.iter().enumerate() {
+        if in_test {
             te_s.push(data.series(i).clone());
             te_l.push(data.label(i));
         } else {
@@ -100,15 +99,12 @@ pub fn cross_val_accuracy(
 ///
 /// # Panics
 /// Panics on an empty grid.
-pub fn grid_search<P: Clone>(
-    grid: &[P],
-    mut score: impl FnMut(&P) -> f64,
-) -> (P, f64) {
+pub fn grid_search<P: Clone>(grid: &[P], mut score: impl FnMut(&P) -> f64) -> (P, f64) {
     assert!(!grid.is_empty(), "empty parameter grid");
     let mut best: Option<(P, f64)> = None;
     for p in grid {
         let s = score(p);
-        if best.as_ref().map_or(true, |(_, bs)| s > *bs) {
+        if best.as_ref().is_none_or(|(_, bs)| s > *bs) {
             best = Some((p.clone(), s));
         }
     }

@@ -7,7 +7,11 @@ use ips_tsdata::Dataset;
 /// # Panics
 /// Panics when the slices differ in length or are empty.
 pub fn accuracy(predicted: &[u32], actual: &[u32]) -> f64 {
-    assert_eq!(predicted.len(), actual.len(), "prediction/label length mismatch");
+    assert_eq!(
+        predicted.len(),
+        actual.len(),
+        "prediction/label length mismatch"
+    );
     assert!(!actual.is_empty(), "cannot score zero predictions");
     let hits = predicted.iter().zip(actual).filter(|(p, a)| p == a).count();
     hits as f64 / actual.len() as f64
@@ -42,7 +46,10 @@ impl Evaluation {
     /// Scores predictions against a test dataset's labels.
     pub fn from_predictions(predictions: Vec<u32>, test: &Dataset) -> Self {
         let accuracy = accuracy(&predictions, test.labels());
-        Self { predictions, accuracy }
+        Self {
+            predictions,
+            accuracy,
+        }
     }
 }
 

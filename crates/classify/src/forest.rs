@@ -95,7 +95,10 @@ impl RotationForest {
         assert_eq!(features.len(), labels.len(), "features/labels mismatch");
         assert!(!features.is_empty(), "cannot fit on zero instances");
         let dim = features[0].len();
-        assert!(features.iter().all(|f| f.len() == dim), "ragged feature matrix");
+        assert!(
+            features.iter().all(|f| f.len() == dim),
+            "ragged feature matrix"
+        );
         let mut classes: Vec<u32> = labels.to_vec();
         classes.sort_unstable();
         classes.dedup();
@@ -108,9 +111,8 @@ impl RotationForest {
         for t in 0..params.num_trees.max(1) {
             // bootstrap (with replacement)
             let idx: Vec<usize> = (0..take).map(|_| rng.random_range(0..n)).collect();
-            let rotation = rotate.then(|| {
-                build_rotation(features, &idx, dim, params.group_size.max(1), &mut rng)
-            });
+            let rotation = rotate
+                .then(|| build_rotation(features, &idx, dim, params.group_size.max(1), &mut rng));
             let (x, y): (Vec<Vec<f64>>, Vec<u32>) = idx
                 .iter()
                 .map(|&i| {
@@ -130,13 +132,19 @@ impl RotationForest {
                 DecisionTree::fit(
                     &all,
                     labels,
-                    TreeParams { seed: params.tree.seed ^ t as u64, ..params.tree },
+                    TreeParams {
+                        seed: params.tree.seed ^ t as u64,
+                        ..params.tree
+                    },
                 )
             } else {
                 DecisionTree::fit(
                     &x,
                     &y,
-                    TreeParams { seed: params.tree.seed ^ t as u64, ..params.tree },
+                    TreeParams {
+                        seed: params.tree.seed ^ t as u64,
+                        ..params.tree
+                    },
                 )
             };
             trees.push((rotation, tree));
@@ -156,7 +164,11 @@ impl RotationForest {
                 v.1 += 1;
             }
         }
-        votes.into_iter().max_by_key(|&(_, v)| v).map(|(c, _)| c).expect("non-empty")
+        votes
+            .into_iter()
+            .max_by_key(|&(_, v)| v)
+            .map(|(c, _)| c)
+            .expect("non-empty")
     }
 
     /// Predicts a batch.
@@ -306,7 +318,14 @@ mod tests {
     #[test]
     fn rotation_forest_separates_blobs() {
         let (x, y) = blobs();
-        let f = RotationForest::fit(&x, &y, ForestParams { num_trees: 20, ..Default::default() });
+        let f = RotationForest::fit(
+            &x,
+            &y,
+            ForestParams {
+                num_trees: 20,
+                ..Default::default()
+            },
+        );
         let acc = crate::eval::accuracy(&f.predict_all(&x), &y);
         assert!(acc > 0.95, "acc {acc}");
         assert_eq!(f.len(), 20);
@@ -315,7 +334,10 @@ mod tests {
     #[test]
     fn unrotated_forest_also_works() {
         let (x, y) = blobs();
-        let mut params = ForestParams { num_trees: 15, ..Default::default() };
+        let mut params = ForestParams {
+            num_trees: 15,
+            ..Default::default()
+        };
         params.tree.max_features = 2;
         let f = RotationForest::fit_unrotated(&x, &y, params);
         let acc = crate::eval::accuracy(&f.predict_all(&x), &y);
@@ -325,7 +347,10 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let (x, y) = blobs();
-        let p = ForestParams { num_trees: 8, ..Default::default() };
+        let p = ForestParams {
+            num_trees: 8,
+            ..Default::default()
+        };
         let a = RotationForest::fit(&x, &y, p);
         let b = RotationForest::fit(&x, &y, p);
         assert_eq!(a.predict_all(&x), b.predict_all(&x));

@@ -23,7 +23,12 @@ pub struct LogRegParams {
 
 impl Default for LogRegParams {
     fn default() -> Self {
-        Self { learning_rate: 0.1, lambda: 1e-4, epochs: 100, seed: 42 }
+        Self {
+            learning_rate: 0.1,
+            lambda: 1e-4,
+            epochs: 100,
+            seed: 42,
+        }
     }
 }
 
@@ -46,7 +51,10 @@ impl LogisticRegression {
         assert_eq!(features.len(), labels.len(), "features/labels mismatch");
         assert!(!features.is_empty(), "cannot train on zero instances");
         let dim = features[0].len();
-        assert!(features.iter().all(|f| f.len() == dim), "ragged feature matrix");
+        assert!(
+            features.iter().all(|f| f.len() == dim),
+            "ragged feature matrix"
+        );
         let mut classes: Vec<u32> = labels.to_vec();
         classes.sort_unstable();
         classes.dedup();
@@ -85,13 +93,22 @@ impl LogisticRegression {
                 }
             }
         }
-        Self { classes, weights: w, means, stds }
+        Self {
+            classes,
+            weights: w,
+            means,
+            stds,
+        }
     }
 
     /// Class probabilities for one raw feature vector, ordered like
     /// [`Self::classes`].
     pub fn probabilities(&self, features: &[f64]) -> Vec<f64> {
-        assert_eq!(features.len(), self.means.len(), "feature dimension mismatch");
+        assert_eq!(
+            features.len(),
+            self.means.len(),
+            "feature dimension mismatch"
+        );
         let mut row: Vec<f64> = features
             .iter()
             .zip(self.means.iter().zip(&self.stds))
@@ -125,7 +142,9 @@ impl LogisticRegression {
 }
 
 fn scores(w: &[Vec<f64>], x: &[f64]) -> Vec<f64> {
-    w.iter().map(|wc| wc.iter().zip(x).map(|(a, b)| a * b).sum()).collect()
+    w.iter()
+        .map(|wc| wc.iter().zip(x).map(|(a, b)| a * b).sum())
+        .collect()
 }
 
 fn softmax(scores: &[f64]) -> Vec<f64> {
@@ -171,7 +190,10 @@ mod tests {
         let mut ys = Vec::new();
         for (c, &(cx, cy)) in centers.iter().enumerate() {
             for _ in 0..n_per {
-                xs.push(vec![cx + rng.random_range(-0.5..0.5), cy + rng.random_range(-0.5..0.5)]);
+                xs.push(vec![
+                    cx + rng.random_range(-0.5..0.5),
+                    cy + rng.random_range(-0.5..0.5),
+                ]);
                 ys.push(c as u32);
             }
         }

@@ -27,7 +27,9 @@ impl OneNnEd {
             train.uniform_length().is_some(),
             "1NN-ED requires equal-length instances"
         );
-        Self { train: train.clone() }
+        Self {
+            train: train.clone(),
+        }
     }
 
     /// Predicts the label of one series.
@@ -46,7 +48,10 @@ impl OneNnEd {
 
     /// Predicts every instance of a test set.
     pub fn predict_all(&self, test: &Dataset) -> Vec<u32> {
-        test.all_series().iter().map(|s| self.predict(s.values())).collect()
+        test.all_series()
+            .iter()
+            .map(|s| self.predict(s.values()))
+            .collect()
     }
 
     /// Accuracy over a test set.
@@ -81,12 +86,18 @@ impl OneNnDtw {
                 best_band = band;
             }
         }
-        Self { train: train.clone(), band: best_band }
+        Self {
+            train: train.clone(),
+            band: best_band,
+        }
     }
 
     /// Creates a classifier with a fixed band (no tuning).
     pub fn with_band(train: &Dataset, band: usize) -> Self {
-        Self { train: train.clone(), band }
+        Self {
+            train: train.clone(),
+            band,
+        }
     }
 
     /// The learned band half-width in samples.
@@ -140,7 +151,10 @@ impl OneNnDtw {
 
     /// Predicts every instance of a test set.
     pub fn predict_all(&self, test: &Dataset) -> Vec<u32> {
-        test.all_series().iter().map(|s| self.predict(s.values())).collect()
+        test.all_series()
+            .iter()
+            .map(|s| self.predict(s.values()))
+            .collect()
     }
 
     /// Accuracy over a test set.
@@ -216,7 +230,9 @@ mod tests {
 
     #[test]
     fn both_models_beat_chance_on_synthetic_registry_data() {
-        let spec = DatasetSpec::new("NnSmoke", 2, 60, 16, 40).with_noise(0.2).with_modes(1);
+        let spec = DatasetSpec::new("NnSmoke", 2, 60, 16, 40)
+            .with_noise(0.2)
+            .with_modes(1);
         let (train, test) = SynthGenerator::new(spec).generate().unwrap();
         let ed = OneNnEd::fit(&train).accuracy(&test);
         let dtw = OneNnDtw::fit(&train).accuracy(&test);

@@ -30,7 +30,13 @@ pub struct Shapelet {
 impl Shapelet {
     /// Constructs a shapelet without provenance.
     pub fn new(values: Vec<f64>, class: u32) -> Self {
-        Self { values, class, source_instance: usize::MAX, source_offset: 0, score: 0.0 }
+        Self {
+            values,
+            class,
+            source_instance: usize::MAX,
+            source_offset: 0,
+            score: 0.0,
+        }
     }
 
     /// Length of the subsequence.
@@ -66,7 +72,11 @@ impl Shapelet {
     /// naive loop for short inputs, so the value matches `distance_to` up
     /// to FFT rounding (~1e-9 relative).
     pub fn distance_to_cached(&self, series: &[f64], znorm: bool, cache: &mut DistCache) -> f64 {
-        let metric = if znorm { Metric::ZNormEuclidean } else { Metric::MeanSquared };
+        let metric = if znorm {
+            Metric::ZNormEuclidean
+        } else {
+            Metric::MeanSquared
+        };
         cache.min_dist(&self.values, series, metric).0
     }
 }
@@ -84,7 +94,10 @@ impl ShapeletTransform {
     /// z-normalized distance variant (the paper's Definition 4 is raw, so
     /// the pipeline default is `false`).
     pub fn new(shapelets: Vec<Shapelet>, znorm: bool) -> Self {
-        assert!(!shapelets.is_empty(), "transform needs at least one shapelet");
+        assert!(
+            !shapelets.is_empty(),
+            "transform needs at least one shapelet"
+        );
         assert!(shapelets.iter().all(|s| !s.is_empty()), "empty shapelet");
         Self { shapelets, znorm }
     }
@@ -101,24 +114,26 @@ impl ShapeletTransform {
 
     /// Transforms one series into its distance embedding.
     pub fn transform_one(&self, series: &TimeSeries) -> Vec<f64> {
-        self.shapelets.iter().map(|s| s.distance_to(series.values(), self.znorm)).collect()
+        self.shapelets
+            .iter()
+            .map(|s| s.distance_to(series.values(), self.znorm))
+            .collect()
     }
 
     /// Transforms a whole dataset into a feature matrix (row per
     /// instance).
     pub fn transform(&self, data: &Dataset) -> Vec<Vec<f64>> {
-        data.all_series().iter().map(|s| self.transform_one(s)).collect()
+        data.all_series()
+            .iter()
+            .map(|s| self.transform_one(s))
+            .collect()
     }
 
     /// [`transform_one`](Self::transform_one) drawing distances from a
     /// shared cache: each series' FFT spectrum is planned once and reused
     /// across all shapelets, and (shapelet, series) pairs already scored
     /// during discovery are memo hits.
-    pub fn transform_one_with_cache(
-        &self,
-        series: &TimeSeries,
-        cache: &mut DistCache,
-    ) -> Vec<f64> {
+    pub fn transform_one_with_cache(&self, series: &TimeSeries, cache: &mut DistCache) -> Vec<f64> {
         self.shapelets
             .iter()
             .map(|s| s.distance_to_cached(series.values(), self.znorm, cache))
@@ -127,7 +142,10 @@ impl ShapeletTransform {
 
     /// [`transform`](Self::transform) through a shared distance cache.
     pub fn transform_with_cache(&self, data: &Dataset, cache: &mut DistCache) -> Vec<Vec<f64>> {
-        data.all_series().iter().map(|s| self.transform_one_with_cache(s, cache)).collect()
+        data.all_series()
+            .iter()
+            .map(|s| self.transform_one_with_cache(s, cache))
+            .collect()
     }
 }
 

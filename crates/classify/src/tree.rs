@@ -21,7 +21,12 @@ pub struct TreeParams {
 
 impl Default for TreeParams {
     fn default() -> Self {
-        Self { max_depth: 12, min_samples_split: 2, max_features: 0, seed: 7 }
+        Self {
+            max_depth: 12,
+            min_samples_split: 2,
+            max_features: 0,
+            seed: 7,
+        }
     }
 }
 
@@ -54,7 +59,10 @@ impl DecisionTree {
         assert_eq!(features.len(), labels.len(), "features/labels mismatch");
         assert!(!features.is_empty(), "cannot fit on zero instances");
         let dim = features[0].len();
-        assert!(features.iter().all(|f| f.len() == dim), "ragged feature matrix");
+        assert!(
+            features.iter().all(|f| f.len() == dim),
+            "ragged feature matrix"
+        );
         let idx: Vec<usize> = (0..features.len()).collect();
         let mut rng_state = params.seed | 1;
         let root = grow(features, labels, &idx, 0, &params, dim, &mut rng_state);
@@ -71,8 +79,17 @@ impl DecisionTree {
         loop {
             match node {
                 Node::Leaf { label } => return *label,
-                Node::Split { feature, threshold, left, right } => {
-                    node = if features[*feature] <= *threshold { left } else { right };
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if features[*feature] <= *threshold {
+                        left
+                    } else {
+                        right
+                    };
                 }
             }
         }
@@ -105,10 +122,7 @@ fn grow(
     rng: &mut u64,
 ) -> Node {
     let majority = majority_label(y, idx);
-    if depth >= params.max_depth
-        || idx.len() < params.min_samples_split
-        || is_pure(y, idx)
-    {
+    if depth >= params.max_depth || idx.len() < params.min_samples_split || is_pure(y, idx) {
         return Node::Leaf { label: majority };
     }
     let features = feature_subset(dim, params.max_features, rng);
@@ -141,7 +155,11 @@ fn majority_label(y: &[u32], idx: &[usize]) -> u32 {
             counts.push((y[i], 1));
         }
     }
-    counts.into_iter().max_by_key(|&(_, c)| c).map(|(l, _)| l).unwrap_or(0)
+    counts
+        .into_iter()
+        .max_by_key(|&(_, c)| c)
+        .map(|(l, _)| l)
+        .unwrap_or(0)
 }
 
 /// Splitmix-style PRNG step (dependency-free; forests need only weak
@@ -200,7 +218,7 @@ fn best_split(
             let nl = (w + 1) as f64;
             let nr = n - nl;
             let g = nl / n * gini_counts(&left, nl) + nr / n * gini_counts(&right, nr);
-            if g < parent - 1e-12 && best.map_or(true, |(bg, ..)| g < bg) {
+            if g < parent - 1e-12 && best.is_none_or(|(bg, ..)| g < bg) {
                 best = Some((g, f, 0.5 * (v + next_v)));
             }
         }
@@ -228,7 +246,10 @@ fn gini_counts(counts: &[(u32, usize)], n: f64) -> f64 {
     if n <= 0.0 {
         return 0.0;
     }
-    1.0 - counts.iter().map(|&(_, c)| (c as f64 / n).powi(2)).sum::<f64>()
+    1.0 - counts
+        .iter()
+        .map(|&(_, c)| (c as f64 / n).powi(2))
+        .sum::<f64>()
 }
 
 #[cfg(test)]
@@ -244,7 +265,7 @@ mod tests {
             let b = ((i / 2) % 2) as f64;
             let jitter = (i as f64 * 0.011) % 0.2;
             x.push(vec![a + jitter, b - jitter]);
-            y.push(((a as u32) ^ (b as u32)) as u32);
+            y.push((a as u32) ^ (b as u32));
         }
         (x, y)
     }
@@ -269,7 +290,14 @@ mod tests {
     #[test]
     fn depth_limit_caps_growth() {
         let (x, y) = xor_data();
-        let t = DecisionTree::fit(&x, &y, TreeParams { max_depth: 0, ..Default::default() });
+        let t = DecisionTree::fit(
+            &x,
+            &y,
+            TreeParams {
+                max_depth: 0,
+                ..Default::default()
+            },
+        );
         assert_eq!(t.num_splits(), 0);
     }
 
@@ -286,7 +314,11 @@ mod tests {
         let t = DecisionTree::fit(
             &x,
             &y,
-            TreeParams { max_features: 2, seed: 3, ..Default::default() },
+            TreeParams {
+                max_features: 2,
+                seed: 3,
+                ..Default::default()
+            },
         );
         // with 4 features and 2 sampled per split, several splits may be
         // needed but training accuracy must be high

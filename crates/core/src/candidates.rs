@@ -81,12 +81,16 @@ impl CandidatePool {
 
     /// Motif candidates of one class (`Φ_C^motif`).
     pub fn motifs_of(&self, class: u32) -> impl Iterator<Item = &Candidate> {
-        self.of_class(class).iter().filter(|c| c.kind == CandidateKind::Motif)
+        self.of_class(class)
+            .iter()
+            .filter(|c| c.kind == CandidateKind::Motif)
     }
 
     /// Discord candidates of one class (`Φ_C^discord`).
     pub fn discords_of(&self, class: u32) -> impl Iterator<Item = &Candidate> {
-        self.of_class(class).iter().filter(|c| c.kind == CandidateKind::Discord)
+        self.of_class(class)
+            .iter()
+            .filter(|c| c.kind == CandidateKind::Discord)
     }
 
     /// Total candidate count.
@@ -152,7 +156,11 @@ pub fn generate_for_class(train: &Dataset, class: u32, config: &IpsConfig) -> Ve
         let sample = draw_sample(&members, config.sample_size, &mut rng);
         let concat =
             ClassConcat::from_instances(sample.iter().map(|&i| (i, train.series(i).values())));
-        let n = sample.iter().map(|&i| train.series(i).len()).min().unwrap_or(0);
+        let n = sample
+            .iter()
+            .map(|&i| train.series(i).len())
+            .min()
+            .unwrap_or(0);
         for len in config.lengths_for(n) {
             extract_motif_discord(&concat, len, class, config, &mut pool);
         }
@@ -210,8 +218,11 @@ fn top_entries(
     excl: usize,
     largest: bool,
 ) -> Vec<ips_profile::ProfileEntry> {
-    let mut order: Vec<&ips_profile::ProfileEntry> =
-        ip.entries().iter().filter(|e| e.value.is_finite()).collect();
+    let mut order: Vec<&ips_profile::ProfileEntry> = ip
+        .entries()
+        .iter()
+        .filter(|e| e.value.is_finite())
+        .collect();
     order.sort_by(|a, b| {
         if largest {
             b.value.partial_cmp(&a.value).expect("finite")
@@ -317,7 +328,11 @@ mod tests {
         let pool = generate_candidates(&train, &cfg);
         let grid = cfg.lengths_for(64);
         for c in pool.iter() {
-            assert!(grid.contains(&c.len()), "length {} not in {grid:?}", c.len());
+            assert!(
+                grid.contains(&c.len()),
+                "length {} not in {grid:?}",
+                c.len()
+            );
         }
     }
 

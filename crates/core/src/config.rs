@@ -174,7 +174,11 @@ mod tests {
 
     #[test]
     fn builders_apply() {
-        let c = IpsConfig::default().with_k(7).with_sampling(3, 2).with_seed(1).with_threads(4);
+        let c = IpsConfig::default()
+            .with_k(7)
+            .with_sampling(3, 2)
+            .with_seed(1)
+            .with_threads(4);
         assert_eq!(c.k, 7);
         assert_eq!((c.num_samples, c.sample_size), (3, 2));
         assert_eq!(c.seed, 1);

@@ -33,16 +33,15 @@ use std::time::{Duration, Instant};
 use ips_classify::Shapelet;
 use ips_distance::{CacheStats, DistCache};
 use ips_filter::Dabf;
+use ips_obs::{MetricsRegistry, MetricsSnapshot, RunRecord};
 use ips_tsdata::Dataset;
 
 use crate::candidates::CandidatePool;
 use crate::config::IpsConfig;
 use crate::pipeline::{DiscoveryResult, PipelineError, StageTimings};
-use crate::pruning::{
-    apply_survivors, build_dabf, dabf_survivors, naive_filters, naive_survivors,
-};
-use crate::topk::{select_class_from_scores, TopKStrategy};
-use crate::utility::score_class;
+use crate::pruning::{apply_survivors, build_dabf, dabf_survivors, naive_filters, naive_survivors};
+use crate::topk::select_class_from_scores;
+use crate::utility::{score_class, ScoreMode};
 
 // ---------------------------------------------------------------------------
 // Telemetry: stages, counters, reports, observers
@@ -74,8 +73,12 @@ impl Stage {
     }
 
     /// All stages, in order.
-    pub const ALL: [Stage; 4] =
-        [Stage::CandidateGen, Stage::DabfBuild, Stage::Pruning, Stage::TopK];
+    pub const ALL: [Stage; 4] = [
+        Stage::CandidateGen,
+        Stage::DabfBuild,
+        Stage::Pruning,
+        Stage::TopK,
+    ];
 }
 
 /// Work counters attached to a stage report. Only the counters that make
@@ -111,6 +114,20 @@ impl StageCounters {
             kernel_evals: self.kernel_evals + other.kernel_evals,
             cache_hits: self.cache_hits + other.cache_hits,
         }
+    }
+
+    /// The counters as `(name, value)` pairs — the single source of the
+    /// field names used in metrics keys, serialized records, and the
+    /// rendered table, so the three views cannot drift apart.
+    pub fn fields(&self) -> [(&'static str, usize); 6] {
+        [
+            ("candidates_in", self.candidates_in),
+            ("candidates_out", self.candidates_out),
+            ("dabf_probes", self.dabf_probes),
+            ("utility_evals", self.utility_evals),
+            ("kernel_evals", self.kernel_evals),
+            ("cache_hits", self.cache_hits),
+        ]
     }
 }
 
@@ -174,7 +191,9 @@ impl RunReport {
 
     /// Elapsed time of one stage (zero when it did not run).
     pub fn elapsed(&self, stage: Stage) -> Duration {
-        self.stage(stage).map(|r| r.elapsed).unwrap_or(Duration::ZERO)
+        self.stage(stage)
+            .map(|r| r.elapsed)
+            .unwrap_or(Duration::ZERO)
     }
 
     /// Total wall-clock across all stages.
@@ -184,7 +203,9 @@ impl RunReport {
 
     /// Counters summed over all stages.
     pub fn counters(&self) -> StageCounters {
-        self.stages.iter().fold(StageCounters::default(), |acc, r| acc.merge(r.counters))
+        self.stages
+            .iter()
+            .fold(StageCounters::default(), |acc, r| acc.merge(r.counters))
     }
 
     /// The legacy fixed-field timing view (Table V's breakdown).
@@ -222,6 +243,33 @@ impl RunReport {
         ));
         out
     }
+
+    /// The report as a metrics snapshot: one `stage.{name}` span per
+    /// stage report plus one `{name}.{counter}` counter per non-zero
+    /// [`StageCounters`] field — the serialized view consumed by
+    /// `bench_pipeline` and `scripts/check_bench.py`. Repeated reports of
+    /// the same stage fold additively (span count > 1, counters summed),
+    /// so the snapshot's totals always agree with
+    /// [`counters`](RunReport::counters).
+    pub fn to_metrics(&self) -> MetricsSnapshot {
+        let registry = MetricsRegistry::new();
+        for r in &self.stages {
+            let ns = u64::try_from(r.elapsed.as_nanos()).unwrap_or(u64::MAX);
+            registry.observe_ns(&format!("stage.{}", r.stage.name()), ns);
+            for (field, value) in r.counters.fields() {
+                if value > 0 {
+                    registry.incr(&format!("{}.{field}", r.stage.name()), value as u64);
+                }
+            }
+        }
+        registry.snapshot()
+    }
+
+    /// The report as a versioned [`RunRecord`] with the given identity —
+    /// what runners serialize to disk.
+    pub fn to_record(&self, kind: &str, label: &str) -> RunRecord {
+        RunRecord::new(kind, label).with_metrics(self.to_metrics())
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -244,7 +292,9 @@ impl WorkerPool {
     /// available parallelism.
     pub fn new(num_threads: usize) -> Self {
         let threads = if num_threads == 0 {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
         } else {
             num_threads
         };
@@ -284,7 +334,10 @@ impl WorkerPool {
                 });
             }
         });
-        slots.into_iter().map(|s| s.expect("every index evaluated")).collect()
+        slots
+            .into_iter()
+            .map(|s| s.expect("every index evaluated"))
+            .collect()
     }
 }
 
@@ -325,24 +378,46 @@ impl Scratch {
 }
 
 /// Per-run execution state handed to every stage: worker pool, scratch
-/// buffers, and the telemetry sink.
+/// buffers, and the telemetry sinks (the structured [`RunReport`] plus a
+/// shared [`MetricsRegistry`] every recorded stage is mirrored into).
 pub struct ExecContext<'o> {
     workers: WorkerPool,
     scratch: Scratch,
     report: RunReport,
+    metrics: MetricsRegistry,
     observer: Option<&'o mut dyn StageObserver>,
 }
 
 impl<'o> ExecContext<'o> {
     /// A context running on `workers` with no observer attached.
     pub fn new(workers: WorkerPool) -> Self {
-        Self { workers, scratch: Scratch::default(), report: RunReport::default(), observer: None }
+        Self {
+            workers,
+            scratch: Scratch::default(),
+            report: RunReport::default(),
+            metrics: MetricsRegistry::new(),
+            observer: None,
+        }
     }
 
     /// Attaches a [`StageObserver`] that sees each stage as it finishes.
     pub fn with_observer(mut self, observer: &'o mut dyn StageObserver) -> Self {
         self.observer = Some(observer);
         self
+    }
+
+    /// Shares an external [`MetricsRegistry`] (replacing the context's
+    /// own): stages recorded here land next to whatever else the caller
+    /// measures — classifier heads, baseline sweeps, bench loops.
+    pub fn with_metrics(mut self, metrics: MetricsRegistry) -> Self {
+        self.metrics = metrics;
+        self
+    }
+
+    /// The context's metrics registry (clone it to share: clones view the
+    /// same underlying state).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
     }
 
     /// The worker pool (copy; stages may call [`WorkerPool::run`]).
@@ -362,11 +437,27 @@ impl<'o> ExecContext<'o> {
         std::mem::take(self.scratch.dist_cache())
     }
 
-    /// Records a finished stage and forwards it to the observer.
+    /// Records a finished stage: forwards it to the observer, appends it
+    /// to the run report, and mirrors it into the metrics registry (a
+    /// `stage.{name}` span plus `{name}.{counter}` counters, matching
+    /// [`RunReport::to_metrics`]).
     pub fn record(&mut self, stage: Stage, elapsed: Duration, counters: StageCounters) {
-        let report = StageReport { stage, elapsed, counters };
+        let report = StageReport {
+            stage,
+            elapsed,
+            counters,
+        };
         if let Some(obs) = self.observer.as_deref_mut() {
             obs.on_stage(&report);
+        }
+        let ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+        self.metrics
+            .observe_ns(&format!("stage.{}", stage.name()), ns);
+        for (field, value) in counters.fields() {
+            if value > 0 {
+                self.metrics
+                    .incr(&format!("{}.{field}", stage.name()), value as u64);
+            }
         }
         self.report.stages.push(report);
     }
@@ -453,7 +544,12 @@ impl Engine {
         pruner: Box<dyn Pruner>,
         selector: Box<dyn Selector>,
     ) -> Self {
-        Self { source, pruner, selector, workers: WorkerPool::new(1) }
+        Self {
+            source,
+            pruner,
+            selector,
+            workers: WorkerPool::new(1),
+        }
     }
 
     /// The standard IPS composition for a configuration: profile-based
@@ -521,7 +617,10 @@ impl Engine {
         ctx.record(
             Stage::CandidateGen,
             t0.elapsed(),
-            StageCounters { candidates_out: generated, ..Default::default() },
+            StageCounters {
+                candidates_out: generated,
+                ..Default::default()
+            },
         );
         if pool.is_empty() {
             return Err(PipelineError::NoCandidates);
@@ -533,7 +632,11 @@ impl Engine {
         let t1 = Instant::now();
         let outcome = self.pruner.prune(&mut pool, ctx);
         let prune_total = t1.elapsed();
-        ctx.record(Stage::DabfBuild, outcome.dabf_build, StageCounters::default());
+        ctx.record(
+            Stage::DabfBuild,
+            outcome.dabf_build,
+            StageCounters::default(),
+        );
         ctx.record(
             Stage::Pruning,
             prune_total.saturating_sub(outcome.dabf_build),
@@ -548,7 +651,9 @@ impl Engine {
         // Stage 4: selection.
         let t2 = Instant::now();
         let survivors = pool.len();
-        let selection = self.selector.select(&pool, train, outcome.dabf.as_ref(), ctx);
+        let selection = self
+            .selector
+            .select(&pool, train, outcome.dabf.as_ref(), ctx);
         ctx.record(
             Stage::TopK,
             t2.elapsed(),
@@ -631,7 +736,12 @@ impl Pruner for DabfPruner {
             probes += class_probes;
             pruned += apply_survivors(pool, class, &survivors);
         }
-        PruneOutcome { pruned, dabf: Some(dabf), dabf_build, probes }
+        PruneOutcome {
+            pruned,
+            dabf: Some(dabf),
+            dabf_build,
+            probes,
+        }
     }
 }
 
@@ -652,16 +762,21 @@ impl Pruner for NaivePruner {
     fn prune(&self, pool: &mut CandidatePool, ctx: &mut ExecContext) -> PruneOutcome {
         let filters = naive_filters(pool, &self.config);
         let classes = pool.classes();
-        let per_class = ctx
-            .workers()
-            .run(classes.len(), |i| naive_survivors(&*pool, &filters, classes[i]));
+        let per_class = ctx.workers().run(classes.len(), |i| {
+            naive_survivors(&*pool, &filters, classes[i])
+        });
         let mut pruned = 0;
         let mut probes = 0;
         for (&class, (survivors, class_probes)) in classes.iter().zip(per_class) {
             probes += class_probes;
             pruned += apply_survivors(pool, class, &survivors);
         }
-        PruneOutcome { pruned, dabf: None, dabf_build: Duration::ZERO, probes }
+        PruneOutcome {
+            pruned,
+            dabf: None,
+            dabf_build: Duration::ZERO,
+            probes,
+        }
     }
 }
 
@@ -671,7 +786,12 @@ pub struct NoopPruner;
 
 impl Pruner for NoopPruner {
     fn prune(&self, _pool: &mut CandidatePool, _ctx: &mut ExecContext) -> PruneOutcome {
-        PruneOutcome { pruned: 0, dabf: None, dabf_build: Duration::ZERO, probes: 0 }
+        PruneOutcome {
+            pruned: 0,
+            dabf: None,
+            dabf_build: Duration::ZERO,
+            probes: 0,
+        }
     }
 }
 
@@ -700,9 +820,9 @@ impl Selector for UtilitySelector {
     ) -> Selection {
         // DT requires a DABF; fall back to exact scoring when pruning ran
         // without one, even if DT+CR was requested.
-        let strategy = match (self.config.use_dt_cr, dabf) {
-            (true, Some(_)) => TopKStrategy::DtCr,
-            _ => TopKStrategy::Exact,
+        let mode = match (self.config.use_dt_cr, dabf) {
+            (true, Some(d)) => ScoreMode::DtCr(d),
+            _ => ScoreMode::Exact,
         };
         let classes = pool.classes();
         let workers = ctx.workers();
@@ -710,7 +830,7 @@ impl Selector for UtilitySelector {
         // per-class* cache (not the shared run cache), so hit/eval
         // counters are identical at every thread count; the per-class
         // caches are folded into the run cache in class order below.
-        let use_cache = self.config.use_fft_kernel && strategy == TopKStrategy::Exact;
+        let use_cache = self.config.use_fft_kernel && matches!(mode, ScoreMode::Exact);
         let scored: Vec<(Vec<f64>, usize, Option<DistCache>)> = if workers.threads() <= 1 {
             // Sequential path: reuse one scratch accumulator across all
             // classes instead of reallocating per class.
@@ -719,10 +839,8 @@ impl Selector for UtilitySelector {
                 .iter()
                 .map(|&c| {
                     let mut cache = use_cache.then(DistCache::new);
-                    let (scores, evals) = score_class(
-                        pool, train, dabf, &self.config, c, strategy, &mut buf,
-                        cache.as_mut(),
-                    );
+                    let (scores, evals) =
+                        score_class(pool, train, &self.config, c, mode, &mut buf, cache.as_mut());
                     (scores, evals, cache)
                 })
                 .collect();
@@ -733,7 +851,12 @@ impl Selector for UtilitySelector {
                 let mut buf = Vec::new();
                 let mut cache = use_cache.then(DistCache::new);
                 let (scores, evals) = score_class(
-                    pool, train, dabf, &self.config, classes[i], strategy, &mut buf,
+                    pool,
+                    train,
+                    &self.config,
+                    classes[i],
+                    mode,
+                    &mut buf,
                     cache.as_mut(),
                 );
                 (scores, evals, cache)
@@ -750,7 +873,11 @@ impl Selector for UtilitySelector {
             }
             select_class_from_scores(pool, class, &scores, &self.config, &mut shapelets);
         }
-        Selection { shapelets, utility_evals, cache_stats }
+        Selection {
+            shapelets,
+            utility_evals,
+            cache_stats,
+        }
     }
 }
 
@@ -778,7 +905,10 @@ impl Selector for ScoreRankSelector {
             utility_evals += cands.len();
             let mut order: Vec<usize> = (0..cands.len()).collect();
             order.sort_by(|&a, &b| {
-                cands[b].ip_value.partial_cmp(&cands[a].ip_value).expect("finite scores")
+                cands[b]
+                    .ip_value
+                    .partial_cmp(&cands[a].ip_value)
+                    .expect("finite scores")
             });
             for &i in order.iter().take(self.k) {
                 let c = &cands[i];
@@ -791,7 +921,11 @@ impl Selector for ScoreRankSelector {
                 });
             }
         }
-        Selection { shapelets, utility_evals, cache_stats: CacheStats::default() }
+        Selection {
+            shapelets,
+            utility_evals,
+            cache_stats: CacheStats::default(),
+        }
     }
 }
 
@@ -804,7 +938,11 @@ mod tests {
         for threads in [1, 2, 3, 8, 0] {
             let pool = WorkerPool::new(threads);
             let out = pool.run(10, |i| i * i);
-            assert_eq!(out, (0..10).map(|i| i * i).collect::<Vec<_>>(), "threads={threads}");
+            assert_eq!(
+                out,
+                (0..10).map(|i| i * i).collect::<Vec<_>>(),
+                "threads={threads}"
+            );
         }
     }
 
@@ -833,16 +971,27 @@ mod tests {
         ctx.record(
             Stage::CandidateGen,
             Duration::from_millis(3),
-            StageCounters { candidates_out: 10, ..Default::default() },
+            StageCounters {
+                candidates_out: 10,
+                ..Default::default()
+            },
         );
         ctx.record(
             Stage::Pruning,
             Duration::from_millis(2),
-            StageCounters { candidates_in: 10, candidates_out: 7, dabf_probes: 5, ..Default::default() },
+            StageCounters {
+                candidates_in: 10,
+                candidates_out: 7,
+                dabf_probes: 5,
+                ..Default::default()
+            },
         );
         let report = ctx.into_report();
         assert_eq!(report.total(), Duration::from_millis(5));
-        assert_eq!(report.stage(Stage::Pruning).unwrap().counters.dabf_probes, 5);
+        assert_eq!(
+            report.stage(Stage::Pruning).unwrap().counters.dabf_probes,
+            5
+        );
         assert!(report.stage(Stage::TopK).is_none());
         assert_eq!(report.elapsed(Stage::TopK), Duration::ZERO);
         assert_eq!(report.counters().candidates_out, 17);
@@ -852,10 +1001,94 @@ mod tests {
     }
 
     #[test]
+    fn context_mirrors_stages_into_metrics() {
+        let mut ctx = ExecContext::new(WorkerPool::new(1));
+        ctx.record(
+            Stage::CandidateGen,
+            Duration::from_micros(40),
+            StageCounters {
+                candidates_out: 12,
+                ..Default::default()
+            },
+        );
+        ctx.record(
+            Stage::TopK,
+            Duration::from_micros(60),
+            StageCounters {
+                candidates_in: 12,
+                utility_evals: 99,
+                ..Default::default()
+            },
+        );
+        let live = ctx.metrics().snapshot();
+        let report = ctx.into_report();
+        // The live mirror and the post-hoc conversion agree exactly.
+        assert_eq!(live, report.to_metrics());
+        assert_eq!(live.counters["candidate_gen.candidates_out"], 12);
+        assert_eq!(live.counters["top_k.utility_evals"], 99);
+        assert_eq!(live.spans["stage.top_k"].total_ns, 60_000);
+        // Zero-valued counter fields are omitted, not written as zeros.
+        assert!(!live.counters.contains_key("candidate_gen.candidates_in"));
+    }
+
+    #[test]
+    fn report_record_round_trips_and_matches_counters() {
+        let mut ctx = ExecContext::new(WorkerPool::new(1));
+        ctx.record(
+            Stage::Pruning,
+            Duration::from_millis(2),
+            StageCounters {
+                candidates_in: 30,
+                candidates_out: 20,
+                dabf_probes: 7,
+                ..Default::default()
+            },
+        );
+        ctx.record(
+            Stage::TopK,
+            Duration::from_millis(1),
+            StageCounters {
+                candidates_in: 20,
+                candidates_out: 4,
+                utility_evals: 80,
+                kernel_evals: 50,
+                cache_hits: 30,
+                ..Default::default()
+            },
+        );
+        let report = ctx.into_report();
+        let record = report.to_record("discovery", "unit");
+        let back = ips_obs::RunRecord::from_json_str(&record.to_json_string()).unwrap();
+        assert_eq!(back, record);
+        // Serialized counters sum to exactly RunReport::counters().
+        let totals = report.counters();
+        for (field, value) in totals.fields() {
+            let sum: u64 = back
+                .metrics
+                .counters
+                .iter()
+                .filter(|(k, _)| k.ends_with(&format!(".{field}")))
+                .map(|(_, v)| *v)
+                .sum();
+            assert_eq!(sum, value as u64, "{field}");
+        }
+        // And the rendered table shows the same per-stage numbers.
+        let table = report.render_table();
+        for r in report.stages() {
+            assert!(table.contains(r.stage.name()));
+        }
+        assert!(table.contains(" 80 "), "utility_evals column:\n{table}");
+    }
+
+    #[test]
     fn observer_sees_stages_in_order() {
         let mut obs = CollectingObserver::default();
         let mut ctx = ExecContext::new(WorkerPool::new(1)).with_observer(&mut obs);
-        ctx.record(Stage::CandidateGen, Duration::ZERO, StageCounters::default());
+        ctx.record(
+            Stage::CandidateGen,
+            Duration::ZERO,
+            StageCounters::default(),
+        );
         ctx.record(Stage::TopK, Duration::ZERO, StageCounters::default());
         drop(ctx);
         assert_eq!(

@@ -30,12 +30,18 @@ pub struct EnsembleConfig {
 
 impl Default for EnsembleConfig {
     fn default() -> Self {
-        Self { ips: IpsConfig::default(), forest: ForestParams::default(), cv_folds: 3 }
+        Self {
+            ips: IpsConfig::default(),
+            forest: ForestParams::default(),
+            cv_folds: 3,
+        }
     }
 }
 
 enum Member {
-    Ips(IpsClassifier),
+    // Boxed: an IpsClassifier (shapelets + transform + SVM) dwarfs the
+    // other members, and members live in a Vec of (Member, weight).
+    Ips(Box<IpsClassifier>),
     NnEd(OneNnEd),
     NnDtw(OneNnDtw),
     Forest(RotationForest),
@@ -74,7 +80,9 @@ impl CoteIpsEnsemble {
     pub fn fit(train: &Dataset, config: EnsembleConfig) -> Result<Self, PipelineError> {
         let classes = train.classes();
         if classes.len() < 2 {
-            return Err(PipelineError::InvalidTrainingSet("need at least two classes".into()));
+            return Err(PipelineError::InvalidTrainingSet(
+                "need at least two classes".into(),
+            ));
         }
         let folds = config.cv_folds.max(2);
 
@@ -91,21 +99,30 @@ impl CoteIpsEnsemble {
             1 => cross_val_accuracy(train, folds, |tr, te| OneNnEd::fit(tr).predict_all(te)),
             2 => cross_val_accuracy(train, folds, |tr, te| OneNnDtw::fit(tr).predict_all(te)),
             _ => cross_val_accuracy(train, folds, |tr, te| {
-                let x: Vec<Vec<f64>> =
-                    tr.all_series().iter().map(|s| s.values().to_vec()).collect();
+                let x: Vec<Vec<f64>> = tr
+                    .all_series()
+                    .iter()
+                    .map(|s| s.values().to_vec())
+                    .collect();
                 let f = RotationForest::fit(&x, tr.labels(), config.forest);
-                te.all_series().iter().map(|s| f.predict(s.values())).collect()
+                te.all_series()
+                    .iter()
+                    .map(|s| f.predict(s.values()))
+                    .collect()
             }),
         });
         let (w_ips, w_ed, w_dtw, w_rotf) = (weights[0], weights[1], weights[2], weights[3]);
 
         // final members trained on everything
         let ips = IpsClassifier::fit(train, config.ips.clone())?;
-        let x: Vec<Vec<f64>> =
-            train.all_series().iter().map(|s| s.values().to_vec()).collect();
+        let x: Vec<Vec<f64>> = train
+            .all_series()
+            .iter()
+            .map(|s| s.values().to_vec())
+            .collect();
         let forest = RotationForest::fit(&x, train.labels(), config.forest);
         let members = vec![
-            (Member::Ips(ips), w_ips * w_ips),
+            (Member::Ips(Box::new(ips)), w_ips * w_ips),
             (Member::NnEd(OneNnEd::fit(train)), w_ed * w_ed),
             (Member::NnDtw(OneNnDtw::fit(train)), w_dtw * w_dtw),
             (Member::Forest(forest), w_rotf * w_rotf),
@@ -157,7 +174,10 @@ mod tests {
     fn config() -> EnsembleConfig {
         EnsembleConfig {
             ips: IpsConfig::default().with_sampling(5, 3).with_k(3),
-            forest: ForestParams { num_trees: 15, ..Default::default() },
+            forest: ForestParams {
+                num_trees: 15,
+                ..Default::default()
+            },
             cv_folds: 2,
         }
     }

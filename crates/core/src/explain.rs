@@ -35,7 +35,9 @@ pub struct Explanation {
 impl Explanation {
     /// The matches belonging to the predicted class, closest first.
     pub fn supporting_matches(&self) -> impl Iterator<Item = &MatchExplanation> {
-        self.matches.iter().filter(move |m| m.shapelet_class == self.predicted)
+        self.matches
+            .iter()
+            .filter(move |m| m.shapelet_class == self.predicted)
     }
 
     /// The single closest match of the predicted class — "the reason" in
@@ -64,7 +66,11 @@ pub fn explain_prediction(model: &IpsClassifier, series: &TimeSeries) -> Explana
             }
         })
         .collect();
-    matches.sort_by(|a, b| a.distance.partial_cmp(&b.distance).expect("finite distances"));
+    matches.sort_by(|a, b| {
+        a.distance
+            .partial_cmp(&b.distance)
+            .expect("finite distances")
+    });
     Explanation { predicted, matches }
 }
 
@@ -94,7 +100,10 @@ pub fn explanation_text(series: &TimeSeries, explanation: &Explanation) -> Strin
             *c = '^';
         }
         out.push_str(&format!("series : {}\n", coarse(series.values(), width)));
-        out.push_str(&format!("match  : {}\n", marker.into_iter().collect::<String>()));
+        out.push_str(&format!(
+            "match  : {}\n",
+            marker.into_iter().collect::<String>()
+        ));
     }
     for m in explanation.matches.iter().take(5) {
         out.push_str(&format!(
@@ -129,8 +138,7 @@ mod tests {
 
     fn model() -> (IpsClassifier, ips_tsdata::Dataset) {
         let (train, test) = registry::load("ItalyPowerDemand").unwrap();
-        let model =
-            IpsClassifier::fit(&train, IpsConfig::default().with_sampling(6, 4)).unwrap();
+        let model = IpsClassifier::fit(&train, IpsConfig::default().with_sampling(6, 4)).unwrap();
         (model, test)
     }
 

@@ -52,6 +52,6 @@ pub use ensemble::{CoteIpsEnsemble, EnsembleConfig};
 pub use explain::{explain_prediction, explanation_text, Explanation, MatchExplanation};
 pub use multivariate::{MultivariateDataset, MultivariateIps};
 pub use pipeline::{DiscoveryResult, DiscoveryStats, IpsClassifier, IpsDiscovery, StageTimings};
-pub use pruning::{build_dabf, prune_with_dabf, prune_naive};
+pub use pruning::{build_dabf, prune_naive, prune_with_dabf};
 pub use topk::{select_top_k, TopKStrategy};
 pub use utility::{score_exact, score_exact_with_cache};

@@ -105,9 +105,16 @@ impl MultivariateIps {
         let svm = LinearSvm::fit(
             &features,
             train.labels(),
-            SvmParams { seed: config.seed, ..SvmParams::default() },
+            SvmParams {
+                seed: config.seed,
+                ..SvmParams::default()
+            },
         );
-        Ok(Self { transforms, svm, reports })
+        Ok(Self {
+            transforms,
+            svm,
+            reports,
+        })
     }
 
     /// Per-dimension discovery telemetry, in dimension order.
@@ -120,7 +127,11 @@ impl MultivariateIps {
     /// # Panics
     /// Panics when the dimension count differs from training.
     pub fn predict(&self, series: &[&TimeSeries]) -> u32 {
-        assert_eq!(series.len(), self.transforms.len(), "dimension count mismatch");
+        assert_eq!(
+            series.len(),
+            self.transforms.len(),
+            "dimension count mismatch"
+        );
         let mut features = Vec::new();
         for (t, s) in self.transforms.iter().zip(series) {
             features.extend(t.transform_one(s));
@@ -130,8 +141,9 @@ impl MultivariateIps {
 
     /// Accuracy over a multivariate test set.
     pub fn accuracy(&self, test: &MultivariateDataset) -> f64 {
-        let preds: Vec<u32> =
-            (0..test.len()).map(|i| self.predict(&test.instance(i))).collect();
+        let preds: Vec<u32> = (0..test.len())
+            .map(|i| self.predict(&test.instance(i)))
+            .collect();
         ips_classify::eval::accuracy(&preds, test.labels())
     }
 
@@ -156,12 +168,18 @@ mod tests {
     fn mv(seed_a: u64, seed_b: u64) -> (MultivariateDataset, MultivariateDataset) {
         // two dimensions carrying complementary class information
         let (tr_a, te_a) = SynthGenerator::new(
-            DatasetSpec::new("MvA", 2, 60, 12, 24).with_noise(0.2).with_modes(1).with_seed(seed_a),
+            DatasetSpec::new("MvA", 2, 60, 12, 24)
+                .with_noise(0.2)
+                .with_modes(1)
+                .with_seed(seed_a),
         )
         .generate()
         .unwrap();
         let (tr_b, te_b) = SynthGenerator::new(
-            DatasetSpec::new("MvB", 2, 60, 12, 24).with_noise(0.2).with_modes(1).with_seed(seed_b),
+            DatasetSpec::new("MvB", 2, 60, 12, 24)
+                .with_noise(0.2)
+                .with_modes(1)
+                .with_seed(seed_b),
         )
         .generate()
         .unwrap();
@@ -189,8 +207,12 @@ mod tests {
         let cfg = IpsConfig::default().with_sampling(4, 3).with_k(2);
         let seq = MultivariateIps::fit(&train, cfg.clone()).unwrap();
         let par = MultivariateIps::fit(&train, cfg.with_threads(0)).unwrap();
-        let seq_preds: Vec<u32> = (0..test.len()).map(|i| seq.predict(&test.instance(i))).collect();
-        let par_preds: Vec<u32> = (0..test.len()).map(|i| par.predict(&test.instance(i))).collect();
+        let seq_preds: Vec<u32> = (0..test.len())
+            .map(|i| seq.predict(&test.instance(i)))
+            .collect();
+        let par_preds: Vec<u32> = (0..test.len())
+            .map(|i| par.predict(&test.instance(i)))
+            .collect();
         assert_eq!(seq_preds, par_preds);
     }
 

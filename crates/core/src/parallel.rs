@@ -33,7 +33,9 @@ pub(crate) fn generate_with_pool(
     workers: WorkerPool,
 ) -> CandidatePool {
     let classes = train.classes();
-    let per_class = workers.run(classes.len(), |i| generate_for_class(train, classes[i], config));
+    let per_class = workers.run(classes.len(), |i| {
+        generate_for_class(train, classes[i], config)
+    });
     let mut pool = CandidatePool::default();
     for cands in per_class {
         for c in cands {

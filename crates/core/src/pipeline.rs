@@ -6,6 +6,7 @@ use std::time::Duration;
 
 use ips_classify::svm::SvmParams;
 use ips_classify::{LinearSvm, Shapelet, ShapeletTransform};
+use ips_obs::{MetricsSnapshot, RunRecord};
 use ips_tsdata::{Dataset, TimeSeries};
 
 use crate::config::IpsConfig;
@@ -118,6 +119,20 @@ pub struct DiscoveryStats {
     pub candidates_pruned: usize,
     /// Full per-stage telemetry.
     pub report: RunReport,
+    /// Everything the fit measured beyond discovery stages: `fit.*` spans
+    /// (shapelet transform, SVM training), `cache.*` counters and hit
+    /// rate, and the `discovery.*` candidate counters — a superset of
+    /// [`RunReport::to_metrics`](crate::engine::RunReport::to_metrics)
+    /// over `report`.
+    pub metrics: MetricsSnapshot,
+}
+
+impl DiscoveryStats {
+    /// The fit's telemetry as a versioned [`RunRecord`] (kind
+    /// `"ips_fit"`), ready to serialize next to other runners' records.
+    pub fn to_record(&self, label: &str) -> RunRecord {
+        RunRecord::new("ips_fit", label).with_metrics(self.metrics.clone())
+    }
 }
 
 /// The full classifier: IPS shapelet discovery → shapelet transform →
@@ -139,31 +154,61 @@ impl IpsClassifier {
             ));
         }
         let znorm = config.znorm_transform;
-        let svm_params = SvmParams { seed: config.seed, ..SvmParams::default() };
+        let svm_params = SvmParams {
+            seed: config.seed,
+            ..SvmParams::default()
+        };
         let engine = Engine::from_config(&config);
         let mut ctx = engine.make_context();
         let mut result = engine.run_with_ctx(train, &mut ctx)?;
+        // Discovery stages are already mirrored into the context's
+        // registry; the classification head adds its own spans and the
+        // distance-cache totals alongside them.
+        let metrics = ctx.metrics().clone();
         // The transform takes ownership of the shapelets — they are not
         // duplicated into the stats.
         let shapelets = std::mem::take(&mut result.shapelets);
         let transform = ShapeletTransform::new(shapelets, znorm);
-        let features = if config.use_fft_kernel {
-            // Reuse the distance cache accumulated during discovery:
-            // training-series FFT plans carry over, and any (shapelet,
-            // instance) pair scored by Algorithm 4 is already memoized.
-            let mut cache = ctx.take_dist_cache();
-            transform.transform_with_cache(train, &mut cache)
-        } else {
-            transform.transform(train)
+        let features = {
+            let _span = metrics.time("fit.transform");
+            if config.use_fft_kernel {
+                // Reuse the distance cache accumulated during discovery:
+                // training-series FFT plans carry over, and any (shapelet,
+                // instance) pair scored by Algorithm 4 is already memoized.
+                let mut cache = ctx.take_dist_cache();
+                let features = transform.transform_with_cache(train, &mut cache);
+                // Cumulative over discovery + transform — the fit's whole
+                // cache story, not just the transform's share.
+                cache.stats().record_into(&metrics, "cache.");
+                features
+            } else {
+                transform.transform(train)
+            }
         };
-        let svm = LinearSvm::fit(&features, train.labels(), svm_params);
+        let svm = {
+            let _span = metrics.time("fit.svm");
+            LinearSvm::fit(&features, train.labels(), svm_params)
+        };
+        metrics.incr(
+            "discovery.candidates_generated",
+            result.candidates_generated as u64,
+        );
+        metrics.incr(
+            "discovery.candidates_pruned",
+            result.candidates_pruned as u64,
+        );
         let discovery = DiscoveryStats {
             timings: result.timings,
             candidates_generated: result.candidates_generated,
             candidates_pruned: result.candidates_pruned,
             report: result.report,
+            metrics: metrics.snapshot(),
         };
-        Ok(Self { transform, svm, discovery })
+        Ok(Self {
+            transform,
+            svm,
+            discovery,
+        })
     }
 
     /// Predicts the label of one series.
@@ -239,6 +284,40 @@ mod tests {
     }
 
     #[test]
+    fn fit_populates_observability_metrics() {
+        let (train, _) = registry::load("ItalyPowerDemand").unwrap();
+        let model = IpsClassifier::fit(&train, fast_cfg()).unwrap();
+        let stats = model.discovery();
+        let m = &stats.metrics;
+        // Engine stages mirrored, head spans added.
+        for span in [
+            "stage.candidate_gen",
+            "stage.top_k",
+            "fit.transform",
+            "fit.svm",
+        ] {
+            assert!(m.spans.contains_key(span), "missing span {span}");
+        }
+        assert_eq!(
+            m.counters["discovery.candidates_generated"],
+            stats.candidates_generated as u64
+        );
+        // The cache totals cover discovery plus the shapelet transform, so
+        // they dominate the discovery-stage counters.
+        let report_counters = stats.report.counters();
+        assert!(
+            m.counters["cache.kernel_evals"] + m.counters["cache.cache_hits"]
+                >= (report_counters.kernel_evals + report_counters.cache_hits) as u64
+        );
+        assert!(m.gauges.contains_key("cache.hit_rate"));
+        // And the whole thing serializes as a valid versioned record.
+        let record = stats.to_record("ItalyPowerDemand");
+        let back = ips_obs::RunRecord::from_json_str(&record.to_json_string()).unwrap();
+        assert_eq!(back, record);
+        assert_eq!(back.kind, "ips_fit");
+    }
+
+    #[test]
     fn ablation_paths_run() {
         let spec = DatasetSpec::new("PipeAbl", 2, 64, 12, 12).with_noise(0.2);
         let (train, _) = SynthGenerator::new(spec).generate().unwrap();
@@ -247,7 +326,10 @@ mod tests {
             cfg.use_dabf = use_dabf;
             cfg.use_dt_cr = use_dt_cr;
             let res = IpsDiscovery::new(cfg).discover(&train).unwrap();
-            assert!(!res.shapelets.is_empty(), "dabf={use_dabf} dtcr={use_dt_cr}");
+            assert!(
+                !res.shapelets.is_empty(),
+                "dabf={use_dabf} dtcr={use_dt_cr}"
+            );
             if !use_dabf {
                 assert_eq!(res.timings.dabf_build, Duration::ZERO);
             }
@@ -292,12 +374,14 @@ mod tests {
             let free = 100.0 - width;
             let lo = (center * free - width).max(0.0) as usize;
             let hi = (center * free + 2.0 * width) as usize;
-            let hit = res
-                .shapelets
-                .iter()
-                .filter(|s| s.class == class)
-                .any(|s| s.source_offset >= lo.saturating_sub(10) && s.source_offset <= hi + 10);
-            assert!(hit, "class {class}: no shapelet near planted window [{lo}, {hi}]");
+            let hit =
+                res.shapelets.iter().filter(|s| s.class == class).any(|s| {
+                    s.source_offset >= lo.saturating_sub(10) && s.source_offset <= hi + 10
+                });
+            assert!(
+                hit,
+                "class {class}: no shapelet near planted window [{lo}, {hi}]"
+            );
         }
     }
 }

@@ -17,8 +17,11 @@ use crate::config::IpsConfig;
 pub fn build_dabf(pool: &CandidatePool, config: &IpsConfig) -> Dabf {
     let mut dabf = Dabf::new();
     for class in pool.classes() {
-        let elements: Vec<Vec<f64>> =
-            pool.of_class(class).iter().map(|c| c.embedded.clone()).collect();
+        let elements: Vec<Vec<f64>> = pool
+            .of_class(class)
+            .iter()
+            .map(|c| c.embedded.clone())
+            .collect();
         dabf.add_class(class, ClassDabf::build(&elements, config.dabf));
     }
     dabf
@@ -29,11 +32,7 @@ pub fn build_dabf(pool: &CandidatePool, config: &IpsConfig) -> Dabf {
 /// own candidate list — the class-parallel unit of Algorithm 3. The probe
 /// loop replicates [`Dabf::close_to_most_of_other_class`]'s short-circuit
 /// exactly, so flags (and probe counts) match the sequential path.
-pub(crate) fn dabf_survivors(
-    pool: &CandidatePool,
-    dabf: &Dabf,
-    class: u32,
-) -> (Vec<bool>, usize) {
+pub(crate) fn dabf_survivors(pool: &CandidatePool, dabf: &Dabf, class: u32) -> (Vec<bool>, usize) {
     let mut probes = 0usize;
     let survivors = pool
         .of_class(class)
@@ -99,8 +98,11 @@ pub(crate) fn naive_filters(
     pool.classes()
         .iter()
         .map(|&c| {
-            let elements: Vec<Vec<f64>> =
-                pool.of_class(c).iter().map(|x| x.embedded.clone()).collect();
+            let elements: Vec<Vec<f64>> = pool
+                .of_class(c)
+                .iter()
+                .map(|x| x.embedded.clone())
+                .collect();
             (c, NaiveMostFilter::build(&elements, config.dabf.sigma_rule))
         })
         .collect()

@@ -150,7 +150,11 @@ fn mean_pairwise_embedded(motifs: &[&Candidate]) -> f64 {
 
 #[inline]
 fn embedded_dist(a: &[f64], b: &[f64]) -> f64 {
-    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
 }
 
 /// Total-order wrapper for finite f64 scores.
@@ -179,7 +183,9 @@ mod tests {
     use ips_tsdata::{DatasetSpec, SynthGenerator};
 
     fn setup() -> (CandidatePool, Dataset, IpsConfig, Dabf) {
-        let spec = DatasetSpec::new("TopkT", 2, 64, 12, 12).with_noise(0.15).with_modes(1);
+        let spec = DatasetSpec::new("TopkT", 2, 64, 12, 12)
+            .with_noise(0.15)
+            .with_modes(1);
         let (train, _) = SynthGenerator::new(spec).generate().unwrap();
         let cfg = IpsConfig::default().with_sampling(5, 3).with_k(3);
         let mut pool = generate_candidates(&train, &cfg);
@@ -205,8 +211,11 @@ mod tests {
         let (pool, train, cfg, dabf) = setup();
         let s = select_top_k(&pool, &train, Some(&dabf), &cfg, TopKStrategy::Exact);
         for class in [0, 1] {
-            let class_scores: Vec<f64> =
-                s.iter().filter(|x| x.class == class).map(|x| x.score).collect();
+            let class_scores: Vec<f64> = s
+                .iter()
+                .filter(|x| x.class == class)
+                .map(|x| x.score)
+                .collect();
             for w in class_scores.windows(2) {
                 assert!(w[0] >= w[1] - 1e-12, "not descending: {class_scores:?}");
             }
@@ -223,13 +232,19 @@ mod tests {
         let mut distinct: Vec<(usize, usize, usize)> = pool
             .classes()
             .iter()
-            .flat_map(|&c| pool.motifs_of(c).map(|m| (m.source_instance, m.source_offset, m.len())))
+            .flat_map(|&c| {
+                pool.motifs_of(c)
+                    .map(|m| (m.source_instance, m.source_offset, m.len()))
+            })
             .collect();
         distinct.sort_unstable();
         distinct.dedup();
         assert_eq!(s.len(), distinct.len());
-        let motifs_total: usize =
-            pool.classes().iter().map(|&c| pool.motifs_of(c).count()).sum();
+        let motifs_total: usize = pool
+            .classes()
+            .iter()
+            .map(|&c| pool.motifs_of(c).count())
+            .sum();
         assert!(s.len() <= motifs_total);
     }
 
@@ -251,8 +266,11 @@ mod tests {
     #[test]
     fn exact_and_dtcr_agree_reasonably_often() {
         // DT is an approximation; we only require that the two strategies'
-        // top sets overlap (they score the same pool).
-        let (pool, train, cfg, dabf) = setup();
+        // top sets overlap (they score the same pool). Select deeper than
+        // the other tests: at k=3 the two top sets can legitimately be
+        // disjoint for an unlucky PRNG stream.
+        let (pool, train, mut cfg, dabf) = setup();
+        cfg.k = 8;
         let a = select_top_k(&pool, &train, Some(&dabf), &cfg, TopKStrategy::Exact);
         let b = select_top_k(&pool, &train, Some(&dabf), &cfg, TopKStrategy::DtCr);
         let set_a: Vec<&Vec<f64>> = a.iter().map(|s| &s.values).collect();

@@ -119,8 +119,7 @@ pub(crate) fn score_exact_counted(
             let u_inter = if others.is_empty() {
                 0.5
             } else {
-                let s: f64 =
-                    others.iter().map(|o| dist(&m.values, &o.values)).sum();
+                let s: f64 = others.iter().map(|o| dist(&m.values, &o.values)).sum();
                 sigmoid(s / others.len() as f64)
             };
             let u_dc = if instances.is_empty() {
@@ -171,7 +170,10 @@ pub(crate) fn score_dt_cr_counted(
     // Bucket ranks of this class's motifs in its own table.
     let motif_ranks: Vec<f64> = motifs
         .iter()
-        .map(|m| own.table().rank_of_norm(own.table().query_norm(&m.embedded)) as f64)
+        .map(|m| {
+            own.table()
+                .rank_of_norm(own.table().query_norm(&m.embedded)) as f64
+        })
         .collect();
     let intra = AbsDevTable::new(&motif_ranks);
 
@@ -213,15 +215,13 @@ pub(crate) fn score_dt_cr_counted(
         .iter()
         .enumerate()
         .map(|(i, m)| {
-            let u_intra =
-                sigmoid(intra.mean_abs_dev_excluding_self(motif_ranks[i]) / own_scale);
+            let u_intra = sigmoid(intra.mean_abs_dev_excluding_self(motif_ranks[i]) / own_scale);
             let u_inter = if other_tables.is_empty() {
                 0.5
             } else {
                 let (sum, count) = other_tables.iter().fold((0.0, 0usize), |(s, c), (f, t)| {
                     let scale = f.table().num_buckets().max(1) as f64;
-                    let r =
-                        f.table().rank_of_norm(f.table().query_norm(&m.embedded)) as f64;
+                    let r = f.table().rank_of_norm(f.table().query_norm(&m.embedded)) as f64;
                     (s + t.sum_abs_dev(r) / scale, c + t.len())
                 });
                 sigmoid(sum / count.max(1) as f64)
@@ -240,12 +240,20 @@ pub(crate) fn score_dt_cr_counted(
     // one distance-correlation abs-dev.
     let n = motifs.len();
     let other_ranks: usize = other_tables.iter().map(|(_, t)| t.len()).sum();
-    let evals =
-        n + other_ranks + instance_ranks.len() + n * (2 + 2 * other_tables.len());
+    let evals = n + other_ranks + instance_ranks.len() + n * (2 + 2 * other_tables.len());
     (scores, evals)
 }
 
-/// Dispatches per-class scoring by strategy — the class-parallel unit of
+/// How [`score_class`] scores one class: exact utilities over sliding
+/// distances, or the DT + CR rank-space path over a built DABF. Carrying
+/// the DABF inside the variant makes "DT+CR without a DABF" unrepresentable.
+#[derive(Clone, Copy)]
+pub(crate) enum ScoreMode<'a> {
+    Exact,
+    DtCr(&'a Dabf),
+}
+
+/// Dispatches per-class scoring by mode — the class-parallel unit of
 /// Algorithm 4's scoring phase. `intra_buf` is a reusable accumulator and
 /// `cache` the optional distance cache for the exact path (both ignored by
 /// DT+CR, which works in the DABF's rank space and computes no sliding
@@ -253,21 +261,15 @@ pub(crate) fn score_dt_cr_counted(
 pub(crate) fn score_class(
     pool: &CandidatePool,
     train: &Dataset,
-    dabf: Option<&Dabf>,
     config: &IpsConfig,
     class: u32,
-    strategy: crate::topk::TopKStrategy,
+    mode: ScoreMode<'_>,
     intra_buf: &mut Vec<f64>,
     cache: Option<&mut DistCache>,
 ) -> (Vec<f64>, usize) {
-    match strategy {
-        crate::topk::TopKStrategy::Exact => {
-            score_exact_counted(pool, train, config, class, intra_buf, cache)
-        }
-        crate::topk::TopKStrategy::DtCr => {
-            let dabf = dabf.expect("DtCr strategy requires a built DABF");
-            score_dt_cr_counted(pool, train, dabf, config, class)
-        }
+    match mode {
+        ScoreMode::Exact => score_exact_counted(pool, train, config, class, intra_buf, cache),
+        ScoreMode::DtCr(dabf) => score_dt_cr_counted(pool, train, dabf, config, class),
     }
 }
 
@@ -363,7 +365,10 @@ mod tests {
         assert_eq!(t.len(), 6);
         assert!(!t.is_empty());
         assert_eq!(AbsDevTable::new(&[]).sum_abs_dev(5.0), 0.0);
-        assert_eq!(AbsDevTable::new(&[1.0]).mean_abs_dev_excluding_self(1.0), 0.0);
+        assert_eq!(
+            AbsDevTable::new(&[1.0]).mean_abs_dev_excluding_self(1.0),
+            0.0
+        );
     }
 
     fn setup() -> (CandidatePool, Dataset, IpsConfig) {
@@ -402,7 +407,10 @@ mod tests {
         // the saturation fix must keep candidates distinguishable
         let (pool, train, cfg) = setup();
         let exact = score_exact(&pool, &train, &cfg, 0);
-        let distinct = exact.iter().filter(|&&s| (s - exact[0]).abs() > 1e-9).count();
+        let distinct = exact
+            .iter()
+            .filter(|&&s| (s - exact[0]).abs() > 1e-9)
+            .count();
         assert!(distinct > 0, "exact scores all tied: {exact:?}");
         let dabf = build_dabf(&pool, &cfg);
         let dt = score_dt_cr(&pool, &train, &dabf, &cfg, 0);

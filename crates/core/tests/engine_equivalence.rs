@@ -41,7 +41,10 @@ fn synth_train() -> Dataset {
 }
 
 fn base_cfg() -> IpsConfig {
-    IpsConfig::default().with_sampling(5, 3).with_k(3).with_seed(42)
+    IpsConfig::default()
+        .with_sampling(5, 3)
+        .with_k(3)
+        .with_seed(42)
 }
 
 #[test]
@@ -58,7 +61,10 @@ fn engine_matches_reference_across_ablations_and_threads() {
                 .unwrap();
             let tag = format!("dabf={use_dabf} dtcr={use_dt_cr} threads={threads}");
             assert_eq!(result.shapelets, ref_shapelets, "shapelets diverge: {tag}");
-            assert_eq!(result.candidates_generated, ref_generated, "generated: {tag}");
+            assert_eq!(
+                result.candidates_generated, ref_generated,
+                "generated: {tag}"
+            );
             assert_eq!(result.candidates_pruned, ref_pruned, "pruned: {tag}");
         }
     }
@@ -70,8 +76,9 @@ fn engine_matches_reference_on_registry_data() {
     let cfg = base_cfg();
     let (ref_shapelets, ref_generated, ref_pruned) = reference_discover(&train, &cfg);
     for threads in [1, 2, 0] {
-        let result =
-            IpsDiscovery::new(cfg.clone().with_threads(threads)).discover(&train).unwrap();
+        let result = IpsDiscovery::new(cfg.clone().with_threads(threads))
+            .discover(&train)
+            .unwrap();
         assert_eq!(result.shapelets, ref_shapelets, "threads={threads}");
         assert_eq!(result.candidates_generated, ref_generated);
         assert_eq!(result.candidates_pruned, ref_pruned);
@@ -95,11 +102,17 @@ fn report_covers_all_stages_with_sane_counters() {
         pruning.counters.candidates_in - pruning.counters.candidates_out,
         result.candidates_pruned
     );
-    assert!(pruning.counters.dabf_probes > 0, "DABF pruning must probe the filter");
+    assert!(
+        pruning.counters.dabf_probes > 0,
+        "DABF pruning must probe the filter"
+    );
     let topk = report.stage(Stage::TopK).unwrap();
     assert_eq!(topk.counters.candidates_in, pruning.counters.candidates_out);
     assert_eq!(topk.counters.candidates_out, result.shapelets.len());
-    assert!(topk.counters.utility_evals > 0, "selection must evaluate utilities");
+    assert!(
+        topk.counters.utility_evals > 0,
+        "selection must evaluate utilities"
+    );
     // the fixed-field view agrees with the report
     assert_eq!(result.timings, report.timings());
     assert_eq!(report.total(), result.timings.total());
@@ -111,16 +124,28 @@ fn naive_path_reports_zero_dabf_build_but_counts_probes() {
     let mut cfg = base_cfg();
     cfg.use_dabf = false;
     let result = IpsDiscovery::new(cfg).discover(&train).unwrap();
-    assert_eq!(result.report.elapsed(Stage::DabfBuild), std::time::Duration::ZERO);
-    assert!(result.report.stage(Stage::Pruning).unwrap().counters.dabf_probes > 0);
+    assert_eq!(
+        result.report.elapsed(Stage::DabfBuild),
+        std::time::Duration::ZERO
+    );
+    assert!(
+        result
+            .report
+            .stage(Stage::Pruning)
+            .unwrap()
+            .counters
+            .dabf_probes
+            > 0
+    );
 }
 
 #[test]
 fn observer_hook_fires_once_per_stage_in_order() {
     let train = synth_train();
     let mut obs = CollectingObserver::default();
-    let result =
-        IpsDiscovery::new(base_cfg()).discover_with_observer(&train, &mut obs).unwrap();
+    let result = IpsDiscovery::new(base_cfg())
+        .discover_with_observer(&train, &mut obs)
+        .unwrap();
     let observed: Vec<Stage> = obs.reports.iter().map(|r| r.stage).collect();
     assert_eq!(observed, Stage::ALL.to_vec());
     // the observer saw exactly what the report recorded
@@ -176,7 +201,10 @@ fn exact_scoring_counters_partition_the_distance_requests() {
     cfg.use_dt_cr = false; // force the Exact strategy
     let result = IpsDiscovery::new(cfg).discover(&train).unwrap();
     let topk = result.report.stage(Stage::TopK).unwrap().counters;
-    assert!(topk.kernel_evals > 0, "exact scoring must evaluate distances");
+    assert!(
+        topk.kernel_evals > 0,
+        "exact scoring must evaluate distances"
+    );
     assert_eq!(
         topk.kernel_evals + topk.cache_hits,
         topk.utility_evals,
@@ -206,12 +234,18 @@ fn cache_counters_are_thread_count_invariant() {
     let reports: Vec<_> = [1, 2]
         .iter()
         .map(|&t| {
-            IpsDiscovery::new(cfg.clone().with_threads(t)).discover(&train).unwrap().report
+            IpsDiscovery::new(cfg.clone().with_threads(t))
+                .discover(&train)
+                .unwrap()
+                .report
         })
         .collect();
     let a = reports[0].stage(Stage::TopK).unwrap().counters;
     let b = reports[1].stage(Stage::TopK).unwrap().counters;
-    assert_eq!((a.kernel_evals, a.cache_hits), (b.kernel_evals, b.cache_hits));
+    assert_eq!(
+        (a.kernel_evals, a.cache_hits),
+        (b.kernel_evals, b.cache_hits)
+    );
 }
 
 #[test]
@@ -227,8 +261,7 @@ fn forced_kernel_scoring_matches_naive_scores() {
     let mut cache = DistCache::with_policy(KernelPolicy::ForceKernel);
     for &class in &[0u32, 1, 2] {
         let plain = score_exact(&pool, &train, &cfg, class);
-        let (forced, requests) =
-            score_exact_with_cache(&pool, &train, &cfg, class, &mut cache);
+        let (forced, requests) = score_exact_with_cache(&pool, &train, &cfg, class, &mut cache);
         assert_eq!(plain.len(), forced.len());
         for (i, (a, b)) in plain.iter().zip(&forced).enumerate() {
             assert!(
@@ -239,7 +272,7 @@ fn forced_kernel_scoring_matches_naive_scores() {
         assert!(requests > 0);
     }
     let stats = cache.stats();
-    assert_eq!(stats.kernel_evals + stats.cache_hits > 0, true);
+    assert!(stats.kernel_evals + stats.cache_hits > 0);
 }
 
 #[test]
@@ -248,7 +281,10 @@ fn counters_are_thread_count_invariant() {
     let runs: Vec<_> = [1, 2, 0]
         .iter()
         .map(|&t| {
-            IpsDiscovery::new(base_cfg().with_threads(t)).discover(&train).unwrap().report
+            IpsDiscovery::new(base_cfg().with_threads(t))
+                .discover(&train)
+                .unwrap()
+                .report
         })
         .collect();
     for r in &runs[1..] {

@@ -102,7 +102,13 @@ impl SeriesPlan {
             acc += x * x;
             sq_prefix.push(acc);
         }
-        Self { n, fft_size, spectrum: None, stats: Vec::new(), sq_prefix }
+        Self {
+            n,
+            fft_size,
+            spectrum: None,
+            stats: Vec::new(),
+            sq_prefix,
+        }
     }
 
     /// The power-of-two transform size shared by every query length.
@@ -115,8 +121,7 @@ impl SeriesPlan {
         debug_assert_eq!(series.len(), self.n);
         debug_assert_eq!(fft.len(), self.fft_size);
         if self.spectrum.is_none() {
-            let mut buf: Vec<Complex> =
-                series.iter().map(|&x| Complex::new(x, 0.0)).collect();
+            let mut buf: Vec<Complex> = series.iter().map(|&x| Complex::new(x, 0.0)).collect();
             buf.resize(self.fft_size, Complex::default());
             fft.forward(&mut buf);
             self.spectrum = Some(buf);
@@ -165,12 +170,9 @@ impl SeriesPlan {
             *x = Complex::new(x.re * s.re - x.im * s.im, x.re * s.im + x.im * s.re);
         }
         fft.inverse(&mut buf);
-        let extract = |m: usize| -> Vec<f64> {
-            buf[m - 1..self.n].iter().map(|c| c.re).collect()
-        };
-        let extract_im = |m: usize| -> Vec<f64> {
-            buf[m - 1..self.n].iter().map(|c| c.im).collect()
-        };
+        let extract = |m: usize| -> Vec<f64> { buf[m - 1..self.n].iter().map(|c| c.re).collect() };
+        let extract_im =
+            |m: usize| -> Vec<f64> { buf[m - 1..self.n].iter().map(|c| c.im).collect() };
         let d1 = extract(q1.len());
         let d2 = q2.map(|q| extract_im(q.len()));
         (d1, d2)
@@ -206,9 +208,7 @@ impl SeriesPlan {
                 for (j, &dot) in dots.iter().enumerate() {
                     // the FFT identity can dip epsilon-negative; the naive
                     // sum of squares never does
-                    let d = ((q_sq - 2.0 * dot + self.window_sq_sum(j, m))
-                        / m as f64)
-                        .max(0.0);
+                    let d = ((q_sq - 2.0 * dot + self.window_sq_sum(j, m)) / m as f64).max(0.0);
                     if d < best {
                         best = d;
                         best_at = j;
@@ -218,15 +218,13 @@ impl SeriesPlan {
             }
             Metric::ZNormEuclidean => {
                 let mu_q = query.iter().sum::<f64>() / m as f64;
-                let sd_q = (query.iter().map(|x| (x - mu_q) * (x - mu_q)).sum::<f64>()
-                    / m as f64)
-                    .sqrt();
+                let sd_q =
+                    (query.iter().map(|x| (x - mu_q) * (x - mu_q)).sum::<f64>() / m as f64).sqrt();
                 let stats = self.stats_for(series, m);
                 let mut best = f64::INFINITY;
                 let mut best_at = 0;
                 for (j, &dot) in dots.iter().enumerate() {
-                    let d =
-                        znorm_dist_from_dot(dot, m, mu_q, sd_q, stats.mean(j), stats.std(j));
+                    let d = znorm_dist_from_dot(dot, m, mu_q, sd_q, stats.mean(j), stats.std(j));
                     if d < best {
                         best = d;
                         best_at = j;
@@ -314,7 +312,9 @@ mod tests {
     use super::*;
 
     fn series(n: usize) -> Vec<f64> {
-        (0..n).map(|i| (i as f64 * 0.37).sin() * 2.0 + (i as f64 * 0.011).cos()).collect()
+        (0..n)
+            .map(|i| (i as f64 * 0.37).sin() * 2.0 + (i as f64 * 0.011).cos())
+            .collect()
     }
 
     #[test]
@@ -341,8 +341,7 @@ mod tests {
     #[test]
     fn kernel_matches_naive_on_both_metrics() {
         let s = series(200);
-        let queries: Vec<Vec<f64>> =
-            vec![s[20..52].to_vec(), s[100..117].to_vec(), series(40)];
+        let queries: Vec<Vec<f64>> = vec![s[20..52].to_vec(), s[100..117].to_vec(), series(40)];
         let refs: Vec<&[f64]> = queries.iter().map(|q| q.as_slice()).collect();
         for metric in [Metric::MeanSquared, Metric::ZNormEuclidean] {
             let fast = batch_min_dist_with(&refs, &s, metric, KernelPolicy::ForceKernel);
@@ -372,7 +371,9 @@ mod tests {
         // longer query: series slides over the query, exactly like the naive swap
         assert_eq!(out[1], sliding_min_dist(&long, &s));
         assert_eq!(out[2].0, 0.0);
-        assert!(batch_min_dist(&[&s[..4]], &[], Metric::MeanSquared)[0].0.is_infinite());
+        assert!(batch_min_dist(&[&s[..4]], &[], Metric::MeanSquared)[0]
+            .0
+            .is_infinite());
     }
 
     #[test]

@@ -49,6 +49,30 @@ impl CacheStats {
         self.kernel_evals += other.kernel_evals;
         self.cache_hits += other.cache_hits;
     }
+
+    /// Total distance requests answered (hits plus computed misses).
+    pub fn requests(&self) -> usize {
+        self.kernel_evals + self.cache_hits
+    }
+
+    /// Fraction of requests served from the memo (`0.0` when idle).
+    pub fn hit_rate(&self) -> f64 {
+        if self.requests() == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.requests() as f64
+        }
+    }
+
+    /// Publishes the counters (and the derived hit rate as a gauge) into
+    /// a metrics registry under `prefix` — e.g. `cache.` yields
+    /// `cache.kernel_evals`, `cache.cache_hits`, and the `cache.hit_rate`
+    /// gauge.
+    pub fn record_into(&self, metrics: &ips_obs::MetricsRegistry, prefix: &str) {
+        metrics.incr(&format!("{prefix}kernel_evals"), self.kernel_evals as u64);
+        metrics.incr(&format!("{prefix}cache_hits"), self.cache_hits as u64);
+        metrics.set_gauge(&format!("{prefix}hit_rate"), self.hit_rate());
+    }
 }
 
 /// `(len, h1, h2)` — content identity of a slice.
@@ -87,7 +111,10 @@ impl DistCache {
     /// An empty cache with an explicit kernel policy (tests pin
     /// `ForceKernel` / `ForceNaive`).
     pub fn with_policy(policy: KernelPolicy) -> Self {
-        Self { policy, ..Self::default() }
+        Self {
+            policy,
+            ..Self::default()
+        }
     }
 
     /// The active kernel policy.
@@ -116,8 +143,11 @@ impl DistCache {
     /// memo is keyed on the oriented pair so both orders hit), empty input
     /// yields `(f64::INFINITY, 0)`, and the offset is the first argmin.
     pub fn min_dist(&mut self, query: &[f64], series: &[f64], metric: Metric) -> (f64, usize) {
-        let (q, s) =
-            if query.len() <= series.len() { (query, series) } else { (series, query) };
+        let (q, s) = if query.len() <= series.len() {
+            (query, series)
+        } else {
+            (series, query)
+        };
         let kq = content_key(q);
         let ks = content_key(s);
         if let Some(&hit) = self.memo.get(&(kq, ks, metric)) {
@@ -148,8 +178,10 @@ impl DistCache {
             return naive_min_dist(q, s, metric);
         }
         let plan = self.plans.entry(ks).or_insert_with(|| SeriesPlan::new(s));
-        let fft =
-            self.ffts.entry(plan.fft_size()).or_insert_with(|| Fft::new(plan.fft_size()));
+        let fft = self
+            .ffts
+            .entry(plan.fft_size())
+            .or_insert_with(|| Fft::new(plan.fft_size()));
         plan.min_dist_one(fft, s, q, metric)
     }
 
@@ -177,7 +209,9 @@ mod tests {
     use crate::euclid::{sliding_min_dist, sliding_min_dist_znorm};
 
     fn series(n: usize) -> Vec<f64> {
-        (0..n).map(|i| (i as f64 * 0.37).sin() * 2.0 + (i as f64 * 0.011).cos()).collect()
+        (0..n)
+            .map(|i| (i as f64 * 0.37).sin() * 2.0 + (i as f64 * 0.011).cos())
+            .collect()
     }
 
     #[test]
@@ -246,19 +280,41 @@ mod tests {
         let s = series(128);
         let q: Vec<f64> = s[8..48].to_vec();
         for metric in [Metric::MeanSquared, Metric::ZNormEuclidean] {
-            let k = DistCache::with_policy(KernelPolicy::ForceKernel)
-                .min_dist(&q, &s, metric);
-            let n = DistCache::with_policy(KernelPolicy::ForceNaive)
-                .min_dist(&q, &s, metric);
+            let k = DistCache::with_policy(KernelPolicy::ForceKernel).min_dist(&q, &s, metric);
+            let n = DistCache::with_policy(KernelPolicy::ForceNaive).min_dist(&q, &s, metric);
             assert!((k.0 - n.0).abs() < 1e-9 * (1.0 + n.0.abs()), "{metric:?}");
         }
     }
 
     #[test]
+    fn stats_publish_into_a_metrics_registry() {
+        let stats = CacheStats {
+            kernel_evals: 3,
+            cache_hits: 1,
+        };
+        assert_eq!(stats.requests(), 4);
+        assert_eq!(stats.hit_rate(), 0.25);
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+        let metrics = ips_obs::MetricsRegistry::new();
+        stats.record_into(&metrics, "cache.");
+        stats.record_into(&metrics, "cache."); // counters accumulate
+        let snap = metrics.snapshot();
+        assert_eq!(snap.counters["cache.kernel_evals"], 6);
+        assert_eq!(snap.counters["cache.cache_hits"], 2);
+        assert_eq!(snap.gauges["cache.hit_rate"], 0.25);
+    }
+
+    #[test]
     fn empty_inputs_follow_the_naive_convention() {
         let mut cache = DistCache::new();
-        assert_eq!(cache.min_dist(&[], &[1.0, 2.0], Metric::MeanSquared), (f64::INFINITY, 0));
-        assert_eq!(cache.min_dist(&[1.0], &[], Metric::ZNormEuclidean), (f64::INFINITY, 0));
+        assert_eq!(
+            cache.min_dist(&[], &[1.0, 2.0], Metric::MeanSquared),
+            (f64::INFINITY, 0)
+        );
+        assert_eq!(
+            cache.min_dist(&[1.0], &[], Metric::ZNormEuclidean),
+            (f64::INFINITY, 0)
+        );
         // degenerate requests still count as evals, keeping the partition
         // invariant (evals + hits == requests)
         assert_eq!(cache.stats().kernel_evals, 2);

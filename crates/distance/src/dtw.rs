@@ -93,16 +93,29 @@ mod tests {
     fn shifted_series_warp_to_near_zero() {
         let a: Vec<f64> = (0..60).map(|i| ((i as f64 - 10.0) * 0.4).sin()).collect();
         let b: Vec<f64> = (0..60).map(|i| ((i as f64 - 13.0) * 0.4).sin()).collect();
-        let ed: f64 = a.iter().zip(&b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt();
+        let ed: f64 = a
+            .iter()
+            .zip(&b)
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum::<f64>()
+            .sqrt();
         let d = dtw(&a, &b);
-        assert!(d < ed * 0.5, "dtw {d} should absorb the phase shift vs ed {ed}");
+        assert!(
+            d < ed * 0.5,
+            "dtw {d} should absorb the phase shift vs ed {ed}"
+        );
     }
 
     #[test]
     fn band_zero_reduces_to_euclidean_for_equal_lengths() {
         let a = [1.0, 2.0, 3.0, 4.0];
         let b = [2.0, 2.0, 2.0, 5.0];
-        let ed: f64 = a.iter().zip(&b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt();
+        let ed: f64 = a
+            .iter()
+            .zip(&b)
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum::<f64>()
+            .sqrt();
         assert!((dtw_banded(&a, &b, 0) - ed).abs() < 1e-12);
     }
 

@@ -36,7 +36,11 @@ pub fn mean_sq_dist(a: &[f64], b: &[f64]) -> f64 {
 /// slides over the longer one ("w.l.o.g. |T_q| ≥ |T_p|" in the paper).
 /// Returns `(f64::INFINITY, 0)` when either slice is empty.
 pub fn sliding_min_dist(query: &[f64], series: &[f64]) -> (f64, usize) {
-    let (q, s) = if query.len() <= series.len() { (query, series) } else { (series, query) };
+    let (q, s) = if query.len() <= series.len() {
+        (query, series)
+    } else {
+        (series, query)
+    };
     if q.is_empty() || s.is_empty() {
         return (f64::INFINITY, 0);
     }
@@ -65,7 +69,11 @@ pub fn sliding_min_dist(query: &[f64], series: &[f64]) -> (f64, usize) {
 /// Z-normalized variant of [`sliding_min_dist`]: both the query and every
 /// window are z-normalized before comparison. Returns `(min_dist, offset)`.
 pub fn sliding_min_dist_znorm(query: &[f64], series: &[f64]) -> (f64, usize) {
-    let (q, s) = if query.len() <= series.len() { (query, series) } else { (series, query) };
+    let (q, s) = if query.len() <= series.len() {
+        (query, series)
+    } else {
+        (series, query)
+    };
     if q.is_empty() || s.is_empty() {
         return (f64::INFINITY, 0);
     }
@@ -86,7 +94,10 @@ pub fn dist_profile(query: &[f64], series: &[f64]) -> Vec<f64> {
     if query.is_empty() || series.len() < query.len() {
         return Vec::new();
     }
-    series.windows(query.len()).map(|w| mean_sq_dist(query, w)).collect()
+    series
+        .windows(query.len())
+        .map(|w| mean_sq_dist(query, w))
+        .collect()
 }
 
 /// Z-normalized Euclidean distance profile (the matrix-profile metric):
@@ -113,7 +124,14 @@ pub fn dist_profile_znorm(query: &[f64], series: &[f64]) -> Vec<f64> {
     for j in 0..n_out {
         let w = &series[j..j + m];
         let dot: f64 = query.iter().zip(w).map(|(a, b)| a * b).sum();
-        out.push(znorm_dist_from_dot(dot, m, mu_q, sd_q, stats.mean(j), stats.std(j)));
+        out.push(znorm_dist_from_dot(
+            dot,
+            m,
+            mu_q,
+            sd_q,
+            stats.mean(j),
+            stats.std(j),
+        ));
     }
     out
 }
@@ -154,14 +172,7 @@ pub fn is_constant_sigma(sd: f64, mu: f64) -> bool {
 /// * exactly one side constant → exactly `√m` (an all-zeros vector against
 ///   a unit-variance vector).
 #[inline]
-pub fn znorm_dist_from_dot(
-    dot: f64,
-    m: usize,
-    mu_q: f64,
-    sd_q: f64,
-    mu_w: f64,
-    sd_w: f64,
-) -> f64 {
+pub fn znorm_dist_from_dot(dot: f64, m: usize, mu_q: f64, sd_q: f64, mu_w: f64, sd_w: f64) -> f64 {
     let m_f = m as f64;
     let const_q = is_constant_sigma(sd_q, mu_q);
     let const_w = is_constant_sigma(sd_w, mu_w);
@@ -219,7 +230,10 @@ mod tests {
     fn sliding_min_is_symmetric_in_argument_order() {
         let long = [5.0, 1.0, 2.0, 3.0, 9.0];
         let short = [1.0, 2.0, 3.1];
-        assert_eq!(sliding_min_dist(&short, &long), sliding_min_dist(&long, &short));
+        assert_eq!(
+            sliding_min_dist(&short, &long),
+            sliding_min_dist(&long, &short)
+        );
     }
 
     #[test]
@@ -231,8 +245,12 @@ mod tests {
     #[test]
     fn early_abandon_matches_naive() {
         // pseudo-random but deterministic values
-        let series: Vec<f64> = (0..200).map(|i| ((i * 37 % 101) as f64).sin() * 3.0).collect();
-        let query: Vec<f64> = (0..23).map(|i| ((i * 53 % 89) as f64).cos() * 2.0).collect();
+        let series: Vec<f64> = (0..200)
+            .map(|i| ((i * 37 % 101) as f64).sin() * 3.0)
+            .collect();
+        let query: Vec<f64> = (0..23)
+            .map(|i| ((i * 53 % 89) as f64).cos() * 2.0)
+            .collect();
         let (fast, at) = sliding_min_dist(&query, &series);
         let naive = series
             .windows(query.len())
@@ -257,7 +275,9 @@ mod tests {
 
     #[test]
     fn znorm_profile_matches_explicit_normalization() {
-        let series: Vec<f64> = (0..64).map(|i| (i as f64 * 0.37).sin() + 0.1 * i as f64).collect();
+        let series: Vec<f64> = (0..64)
+            .map(|i| (i as f64 * 0.37).sin() + 0.1 * i as f64)
+            .collect();
         let query: Vec<f64> = (0..9).map(|i| (i as f64 * 0.9).cos()).collect();
         let p = dist_profile_znorm(&query, &series);
         assert_eq!(p.len(), series.len() - query.len() + 1);

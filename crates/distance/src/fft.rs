@@ -22,7 +22,10 @@ impl Complex {
 
     #[inline]
     fn mul(self, o: Self) -> Self {
-        Self::new(self.re * o.re - self.im * o.im, self.re * o.im + self.im * o.re)
+        Self::new(
+            self.re * o.re - self.im * o.im,
+            self.re * o.im + self.im * o.re,
+        )
     }
 
     #[inline]
@@ -58,7 +61,10 @@ impl Fft {
     /// # Panics
     /// Panics when `n` is zero or not a power of two.
     pub fn new(n: usize) -> Self {
-        assert!(n.is_power_of_two() && n > 0, "FFT size must be a power of two, got {n}");
+        assert!(
+            n.is_power_of_two() && n > 0,
+            "FFT size must be a power of two, got {n}"
+        );
         let twiddles = (0..n / 2)
             .map(|k| {
                 let ang = -2.0 * std::f64::consts::PI * k as f64 / n as f64;
@@ -187,8 +193,9 @@ mod tests {
     #[test]
     fn round_trip_recovers_signal() {
         let fft = Fft::new(16);
-        let orig: Vec<Complex> =
-            (0..16).map(|i| Complex::new((i as f64).sin(), (i as f64 * 0.3).cos())).collect();
+        let orig: Vec<Complex> = (0..16)
+            .map(|i| Complex::new((i as f64).sin(), (i as f64 * 0.3).cos()))
+            .collect();
         let mut d = orig.clone();
         fft.forward(&mut d);
         fft.inverse(&mut d);
@@ -200,12 +207,13 @@ mod tests {
     #[test]
     fn parseval_holds() {
         let fft = Fft::new(32);
-        let sig: Vec<Complex> = (0..32).map(|i| Complex::new((i as f64 * 0.7).sin(), 0.0)).collect();
+        let sig: Vec<Complex> = (0..32)
+            .map(|i| Complex::new((i as f64 * 0.7).sin(), 0.0))
+            .collect();
         let time_energy: f64 = sig.iter().map(|c| c.re * c.re + c.im * c.im).sum();
         let mut d = sig;
         fft.forward(&mut d);
-        let freq_energy: f64 =
-            d.iter().map(|c| c.re * c.re + c.im * c.im).sum::<f64>() / 32.0;
+        let freq_energy: f64 = d.iter().map(|c| c.re * c.re + c.im * c.im).sum::<f64>() / 32.0;
         assert!((time_energy - freq_energy).abs() < 1e-9);
     }
 

@@ -33,9 +33,8 @@ pub use batch::{batch_min_dist, batch_min_dist_with, KernelPolicy, SeriesPlan};
 pub use cache::{CacheStats, DistCache};
 pub use dtw::{dtw, dtw_banded, lb_keogh, DtwOptions};
 pub use euclid::{
-    argmax, argmin, dist_profile, dist_profile_znorm, euclidean, is_constant_sigma,
-    mean_sq_dist, sliding_min_dist, sliding_min_dist_znorm, sq_euclidean,
-    znorm_dist_from_dot, ZNORM_SIGMA_FLOOR,
+    argmax, argmin, dist_profile, dist_profile_znorm, euclidean, is_constant_sigma, mean_sq_dist,
+    sliding_min_dist, sliding_min_dist_znorm, sq_euclidean, znorm_dist_from_dot, ZNORM_SIGMA_FLOOR,
 };
 pub use fft::{fft_convolve, Complex, Fft};
 pub use mass::{mass, sliding_dot_products};

@@ -36,8 +36,7 @@ pub fn mass(query: &[f64], series: &[f64]) -> Vec<f64> {
     let dots = sliding_dot_products(query, series);
     let stats = RollingStats::new(series, m);
     let mu_q = query.iter().sum::<f64>() / m as f64;
-    let sd_q =
-        (query.iter().map(|x| (x - mu_q) * (x - mu_q)).sum::<f64>() / m as f64).sqrt();
+    let sd_q = (query.iter().map(|x| (x - mu_q) * (x - mu_q)).sum::<f64>() / m as f64).sqrt();
     dots.iter()
         .enumerate()
         .map(|(j, &dot)| znorm_dist_from_dot(dot, m, mu_q, sd_q, stats.mean(j), stats.std(j)))
@@ -50,7 +49,9 @@ mod tests {
     use crate::euclid::dist_profile_znorm;
 
     fn series(n: usize) -> Vec<f64> {
-        (0..n).map(|i| (i as f64 * 0.37).sin() * 2.0 + (i as f64 * 0.011).cos()).collect()
+        (0..n)
+            .map(|i| (i as f64 * 0.37).sin() * 2.0 + (i as f64 * 0.011).cos())
+            .collect()
     }
 
     #[test]

@@ -18,7 +18,11 @@ impl RollingStats {
     /// than the window.
     pub fn new(series: &[f64], window: usize) -> Self {
         if window == 0 || series.len() < window {
-            return Self { means: Vec::new(), stds: Vec::new(), window };
+            return Self {
+                means: Vec::new(),
+                stds: Vec::new(),
+                window,
+            };
         }
         let n_out = series.len() - window + 1;
         let mut means = Vec::with_capacity(n_out);
@@ -40,12 +44,19 @@ impl RollingStats {
             let mu = s / w;
             // A singleton window has zero variance by definition; computing
             // it via the cumsum difference would leave cancellation noise.
-            let var =
-                if window == 1 { 0.0 } else { (s2 / w - mu * mu).max(0.0) };
+            let var = if window == 1 {
+                0.0
+            } else {
+                (s2 / w - mu * mu).max(0.0)
+            };
             means.push(mu);
             stds.push(var.sqrt());
         }
-        Self { means, stds, window }
+        Self {
+            means,
+            stds,
+            window,
+        }
     }
 
     /// Number of windows covered.
@@ -103,8 +114,9 @@ mod tests {
 
     #[test]
     fn matches_direct_computation() {
-        let series: Vec<f64> =
-            (0..128).map(|i| ((i * 31 % 17) as f64) * 0.3 - (i as f64) * 0.01).collect();
+        let series: Vec<f64> = (0..128)
+            .map(|i| ((i * 31 % 17) as f64) * 0.3 - (i as f64) * 0.01)
+            .collect();
         for window in [1, 2, 5, 16, 128] {
             let rs = RollingStats::new(&series, window);
             assert_eq!(rs.len(), series.len() - window + 1);

@@ -28,8 +28,8 @@
 //!   a strict `<` argmin scan, which never accepts NaN).
 
 use ips_distance::{
-    batch_min_dist_with, mass, mean_sq_dist, sliding_min_dist, sliding_min_dist_znorm,
-    DistCache, KernelPolicy, Metric,
+    batch_min_dist_with, mass, mean_sq_dist, sliding_min_dist, sliding_min_dist_znorm, DistCache,
+    KernelPolicy, Metric,
 };
 
 /// splitmix64 — deterministic, seedable, no dependencies.
@@ -61,7 +61,10 @@ impl Gen {
 }
 
 fn cases() -> usize {
-    std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(64)
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
 }
 
 fn close(a: f64, b: f64) -> bool {
@@ -142,13 +145,17 @@ fn kernel_matches_naive_with_constant_regions() {
         let mut s = g.vec(head);
         let level = g.value();
         let run = g.usize_in(1, 24);
-        s.extend(std::iter::repeat(level).take(run));
+        s.extend(std::iter::repeat_n(level, run));
         let tail = g.usize_in(0, 16);
         let extra = g.vec(tail);
         s.extend(extra);
         // alternate constant and varying queries
         let qlen = g.usize_in(1, 32);
-        let q: Vec<f64> = if case % 2 == 0 { vec![g.value(); qlen] } else { g.vec(qlen) };
+        let q: Vec<f64> = if case % 2 == 0 {
+            vec![g.value(); qlen]
+        } else {
+            g.vec(qlen)
+        };
         for metric in [Metric::MeanSquared, Metric::ZNormEuclidean] {
             check_equivalence(&q, &s, metric, &format!("const case {case}"));
         }
@@ -164,7 +171,10 @@ fn mass_derived_min_matches_naive_znorm() {
         let qlen = g.usize_in(1, s.len());
         let q = g.vec(qlen);
         let profile = mass(&q, &s);
-        assert!(profile.iter().all(|v| v.is_finite()), "case {case}: NaN/inf in profile");
+        assert!(
+            profile.iter().all(|v| v.is_finite()),
+            "case {case}: NaN/inf in profile"
+        );
         let m = q.len() as f64;
         let best = profile.iter().cloned().fold(f64::INFINITY, f64::min);
         let reference = sliding_min_dist_znorm(&q, &s).0;
@@ -218,23 +228,33 @@ fn flat_series_regression_no_nan_poisoning() {
     // MASS profile over a flat series: every window is constant, the query
     // is not → every entry is exactly √m (the one-side-constant convention)
     let profile = mass(&q, &flat);
-    assert!(profile.iter().all(|v| v.is_finite()), "NaN leaked from zero-σ windows");
+    assert!(
+        profile.iter().all(|v| v.is_finite()),
+        "NaN leaked from zero-σ windows"
+    );
     for v in &profile {
         assert_eq!(*v, (q.len() as f64).sqrt());
     }
 
     // naive and kernel minima agree on the pinned value m/m = 1.0
     assert_eq!(sliding_min_dist_znorm(&q, &flat), (1.0, 0));
-    let kernel =
-        batch_min_dist_with(&[&q], &flat, Metric::ZNormEuclidean, KernelPolicy::ForceKernel)[0];
+    let kernel = batch_min_dist_with(
+        &[&q],
+        &flat,
+        Metric::ZNormEuclidean,
+        KernelPolicy::ForceKernel,
+    )[0];
     assert_eq!(kernel.0, 1.0);
 
     // flat vs flat (different levels): identical after z-normalization
     let flat_q = vec![-7.5; 6];
     assert_eq!(sliding_min_dist_znorm(&flat_q, &flat), (0.0, 0));
-    let kernel =
-        batch_min_dist_with(&[&flat_q], &flat, Metric::ZNormEuclidean, KernelPolicy::ForceKernel)
-            [0];
+    let kernel = batch_min_dist_with(
+        &[&flat_q],
+        &flat,
+        Metric::ZNormEuclidean,
+        KernelPolicy::ForceKernel,
+    )[0];
     assert_eq!(kernel.0, 0.0);
 }
 

@@ -17,7 +17,10 @@ impl BloomFilter {
     /// false-positive rate, using the standard optimal sizing
     /// `m = −n·ln p / (ln 2)²`, `k = (m/n)·ln 2`.
     pub fn with_rate(expected_items: usize, fp_rate: f64) -> Self {
-        assert!((0.0..1.0).contains(&fp_rate) && fp_rate > 0.0, "fp_rate must be in (0, 1)");
+        assert!(
+            (0.0..1.0).contains(&fp_rate) && fp_rate > 0.0,
+            "fp_rate must be in (0, 1)"
+        );
         let n = expected_items.max(1) as f64;
         let ln2 = std::f64::consts::LN_2;
         let m = (-(n * fp_rate.ln()) / (ln2 * ln2)).ceil().max(64.0) as usize;
@@ -130,7 +133,11 @@ impl Hasher for Fnv1a {
     }
 
     fn write(&mut self, bytes: &[u8]) {
-        let mut h = if self.0 == 0 { 0xcbf29ce484222325 } else { self.0 };
+        let mut h = if self.0 == 0 {
+            0xcbf29ce484222325
+        } else {
+            self.0
+        };
         for &b in bytes {
             h ^= b as u64;
             h = h.wrapping_mul(0x100000001b3);

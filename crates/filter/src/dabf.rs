@@ -29,7 +29,11 @@ pub struct DabfConfig {
 
 impl Default for DabfConfig {
     fn default() -> Self {
-        Self { lsh: LshParams::default(), bins: 20, sigma_rule: 3.0 }
+        Self {
+            lsh: LshParams::default(),
+            bins: 20,
+            sigma_rule: 3.0,
+        }
     }
 }
 
@@ -67,7 +71,13 @@ impl ClassDabf {
         } else {
             None
         };
-        Self { table, fit, mu, sigma, config }
+        Self {
+            table,
+            fit,
+            mu,
+            sigma,
+            config,
+        }
     }
 
     /// The Algorithm 3 query: "possibly close to most elements" (`true` →
@@ -151,7 +161,10 @@ impl Dabf {
 
     /// The filter of one class.
     pub fn class(&self, class: u32) -> Option<&ClassDabf> {
-        self.classes.iter().find(|(c, _)| *c == class).map(|(_, f)| f)
+        self.classes
+            .iter()
+            .find(|(c, _)| *c == class)
+            .map(|(_, f)| f)
     }
 
     /// All `(class, filter)` pairs.
@@ -232,7 +245,11 @@ impl NaiveMostFilter {
 }
 
 fn euclid(a: &[f64], b: &[f64]) -> f64 {
-    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
 }
 
 fn moments(xs: &[f64]) -> (f64, f64) {
@@ -254,7 +271,12 @@ mod tests {
 
     fn config() -> DabfConfig {
         DabfConfig {
-            lsh: LshParams { kind: LshKind::L2, dim: 16, num_hashes: 8, ..Default::default() },
+            lsh: LshParams {
+                kind: LshKind::L2,
+                dim: 16,
+                num_hashes: 8,
+                ..Default::default()
+            },
             bins: 15,
             sigma_rule: 3.0,
         }
@@ -263,7 +285,11 @@ mod tests {
     /// A tight cluster of elements around a base vector.
     fn cluster(rng: &mut StdRng, base: &[f64], n: usize, spread: f64) -> Vec<Vec<f64>> {
         (0..n)
-            .map(|_| base.iter().map(|x| x + rng.random_range(-spread..spread)).collect())
+            .map(|_| {
+                base.iter()
+                    .map(|x| x + rng.random_range(-spread..spread))
+                    .collect()
+            })
             .collect()
     }
 
@@ -319,16 +345,16 @@ mod tests {
     fn degenerate_classes_never_claim_closeness() {
         let dabf = ClassDabf::build(&[], config());
         assert!(dabf.is_empty());
-        assert!(!dabf.is_close_to_most(&vec![0.0; 16]));
+        assert!(!dabf.is_close_to_most(&[0.0; 16]));
 
         // all-identical elements: σ = 0 → no distribution → never close
         let same = vec![vec![1.0; 16]; 50];
         let dabf = ClassDabf::build(&same, config());
-        assert!(!dabf.is_close_to_most(&vec![1.0; 16]));
+        assert!(!dabf.is_close_to_most(&[1.0; 16]));
 
         let naive = NaiveMostFilter::build(&[], 3.0);
         assert!(naive.is_empty());
-        assert!(!naive.is_close_to_most(&vec![0.0; 16]));
+        assert!(!naive.is_close_to_most(&[0.0; 16]));
     }
 
     #[test]
@@ -337,8 +363,14 @@ mod tests {
         let base_a: Vec<f64> = (0..16).map(|i| (i as f64 * 0.4).sin() * 2.0).collect();
         let base_b: Vec<f64> = (0..16).map(|i| (i as f64 * 0.4).cos() * -2.0).collect();
         let mut dabf = Dabf::new();
-        dabf.add_class(0, ClassDabf::build(&cluster(&mut rng, &base_a, 150, 0.05), config()));
-        dabf.add_class(1, ClassDabf::build(&cluster(&mut rng, &base_b, 150, 0.05), config()));
+        dabf.add_class(
+            0,
+            ClassDabf::build(&cluster(&mut rng, &base_a, 150, 0.05), config()),
+        );
+        dabf.add_class(
+            1,
+            ClassDabf::build(&cluster(&mut rng, &base_b, 150, 0.05), config()),
+        );
         assert_eq!(dabf.classes().count(), 2);
         // an element of class 0's cluster queried as a class-0 candidate:
         // only *other* classes are consulted, so it should survive …

@@ -24,7 +24,10 @@ impl DistanceSensitiveBloom {
     pub fn new(params: LshParams, num_tables: usize, expected_items: usize) -> Self {
         let tables = (0..num_tables.max(1))
             .map(|t| {
-                let p = LshParams { seed: params.seed.wrapping_add(t as u64 * 0x9e37), ..params };
+                let p = LshParams {
+                    seed: params.seed.wrapping_add(t as u64 * 0x9e37),
+                    ..params
+                };
                 (Lsh::new(p), BloomFilter::with_rate(expected_items, 0.01))
             })
             .collect();
@@ -42,7 +45,9 @@ impl DistanceSensitiveBloom {
     /// "Possibly close to an element" (any table hits) vs "definitely not
     /// close" — up to the LSH collision probabilities.
     pub fn query(&self, embedded: &[f64]) -> bool {
-        self.tables.iter().any(|(lsh, bf)| bf.contains(&lsh.signature(embedded).0))
+        self.tables
+            .iter()
+            .any(|(lsh, bf)| bf.contains(&lsh.signature(embedded).0))
     }
 
     /// Number of inserted items.
@@ -72,7 +77,12 @@ mod tests {
     use rand::{RngExt, SeedableRng};
 
     fn params() -> LshParams {
-        LshParams { kind: LshKind::L2, dim: 16, num_hashes: 6, ..Default::default() }
+        LshParams {
+            kind: LshKind::L2,
+            dim: 16,
+            num_hashes: 6,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -119,6 +129,6 @@ mod tests {
     fn empty_filter_rejects() {
         let dsb = DistanceSensitiveBloom::new(params(), 2, 10);
         assert!(dsb.is_empty());
-        assert!(!dsb.query(&vec![0.5; 16]));
+        assert!(!dsb.query(&[0.5; 16]));
     }
 }

@@ -41,7 +41,7 @@ impl Default for LshParams {
             num_hashes: 8,
             bucket_width: 2.0,
             hamming_levels: 8,
-            seed: 0x5eed_1b5,
+            seed: 0x05ee_d1b5,
         }
     }
 }
@@ -68,20 +68,36 @@ impl Lsh {
     /// Instantiates the family from parameters (deterministic in
     /// `params.seed`).
     pub fn new(params: LshParams) -> Self {
-        assert!(params.dim > 0 && params.num_hashes > 0, "dim and num_hashes must be positive");
+        assert!(
+            params.dim > 0 && params.num_hashes > 0,
+            "dim and num_hashes must be positive"
+        );
         assert!(params.bucket_width > 0.0, "bucket_width must be positive");
-        assert!(params.hamming_levels >= 2, "need at least 2 quantization levels");
+        assert!(
+            params.hamming_levels >= 2,
+            "need at least 2 quantization levels"
+        );
         let mut rng = StdRng::seed_from_u64(params.seed);
-        let projections =
-            (0..params.num_hashes * params.dim).map(|_| gauss(&mut rng)).collect();
-        let offsets =
-            (0..params.num_hashes).map(|_| rng.random_range(0.0..params.bucket_width)).collect();
+        let projections = (0..params.num_hashes * params.dim)
+            .map(|_| gauss(&mut rng))
+            .collect();
+        let offsets = (0..params.num_hashes)
+            .map(|_| rng.random_range(0.0..params.bucket_width))
+            .collect();
         let bit_samples = (0..params.num_hashes)
             .map(|_| {
-                (rng.random_range(0..params.dim), rng.random_range(0..params.hamming_levels))
+                (
+                    rng.random_range(0..params.dim),
+                    rng.random_range(0..params.hamming_levels),
+                )
             })
             .collect();
-        Self { params, projections, offsets, bit_samples }
+        Self {
+            params,
+            projections,
+            offsets,
+            bit_samples,
+        }
     }
 
     /// The parameters this instance was built with.
@@ -103,7 +119,9 @@ impl Lsh {
             LshKind::L2 => (0..self.params.num_hashes)
                 .map(|h| (self.dot(h, v) + self.offsets[h]) / self.params.bucket_width)
                 .collect(),
-            LshKind::Cosine => (0..self.params.num_hashes).map(|h| self.dot(h, v)).collect(),
+            LshKind::Cosine => (0..self.params.num_hashes)
+                .map(|h| self.dot(h, v))
+                .collect(),
             LshKind::Hamming => {
                 let q = self.quantize(v);
                 self.bit_samples
@@ -118,12 +136,14 @@ impl Lsh {
     pub fn signature(&self, v: &[f64]) -> Signature {
         assert_eq!(v.len(), self.params.dim, "input dimension mismatch");
         let sig = match self.params.kind {
-            LshKind::L2 => self.project(v).into_iter().map(|x| x.floor() as i32).collect(),
-            LshKind::Cosine => {
-                (0..self.params.num_hashes)
-                    .map(|h| if self.dot(h, v) >= 0.0 { 1 } else { 0 })
-                    .collect()
-            }
+            LshKind::L2 => self
+                .project(v)
+                .into_iter()
+                .map(|x| x.floor() as i32)
+                .collect(),
+            LshKind::Cosine => (0..self.params.num_hashes)
+                .map(|h| if self.dot(h, v) >= 0.0 { 1 } else { 0 })
+                .collect(),
             LshKind::Hamming => self.project(v).into_iter().map(|x| x as i32).collect(),
         };
         Signature(sig)
@@ -167,7 +187,12 @@ mod tests {
     }
 
     fn collision_rate(kind: LshKind, scale: f64, trials: usize) -> f64 {
-        let lsh = Lsh::new(LshParams { kind, dim: 16, num_hashes: 4, ..Default::default() });
+        let lsh = Lsh::new(LshParams {
+            kind,
+            dim: 16,
+            num_hashes: 4,
+            ..Default::default()
+        });
         let mut rng = StdRng::seed_from_u64(7);
         let mut hits = 0;
         for _ in 0..trials {
@@ -199,7 +224,11 @@ mod tests {
     #[test]
     fn identical_inputs_always_collide() {
         for kind in [LshKind::L2, LshKind::Cosine, LshKind::Hamming] {
-            let lsh = Lsh::new(LshParams { kind, dim: 8, ..Default::default() });
+            let lsh = Lsh::new(LshParams {
+                kind,
+                dim: 8,
+                ..Default::default()
+            });
             let v = [0.3, -1.0, 0.5, 2.0, -0.2, 0.0, 1.0, -1.5];
             assert_eq!(lsh.signature(&v), lsh.signature(&v));
         }
@@ -207,18 +236,28 @@ mod tests {
 
     #[test]
     fn deterministic_in_seed() {
-        let p = LshParams { seed: 99, ..Default::default() };
+        let p = LshParams {
+            seed: 99,
+            ..Default::default()
+        };
         let (a, b) = (Lsh::new(p), Lsh::new(p));
         let v: Vec<f64> = (0..32).map(|i| (i as f64 * 0.3).sin()).collect();
         assert_eq!(a.signature(&v), b.signature(&v));
-        let c = Lsh::new(LshParams { seed: 100, ..Default::default() });
+        let c = Lsh::new(LshParams {
+            seed: 100,
+            ..Default::default()
+        });
         // different seed → different projections → (almost surely) different signature
         assert_ne!(a.signature(&v), c.signature(&v));
     }
 
     #[test]
     fn projection_has_expected_arity() {
-        let lsh = Lsh::new(LshParams { num_hashes: 6, dim: 8, ..Default::default() });
+        let lsh = Lsh::new(LshParams {
+            num_hashes: 6,
+            dim: 8,
+            ..Default::default()
+        });
         let v = [0.5; 8];
         assert_eq!(lsh.project(&v).len(), 6);
         assert_eq!(lsh.signature(&v).0.len(), 6);
@@ -237,7 +276,11 @@ mod tests {
 
     #[test]
     fn cosine_is_scale_invariant() {
-        let lsh = Lsh::new(LshParams { kind: LshKind::Cosine, dim: 8, ..Default::default() });
+        let lsh = Lsh::new(LshParams {
+            kind: LshKind::Cosine,
+            dim: 8,
+            ..Default::default()
+        });
         let v = [0.3, -1.0, 0.5, 2.0, -0.2, 0.0, 1.0, -1.5];
         let scaled: Vec<f64> = v.iter().map(|x| x * 42.0).collect();
         assert_eq!(lsh.signature(&v), lsh.signature(&scaled));

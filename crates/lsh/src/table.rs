@@ -19,7 +19,10 @@ pub struct Bucket {
 
 impl Bucket {
     fn new(dim: usize) -> Self {
-        Self { members: Vec::new(), sum: vec![0.0; dim] }
+        Self {
+            members: Vec::new(),
+            sum: vec![0.0; dim],
+        }
     }
 
     /// Number of members.
@@ -44,7 +47,11 @@ impl Bucket {
     /// key of Algorithm 2 line 7.
     pub fn center_norm(&self) -> f64 {
         let n = self.members.len().max(1) as f64;
-        self.sum.iter().map(|s| (s / n) * (s / n)).sum::<f64>().sqrt()
+        self.sum
+            .iter()
+            .map(|s| (s / n) * (s / n))
+            .sum::<f64>()
+            .sqrt()
     }
 }
 
@@ -60,7 +67,11 @@ pub struct BucketTable {
 impl BucketTable {
     /// Creates an empty table over the given family instance.
     pub fn new(lsh: Lsh) -> Self {
-        Self { lsh, buckets: HashMap::new(), count: 0 }
+        Self {
+            lsh,
+            buckets: HashMap::new(),
+            count: 0,
+        }
     }
 
     /// The hash family.
@@ -117,8 +128,11 @@ impl BucketTable {
     /// ranked-bucket view of Algorithm 2 (line 7). Each entry is
     /// `(center_norm, member_count)`.
     pub fn ranked_center_norms(&self) -> Vec<(f64, usize)> {
-        let mut norms: Vec<(f64, usize)> =
-            self.buckets.values().map(|b| (b.center_norm(), b.len())).collect();
+        let mut norms: Vec<(f64, usize)> = self
+            .buckets
+            .values()
+            .map(|b| (b.center_norm(), b.len()))
+            .collect();
         norms.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite norms"));
         norms
     }
@@ -127,13 +141,21 @@ impl BucketTable {
     /// projection norm would occupy — the "bucket index" used by the DT
     /// lower bound (Formula 15). Runs in O(#buckets).
     pub fn rank_of_norm(&self, norm: f64) -> usize {
-        self.buckets.values().filter(|b| b.center_norm() < norm).count()
+        self.buckets
+            .values()
+            .filter(|b| b.center_norm() < norm)
+            .count()
     }
 
     /// Per-item projection norm of a query (distance of `LSH(e)` to the
     /// origin, the quantity normalized by the DABF distribution).
     pub fn query_norm(&self, embedded: &[f64]) -> f64 {
-        self.lsh.project(embedded).iter().map(|x| x * x).sum::<f64>().sqrt()
+        self.lsh
+            .project(embedded)
+            .iter()
+            .map(|x| x * x)
+            .sum::<f64>()
+            .sqrt()
     }
 }
 
@@ -184,7 +206,9 @@ mod tests {
         let mut t = table();
         // far-apart vectors should not all share one bucket
         for i in 0..20 {
-            let v: Vec<f64> = (0..8).map(|j| ((i * 8 + j) as f64 * 1.7).sin() * 5.0).collect();
+            let v: Vec<f64> = (0..8)
+                .map(|j| ((i * 8 + j) as f64 * 1.7).sin() * 5.0)
+                .collect();
             t.insert(i, &v);
         }
         assert!(t.num_buckets() > 5, "only {} buckets", t.num_buckets());
@@ -194,7 +218,9 @@ mod tests {
     fn ranked_norms_are_ascending_and_complete() {
         let mut t = table();
         for i in 0..30 {
-            let v: Vec<f64> = (0..8).map(|j| ((i * 3 + j) as f64 * 0.9).cos() * 3.0).collect();
+            let v: Vec<f64> = (0..8)
+                .map(|j| ((i * 3 + j) as f64 * 0.9).cos() * 3.0)
+                .collect();
             t.insert(i, &v);
         }
         let ranked = t.ranked_center_norms();
@@ -208,7 +234,9 @@ mod tests {
     fn rank_of_norm_brackets() {
         let mut t = table();
         for i in 0..10 {
-            let v: Vec<f64> = (0..8).map(|j| ((i * 5 + j) as f64 * 1.3).sin() * 4.0).collect();
+            let v: Vec<f64> = (0..8)
+                .map(|j| ((i * 5 + j) as f64 * 1.3).sin() * 4.0)
+                .collect();
             t.insert(i, &v);
         }
         assert_eq!(t.rank_of_norm(0.0), 0);

@@ -1,0 +1,26 @@
+//! Observability for the IPS workspace: scoped span timers, a
+//! thread-mergeable [`MetricsRegistry`] of monotonic counters and gauges,
+//! and a versioned, machine-readable [`RunRecord`] schema — the layer
+//! every runner (engine, classifier, baselines, benches) reports through
+//! so measurements stay comparable across runs, machines, and PRs.
+//!
+//! Design constraints (DESIGN.md §9):
+//!
+//! * **No heavy dependencies.** No `tracing`, no `serde`: spans are RAII
+//!   guards over `Instant`, serialization is the in-crate [`json`] codec.
+//!   The whole crate is std-only, so every workspace crate can depend on
+//!   it without widening the dependency cone.
+//! * **Deterministic output.** All maps are `BTreeMap`s, so serialized
+//!   records are byte-stable for identical inputs — `scripts/check_bench.py`
+//!   diffs them structurally, and committed baselines produce clean diffs.
+//! * **Versioned schema.** Every [`RunRecord`] carries
+//!   [`SCHEMA_VERSION`]; readers refuse records from a different version
+//!   instead of silently misinterpreting fields.
+
+pub mod json;
+pub mod metrics;
+pub mod record;
+
+pub use json::Json;
+pub use metrics::{MetricsRegistry, MetricsSnapshot, Span, SpanStats};
+pub use record::{ObsError, RunRecord, SCHEMA_VERSION};

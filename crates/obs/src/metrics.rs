@@ -1,0 +1,318 @@
+//! Monotonic counters, gauges, and span timers behind a thread-shared
+//! registry.
+//!
+//! A [`MetricsRegistry`] is cheap to clone (an `Arc` over a mutex-guarded
+//! [`MetricsSnapshot`]) and is designed for two usage shapes:
+//!
+//! * **Shared**: clone the registry into worker closures; every
+//!   `incr`/`observe` lands in the same snapshot.
+//! * **Merged**: give each worker its own registry, then
+//!   [`MetricsRegistry::merge`] the per-worker snapshots into a parent.
+//!   Counters and span stats are additive, so both shapes produce
+//!   identical totals — `tests` pins that invariant.
+//!
+//! Lock scope is one `BTreeMap` operation per call; nothing in the hot
+//! path holds the mutex across user code. Span timing uses `Instant`
+//! and records on drop, so a span is one line at the call site:
+//!
+//! ```
+//! let registry = ips_obs::MetricsRegistry::new();
+//! {
+//!     let _span = registry.time("transform");
+//!     // ... timed work ...
+//! }
+//! assert_eq!(registry.snapshot().spans["transform"].count, 1);
+//! ```
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::json::Json;
+
+/// Aggregated timing for one named span.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanStats {
+    /// How many times the span ran.
+    pub count: u64,
+    /// Total wall time across runs, nanoseconds.
+    pub total_ns: u64,
+    /// The longest single run, nanoseconds.
+    pub max_ns: u64,
+}
+
+impl SpanStats {
+    /// Folds one observation in.
+    pub fn observe(&mut self, ns: u64) {
+        self.count += 1;
+        self.total_ns = self.total_ns.saturating_add(ns);
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Folds another span's aggregate in.
+    pub fn merge(&mut self, other: &SpanStats) {
+        self.count += other.count;
+        self.total_ns = self.total_ns.saturating_add(other.total_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+
+    /// Total wall time in seconds.
+    pub fn total_secs(&self) -> f64 {
+        self.total_ns as f64 / 1e9
+    }
+}
+
+/// A point-in-time copy of a registry's contents.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Monotonic counters.
+    pub counters: BTreeMap<String, u64>,
+    /// Last-write-wins gauges.
+    pub gauges: BTreeMap<String, f64>,
+    /// Aggregated span timings.
+    pub spans: BTreeMap<String, SpanStats>,
+}
+
+impl MetricsSnapshot {
+    /// Folds `other` in: counters and spans add, gauges last-write-win.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            self.gauges.insert(k.clone(), *v);
+        }
+        for (k, v) in &other.spans {
+            self.spans.entry(k.clone()).or_default().merge(v);
+        }
+    }
+
+    /// Serializes as `{counters: {..}, gauges: {..}, spans: {name: {count, total_ns, max_ns}}}`.
+    pub fn to_json(&self) -> Json {
+        let mut counters = Json::object();
+        for (k, v) in &self.counters {
+            counters.insert(k.clone(), *v);
+        }
+        let mut gauges = Json::object();
+        for (k, v) in &self.gauges {
+            gauges.insert(k.clone(), *v);
+        }
+        let mut spans = Json::object();
+        for (k, s) in &self.spans {
+            let mut span = Json::object();
+            span.insert("count", s.count);
+            span.insert("total_ns", s.total_ns);
+            span.insert("max_ns", s.max_ns);
+            spans.insert(k.clone(), span);
+        }
+        let mut obj = Json::object();
+        obj.insert("counters", counters);
+        obj.insert("gauges", gauges);
+        obj.insert("spans", spans);
+        obj
+    }
+
+    /// Rebuilds a snapshot from [`MetricsSnapshot::to_json`] output.
+    pub fn from_json(value: &Json) -> Result<MetricsSnapshot, String> {
+        let mut snap = MetricsSnapshot::default();
+        let section = |name: &str| -> Result<&BTreeMap<String, Json>, String> {
+            value
+                .get(name)
+                .and_then(Json::as_obj)
+                .ok_or_else(|| format!("metrics: missing `{name}` object"))
+        };
+        let num = |v: &Json, what: &str| -> Result<f64, String> {
+            v.as_num()
+                .ok_or_else(|| format!("metrics: `{what}` is not a number"))
+        };
+        for (k, v) in section("counters")? {
+            snap.counters.insert(k.clone(), num(v, k)? as u64);
+        }
+        for (k, v) in section("gauges")? {
+            snap.gauges.insert(k.clone(), num(v, k)?);
+        }
+        for (k, v) in section("spans")? {
+            let field = |f: &str| -> Result<u64, String> {
+                let inner = v
+                    .get(f)
+                    .ok_or_else(|| format!("metrics: span `{k}` missing `{f}`"))?;
+                Ok(num(inner, f)? as u64)
+            };
+            snap.spans.insert(
+                k.clone(),
+                SpanStats {
+                    count: field("count")?,
+                    total_ns: field("total_ns")?,
+                    max_ns: field("max_ns")?,
+                },
+            );
+        }
+        Ok(snap)
+    }
+}
+
+/// A shared, thread-safe home for counters, gauges, and span timings.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    inner: Arc<Mutex<MetricsSnapshot>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, MetricsSnapshot> {
+        self.inner.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Adds `delta` to a monotonic counter.
+    pub fn incr(&self, name: &str, delta: u64) {
+        *self.lock().counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Sets a gauge (last write wins).
+    pub fn set_gauge(&self, name: &str, value: f64) {
+        self.lock().gauges.insert(name.to_string(), value);
+    }
+
+    /// Records one timed observation for `name`.
+    pub fn observe_ns(&self, name: &str, ns: u64) {
+        self.lock()
+            .spans
+            .entry(name.to_string())
+            .or_default()
+            .observe(ns);
+    }
+
+    /// Starts a RAII span; elapsed time is recorded when the guard drops.
+    pub fn time(&self, name: &str) -> Span {
+        Span {
+            registry: self.clone(),
+            name: name.to_string(),
+            start: Instant::now(),
+        }
+    }
+
+    /// Folds another registry's current contents into this one.
+    pub fn merge(&self, other: &MetricsRegistry) {
+        let theirs = other.snapshot();
+        self.lock().merge(&theirs);
+    }
+
+    /// Folds a snapshot into this registry.
+    pub fn merge_snapshot(&self, snapshot: &MetricsSnapshot) {
+        self.lock().merge(snapshot);
+    }
+
+    /// A point-in-time copy of the registry's contents.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.lock().clone()
+    }
+}
+
+/// A scope timer; records its elapsed wall time into the registry on drop.
+#[must_use = "a span records on drop; binding it to `_` drops it immediately"]
+pub struct Span {
+    registry: MetricsRegistry,
+    name: String,
+    start: Instant,
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let ns = u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.registry.observe_ns(&self.name, ns);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges() {
+        let r = MetricsRegistry::new();
+        r.incr("evals", 3);
+        r.incr("evals", 4);
+        r.set_gauge("accuracy", 0.5);
+        r.set_gauge("accuracy", 0.75);
+        let snap = r.snapshot();
+        assert_eq!(snap.counters["evals"], 7);
+        assert_eq!(snap.gauges["accuracy"], 0.75);
+    }
+
+    #[test]
+    fn spans_record_on_drop() {
+        let r = MetricsRegistry::new();
+        for _ in 0..3 {
+            let _span = r.time("work");
+        }
+        let s = r.snapshot().spans["work"];
+        assert_eq!(s.count, 3);
+        assert!(s.max_ns <= s.total_ns);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let r = MetricsRegistry::new();
+        let r2 = r.clone();
+        r2.incr("n", 1);
+        assert_eq!(r.snapshot().counters["n"], 1);
+    }
+
+    #[test]
+    fn merge_matches_shared_totals() {
+        // Shared shape: every thread increments the same registry.
+        let shared = MetricsRegistry::new();
+        // Merged shape: each thread has a private registry, merged at the end.
+        let parent = MetricsRegistry::new();
+        let parts: Vec<MetricsRegistry> = (0..4).map(|_| MetricsRegistry::new()).collect();
+        std::thread::scope(|scope| {
+            for (t, part) in parts.iter().enumerate() {
+                let shared = shared.clone();
+                scope.spawn(move || {
+                    for i in 0..100u64 {
+                        shared.incr("evals", t as u64 + 1);
+                        part.incr("evals", t as u64 + 1);
+                        shared.observe_ns("span", i);
+                        part.observe_ns("span", i);
+                    }
+                });
+            }
+        });
+        for part in &parts {
+            parent.merge(part);
+        }
+        let a = shared.snapshot();
+        let b = parent.snapshot();
+        assert_eq!(a.counters, b.counters);
+        assert_eq!(a.spans["span"].count, b.spans["span"].count);
+        assert_eq!(a.spans["span"].total_ns, b.spans["span"].total_ns);
+        assert_eq!(a.spans["span"].max_ns, b.spans["span"].max_ns);
+        assert_eq!(a.counters["evals"], 100 * (1 + 2 + 3 + 4));
+    }
+
+    #[test]
+    fn snapshot_json_round_trip() {
+        let r = MetricsRegistry::new();
+        r.incr("candidates", 123);
+        r.set_gauge("hit_rate", 0.25);
+        r.observe_ns("stage", 1_000);
+        r.observe_ns("stage", 3_000);
+        let snap = r.snapshot();
+        let back = MetricsSnapshot::from_json(&snap.to_json()).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn from_json_rejects_malformed() {
+        assert!(MetricsSnapshot::from_json(&Json::Null).is_err());
+        let missing = Json::parse(r#"{"counters": {}, "gauges": {}}"#).unwrap();
+        assert!(MetricsSnapshot::from_json(&missing).is_err());
+        let bad_span =
+            Json::parse(r#"{"counters":{},"gauges":{},"spans":{"s":{"count":1}}}"#).unwrap();
+        assert!(MetricsSnapshot::from_json(&bad_span).is_err());
+    }
+}

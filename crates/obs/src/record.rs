@@ -1,0 +1,222 @@
+//! Versioned run records.
+//!
+//! A [`RunRecord`] is the unit every runner emits: what ran
+//! (`kind`/`label`), under which parameters (`params`), and what was
+//! measured (`metrics`). The serialized form carries
+//! [`SCHEMA_VERSION`]; [`RunRecord::from_json_str`] refuses any other
+//! version so downstream tooling (`scripts/check_bench.py`, committed
+//! baselines) fails loudly instead of misreading fields after a schema
+//! change.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::json::Json;
+use crate::metrics::MetricsSnapshot;
+
+/// The current on-disk record schema version. Bump on any change to the
+/// serialized field layout, and update `scripts/check_bench.py` and the
+/// committed baselines in the same PR.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// A reader-side failure: malformed JSON, a missing field, or a record
+/// written by a different schema version.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ObsError {
+    /// The document is not valid JSON.
+    Parse(String),
+    /// The document parses but does not match the record shape.
+    Malformed(String),
+    /// The record declares a schema version this reader does not speak.
+    SchemaVersion {
+        /// Version found in the record.
+        found: u32,
+        /// Version this reader expects.
+        expected: u32,
+    },
+}
+
+impl fmt::Display for ObsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ObsError::Parse(msg) => write!(f, "run record parse error: {msg}"),
+            ObsError::Malformed(msg) => write!(f, "malformed run record: {msg}"),
+            ObsError::SchemaVersion { found, expected } => write!(
+                f,
+                "run record schema version {found} is not supported (expected {expected})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ObsError {}
+
+/// One observed run: identity, parameters, and measurements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunRecord {
+    /// Schema version the record was written under.
+    pub schema_version: u32,
+    /// What kind of run this is (e.g. `"discovery"`, `"bench_pipeline"`).
+    pub kind: String,
+    /// Instance label (e.g. dataset name, `"ips/ItalyPowerDemand"`).
+    pub label: String,
+    /// Run parameters — seeds, thread counts, config knobs.
+    pub params: BTreeMap<String, Json>,
+    /// Everything measured.
+    pub metrics: MetricsSnapshot,
+}
+
+impl RunRecord {
+    /// A new record under the current [`SCHEMA_VERSION`].
+    pub fn new(kind: impl Into<String>, label: impl Into<String>) -> RunRecord {
+        RunRecord {
+            schema_version: SCHEMA_VERSION,
+            kind: kind.into(),
+            label: label.into(),
+            params: BTreeMap::new(),
+            metrics: MetricsSnapshot::default(),
+        }
+    }
+
+    /// Builder-style parameter insertion.
+    pub fn with_param(mut self, key: impl Into<String>, value: impl Into<Json>) -> RunRecord {
+        self.params.insert(key.into(), value.into());
+        self
+    }
+
+    /// Attaches a metrics snapshot (replacing any previous one).
+    pub fn with_metrics(mut self, metrics: MetricsSnapshot) -> RunRecord {
+        self.metrics = metrics;
+        self
+    }
+
+    /// Serializes as a JSON value.
+    pub fn to_json(&self) -> Json {
+        let mut params = Json::object();
+        for (k, v) in &self.params {
+            params.insert(k.clone(), v.clone());
+        }
+        let mut obj = Json::object();
+        obj.insert("schema_version", u64::from(self.schema_version));
+        obj.insert("kind", self.kind.clone());
+        obj.insert("label", self.label.clone());
+        obj.insert("params", params);
+        obj.insert("metrics", self.metrics.to_json());
+        obj
+    }
+
+    /// Serializes as a pretty-printed JSON document.
+    pub fn to_json_string(&self) -> String {
+        self.to_json().to_string_pretty()
+    }
+
+    /// Rebuilds a record from a JSON value, enforcing [`SCHEMA_VERSION`].
+    pub fn from_json(value: &Json) -> Result<RunRecord, ObsError> {
+        let version = value
+            .get("schema_version")
+            .and_then(Json::as_num)
+            .ok_or_else(|| ObsError::Malformed("missing `schema_version`".into()))?
+            as u32;
+        if version != SCHEMA_VERSION {
+            return Err(ObsError::SchemaVersion {
+                found: version,
+                expected: SCHEMA_VERSION,
+            });
+        }
+        let text_field = |name: &str| -> Result<String, ObsError> {
+            value
+                .get(name)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| ObsError::Malformed(format!("missing `{name}` string")))
+        };
+        let params = value
+            .get("params")
+            .and_then(Json::as_obj)
+            .ok_or_else(|| ObsError::Malformed("missing `params` object".into()))?
+            .clone();
+        let metrics = value
+            .get("metrics")
+            .ok_or_else(|| ObsError::Malformed("missing `metrics` object".into()))
+            .and_then(|m| MetricsSnapshot::from_json(m).map_err(ObsError::Malformed))?;
+        Ok(RunRecord {
+            schema_version: version,
+            kind: text_field("kind")?,
+            label: text_field("label")?,
+            params,
+            metrics,
+        })
+    }
+
+    /// Parses and rebuilds a record from a JSON document.
+    pub fn from_json_str(text: &str) -> Result<RunRecord, ObsError> {
+        let value = Json::parse(text).map_err(|e| ObsError::Parse(e.to_string()))?;
+        RunRecord::from_json(&value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricsRegistry;
+
+    fn sample() -> RunRecord {
+        let registry = MetricsRegistry::new();
+        registry.incr("candidates_in", 1200);
+        registry.incr("cache_hits", 37);
+        registry.set_gauge("accuracy", 0.9375);
+        registry.observe_ns("pruning", 52_000);
+        RunRecord::new("discovery", "ips/ItalyPowerDemand")
+            .with_param("seed", 0xD15C0u64)
+            .with_param("threads", 4u64)
+            .with_param("fft", true)
+            .with_metrics(registry.snapshot())
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let record = sample();
+        let text = record.to_json_string();
+        let back = RunRecord::from_json_str(&text).unwrap();
+        assert_eq!(back, record);
+    }
+
+    #[test]
+    fn serialization_is_deterministic() {
+        assert_eq!(sample().to_json_string(), sample().to_json_string());
+    }
+
+    #[test]
+    fn rejects_other_schema_versions() {
+        let mut value = sample().to_json();
+        value.insert("schema_version", 99u64);
+        let err = RunRecord::from_json(&value).unwrap_err();
+        assert_eq!(
+            err,
+            ObsError::SchemaVersion {
+                found: 99,
+                expected: SCHEMA_VERSION
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_missing_fields() {
+        for field in ["schema_version", "kind", "label", "params", "metrics"] {
+            let value = sample().to_json();
+            let Json::Obj(mut map) = value else {
+                unreachable!()
+            };
+            map.remove(field);
+            assert!(RunRecord::from_json(&Json::Obj(map)).is_err(), "{field}");
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_json_text() {
+        assert!(matches!(
+            RunRecord::from_json_str("{nope"),
+            Err(ObsError::Parse(_))
+        ));
+    }
+}

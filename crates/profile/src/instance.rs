@@ -77,7 +77,11 @@ impl InstanceProfile {
             }));
         }
         entries.sort_by_key(|e| e.start);
-        Self { entries, window, metric }
+        Self {
+            entries,
+            window,
+            metric,
+        }
     }
 
     /// All annotated subsequences in start order.
@@ -178,7 +182,11 @@ mod tests {
         let concat = concat_of(&[a, b]);
         let ip = InstanceProfile::compute(&concat, 4, Metric::MeanSquared);
         let at2 = ip.entries().iter().find(|e| e.start == 2).unwrap();
-        assert!(at2.value > 1.0, "same-instance twin must not count: {}", at2.value);
+        assert!(
+            at2.value > 1.0,
+            "same-instance twin must not count: {}",
+            at2.value
+        );
     }
 
     #[test]
@@ -187,14 +195,18 @@ mod tests {
         let ip = InstanceProfile::compute(&concat, 4, Metric::MeanSquared);
         // valid starts: 0..=6 and 10..=16 — never 7, 8, 9
         assert_eq!(ip.len(), 14);
-        assert!(ip.entries().iter().all(|e| concat.within_one_instance(e.start, 4)));
+        assert!(ip
+            .entries()
+            .iter()
+            .all(|e| concat.within_one_instance(e.start, 4)));
     }
 
     #[test]
     fn entry_count_matches_definition() {
         // |D_C| instances of length N give |D_C|·(N − L + 1) entries.
-        let seqs: Vec<Vec<f64>> =
-            (0..4).map(|k| (0..25).map(|i| ((i + k * 7) as f64 * 0.3).sin()).collect()).collect();
+        let seqs: Vec<Vec<f64>> = (0..4)
+            .map(|k| (0..25).map(|i| ((i + k * 7) as f64 * 0.3).sin()).collect())
+            .collect();
         let concat = concat_of(&seqs);
         let ip = InstanceProfile::compute(&concat, 6, Metric::MeanSquared);
         assert_eq!(ip.len(), 4 * (25 - 6 + 1));
@@ -205,9 +217,9 @@ mod tests {
         let concat = concat_of(&[vec![1.0, 2.0], vec![0.0; 12]]);
         let ip = InstanceProfile::compute(&concat, 5, Metric::MeanSquared);
         assert_eq!(ip.len(), 8); // only the second instance contributes
-        // single-instance sample: every neighbor search has no other long
-        // instance? No — instance 0 is too short to provide neighbors, so
-        // the profile is infinite and motif() is None.
+                                 // single-instance sample: every neighbor search has no other long
+                                 // instance? No — instance 0 is too short to provide neighbors, so
+                                 // the profile is infinite and motif() is None.
         assert!(ip.motif().is_none());
         assert!(ip.discord().is_none());
     }
@@ -226,7 +238,11 @@ mod tests {
         let ip = InstanceProfile::compute(&cc, 5, Metric::ZNormEuclidean);
         assert_eq!(ip.len(), 2 * 16);
         let motif = ip.motif().unwrap();
-        assert!(motif.value < 0.5, "near-identical instances: {}", motif.value);
+        assert!(
+            motif.value < 0.5,
+            "near-identical instances: {}",
+            motif.value
+        );
     }
 
     #[test]

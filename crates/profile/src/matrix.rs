@@ -34,7 +34,12 @@ impl MatrixProfile {
         let mut values = vec![f64::INFINITY; n_out];
         let mut nn_index = vec![0usize; n_out];
         if n_out == 0 {
-            return Self { values, nn_index, window, metric };
+            return Self {
+                values,
+                nn_index,
+                window,
+                metric,
+            };
         }
         match metric {
             Metric::MeanSquared => {
@@ -61,8 +66,11 @@ impl MatrixProfile {
                 // Diagonal recurrence on dot products:
                 // qt(i+1, j+1) = qt(i, j) − s_i·s_j + s_{i+m}·s_{j+m}.
                 for k in (excl + 1)..n_out {
-                    let mut qt: f64 =
-                        series[0..m].iter().zip(&series[k..k + m]).map(|(a, b)| a * b).sum();
+                    let mut qt: f64 = series[0..m]
+                        .iter()
+                        .zip(&series[k..k + m])
+                        .map(|(a, b)| a * b)
+                        .sum();
                     let d = znorm_dist_from_dot(
                         qt,
                         m,
@@ -74,8 +82,7 @@ impl MatrixProfile {
                     update_pair(&mut values, &mut nn_index, 0, k, d);
                     for i in 1..(n_out - k) {
                         let j = i + k;
-                        qt += series[i + m - 1] * series[j + m - 1]
-                            - series[i - 1] * series[j - 1];
+                        qt += series[i + m - 1] * series[j + m - 1] - series[i - 1] * series[j - 1];
                         let d = znorm_dist_from_dot(
                             qt,
                             m,
@@ -89,7 +96,12 @@ impl MatrixProfile {
                 }
             }
         }
-        Self { values, nn_index, window, metric }
+        Self {
+            values,
+            nn_index,
+            window,
+            metric,
+        }
     }
 
     /// Brute-force self-join: O(n²·m). Reference implementation used by the
@@ -110,7 +122,12 @@ impl MatrixProfile {
                 }
             }
         }
-        Self { values, nn_index, window, metric }
+        Self {
+            values,
+            nn_index,
+            window,
+            metric,
+        }
     }
 
     /// AB-join: for every window of `a`, the distance to its nearest
@@ -122,7 +139,12 @@ impl MatrixProfile {
         let mut values = vec![f64::INFINITY; n_a];
         let mut nn_index = vec![0usize; n_a];
         if n_a == 0 || n_b == 0 {
-            return Self { values, nn_index, window, metric };
+            return Self {
+                values,
+                nn_index,
+                window,
+                metric,
+            };
         }
         match metric {
             Metric::MeanSquared => {
@@ -151,8 +173,11 @@ impl MatrixProfile {
                 let mut starts: Vec<(usize, usize)> = (0..n_b).map(|j| (0, j)).collect();
                 starts.extend((1..n_a).map(|i| (i, 0)));
                 for (i0, j0) in starts {
-                    let mut qt: f64 =
-                        a[i0..i0 + m].iter().zip(&b[j0..j0 + m]).map(|(x, y)| x * y).sum();
+                    let mut qt: f64 = a[i0..i0 + m]
+                        .iter()
+                        .zip(&b[j0..j0 + m])
+                        .map(|(x, y)| x * y)
+                        .sum();
                     let d = znorm_dist_from_dot(
                         qt,
                         m,
@@ -179,7 +204,12 @@ impl MatrixProfile {
                 }
             }
         }
-        Self { values, nn_index, window, metric }
+        Self {
+            values,
+            nn_index,
+            window,
+            metric,
+        }
     }
 
     /// Profile values (`mp_i` of Definition 5).
@@ -248,8 +278,15 @@ impl MatrixProfile {
     /// `diff(P_AB, P_AA)` of Figure 4. The profiles must share the window
     /// length.
     pub fn diff(&self, other: &MatrixProfile) -> Vec<f64> {
-        assert_eq!(self.window, other.window, "profiles must share the window length");
-        self.values.iter().zip(&other.values).map(|(a, b)| a - b).collect()
+        assert_eq!(
+            self.window, other.window,
+            "profiles must share the window length"
+        );
+        self.values
+            .iter()
+            .zip(&other.values)
+            .map(|(a, b)| a - b)
+            .collect()
     }
 
     /// `(position, value)` of the largest difference `self − other`
@@ -311,7 +348,9 @@ mod tests {
     use super::*;
 
     fn wave(n: usize) -> Vec<f64> {
-        (0..n).map(|i| (i as f64 * 0.35).sin() * 2.0 + (i as f64 * 0.05).cos()).collect()
+        (0..n)
+            .map(|i| (i as f64 * 0.35).sin() * 2.0 + (i as f64 * 0.05).cos())
+            .collect()
     }
 
     #[test]

@@ -31,8 +31,9 @@ pub fn top_discords(mp: &MatrixProfile, k: usize, excl: usize) -> Vec<Occurrence
 }
 
 fn select(mp: &MatrixProfile, k: usize, excl: usize, largest: bool) -> Vec<Occurrence> {
-    let mut order: Vec<usize> =
-        (0..mp.len()).filter(|&i| mp.values()[i].is_finite()).collect();
+    let mut order: Vec<usize> = (0..mp.len())
+        .filter(|&i| mp.values()[i].is_finite())
+        .collect();
     order.sort_by(|&a, &b| {
         let (x, y) = (mp.values()[a], mp.values()[b]);
         if largest {
@@ -116,7 +117,11 @@ mod tests {
         let mp = MatrixProfile::self_join(&s, 6, Metric::MeanSquared);
         let d = top_discords(&mp, 1, 6);
         assert_eq!(d.len(), 1);
-        assert!((184..=196).contains(&d[0].start), "discord at {}", d[0].start);
+        assert!(
+            (184..=196).contains(&d[0].start),
+            "discord at {}",
+            d[0].start
+        );
     }
 
     #[test]

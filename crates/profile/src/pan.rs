@@ -23,13 +23,22 @@ impl PanProfile {
     /// Computes the pan profile for the given window lengths (deduplicated,
     /// sorted; lengths longer than the series are dropped).
     pub fn compute(series: &[f64], lengths: &[usize], metric: Metric) -> Self {
-        let mut ls: Vec<usize> =
-            lengths.iter().copied().filter(|&l| l > 0 && l <= series.len()).collect();
+        let mut ls: Vec<usize> = lengths
+            .iter()
+            .copied()
+            .filter(|&l| l > 0 && l <= series.len())
+            .collect();
         ls.sort_unstable();
         ls.dedup();
-        let profiles =
-            ls.iter().map(|&l| MatrixProfile::self_join(series, l, metric)).collect();
-        Self { lengths: ls, profiles, metric }
+        let profiles = ls
+            .iter()
+            .map(|&l| MatrixProfile::self_join(series, l, metric))
+            .collect();
+        Self {
+            lengths: ls,
+            profiles,
+            metric,
+        }
     }
 
     /// The (deduplicated) window lengths.
@@ -39,7 +48,10 @@ impl PanProfile {
 
     /// The profile at one length, if computed.
     pub fn profile(&self, length: usize) -> Option<&MatrixProfile> {
-        self.lengths.iter().position(|&l| l == length).map(|i| &self.profiles[i])
+        self.lengths
+            .iter()
+            .position(|&l| l == length)
+            .map(|i| &self.profiles[i])
     }
 
     /// Number of lengths covered.
@@ -72,7 +84,7 @@ impl PanProfile {
                     continue;
                 }
                 let nv = self.normalized(v, *l);
-                if best.map_or(true, |(.., b)| nv < b) {
+                if best.is_none_or(|(.., b)| nv < b) {
                     best = Some((*l, i, nv));
                 }
             }
@@ -84,12 +96,7 @@ impl PanProfile {
     /// entry `i` is the normalized value of the most motif-like window
     /// starting at `i` at any length, `INFINITY` where no window fits.
     pub fn floor(&self) -> Vec<f64> {
-        let n_out = self
-            .profiles
-            .iter()
-            .map(|p| p.len())
-            .max()
-            .unwrap_or(0);
+        let n_out = self.profiles.iter().map(|p| p.len()).max().unwrap_or(0);
         let mut out = vec![f64::INFINITY; n_out];
         for (l, p) in self.lengths.iter().zip(&self.profiles) {
             for (i, &v) in p.values().iter().enumerate() {
@@ -116,8 +123,9 @@ mod tests {
                 (0.5 + 0.3 * (x * 0.019).sin()) * (x * 0.43).sin()
             })
             .collect();
-        let pat: Vec<f64> =
-            (0..motif_len).map(|i| 3.0 + (i as f64 * 1.1).sin() * 2.0).collect();
+        let pat: Vec<f64> = (0..motif_len)
+            .map(|i| 3.0 + (i as f64 * 1.1).sin() * 2.0)
+            .collect();
         s[20..20 + motif_len].copy_from_slice(&pat);
         s[140..140 + motif_len].copy_from_slice(&pat);
         s

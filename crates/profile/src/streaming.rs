@@ -191,11 +191,16 @@ mod tests {
         sp.extend(&wave(120));
         let before = sp.discord().expect("some discord").1;
         // stream in an anomaly
-        let spike: Vec<f64> = (0..8).map(|i| if i % 2 == 0 { 9.0 } else { -9.0 }).collect();
+        let spike: Vec<f64> = (0..8)
+            .map(|i| if i % 2 == 0 { 9.0 } else { -9.0 })
+            .collect();
         sp.extend(&spike);
         sp.extend(&wave(40));
         let (pos, after) = sp.discord().expect("discord");
-        assert!(after > before, "discord value should grow: {before} -> {after}");
+        assert!(
+            after > before,
+            "discord value should grow: {before} -> {after}"
+        );
         assert!((112..=128).contains(&pos), "discord at {pos}");
     }
 

@@ -11,8 +11,8 @@ use crate::rank::average_ranks;
 /// Critical values `q_α` (α = 0.05) of the studentized range statistic
 /// divided by √2, for k = 2..=20 methods (Demšar, Table 5).
 const Q_ALPHA_05: [f64; 19] = [
-    1.960, 2.343, 2.569, 2.728, 2.850, 2.949, 3.031, 3.102, 3.164, 3.219, 3.268, 3.313,
-    3.354, 3.391, 3.426, 3.458, 3.489, 3.517, 3.544,
+    1.960, 2.343, 2.569, 2.728, 2.850, 2.949, 3.031, 3.102, 3.164, 3.219, 3.268, 3.313, 3.354,
+    3.391, 3.426, 3.458, 3.489, 3.517, 3.544,
 ];
 
 /// The Nemenyi critical difference for `k` methods over `n` datasets at
@@ -21,7 +21,10 @@ const Q_ALPHA_05: [f64; 19] = [
 /// # Panics
 /// Panics for `k < 2`, `k > 20`, or `n == 0`.
 pub fn nemenyi_cd(k: usize, n: usize) -> f64 {
-    assert!((2..=20).contains(&k), "Nemenyi table covers 2..=20 methods, got {k}");
+    assert!(
+        (2..=20).contains(&k),
+        "Nemenyi table covers 2..=20 methods, got {k}"
+    );
     assert!(n > 0, "need at least one dataset");
     let q = Q_ALPHA_05[k - 2];
     q * ((k * (k + 1)) as f64 / (6.0 * n as f64)).sqrt()
@@ -90,7 +93,9 @@ pub fn cd_diagram_text(diag: &CdDiagram) -> String {
     let k = diag.names.len();
     let mut order: Vec<usize> = (0..k).collect();
     order.sort_by(|&a, &b| {
-        diag.avg_ranks[a].partial_cmp(&diag.avg_ranks[b]).expect("no NaN")
+        diag.avg_ranks[a]
+            .partial_cmp(&diag.avg_ranks[b])
+            .expect("no NaN")
     });
     let name_width = diag.names.iter().map(|n| n.len()).max().unwrap_or(6).max(6);
     let mut out = String::new();
@@ -100,7 +105,10 @@ pub fn cd_diagram_text(diag: &CdDiagram) -> String {
     ));
     out.push_str(&format!("{:<name_width$}  avg rank\n", "method"));
     for &m in &order {
-        out.push_str(&format!("{:<name_width$}  {:>7.3}\n", diag.names[m], diag.avg_ranks[m]));
+        out.push_str(&format!(
+            "{:<name_width$}  {:>7.3}\n",
+            diag.names[m], diag.avg_ranks[m]
+        ));
     }
     if diag.groups.is_empty() {
         out.push_str("all pairwise rank differences exceed the CD\n");
@@ -111,7 +119,9 @@ pub fn cd_diagram_text(diag: &CdDiagram) -> String {
             members.sort_by(|a, b| {
                 let ia = diag.names.iter().position(|n| n == a).expect("present");
                 let ib = diag.names.iter().position(|n| n == b).expect("present");
-                diag.avg_ranks[ia].partial_cmp(&diag.avg_ranks[ib]).expect("no NaN")
+                diag.avg_ranks[ia]
+                    .partial_cmp(&diag.avg_ranks[ib])
+                    .expect("no NaN")
             });
             out.push_str(&format!("  [{}]\n", members.join(" — ")));
         }
@@ -168,8 +178,9 @@ mod tests {
     #[test]
     fn diagram_from_scores_end_to_end() {
         let names = ["good", "mid", "bad"];
-        let scores: Vec<Vec<f64>> =
-            (0..20).map(|i| vec![0.9, 0.7 + 0.0001 * i as f64, 0.4]).collect();
+        let scores: Vec<Vec<f64>> = (0..20)
+            .map(|i| vec![0.9, 0.7 + 0.0001 * i as f64, 0.4])
+            .collect();
         let d = CdDiagram::from_scores(&names, &scores);
         assert_eq!(d.avg_ranks, vec![1.0, 2.0, 3.0]);
         let text = cd_diagram_text(&d);

@@ -176,8 +176,14 @@ mod tests {
                 0.5 * (lo + hi)
             })
             .collect();
-        let good = Distribution::Normal { mu: 0.0, sigma: 1.0 };
-        let bad = Distribution::Normal { mu: 2.0, sigma: 0.5 };
+        let good = Distribution::Normal {
+            mu: 0.0,
+            sigma: 1.0,
+        };
+        let bad = Distribution::Normal {
+            mu: 2.0,
+            sigma: 0.5,
+        };
         let (d_good, p_good) = ks_test(&data, &good);
         let (d_bad, p_bad) = ks_test(&data, &bad);
         assert!(p_good > 0.2, "good model rejected: D={d_good} p={p_good}");
@@ -194,7 +200,10 @@ mod tests {
 
     #[test]
     fn ks_empty_sample() {
-        let d = Distribution::Normal { mu: 0.0, sigma: 1.0 };
+        let d = Distribution::Normal {
+            mu: 0.0,
+            sigma: 1.0,
+        };
         assert_eq!(ks_test(&[], &d), (1.0, 0.0));
     }
 }

@@ -39,13 +39,16 @@ impl Distribution {
                 let z = (x - mu) / sigma;
                 (-0.5 * z * z).exp() / (sigma * (2.0 * std::f64::consts::PI).sqrt())
             }
-            Distribution::Gamma { shape, scale, shift } => {
+            Distribution::Gamma {
+                shape,
+                scale,
+                shift,
+            } => {
                 let y = x - shift;
                 if y <= 0.0 {
                     return 0.0;
                 }
-                ((shape - 1.0) * y.ln() - y / scale - ln_gamma(shape) - shape * scale.ln())
-                    .exp()
+                ((shape - 1.0) * y.ln() - y / scale - ln_gamma(shape) - shape * scale.ln()).exp()
             }
             Distribution::Uniform { lo, hi } => {
                 if x < lo || x > hi || hi <= lo {
@@ -69,7 +72,11 @@ impl Distribution {
     pub fn cdf(&self, x: f64) -> f64 {
         match *self {
             Distribution::Normal { mu, sigma } => normal_cdf((x - mu) / sigma),
-            Distribution::Gamma { shape, scale, shift } => {
+            Distribution::Gamma {
+                shape,
+                scale,
+                shift,
+            } => {
                 let y = x - shift;
                 if y <= 0.0 {
                     0.0
@@ -93,7 +100,11 @@ impl Distribution {
     pub fn mean(&self) -> f64 {
         match *self {
             Distribution::Normal { mu, .. } => mu,
-            Distribution::Gamma { shape, scale, shift } => shape * scale + shift,
+            Distribution::Gamma {
+                shape,
+                scale,
+                shift,
+            } => shape * scale + shift,
             Distribution::Uniform { lo, hi } => 0.5 * (lo + hi),
             Distribution::Exponential { lambda, shift } => 1.0 / lambda + shift,
         }
@@ -133,8 +144,11 @@ impl Distribution {
         }
         let shape = m * m / var;
         let scale = var / m;
-        (shape.is_finite() && scale > 0.0)
-            .then_some(Distribution::Gamma { shape, scale, shift })
+        (shape.is_finite() && scale > 0.0).then_some(Distribution::Gamma {
+            shape,
+            scale,
+            shift,
+        })
     }
 
     /// Fits a Uniform over the sample range.
@@ -153,7 +167,10 @@ impl Distribution {
         let min = data.iter().copied().fold(f64::INFINITY, f64::min);
         let shift = min - 0.01 * sd;
         let m = mu - shift;
-        (m > 0.0).then_some(Distribution::Exponential { lambda: 1.0 / m, shift })
+        (m > 0.0).then_some(Distribution::Exponential {
+            lambda: 1.0 / m,
+            shift,
+        })
     }
 }
 
@@ -211,7 +228,10 @@ pub fn best_fit(data: &[f64], bins: usize) -> Option<FitResult> {
     candidates
         .into_iter()
         .flatten()
-        .map(|d| FitResult { dist: d, nmse: nmse(&hist, &d) })
+        .map(|d| FitResult {
+            dist: d,
+            nmse: nmse(&hist, &d),
+        })
         .filter(|r| r.nmse.is_finite())
         .min_by(|a, b| a.nmse.partial_cmp(&b.nmse).expect("finite"))
 }
@@ -248,7 +268,10 @@ mod tests {
 
     #[test]
     fn normal_pdf_cdf_consistency() {
-        let d = Distribution::Normal { mu: 1.0, sigma: 2.0 };
+        let d = Distribution::Normal {
+            mu: 1.0,
+            sigma: 2.0,
+        };
         assert!((d.cdf(1.0) - 0.5).abs() < 1e-12);
         assert!((d.mean() - 1.0).abs() < 1e-12);
         assert!((d.std() - 2.0).abs() < 1e-12);
@@ -262,7 +285,11 @@ mod tests {
 
     #[test]
     fn gamma_pdf_integrates_to_one() {
-        let d = Distribution::Gamma { shape: 2.5, scale: 1.3, shift: 0.0 };
+        let d = Distribution::Gamma {
+            shape: 2.5,
+            scale: 1.3,
+            shift: 0.0,
+        };
         let mut integral = 0.0;
         let dx = 0.01;
         let mut x = dx / 2.0;
@@ -305,8 +332,9 @@ mod tests {
     #[test]
     fn best_fit_picks_exponential_for_exponential_data() {
         // inverse-CDF sampling of Exp(2)
-        let data: Vec<f64> =
-            (1..4000).map(|i| -(1.0 - i as f64 / 4000.0).ln() / 2.0).collect();
+        let data: Vec<f64> = (1..4000)
+            .map(|i| -(1.0 - i as f64 / 4000.0).ln() / 2.0)
+            .collect();
         let fit = best_fit(&data, 40).unwrap();
         // Gamma with shape ≈ 1 is the same family; both are acceptable
         assert!(
@@ -329,8 +357,14 @@ mod tests {
     fn nmse_is_zero_for_perfect_match_and_large_for_mismatch() {
         let data = normal_samples(4000, 0.0, 1.0);
         let hist = Histogram::new(&data, 30);
-        let good = Distribution::Normal { mu: 0.0, sigma: 1.0 };
-        let bad = Distribution::Normal { mu: 5.0, sigma: 0.1 };
+        let good = Distribution::Normal {
+            mu: 0.0,
+            sigma: 1.0,
+        };
+        let bad = Distribution::Normal {
+            mu: 5.0,
+            sigma: 0.1,
+        };
         assert!(nmse(&hist, &good) < 0.05);
         assert!(nmse(&hist, &bad) > 0.5);
     }

@@ -22,14 +22,24 @@ impl Histogram {
         let bins = bins.max(1);
         let finite: Vec<f64> = data.iter().copied().filter(|v| v.is_finite()).collect();
         if finite.is_empty() {
-            return Self { lo: 0.0, hi: 1.0, counts: vec![0; bins], total: 0 };
+            return Self {
+                lo: 0.0,
+                hi: 1.0,
+                counts: vec![0; bins],
+                total: 0,
+            };
         }
         let lo = finite.iter().copied().fold(f64::INFINITY, f64::min);
         let hi = finite.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         if hi <= lo {
             let mut counts = vec![0; bins];
             counts[0] = finite.len();
-            return Self { lo, hi: lo + 1.0, counts, total: finite.len() };
+            return Self {
+                lo,
+                hi: lo + 1.0,
+                counts,
+                total: finite.len(),
+            };
         }
         let mut counts = vec![0usize; bins];
         let width = (hi - lo) / bins as f64;
@@ -37,7 +47,12 @@ impl Histogram {
             let idx = (((v - lo) / width) as usize).min(bins - 1);
             counts[idx] += 1;
         }
-        Self { lo, hi, counts, total: finite.len() }
+        Self {
+            lo,
+            hi,
+            counts,
+            total: finite.len(),
+        }
     }
 
     /// Number of bins.

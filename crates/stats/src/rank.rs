@@ -87,7 +87,15 @@ pub fn friedman_test(scores: &[Vec<f64>]) -> FriedmanResult {
     } else {
         (f64::INFINITY, 0.0)
     };
-    FriedmanResult { avg_ranks, chi2, p_chi2, f_stat, p_f, n_datasets: n, n_methods: k }
+    FriedmanResult {
+        avg_ranks,
+        chi2,
+        p_chi2,
+        f_stat,
+        p_f,
+        n_datasets: n,
+        n_methods: k,
+    }
 }
 
 /// Two-sided Wilcoxon signed-rank test between paired samples `a` and `b`.
@@ -99,8 +107,12 @@ pub fn friedman_test(scores: &[Vec<f64>]) -> FriedmanResult {
 /// difference exists.
 pub fn wilcoxon_signed_rank(a: &[f64], b: &[f64]) -> (f64, f64) {
     assert_eq!(a.len(), b.len(), "paired samples must be equal length");
-    let mut diffs: Vec<f64> =
-        a.iter().zip(b).map(|(x, y)| x - y).filter(|d| *d != 0.0).collect();
+    let mut diffs: Vec<f64> = a
+        .iter()
+        .zip(b)
+        .map(|(x, y)| x - y)
+        .filter(|d| *d != 0.0)
+        .collect();
     let n = diffs.len();
     if n == 0 {
         return (0.0, 1.0);
@@ -172,9 +184,16 @@ mod tests {
 
     #[test]
     fn average_ranks_over_matrix() {
-        let scores = vec![vec![0.9, 0.5, 0.7], vec![0.8, 0.6, 0.7], vec![0.9, 0.8, 0.7]];
+        let scores = vec![
+            vec![0.9, 0.5, 0.7],
+            vec![0.8, 0.6, 0.7],
+            vec![0.9, 0.8, 0.7],
+        ];
         let r = average_ranks(&scores);
-        assert_eq!(r, vec![1.0, (3.0 + 3.0 + 2.0) / 3.0, (2.0 + 2.0 + 3.0) / 3.0]);
+        assert_eq!(
+            r,
+            vec![1.0, (3.0 + 3.0 + 2.0) / 3.0, (2.0 + 2.0 + 3.0) / 3.0]
+        );
     }
 
     #[test]
@@ -218,7 +237,9 @@ mod tests {
     #[test]
     fn wilcoxon_null_for_symmetric_noise() {
         // alternating ± differences of equal magnitude
-        let a: Vec<f64> = (0..30).map(|i| 0.5 + if i % 2 == 0 { 0.01 } else { -0.01 }).collect();
+        let a: Vec<f64> = (0..30)
+            .map(|i| 0.5 + if i % 2 == 0 { 0.01 } else { -0.01 })
+            .collect();
         let b = vec![0.5; 30];
         let (_, p) = wilcoxon_signed_rank(&a, &b);
         assert!(p > 0.5, "p {p}");

@@ -136,8 +136,7 @@ pub fn reg_inc_beta(a: f64, b: f64, x: f64) -> f64 {
     if x == 1.0 {
         return 1.0;
     }
-    let ln_front =
-        ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    let ln_front = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
     if x < (a + 1.0) / (a + b + 2.0) {
         ln_front.exp() * beta_cf(a, b, x) / a
     } else {

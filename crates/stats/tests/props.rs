@@ -1,8 +1,8 @@
 //! Property-based tests of the statistics substrate.
 
 use ips_stats::{
-    chi2_cdf, erf, f_cdf, holm_adjust, normal_cdf, rank::rank_row, reg_inc_beta,
-    reg_inc_gamma, Histogram,
+    chi2_cdf, erf, f_cdf, holm_adjust, normal_cdf, rank::rank_row, reg_inc_beta, reg_inc_gamma,
+    Histogram,
 };
 use proptest::prelude::*;
 

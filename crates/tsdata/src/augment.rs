@@ -63,12 +63,7 @@ pub fn slice(series: &[f64], fraction: f64, seed: u64) -> Vec<f64> {
 /// Augments a dataset: for each instance, `copies` transformed variants
 /// are appended (labels preserved). Each copy applies jitter + scaling +
 /// window warping with per-copy seeds derived from `seed`.
-pub fn augment_dataset(
-    data: &Dataset,
-    copies: usize,
-    sigma: f64,
-    seed: u64,
-) -> Result<Dataset> {
+pub fn augment_dataset(data: &Dataset, copies: usize, sigma: f64, seed: u64) -> Result<Dataset> {
     let mut series: Vec<TimeSeries> = data.all_series().to_vec();
     let mut labels = data.labels().to_vec();
     for i in 0..data.len() {
@@ -163,9 +158,11 @@ mod tests {
             assert_eq!(w.len(), s.len());
             let sl = slice(&s, 0.8, seed);
             assert_eq!(sl.len(), s.len());
-            let (lo, hi) = s.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), &v| {
-                (l.min(v), h.max(v))
-            });
+            let (lo, hi) = s
+                .iter()
+                .fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), &v| {
+                    (l.min(v), h.max(v))
+                });
             for v in w.iter().chain(&sl) {
                 assert!(*v >= lo - 1e-9 && *v <= hi + 1e-9);
             }

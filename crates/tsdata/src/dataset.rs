@@ -30,7 +30,9 @@ impl Dataset {
             )));
         }
         if series.is_empty() {
-            return Err(Error::Invalid("dataset must contain at least one series".into()));
+            return Err(Error::Invalid(
+                "dataset must contain at least one series".into(),
+            ));
         }
         Ok(Self { series, labels })
     }
@@ -105,7 +107,9 @@ impl Dataset {
     /// series with boundary bookkeeping (the paper's `T_C`).
     pub fn concat_class(&self, c: u32) -> ClassConcat {
         ClassConcat::from_instances(
-            self.class_indices(c).into_iter().map(|i| (i, self.series[i].values())),
+            self.class_indices(c)
+                .into_iter()
+                .map(|i| (i, self.series[i].values())),
         )
     }
 

@@ -55,7 +55,10 @@ mod tests {
 
     #[test]
     fn display_formats_are_informative() {
-        let e = Error::Parse { line: 3, message: "bad float".into() };
+        let e = Error::Parse {
+            line: 3,
+            message: "bad float".into(),
+        };
         assert!(e.to_string().contains("line 3"));
         let e = Error::UnknownDataset("Nope".into());
         assert!(e.to_string().contains("Nope"));

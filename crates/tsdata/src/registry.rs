@@ -52,9 +52,15 @@ impl DatasetInfo {
 
     /// The synthetic generation spec for this dataset.
     pub fn spec(&self) -> DatasetSpec {
-        DatasetSpec::new(self.name, self.num_classes, self.series_len, self.train_size, self.test_size)
-            .with_noise(self.noise_milli as f64 / 1000.0)
-            .with_modes(self.modes as usize)
+        DatasetSpec::new(
+            self.name,
+            self.num_classes,
+            self.series_len,
+            self.train_size,
+            self.test_size,
+        )
+        .with_noise(self.noise_milli as f64 / 1000.0)
+        .with_modes(self.modes as usize)
     }
 }
 
@@ -87,12 +93,34 @@ pub const REGISTRY: [DatasetInfo; 47] = [
     entry!("Beef", 5, 470, 30, 30, 470, 30, 30, 450, 2),
     entry!("BeetleFly", 2, 512, 20, 20, 512, 20, 20, 350, 2),
     entry!("CBF", 3, 128, 30, 200, 128, 30, 900, 300, 2),
-    entry!("ChlorineConcentration", 3, 166, 100, 200, 166, 467, 3840, 500, 1),
+    entry!(
+        "ChlorineConcentration",
+        3,
+        166,
+        100,
+        200,
+        166,
+        467,
+        3840,
+        500,
+        1
+    ),
     entry!("Coffee", 2, 286, 28, 28, 286, 28, 28, 250, 1),
     entry!("Computers", 2, 512, 100, 100, 720, 250, 250, 420, 1),
     entry!("CricketZ", 12, 300, 96, 96, 300, 390, 390, 420, 2),
     entry!("DiatomSizeReduction", 4, 345, 16, 120, 345, 16, 306, 280, 1),
-    entry!("DistalPhalanxOutlineCorrect", 2, 80, 100, 100, 80, 600, 276, 450, 1),
+    entry!(
+        "DistalPhalanxOutlineCorrect",
+        2,
+        80,
+        100,
+        100,
+        80,
+        600,
+        276,
+        450,
+        1
+    ),
     entry!("Earthquakes", 2, 512, 100, 100, 512, 322, 139, 480, 1),
     entry!("ECG200", 2, 96, 100, 100, 96, 100, 100, 380, 1),
     entry!("ECG5000", 5, 140, 100, 200, 140, 500, 4500, 360, 1),
@@ -107,15 +135,59 @@ pub const REGISTRY: [DatasetInfo; 47] = [
     entry!("HandOutlines", 2, 512, 100, 100, 2709, 1000, 370, 380, 2),
     entry!("Haptics", 5, 512, 100, 100, 1092, 155, 308, 550, 2),
     entry!("InlineSkate", 7, 512, 100, 140, 1882, 100, 550, 560, 2),
-    entry!("InsectWingbeatSound", 11, 256, 110, 110, 256, 220, 1980, 500, 2),
+    entry!(
+        "InsectWingbeatSound",
+        11,
+        256,
+        110,
+        110,
+        256,
+        220,
+        1980,
+        500,
+        2
+    ),
     entry!("ItalyPowerDemand", 2, 24, 67, 200, 24, 67, 1029, 300, 1),
-    entry!("LargeKitchenAppliances", 3, 512, 90, 90, 720, 375, 375, 430, 2),
+    entry!(
+        "LargeKitchenAppliances",
+        3,
+        512,
+        90,
+        90,
+        720,
+        375,
+        375,
+        430,
+        2
+    ),
     entry!("Mallat", 8, 512, 55, 160, 1024, 55, 2345, 300, 1),
     entry!("Meat", 3, 448, 60, 60, 448, 60, 60, 300, 1),
-    entry!("NonInvasiveFatalECGThorax1", 42, 512, 126, 126, 750, 1800, 1965, 380, 2),
+    entry!(
+        "NonInvasiveFatalECGThorax1",
+        42,
+        512,
+        126,
+        126,
+        750,
+        1800,
+        1965,
+        380,
+        2
+    ),
     entry!("OSULeaf", 6, 427, 100, 100, 427, 200, 242, 450, 2),
     entry!("Phoneme", 39, 512, 117, 117, 1024, 214, 1896, 600, 2),
-    entry!("RefrigerationDevices", 3, 512, 90, 90, 720, 375, 375, 520, 2),
+    entry!(
+        "RefrigerationDevices",
+        3,
+        512,
+        90,
+        90,
+        720,
+        375,
+        375,
+        520,
+        2
+    ),
     entry!("ShapeletSim", 2, 500, 20, 180, 500, 20, 180, 400, 2),
     entry!("SonyAIBORobotSurface1", 2, 70, 20, 150, 70, 20, 601, 300, 2),
     entry!("SonyAIBORobotSurface2", 2, 65, 27, 150, 65, 27, 953, 320, 1),
@@ -125,7 +197,18 @@ pub const REGISTRY: [DatasetInfo; 47] = [
     entry!("ToeSegmentation1", 2, 277, 40, 228, 277, 40, 228, 380, 2),
     entry!("TwoLeadECG", 2, 82, 23, 200, 82, 23, 1139, 300, 1),
     entry!("TwoPatterns", 4, 128, 100, 200, 128, 1000, 4000, 320, 1),
-    entry!("UWaveGestureLibraryY", 8, 315, 112, 160, 315, 896, 3582, 480, 2),
+    entry!(
+        "UWaveGestureLibraryY",
+        8,
+        315,
+        112,
+        160,
+        315,
+        896,
+        3582,
+        480,
+        2
+    ),
     entry!("Wafer", 2, 152, 100, 200, 152, 1000, 6164, 280, 1),
     entry!("WormsTwoClass", 2, 512, 80, 77, 900, 181, 77, 500, 2),
     entry!("Yoga", 2, 426, 100, 200, 426, 300, 3000, 460, 2),
@@ -135,7 +218,11 @@ pub const REGISTRY: [DatasetInfo; 47] = [
 /// The 46 Table IV dataset names, in the paper's order (excludes the extra
 /// `MoteStrain` entry carried for Tables II/VII).
 pub fn table4_names() -> Vec<&'static str> {
-    REGISTRY.iter().map(|d| d.name).filter(|&n| n != "MoteStrain").collect()
+    REGISTRY
+        .iter()
+        .map(|d| d.name)
+        .filter(|&n| n != "MoteStrain")
+        .collect()
 }
 
 /// Looks up a dataset's registry entry by name (case-sensitive, as in UCR).
@@ -195,7 +282,11 @@ mod tests {
     fn scaling_is_honest() {
         for d in &REGISTRY {
             assert!(d.series_len <= d.orig_len, "{}", d.name);
-            assert!(d.train_size <= d.orig_train.max(d.num_classes), "{}", d.name);
+            assert!(
+                d.train_size <= d.orig_train.max(d.num_classes),
+                "{}",
+                d.name
+            );
             assert!(d.series_len <= 512, "{}", d.name);
             assert!(d.num_classes >= 2, "{}", d.name);
         }

@@ -18,7 +18,9 @@ impl TimeSeries {
     /// Wraps a vector of values. Accepts empty series; most algorithms
     /// validate lengths at their own entry points.
     pub fn new(values: Vec<f64>) -> Self {
-        Self { values: values.into_boxed_slice() }
+        Self {
+            values: values.into_boxed_slice(),
+        }
     }
 
     /// Number of observations.
@@ -63,7 +65,10 @@ impl TimeSeries {
     /// Iterator over all subsequences of length `len` with their start
     /// offsets.
     pub fn subsequences(&self, len: usize) -> impl Iterator<Item = (usize, &[f64])> {
-        self.values.windows(len.max(1)).enumerate().take(self.num_subsequences(len))
+        self.values
+            .windows(len.max(1))
+            .enumerate()
+            .take(self.num_subsequences(len))
     }
 
     /// Arithmetic mean of the values; `0.0` for an empty series.

@@ -78,12 +78,8 @@ impl ShapeKind {
             ShapeKind::Funnel => 1.0 - x,
             ShapeKind::Triangle => 1.0 - (2.0 * x - 1.0).abs(),
             ShapeKind::Gaussian => (-((x - 0.5) / 0.18).powi(2)).exp(),
-            ShapeKind::SineBurst => {
-                hann(x) * (2.0 * std::f64::consts::PI * 3.0 * x).sin()
-            }
-            ShapeKind::Chirp => {
-                hann(x) * (2.0 * std::f64::consts::PI * (1.0 + 4.0 * x) * x).sin()
-            }
+            ShapeKind::SineBurst => hann(x) * (2.0 * std::f64::consts::PI * 3.0 * x).sin(),
+            ShapeKind::Chirp => hann(x) * (2.0 * std::f64::consts::PI * (1.0 + 4.0 * x) * x).sin(),
             ShapeKind::Step => {
                 if x < 0.5 {
                     0.0
@@ -106,7 +102,9 @@ impl ShapeKind {
             return Vec::new();
         }
         let denom = (width - 1).max(1) as f64;
-        (0..width).map(|i| amp * self.sample(i as f64 / denom)).collect()
+        (0..width)
+            .map(|i| amp * self.sample(i as f64 / denom))
+            .collect()
     }
 }
 
@@ -160,7 +158,13 @@ pub struct DatasetSpec {
 
 impl DatasetSpec {
     /// A reasonable default difficulty for a given geometry.
-    pub fn new(name: &str, num_classes: usize, series_len: usize, train: usize, test: usize) -> Self {
+    pub fn new(
+        name: &str,
+        num_classes: usize,
+        series_len: usize,
+        train: usize,
+        test: usize,
+    ) -> Self {
         Self {
             name: name.to_string(),
             num_classes,
@@ -279,10 +283,19 @@ impl SynthGenerator {
             // shape collisions across slots remain separable.
             let second = (c > ALL_SHAPES.len()).then(|| {
                 let s2 = ALL_SHAPES[(k * 7 + 3) % ALL_SHAPES.len()];
-                let c2 = if center < 0.5 { center + 0.3 } else { center - 0.3 };
+                let c2 = if center < 0.5 {
+                    center + 0.3
+                } else {
+                    center - 0.3
+                };
                 (s2, c2.clamp(0.1, 0.9))
             });
-            patterns.push(ClassPattern { modes, second, rel_width, amp });
+            patterns.push(ClassPattern {
+                modes,
+                second,
+                rel_width,
+                amp,
+            });
         }
         Self { spec, patterns }
     }
@@ -344,7 +357,14 @@ impl SynthGenerator {
         let (shape, center) = p.modes[rng.random_range(0..p.modes.len())];
         self.plant(&mut values, &mut rng, shape, center, p.rel_width, p.amp);
         if let Some((s2, c2)) = p.second {
-            self.plant(&mut values, &mut rng, s2, c2, p.rel_width * 0.8, p.amp * 0.7);
+            self.plant(
+                &mut values,
+                &mut rng,
+                s2,
+                c2,
+                p.rel_width * 0.8,
+                p.amp * 0.7,
+            );
         }
 
         // One-off artifacts (class-independent; see `artifact_prob`).
@@ -372,8 +392,12 @@ impl SynthGenerator {
                     *v += if k % 2 == 0 { amp } else { -amp };
                 }
             }
-            1 => values[start..start + width].iter_mut().for_each(|v| *v = 0.0),
-            _ => values[start..start + width].iter_mut().for_each(|v| *v += amp),
+            1 => values[start..start + width]
+                .iter_mut()
+                .for_each(|v| *v = 0.0),
+            _ => values[start..start + width]
+                .iter_mut()
+                .for_each(|v| *v += amp),
         }
     }
 
@@ -454,7 +478,10 @@ mod tests {
     #[test]
     fn different_seeds_differ() {
         let a = SynthGenerator::new(spec()).generate().unwrap().0;
-        let b = SynthGenerator::new(spec().with_seed(123)).generate().unwrap().0;
+        let b = SynthGenerator::new(spec().with_seed(123))
+            .generate()
+            .unwrap()
+            .0;
         assert_ne!(a, b);
     }
 
@@ -490,7 +517,10 @@ mod tests {
             let c = g.pattern_center(label);
             let w = (g.pattern_width(label) * n) as usize;
             let start = ((c * (n - w as f64)) as usize).min(127 - w);
-            let inside: f64 = s.values()[start..start + w].iter().map(|v| v.abs()).sum::<f64>()
+            let inside: f64 = s.values()[start..start + w]
+                .iter()
+                .map(|v| v.abs())
+                .sum::<f64>()
                 / w as f64;
             assert!(inside.is_finite());
         }

@@ -187,7 +187,10 @@ mod tests {
     #[test]
     fn round_trips_through_tsv() {
         let d = Dataset::new(
-            vec![TimeSeries::new(vec![1.0, 2.5]), TimeSeries::new(vec![-3.0, 0.25])],
+            vec![
+                TimeSeries::new(vec![1.0, 2.5]),
+                TimeSeries::new(vec![-3.0, 0.25]),
+            ],
             vec![0, 1],
         )
         .unwrap();

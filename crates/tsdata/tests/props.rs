@@ -5,15 +5,15 @@ use proptest::prelude::*;
 
 fn dataset_strategy() -> impl Strategy<Value = Dataset> {
     // 1..8 instances of 1..24 values each, labels in 0..4
-    prop::collection::vec(
-        (prop::collection::vec(-1e6f64..1e6, 1..24), 0u32..4),
-        1..8,
+    prop::collection::vec((prop::collection::vec(-1e6f64..1e6, 1..24), 0u32..4), 1..8).prop_map(
+        |rows| {
+            let (series, labels): (Vec<_>, Vec<_>) = rows
+                .into_iter()
+                .map(|(v, l)| (TimeSeries::new(v), l))
+                .unzip();
+            Dataset::new(series, labels).expect("non-empty")
+        },
     )
-    .prop_map(|rows| {
-        let (series, labels): (Vec<_>, Vec<_>) =
-            rows.into_iter().map(|(v, l)| (TimeSeries::new(v), l)).unzip();
-        Dataset::new(series, labels).expect("non-empty")
-    })
 }
 
 proptest! {

@@ -19,7 +19,9 @@ fn main() {
     let mut series: Vec<f64> = (0..n)
         .map(|i| {
             let x = i as f64;
-            (x * 0.12).sin() + 0.3 * (x * 0.011).sin() + 0.0002 * x
+            (x * 0.12).sin()
+                + 0.3 * (x * 0.011).sin()
+                + 0.0002 * x
                 + 0.05 * ((x * 12.9898).sin() * 43758.5453).fract()
         })
         .collect();
@@ -54,14 +56,23 @@ fn main() {
             d.start,
             d.value,
             sparkline(&series[d.start..d.start + window]),
-            if hit { "-> matches an injected anomaly" } else { "-> unexpected" }
+            if hit {
+                "-> matches an injected anomaly"
+            } else {
+                "-> unexpected"
+            }
         );
     }
     println!("\nrecovered {found}/3 injected anomalies");
-    assert!(found >= 2, "discord detection should recover most anomalies");
+    assert!(
+        found >= 2,
+        "discord detection should recover most anomalies"
+    );
 }
 
 fn decimate(v: &[f64], points: usize) -> Vec<f64> {
     let step = (v.len() / points).max(1);
-    v.chunks(step).map(|c| c.iter().copied().fold(f64::NEG_INFINITY, f64::max)).collect()
+    v.chunks(step)
+        .map(|c| c.iter().copied().fold(f64::NEG_INFINITY, f64::max))
+        .collect()
 }

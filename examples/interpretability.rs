@@ -44,16 +44,19 @@ fn main() {
         println!("  class {c}: {}", sparkline(m.values()));
     }
 
-    let ips_model =
-        IpsClassifier::fit(&train, IpsConfig::default().with_k(1)).expect("IPS fits");
+    let ips_model = IpsClassifier::fit(&train, IpsConfig::default().with_k(1)).expect("IPS fits");
     let bsp = BspCoverClassifier::fit(
         &train,
-        BspCoverConfig { k: 1, ..Default::default() },
+        BspCoverConfig {
+            k: 1,
+            ..Default::default()
+        },
     );
 
-    for (label, shapelets) in
-        [("IPS", ips_model.shapelets()), ("BSPCOVER*", bsp.shapelets())]
-    {
+    for (label, shapelets) in [
+        ("IPS", ips_model.shapelets()),
+        ("BSPCOVER*", bsp.shapelets()),
+    ] {
         println!("\n{label} shapelets:");
         for s in shapelets {
             println!(
@@ -66,9 +69,7 @@ fn main() {
             println!("    shape: {}", sparkline(&s.values));
             for (c, m) in &means {
                 let (dist, at) = s.best_match(m.values(), true);
-                println!(
-                    "    vs class-{c} mean: best match @ hour {at:>2}, distance {dist:.3}"
-                );
+                println!("    vs class-{c} mean: best match @ hour {at:>2}, distance {dist:.3}");
             }
         }
     }

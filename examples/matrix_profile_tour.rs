@@ -32,9 +32,18 @@ fn main() {
     let diff = p_ab.diff(&p_aa);
 
     let head = 120.min(p_aa.len());
-    println!("\nP_AA (first {head} positions): {}", sparkline(&p_aa.values()[..head]));
-    println!("P_AB (first {head} positions): {}", sparkline(&p_ab.values()[..head]));
-    println!("diff (first {head} positions): {}", sparkline(&diff[..head]));
+    println!(
+        "\nP_AA (first {head} positions): {}",
+        sparkline(&p_aa.values()[..head])
+    );
+    println!(
+        "P_AB (first {head} positions): {}",
+        sparkline(&p_ab.values()[..head])
+    );
+    println!(
+        "diff (first {head} positions): {}",
+        sparkline(&diff[..head])
+    );
 
     let (pos, val) = p_ab.max_diff(&p_aa).expect("non-empty profiles");
     let (inst, off) = t_a.to_instance_coords(pos);
@@ -42,7 +51,10 @@ fn main() {
         "\nFormula-4 indicator: max diff {val:.3} at concat offset {pos} \
          (instance {inst}, offset {off})"
     );
-    println!("  candidate: {}", sparkline(&t_a.values()[pos..pos + window]));
+    println!(
+        "  candidate: {}",
+        sparkline(&t_a.values()[pos..pos + window])
+    );
 
     // Motifs and discords of T_A itself.
     println!("\ntop-3 motifs of T_A (recurring structure):");
@@ -73,11 +85,16 @@ fn main() {
     let members = train.class_indices(classes[0]);
     let half = members.len() / 2;
     let mut a: Vec<f64> = Vec::new();
-    members[..half].iter().for_each(|&i| a.extend(train.series(i).values()));
+    members[..half]
+        .iter()
+        .for_each(|&i| a.extend(train.series(i).values()));
     let mut b: Vec<f64> = Vec::new();
-    members[half..].iter().for_each(|&i| b.extend(train.series(i).values()));
-    let spike: Vec<f64> =
-        (0..window).map(|i| if i % 2 == 0 { 6.0 } else { -6.0 }).collect();
+    members[half..]
+        .iter()
+        .for_each(|&i| b.extend(train.series(i).values()));
+    let spike: Vec<f64> = (0..window)
+        .map(|i| if i % 2 == 0 { 6.0 } else { -6.0 })
+        .collect();
     a[40..40 + window].copy_from_slice(&spike);
     // a *heavily corrupted* echo of the anomaly elsewhere in "A": close
     // enough that dist(S, T_A) is merely large, while dist(S, T_B) is

@@ -23,7 +23,9 @@ fn main() {
         let spec = DatasetSpec::new("Gesture", 3, 96, 24, 60)
             .with_noise(noise)
             .with_seed(0xAC5E + axis);
-        let (tr, te) = SynthGenerator::new(spec).generate().expect("generation succeeds");
+        let (tr, te) = SynthGenerator::new(spec)
+            .generate()
+            .expect("generation succeeds");
         train_dims.push(tr.znormalized());
         test_dims.push(te.znormalized());
     }

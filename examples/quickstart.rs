@@ -8,10 +8,15 @@ use ips::prelude::*;
 use ips::sparkline;
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "ItalyPowerDemand".into());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "ItalyPowerDemand".into());
     let (train, test) = registry::load(&name).unwrap_or_else(|e| {
         eprintln!("cannot load {name}: {e}");
-        eprintln!("known datasets: {}", ips::tsdata::registry::names().join(", "));
+        eprintln!(
+            "known datasets: {}",
+            ips::tsdata::registry::names().join(", ")
+        );
         std::process::exit(1);
     });
     println!(

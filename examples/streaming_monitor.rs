@@ -19,7 +19,7 @@ fn main() {
         let x = t as f64;
         let healthy = (x * 0.26).sin() + 0.3 * (x * 0.021).cos() + 0.0001 * x;
         if (700..720).contains(&t) {
-            healthy + if t % 2 == 0 { 4.0 } else { -4.0 }
+            healthy + if t.is_multiple_of(2) { 4.0 } else { -4.0 }
         } else {
             healthy
         }
@@ -52,7 +52,11 @@ fn main() {
             println!("\nALARM at t={t}: discord window @ {pos} (value {v:.3})");
             println!(
                 "fault was injected at t=700..720 -> {}",
-                if (676..=720).contains(&pos) { "correctly localized" } else { "mislocalized" }
+                if (676..=720).contains(&pos) {
+                    "correctly localized"
+                } else {
+                    "mislocalized"
+                }
             );
             assert!((676..=720).contains(&pos));
         }
@@ -65,5 +69,7 @@ fn main() {
 
 fn decimate(v: &[f64], points: usize) -> Vec<f64> {
     let step = (v.len() / points).max(1);
-    v.chunks(step).map(|c| c.iter().copied().fold(f64::NEG_INFINITY, f64::max)).collect()
+    v.chunks(step)
+        .map(|c| c.iter().copied().fold(f64::NEG_INFINITY, f64::max))
+        .collect()
 }

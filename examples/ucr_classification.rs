@@ -31,7 +31,11 @@ fn main() {
     };
     println!(
         "{name} ({}): {} train / {} test, {} classes\n",
-        if archive_dir.is_some() { "real UCR" } else { "synthetic stand-in" },
+        if archive_dir.is_some() {
+            "real UCR"
+        } else {
+            "synthetic stand-in"
+        },
         train.len(),
         test.len(),
         train.num_classes()

@@ -1,0 +1,218 @@
+#!/usr/bin/env python3
+"""Regression gate for the end-to-end pipeline benchmark.
+
+Diffs a fresh ``results/BENCH_pipeline.json`` (written by
+``cargo run -p ips-bench --release --bin bench_pipeline``) against the
+committed ``results/BENCH_pipeline.baseline.json``:
+
+* **Determinism drift fails hard.** Counters, accuracies, cache hit
+  rates, run parameters, and span *keys* are deterministic by
+  construction (fixed-seed datasets, seeded methods, thread-invariant
+  engine), so any mismatch is a real behavior change.
+* **Wall time gets a budget.** Each run's ``fit.total`` span — and the
+  sum over all runs — may grow by at most ``--max-ratio`` (default 1.25,
+  i.e. a 25% slowdown) over the baseline. Per-run comparisons add an
+  absolute slack on top and measure sub-noise-floor baselines against
+  the floor itself, so scheduler jitter on short runs cannot flake the
+  gate; the summed total (large enough to average jitter out) gets the
+  ratio alone.
+* ``resolved_threads`` is machine-dependent and informational only.
+
+Exit status: 0 when everything passes, 1 on any failure.
+
+``--self-test`` verifies the gate itself: the baseline must pass against
+itself, and an injected 2x slowdown of every ``fit.total`` must fail.
+
+Standard library only; no third-party imports.
+"""
+
+from __future__ import annotations
+
+import argparse
+import copy
+import json
+import sys
+
+EXPECTED_SCHEMA_VERSION = 1
+
+# Baseline fit.total durations below this are compared against the floor
+# itself: scheduler jitter dominates single-digit milliseconds.
+NOISE_FLOOR_NS = 50_000_000  # 50 ms
+
+# Extra absolute budget for per-run comparisons only. A few hundred
+# milliseconds of jitter is routine on shared CI runners and would trip a
+# pure ratio on any sub-second run; a genuine regression of the whole
+# benchmark still fails the summed-total ratio check.
+PER_RUN_SLACK_NS = 100_000_000  # 100 ms
+
+# Gauges that legitimately differ across machines.
+INFORMATIONAL_GAUGES = {"resolved_threads"}
+
+
+def load(path):
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    version = doc.get("schema_version")
+    if version != EXPECTED_SCHEMA_VERSION:
+        raise SystemExit(
+            f"{path}: schema_version {version!r} is not supported "
+            f"(expected {EXPECTED_SCHEMA_VERSION}); regenerate the file"
+        )
+    runs = {}
+    for run in doc.get("runs", []):
+        if run.get("schema_version") != EXPECTED_SCHEMA_VERSION:
+            raise SystemExit(
+                f"{path}: run {run.get('label')!r} has schema_version "
+                f"{run.get('schema_version')!r} (expected {EXPECTED_SCHEMA_VERSION})"
+            )
+        label = run["label"]
+        if label in runs:
+            raise SystemExit(f"{path}: duplicate run label {label!r}")
+        runs[label] = run
+    if not runs:
+        raise SystemExit(f"{path}: no runs")
+    return runs
+
+
+def fit_total_ns(run):
+    span = run["metrics"]["spans"].get("fit.total")
+    return span["total_ns"] if span else None
+
+
+def compare(baseline, fresh, max_ratio):
+    """Returns a list of failure strings (empty = pass)."""
+    failures = []
+
+    missing = sorted(set(baseline) - set(fresh))
+    extra = sorted(set(fresh) - set(baseline))
+    if missing:
+        failures.append(f"runs missing from fresh results: {', '.join(missing)}")
+    if extra:
+        failures.append(f"unexpected new runs (regenerate the baseline): {', '.join(extra)}")
+
+    total_base_ns = 0
+    total_fresh_ns = 0
+    for label in sorted(set(baseline) & set(fresh)):
+        b, f = baseline[label], fresh[label]
+
+        if b.get("params") != f.get("params"):
+            failures.append(f"{label}: params drifted: {b.get('params')} -> {f.get('params')}")
+
+        bm, fm = b["metrics"], f["metrics"]
+        if bm["counters"] != fm["counters"]:
+            keys = sorted(set(bm["counters"]) | set(fm["counters"]))
+            diffs = [
+                f"{k}: {bm['counters'].get(k)} -> {fm['counters'].get(k)}"
+                for k in keys
+                if bm["counters"].get(k) != fm["counters"].get(k)
+            ]
+            failures.append(f"{label}: counter drift ({'; '.join(diffs)})")
+
+        for k in sorted(set(bm["gauges"]) | set(fm["gauges"])):
+            if k in INFORMATIONAL_GAUGES:
+                continue
+            bv, fv = bm["gauges"].get(k), fm["gauges"].get(k)
+            if bv != fv:
+                failures.append(f"{label}: gauge {k} drifted: {bv} -> {fv}")
+
+        b_spans, f_spans = set(bm["spans"]), set(fm["spans"])
+        if b_spans != f_spans:
+            failures.append(
+                f"{label}: span keys drifted: -{sorted(b_spans - f_spans)} "
+                f"+{sorted(f_spans - b_spans)}"
+            )
+
+        b_ns, f_ns = fit_total_ns(b), fit_total_ns(f)
+        if b_ns is None or f_ns is None:
+            failures.append(f"{label}: missing fit.total span")
+            continue
+        total_base_ns += b_ns
+        total_fresh_ns += f_ns
+        budget_ns = max_ratio * max(b_ns, NOISE_FLOOR_NS) + PER_RUN_SLACK_NS
+        if f_ns > budget_ns:
+            failures.append(
+                f"{label}: fit.total regressed {f_ns / max(b_ns, NOISE_FLOOR_NS):.2f}x "
+                f"({b_ns / 1e6:.1f} ms -> {f_ns / 1e6:.1f} ms, "
+                f"budget {budget_ns / 1e6:.1f} ms)"
+            )
+
+    if total_base_ns:
+        overall = total_fresh_ns / max(total_base_ns, NOISE_FLOOR_NS)
+        if overall > max_ratio:
+            failures.append(
+                f"overall: summed fit.total regressed {overall:.2f}x "
+                f"({total_base_ns / 1e6:.1f} ms -> {total_fresh_ns / 1e6:.1f} ms, "
+                f"budget {max_ratio}x)"
+            )
+
+    return failures
+
+
+def self_test(baseline, max_ratio):
+    clean = compare(baseline, copy.deepcopy(baseline), max_ratio)
+    if clean:
+        print("self-test FAILED: baseline does not pass against itself:")
+        for msg in clean:
+            print(f"  - {msg}")
+        return 1
+
+    slowed = copy.deepcopy(baseline)
+    for run in slowed.values():
+        span = run["metrics"]["spans"]["fit.total"]
+        span["total_ns"] *= 2
+        span["max_ns"] *= 2
+    doctored = compare(baseline, slowed, max_ratio)
+    wall_failures = [m for m in doctored if "regressed" in m]
+    if not wall_failures:
+        print("self-test FAILED: injected 2x slowdown was not detected")
+        return 1
+
+    print(
+        f"self-test OK: identity passes, 2x slowdown raises "
+        f"{len(wall_failures)} wall-time failure(s)"
+    )
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline",
+        default="results/BENCH_pipeline.baseline.json",
+        help="committed baseline (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--fresh",
+        default="results/BENCH_pipeline.json",
+        help="freshly generated results (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--max-ratio",
+        type=float,
+        default=1.25,
+        help="maximum allowed fit.total growth over baseline (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--self-test",
+        action="store_true",
+        help="verify the gate: baseline passes against itself, 2x slowdown fails",
+    )
+    args = parser.parse_args()
+
+    baseline = load(args.baseline)
+    if args.self_test:
+        return self_test(baseline, args.max_ratio)
+
+    fresh = load(args.fresh)
+    failures = compare(baseline, fresh, args.max_ratio)
+    if failures:
+        print(f"bench regression check FAILED ({len(failures)} failure(s)):")
+        for msg in failures:
+            print(f"  - {msg}")
+        return 1
+    print(f"bench regression check OK: {len(fresh)} runs match the baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

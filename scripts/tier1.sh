@@ -4,8 +4,8 @@
 #   scripts/tier1.sh          # release build + full test suite
 #   scripts/tier1.sh --quick  # debug build + lib tests only
 #
-# Formatting is reported but does not fail the gate (the tree predates the
-# pinned rustfmt; reformat-the-world churn is deliberately avoided).
+# Formatting is a hard gate: the tree is rustfmt-clean and stays that way
+# (clippy runs as its own CI job, not here, to keep this script fast).
 #
 # Tier-2 (slow, not part of this gate): tests marked #[ignore] — currently
 # the full-strength 5-dataset IPS-vs-BASE comparison (~60s debug). Run them
@@ -31,9 +31,7 @@ else
     cargo test -q
 fi
 
-echo "==> rustfmt (advisory)"
-if ! cargo fmt --check >/dev/null 2>&1; then
-    echo "    note: tree is not rustfmt-clean (advisory only, not a gate)"
-fi
+echo "==> cargo fmt --check"
+cargo fmt --check
 
 echo "tier-1: OK"

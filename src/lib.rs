@@ -10,7 +10,9 @@
 //! filter ([`filter`]), a statistics stack with rank tests and
 //! critical-difference diagrams ([`stats`]), classifiers ([`classify`]),
 //! the comparator methods BASE / BSPCOVER-style / FS-style / LTS-style
-//! ([`baselines`]), and the IPS pipeline itself ([`core`]).
+//! ([`baselines`]), the IPS pipeline itself ([`core`]), and the
+//! observability layer every runner reports through — span timers,
+//! metrics registry, versioned run records ([`obs`]).
 //!
 //! ## Quickstart
 //!
@@ -42,6 +44,7 @@ pub use ips_core as core;
 pub use ips_distance as distance;
 pub use ips_filter as filter;
 pub use ips_lsh as lsh;
+pub use ips_obs as obs;
 pub use ips_profile as profile;
 pub use ips_stats as stats;
 pub use ips_tsdata as tsdata;
@@ -92,6 +95,7 @@ pub mod prelude {
     pub use ips_baselines::{BaseClassifier, BaseConfig, BspCoverClassifier, BspCoverConfig};
     pub use ips_classify::{LinearSvm, OneNnDtw, OneNnEd, Shapelet, ShapeletTransform};
     pub use ips_core::{IpsClassifier, IpsConfig, IpsDiscovery};
+    pub use ips_obs::{MetricsRegistry, RunRecord};
     pub use ips_profile::{InstanceProfile, MatrixProfile, Metric};
     pub use ips_tsdata::{registry, Dataset, TimeSeries};
 }

@@ -18,7 +18,12 @@ fn registry_dataset_round_trips_through_ucr_files() {
     assert_eq!(train.len(), train2.len());
     for i in 0..train.len() {
         assert_eq!(train.label(i), train2.label(i));
-        for (a, b) in train.series(i).values().iter().zip(train2.series(i).values()) {
+        for (a, b) in train
+            .series(i)
+            .values()
+            .iter()
+            .zip(train2.series(i).values())
+        {
             assert!((a - b).abs() < 1e-9);
         }
     }
@@ -30,7 +35,7 @@ fn every_registry_dataset_synthesizes() {
     for name in registry::names() {
         let (train, test) = registry::load(name).unwrap_or_else(|e| panic!("{name}: {e}"));
         assert!(train.num_classes() >= 2, "{name}");
-        assert!(test.len() > 0, "{name}");
+        assert!(!test.is_empty(), "{name}");
         assert_eq!(train.uniform_length(), test.uniform_length(), "{name}");
         // registry data is z-normalized per instance
         let s = train.series(0);

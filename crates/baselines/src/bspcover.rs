@@ -19,7 +19,7 @@ use ips_core::engine::{
     CandidateSource, Engine, ExecContext, NoopPruner, Selection, Selector, StageObserver,
     WorkerPool,
 };
-use ips_core::pipeline::PipelineError;
+use ips_core::IpsError;
 use ips_distance::{CacheStats, DistCache, Metric};
 use ips_filter::{BloomFilter, Dabf};
 use ips_lsh::{embed, Lsh, LshKind, LshParams};
@@ -88,7 +88,7 @@ impl BspCoverSource {
 }
 
 impl CandidateSource for BspCoverSource {
-    fn generate(&self, train: &Dataset, _ctx: &mut ExecContext) -> CandidatePool {
+    fn generate(&self, train: &Dataset, _ctx: &mut ExecContext) -> Result<CandidatePool, IpsError> {
         let config = &self.config;
         let n = train.min_length();
         let mut lengths: Vec<usize> = config
@@ -148,7 +148,7 @@ impl CandidateSource for BspCoverSource {
                 embedded: Vec::new(),
             });
         }
-        pool
+        Ok(pool)
     }
 }
 
@@ -266,7 +266,7 @@ impl Selector for CoverageSelector {
         train: &Dataset,
         _dabf: Option<&Dabf>,
         ctx: &mut ExecContext,
-    ) -> Selection {
+    ) -> Result<Selection, IpsError> {
         let classes = train.classes();
         let per_class = ctx.workers().run(classes.len(), |i| {
             self.select_class(pool, train, classes[i])
@@ -280,11 +280,12 @@ impl Selector for CoverageSelector {
             cache_stats.merge(&cache.stats());
             ctx.scratch().absorb_dist_cache(cache);
         }
-        Selection {
+        Ok(Selection {
             shapelets,
             utility_evals,
             cache_stats,
-        }
+            degraded: false,
+        })
     }
 }
 
@@ -303,8 +304,10 @@ fn bspcover_engine(config: &BspCoverConfig) -> Engine {
 pub fn discover_bspcover_shapelets(train: &Dataset, config: &BspCoverConfig) -> Vec<Shapelet> {
     match bspcover_engine(config).run(train) {
         Ok(result) => result.shapelets,
-        Err(PipelineError::NoCandidates) => Vec::new(),
-        Err(e) => unreachable!("BSPCOVER engine raised {e} on a plain training set"),
+        // NoCandidates on degenerate inputs, or any validation/stage
+        // error surfaced by the hardened engine — the baseline contract
+        // stays "degenerate inputs yield an empty vector".
+        Err(_) => Vec::new(),
     }
 }
 
@@ -317,8 +320,10 @@ pub fn discover_bspcover_shapelets_observed(
 ) -> Vec<Shapelet> {
     match bspcover_engine(config).run_with_observer(train, observer) {
         Ok(result) => result.shapelets,
-        Err(PipelineError::NoCandidates) => Vec::new(),
-        Err(e) => unreachable!("BSPCOVER engine raised {e} on a plain training set"),
+        // NoCandidates on degenerate inputs, or any validation/stage
+        // error surfaced by the hardened engine — the baseline contract
+        // stays "degenerate inputs yield an empty vector".
+        Err(_) => Vec::new(),
     }
 }
 
@@ -333,8 +338,10 @@ pub fn discover_bspcover_shapelets_recorded(
     let mut ctx = engine.make_context().with_metrics(metrics.clone());
     match engine.run_with_ctx(train, &mut ctx) {
         Ok(result) => result.shapelets,
-        Err(PipelineError::NoCandidates) => Vec::new(),
-        Err(e) => unreachable!("BSPCOVER engine raised {e} on a plain training set"),
+        // NoCandidates on degenerate inputs, or any validation/stage
+        // error surfaced by the hardened engine — the baseline contract
+        // stays "degenerate inputs yield an empty vector".
+        Err(_) => Vec::new(),
     }
 }
 

@@ -123,6 +123,41 @@ impl CandidatePool {
     pub fn iter(&self) -> impl Iterator<Item = &Candidate> {
         self.classes.iter().flat_map(|(_, v)| v.iter())
     }
+
+    /// Caps the pool at `max` candidates for the `max_candidates`
+    /// discovery budget. Keeps a round-robin prefix across classes (the
+    /// first kept depth-0 candidate of every class, then depth 1, …) so
+    /// no class is starved, and trims each class's tail — deterministic,
+    /// insertion-order preserving. Classes left empty are dropped.
+    pub fn truncate(&mut self, max: usize) {
+        if self.len() <= max {
+            return;
+        }
+        let mut kept = 0usize;
+        let mut depth = 0usize;
+        let mut keep_depth = vec![0usize; self.classes.len()];
+        'fill: loop {
+            let mut any = false;
+            for (i, (_, v)) in self.classes.iter().enumerate() {
+                if depth < v.len() {
+                    any = true;
+                    if kept == max {
+                        break 'fill;
+                    }
+                    kept += 1;
+                    keep_depth[i] = depth + 1;
+                }
+            }
+            if !any {
+                break;
+            }
+            depth += 1;
+        }
+        for ((_, v), &d) in self.classes.iter_mut().zip(&keep_depth) {
+            v.truncate(d);
+        }
+        self.classes.retain(|(_, v)| !v.is_empty());
+    }
 }
 
 /// Runs Algorithm 1 over a training set.
@@ -354,6 +389,36 @@ mod tests {
         let cfg = IpsConfig::default().with_sampling(3, 50);
         let pool = generate_candidates(&train, &cfg);
         assert!(!pool.is_empty());
+    }
+
+    #[test]
+    fn truncate_is_deterministic_and_class_balanced() {
+        let cfg = small_config();
+        let train = train();
+        let mut pool = generate_candidates(&train, &cfg);
+        let full = pool.len();
+        assert!(full > 6);
+        // no-op above the current size
+        pool.truncate(full + 1);
+        assert_eq!(pool.len(), full);
+        let mut a = pool.clone();
+        let mut b = pool.clone();
+        a.truncate(6);
+        b.truncate(6);
+        assert_eq!(a.len(), 6);
+        // deterministic: two truncations agree candidate-for-candidate
+        let va: Vec<_> = a.iter().map(|c| c.values.clone()).collect();
+        let vb: Vec<_> = b.iter().map(|c| c.values.clone()).collect();
+        assert_eq!(va, vb);
+        // balanced: both classes keep 3 of their first candidates
+        assert_eq!(a.of_class(0).len(), 3);
+        assert_eq!(a.of_class(1).len(), 3);
+        assert_eq!(a.of_class(0), &pool.of_class(0)[..3]);
+        // a budget of 1 keeps exactly the first class's first candidate
+        let mut one = pool.clone();
+        one.truncate(1);
+        assert_eq!(one.len(), 1);
+        assert_eq!(one.classes(), vec![0]);
     }
 
     #[test]

@@ -1,8 +1,40 @@
 //! Configuration of the IPS pipeline.
 
+use std::time::Duration;
+
 use ips_filter::DabfConfig;
 use ips_lsh::LshParams;
 use ips_profile::Metric;
+
+use crate::error::IpsError;
+
+/// Resource limits on a discovery run. Both limits default to `None`
+/// (unlimited), keeping budgeted runs strictly opt-in: the bit-identity
+/// guarantees of the equivalence suite apply to unbudgeted runs.
+///
+/// When a budget trips after partial progress, discovery returns
+/// best-so-far shapelets with `degraded = true` on the result (and the run
+/// record); only a budget so tight that *nothing* was produced surfaces
+/// [`IpsError::BudgetExhausted`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DiscoveryBudget {
+    /// Wall-clock ceiling for the whole discovery run. Checked at stage
+    /// boundaries and between per-class scoring units (never mid-kernel),
+    /// so overshoot is bounded by one unit of work. Inherently
+    /// nondeterministic — do not combine with bit-identity assertions.
+    pub max_wall_clock: Option<Duration>,
+    /// Ceiling on candidates carried past generation. Enforced by a
+    /// deterministic truncation of the pooled candidates (stable order),
+    /// so a budgeted run is reproducible for a fixed config.
+    pub max_candidates: Option<usize>,
+}
+
+impl DiscoveryBudget {
+    /// True when neither limit is set (the default).
+    pub fn is_unlimited(&self) -> bool {
+        self.max_wall_clock.is_none() && self.max_candidates.is_none()
+    }
+}
 
 /// All knobs of the IPS pipeline, matching the paper's parameter setting
 /// (Section IV-A): shapelet number `k = 5`, candidate length ratios
@@ -62,6 +94,9 @@ pub struct IpsConfig {
     /// are identical either way (pinned by the engine equivalence suite).
     /// Default `true`.
     pub use_fft_kernel: bool,
+    /// Resource limits for discovery (default: unlimited). See
+    /// [`DiscoveryBudget`] for the degradation semantics.
+    pub budget: DiscoveryBudget,
 }
 
 impl Default for IpsConfig {
@@ -81,6 +116,7 @@ impl Default for IpsConfig {
             seed: 0xD15C0,
             num_threads: 1,
             use_fft_kernel: true,
+            budget: DiscoveryBudget::default(),
         }
     }
 }
@@ -145,6 +181,69 @@ impl IpsConfig {
         self.use_fft_kernel = on;
         self
     }
+
+    /// Builder-style override of the discovery budget.
+    pub fn with_budget(mut self, budget: DiscoveryBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Checks every knob for usability, returning
+    /// [`IpsError::InvalidConfig`] naming the first offending field. Run
+    /// by [`crate::engine::Engine::run`] and
+    /// [`crate::pipeline::IpsClassifier::fit`] before any work starts.
+    pub fn validate(&self) -> Result<(), IpsError> {
+        fn bad(field: &'static str, message: impl Into<String>) -> Result<(), IpsError> {
+            Err(IpsError::InvalidConfig {
+                field,
+                message: message.into(),
+            })
+        }
+        if self.k == 0 {
+            return bad("k", "must select at least one shapelet per class");
+        }
+        if self.length_ratios.is_empty() {
+            return bad("length_ratios", "need at least one candidate length ratio");
+        }
+        if let Some(r) = self
+            .length_ratios
+            .iter()
+            .find(|r| !r.is_finite() || **r <= 0.0 || **r > 1.0)
+        {
+            return bad("length_ratios", format!("ratio {r} is outside (0, 1]"));
+        }
+        if self.num_samples == 0 {
+            return bad("num_samples", "need at least one sample per class");
+        }
+        if self.sample_size == 0 {
+            return bad("sample_size", "need at least one instance per sample");
+        }
+        if self.motifs_per_sample == 0 {
+            return bad(
+                "motifs_per_sample",
+                "need at least one motif/discord pair per sample",
+            );
+        }
+        if !self.diversity.is_finite() || self.diversity < 0.0 {
+            return bad(
+                "diversity",
+                format!("{} is not a finite non-negative factor", self.diversity),
+            );
+        }
+        if self.budget.max_candidates == Some(0) {
+            return bad(
+                "budget.max_candidates",
+                "a zero candidate budget can never produce a result",
+            );
+        }
+        if self.budget.max_wall_clock == Some(Duration::ZERO) {
+            return bad(
+                "budget.max_wall_clock",
+                "a zero wall-clock budget can never produce a result",
+            );
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -189,5 +288,66 @@ mod tests {
     #[test]
     fn default_is_sequential() {
         assert_eq!(IpsConfig::default().num_threads, 1);
+    }
+
+    #[test]
+    fn validate_accepts_the_default_and_names_offending_fields() {
+        assert!(IpsConfig::default().validate().is_ok());
+        let cases: Vec<(IpsConfig, &str)> = vec![
+            (IpsConfig::default().with_k(0), "k"),
+            (
+                IpsConfig {
+                    length_ratios: vec![],
+                    ..IpsConfig::default()
+                },
+                "length_ratios",
+            ),
+            (
+                IpsConfig {
+                    length_ratios: vec![0.2, f64::NAN],
+                    ..IpsConfig::default()
+                },
+                "length_ratios",
+            ),
+            (IpsConfig::default().with_sampling(0, 3), "num_samples"),
+            (IpsConfig::default().with_sampling(5, 0), "sample_size"),
+            (
+                IpsConfig {
+                    diversity: f64::INFINITY,
+                    ..IpsConfig::default()
+                },
+                "diversity",
+            ),
+            (
+                IpsConfig::default().with_budget(DiscoveryBudget {
+                    max_candidates: Some(0),
+                    ..DiscoveryBudget::default()
+                }),
+                "budget.max_candidates",
+            ),
+            (
+                IpsConfig::default().with_budget(DiscoveryBudget {
+                    max_wall_clock: Some(Duration::ZERO),
+                    ..DiscoveryBudget::default()
+                }),
+                "budget.max_wall_clock",
+            ),
+        ];
+        for (cfg, want) in cases {
+            match cfg.validate() {
+                Err(IpsError::InvalidConfig { field, .. }) => assert_eq!(field, want),
+                other => panic!("{want}: expected InvalidConfig, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn budget_default_is_unlimited() {
+        assert!(DiscoveryBudget::default().is_unlimited());
+        assert!(!DiscoveryBudget {
+            max_candidates: Some(10),
+            ..DiscoveryBudget::default()
+        }
+        .is_unlimited());
     }
 }

@@ -27,7 +27,21 @@
 //! applies them sequentially in class order — bit-identical to the
 //! sequential path at any thread count (enforced by the
 //! `engine_equivalence` test suite).
+//!
+//! **Robustness contract** (DESIGN.md §10): the engine never aborts on
+//! malformed input or a misbehaving stage. Configurations and training
+//! sets are validated up front ([`IpsConfig::validate`],
+//! `Dataset::validate`), every stage closure runs under `catch_unwind`
+//! (a panic becomes [`IpsError::StageFailed`] and sibling worker tasks
+//! still complete), and a [`DiscoveryBudget`] turns resource exhaustion
+//! into a *degraded* best-so-far result instead of an error. A seeded
+//! [`FaultPlan`] can inject each of these failures deliberately; the
+//! default plan is inert.
+//!
+//! [`DiscoveryBudget`]: crate::config::DiscoveryBudget
+//! [`IpsError::StageFailed`]: crate::IpsError::StageFailed
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
 
 use ips_classify::Shapelet;
@@ -38,6 +52,8 @@ use ips_tsdata::Dataset;
 
 use crate::candidates::CandidatePool;
 use crate::config::IpsConfig;
+use crate::error::IpsError;
+use crate::fault::FaultPlan;
 use crate::pipeline::{DiscoveryResult, PipelineError, StageTimings};
 use crate::pruning::{apply_survivors, build_dabf, dabf_survivors, naive_filters, naive_survivors};
 use crate::topk::select_class_from_scores;
@@ -101,6 +117,11 @@ pub struct StageCounters {
     pub kernel_evals: usize,
     /// Sliding distances served from the cache memo.
     pub cache_hits: usize,
+    /// Kernel evaluations that degraded to the naive scorer (non-finite
+    /// input or an injected kernel failure). Always a subset of
+    /// `kernel_evals`, so the partition `utility_evals == kernel_evals +
+    /// cache_hits` is undisturbed.
+    pub kernel_fallbacks: usize,
 }
 
 impl StageCounters {
@@ -113,13 +134,14 @@ impl StageCounters {
             utility_evals: self.utility_evals + other.utility_evals,
             kernel_evals: self.kernel_evals + other.kernel_evals,
             cache_hits: self.cache_hits + other.cache_hits,
+            kernel_fallbacks: self.kernel_fallbacks + other.kernel_fallbacks,
         }
     }
 
     /// The counters as `(name, value)` pairs — the single source of the
     /// field names used in metrics keys, serialized records, and the
     /// rendered table, so the three views cannot drift apart.
-    pub fn fields(&self) -> [(&'static str, usize); 6] {
+    pub fn fields(&self) -> [(&'static str, usize); 7] {
         [
             ("candidates_in", self.candidates_in),
             ("candidates_out", self.candidates_out),
@@ -127,6 +149,7 @@ impl StageCounters {
             ("utility_evals", self.utility_evals),
             ("kernel_evals", self.kernel_evals),
             ("cache_hits", self.cache_hits),
+            ("kernel_fallbacks", self.kernel_fallbacks),
         ]
     }
 }
@@ -221,11 +244,11 @@ impl RunReport {
     /// Renders a fixed-width per-stage table (used by the bench bins).
     pub fn render_table(&self) -> String {
         let mut out = String::from(
-            "stage           time_ms      in     out  probes   evals  kevals    hits\n",
+            "stage           time_ms      in     out  probes   evals  kevals    hits  fbacks\n",
         );
         for r in &self.stages {
             out.push_str(&format!(
-                "{:<14} {:>8.2} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7}\n",
+                "{:<14} {:>8.2} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7}\n",
                 r.stage.name(),
                 r.elapsed.as_secs_f64() * 1e3,
                 r.counters.candidates_in,
@@ -234,6 +257,7 @@ impl RunReport {
                 r.counters.utility_evals,
                 r.counters.kernel_evals,
                 r.counters.cache_hits,
+                r.counters.kernel_fallbacks,
             ));
         }
         out.push_str(&format!(
@@ -310,34 +334,74 @@ impl WorkerPool {
     /// order. With more than one worker the tasks run on scoped threads,
     /// each writing into its own disjoint chunk of the result vector —
     /// no shared mutex, no ordering dependence on the scheduler.
+    ///
+    /// A panicking task re-panics here (with the original message in the
+    /// payload) after every sibling has finished; callers that must not
+    /// unwind use [`try_run`](WorkerPool::try_run).
     pub fn run<T, F>(&self, n: usize, f: F) -> Vec<T>
     where
         T: Send,
         F: Fn(usize) -> T + Sync,
     {
+        match self.try_run(n, f) {
+            Ok(out) => out,
+            Err(msg) => panic!("worker task panicked: {msg}"),
+        }
+    }
+
+    /// Panic-containing variant of [`run`](WorkerPool::run): each task is
+    /// wrapped in `catch_unwind`, so one panicking task never poisons its
+    /// siblings — every other index still completes. Returns the first
+    /// panicking task's message (in index order) as `Err`.
+    pub fn try_run<T, F>(&self, n: usize, f: F) -> Result<Vec<T>, String>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
         if n == 0 {
-            return Vec::new();
+            return Ok(Vec::new());
         }
+        let catch = |i: usize| {
+            catch_unwind(AssertUnwindSafe(|| f(i))).map_err(|p| panic_message(p.as_ref()))
+        };
         let threads = self.threads().min(n);
-        if threads <= 1 {
-            return (0..n).map(f).collect();
+        let slots: Vec<Result<T, String>> = if threads <= 1 {
+            (0..n).map(catch).collect()
+        } else {
+            let mut slots: Vec<Option<Result<T, String>>> = (0..n).map(|_| None).collect();
+            let chunk = n.div_ceil(threads);
+            std::thread::scope(|scope| {
+                for (t, slice) in slots.chunks_mut(chunk).enumerate() {
+                    let catch = &catch;
+                    scope.spawn(move || {
+                        for (j, slot) in slice.iter_mut().enumerate() {
+                            *slot = Some(catch(t * chunk + j));
+                        }
+                    });
+                }
+            });
+            slots
+                .into_iter()
+                .map(|s| s.expect("every index evaluated"))
+                .collect()
+        };
+        let mut out = Vec::with_capacity(n);
+        for slot in slots {
+            out.push(slot?);
         }
-        let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
-        let chunk = n.div_ceil(threads);
-        std::thread::scope(|scope| {
-            for (t, slice) in slots.chunks_mut(chunk).enumerate() {
-                let f = &f;
-                scope.spawn(move || {
-                    for (j, slot) in slice.iter_mut().enumerate() {
-                        *slot = Some(f(t * chunk + j));
-                    }
-                });
-            }
-        });
-        slots
-            .into_iter()
-            .map(|s| s.expect("every index evaluated"))
-            .collect()
+        Ok(out)
+    }
+}
+
+/// Renders a `catch_unwind` payload as text: the panic message for the
+/// ordinary `&str` / `String` payloads, a placeholder otherwise.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -386,6 +450,8 @@ pub struct ExecContext<'o> {
     report: RunReport,
     metrics: MetricsRegistry,
     observer: Option<&'o mut dyn StageObserver>,
+    faults: FaultPlan,
+    deadline: Option<Instant>,
 }
 
 impl<'o> ExecContext<'o> {
@@ -397,6 +463,8 @@ impl<'o> ExecContext<'o> {
             report: RunReport::default(),
             metrics: MetricsRegistry::new(),
             observer: None,
+            faults: FaultPlan::default(),
+            deadline: None,
         }
     }
 
@@ -423,6 +491,27 @@ impl<'o> ExecContext<'o> {
     /// The worker pool (copy; stages may call [`WorkerPool::run`]).
     pub fn workers(&self) -> WorkerPool {
         self.workers
+    }
+
+    /// The run's fault plan (inert unless the engine was built with
+    /// [`Engine::with_faults`]). Stage implementations consult it for the
+    /// faults they own — e.g. the selector arms the distance cache's
+    /// forced kernel failure.
+    pub fn faults(&self) -> &FaultPlan {
+        &self.faults
+    }
+
+    /// The wall-clock deadline from the run's [`DiscoveryBudget`]
+    /// (`None` when unlimited), and whether it has already passed.
+    ///
+    /// [`DiscoveryBudget`]: crate::config::DiscoveryBudget
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// True when a deadline is set and has passed.
+    pub fn deadline_exceeded(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
     }
 
     /// The shared scratch buffers.
@@ -477,7 +566,7 @@ impl<'o> ExecContext<'o> {
 /// baselines) fit the same trait.
 pub trait CandidateSource: Send + Sync {
     /// Generates the pool from the training set.
-    fn generate(&self, train: &Dataset, ctx: &mut ExecContext) -> CandidatePool;
+    fn generate(&self, train: &Dataset, ctx: &mut ExecContext) -> Result<CandidatePool, IpsError>;
 }
 
 /// Outcome of the pruning stage.
@@ -496,7 +585,11 @@ pub struct PruneOutcome {
 /// Stages 2–3: build the filter (if any) and prune the pool in place.
 pub trait Pruner: Send + Sync {
     /// Prunes `pool`, returning what was removed and what was built.
-    fn prune(&self, pool: &mut CandidatePool, ctx: &mut ExecContext) -> PruneOutcome;
+    fn prune(
+        &self,
+        pool: &mut CandidatePool,
+        ctx: &mut ExecContext,
+    ) -> Result<PruneOutcome, IpsError>;
 }
 
 /// Outcome of the selection stage.
@@ -509,6 +602,10 @@ pub struct Selection {
     /// Distance-cache work: computed evaluations + memo hits. Zero for
     /// selectors that issue no sliding distances (DT+CR, rank-based).
     pub cache_stats: CacheStats,
+    /// True when a [`DiscoveryBudget`](crate::config::DiscoveryBudget)
+    /// deadline cut scoring short — the shapelets are the best of the
+    /// classes that were scored, not all of them.
+    pub degraded: bool,
 }
 
 /// Stage 4: score the surviving candidates and select the shapelets.
@@ -520,7 +617,7 @@ pub trait Selector: Send + Sync {
         train: &Dataset,
         dabf: Option<&Dabf>,
         ctx: &mut ExecContext,
-    ) -> Selection;
+    ) -> Result<Selection, IpsError>;
 }
 
 // ---------------------------------------------------------------------------
@@ -535,10 +632,13 @@ pub struct Engine {
     pruner: Box<dyn Pruner>,
     selector: Box<dyn Selector>,
     workers: WorkerPool,
+    config: Option<IpsConfig>,
+    faults: FaultPlan,
 }
 
 impl Engine {
-    /// Composes an engine from explicit stages.
+    /// Composes an engine from explicit stages (no configuration to
+    /// validate, no discovery budget).
     pub fn new(
         source: Box<dyn CandidateSource>,
         pruner: Box<dyn Pruner>,
@@ -549,12 +649,16 @@ impl Engine {
             pruner,
             selector,
             workers: WorkerPool::new(1),
+            config: None,
+            faults: FaultPlan::default(),
         }
     }
 
     /// The standard IPS composition for a configuration: profile-based
     /// generation, DABF (or naive) pruning, utility selection, with the
-    /// worker pool sized by `config.num_threads`.
+    /// worker pool sized by `config.num_threads`. The configuration is
+    /// kept, so every run validates it and honors its
+    /// [`DiscoveryBudget`](crate::config::DiscoveryBudget).
     pub fn from_config(config: &IpsConfig) -> Self {
         let pruner: Box<dyn Pruner> = if config.use_dabf {
             Box::new(DabfPruner::new(config.clone()))
@@ -566,12 +670,21 @@ impl Engine {
             pruner,
             selector: Box::new(UtilitySelector::new(config.clone())),
             workers: WorkerPool::new(config.num_threads),
+            config: Some(config.clone()),
+            faults: FaultPlan::default(),
         }
     }
 
     /// Overrides the worker pool.
     pub fn with_workers(mut self, workers: WorkerPool) -> Self {
         self.workers = workers;
+        self
+    }
+
+    /// Arms a fault plan for every subsequent run (chaos testing only;
+    /// the default plan is inert).
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
         self
     }
 
@@ -605,14 +718,45 @@ impl Engine {
     /// Runs the staged pipeline in a caller-owned context, leaving
     /// post-run state (scratch buffers, the accumulated distance cache)
     /// available on `ctx` afterwards.
+    ///
+    /// Validates the configuration (when the engine holds one) and the
+    /// training set before any stage runs; runs every stage under a
+    /// panic guard ([`IpsError::StageFailed`]); and enforces the
+    /// configuration's [`DiscoveryBudget`], degrading to a best-so-far
+    /// result (`degraded = true`) when a limit trips mid-run.
+    ///
+    /// [`DiscoveryBudget`]: crate::config::DiscoveryBudget
     pub fn run_with_ctx(
         &self,
         train: &Dataset,
         ctx: &mut ExecContext,
     ) -> Result<DiscoveryResult, PipelineError> {
+        if let Some(config) = &self.config {
+            config.validate()?;
+        }
+        // Data faults corrupt a private copy before validation — the
+        // validation pass is exactly what must catch them.
+        let corrupted;
+        let train = if self.faults.is_inert() {
+            train
+        } else {
+            corrupted = self.faults.corrupt_dataset(train);
+            &corrupted
+        };
+        train.validate()?;
+
+        let budget = self.config.as_ref().map(|c| c.budget).unwrap_or_default();
+        ctx.deadline = budget.max_wall_clock.map(|limit| Instant::now() + limit);
+        ctx.faults = self.faults.clone();
+        let faults = &self.faults;
+        let mut degraded = false;
+
         // Stage 1: candidate generation.
         let t0 = Instant::now();
-        let mut pool = self.source.generate(train, ctx);
+        let mut pool = guard(Stage::CandidateGen, || {
+            faults.trip_stage_panic(Stage::CandidateGen);
+            self.source.generate(train, ctx)
+        })?;
         let generated = pool.len();
         ctx.record(
             Stage::CandidateGen,
@@ -625,12 +769,41 @@ impl Engine {
         if pool.is_empty() {
             return Err(PipelineError::NoCandidates);
         }
+        if let Some(max) = budget.max_candidates {
+            if pool.len() > max {
+                pool.truncate(max);
+                degraded = true;
+            }
+        }
 
         // Stages 2–3: filter construction + pruning. The pruner reports
         // one combined wall-clock; the engine splits out the build time
         // it declares so DabfBuild and Pruning stay separately visible.
+        // A deadline that already passed skips pruning entirely (the
+        // selector copes with an unpruned pool; the DT optimization
+        // silently falls back to exact scoring without a DABF).
+        let entering = pool.len();
         let t1 = Instant::now();
-        let outcome = self.pruner.prune(&mut pool, ctx);
+        let outcome = if ctx.deadline_exceeded() {
+            degraded = true;
+            PruneOutcome {
+                pruned: 0,
+                dabf: None,
+                dabf_build: Duration::ZERO,
+                probes: 0,
+            }
+        } else {
+            let label = if faults.should_panic(Stage::DabfBuild) {
+                Stage::DabfBuild
+            } else {
+                Stage::Pruning
+            };
+            guard(label, || {
+                faults.trip_stage_panic(Stage::DabfBuild);
+                faults.trip_stage_panic(Stage::Pruning);
+                self.pruner.prune(&mut pool, ctx)
+            })?
+        };
         let prune_total = t1.elapsed();
         ctx.record(
             Stage::DabfBuild,
@@ -641,7 +814,7 @@ impl Engine {
             Stage::Pruning,
             prune_total.saturating_sub(outcome.dabf_build),
             StageCounters {
-                candidates_in: generated,
+                candidates_in: entering,
                 candidates_out: pool.len(),
                 dabf_probes: outcome.probes,
                 ..Default::default()
@@ -651,9 +824,12 @@ impl Engine {
         // Stage 4: selection.
         let t2 = Instant::now();
         let survivors = pool.len();
-        let selection = self
-            .selector
-            .select(&pool, train, outcome.dabf.as_ref(), ctx);
+        let selection = guard(Stage::TopK, || {
+            faults.trip_stage_panic(Stage::TopK);
+            self.selector
+                .select(&pool, train, outcome.dabf.as_ref(), ctx)
+        })?;
+        degraded |= selection.degraded;
         ctx.record(
             Stage::TopK,
             t2.elapsed(),
@@ -663,11 +839,23 @@ impl Engine {
                 utility_evals: selection.utility_evals,
                 kernel_evals: selection.cache_stats.kernel_evals,
                 cache_hits: selection.cache_stats.cache_hits,
+                kernel_fallbacks: selection.cache_stats.kernel_fallbacks,
                 ..Default::default()
             },
         );
         if selection.shapelets.is_empty() {
-            return Err(PipelineError::NoCandidates);
+            return Err(if degraded {
+                IpsError::BudgetExhausted {
+                    budget: if ctx.deadline.is_some() {
+                        "max_wall_clock"
+                    } else {
+                        "max_candidates"
+                    },
+                    detail: "budget tripped before any shapelet was selected".to_string(),
+                }
+            } else {
+                PipelineError::NoCandidates
+            });
         }
 
         let report = std::mem::take(&mut ctx.report);
@@ -676,8 +864,23 @@ impl Engine {
             timings: report.timings(),
             candidates_generated: generated,
             candidates_pruned: outcome.pruned,
+            degraded,
             report,
         })
+    }
+}
+
+/// Runs one stage closure under `catch_unwind`: a panic anywhere in the
+/// stage (its own code or a worker task re-panic) becomes
+/// [`IpsError::StageFailed`] carrying the stage name and the panic
+/// message, so one bad stage can never abort the caller.
+fn guard<T>(stage: Stage, f: impl FnOnce() -> Result<T, IpsError>) -> Result<T, IpsError> {
+    match catch_unwind(AssertUnwindSafe(f)) {
+        Ok(result) => result,
+        Err(payload) => Err(IpsError::StageFailed {
+            stage: stage.name(),
+            reason: panic_message(payload.as_ref()),
+        }),
     }
 }
 
@@ -700,8 +903,12 @@ impl ProfileCandidateSource {
 }
 
 impl CandidateSource for ProfileCandidateSource {
-    fn generate(&self, train: &Dataset, ctx: &mut ExecContext) -> CandidatePool {
-        crate::parallel::generate_with_pool(train, &self.config, ctx.workers())
+    fn generate(&self, train: &Dataset, ctx: &mut ExecContext) -> Result<CandidatePool, IpsError> {
+        Ok(crate::parallel::generate_with_pool(
+            train,
+            &self.config,
+            ctx.workers(),
+        ))
     }
 }
 
@@ -722,7 +929,11 @@ impl DabfPruner {
 }
 
 impl Pruner for DabfPruner {
-    fn prune(&self, pool: &mut CandidatePool, ctx: &mut ExecContext) -> PruneOutcome {
+    fn prune(
+        &self,
+        pool: &mut CandidatePool,
+        ctx: &mut ExecContext,
+    ) -> Result<PruneOutcome, IpsError> {
         let t = Instant::now();
         let dabf = build_dabf(pool, &self.config);
         let dabf_build = t.elapsed();
@@ -736,12 +947,12 @@ impl Pruner for DabfPruner {
             probes += class_probes;
             pruned += apply_survivors(pool, class, &survivors);
         }
-        PruneOutcome {
+        Ok(PruneOutcome {
             pruned,
             dabf: Some(dabf),
             dabf_build,
             probes,
-        }
+        })
     }
 }
 
@@ -759,7 +970,11 @@ impl NaivePruner {
 }
 
 impl Pruner for NaivePruner {
-    fn prune(&self, pool: &mut CandidatePool, ctx: &mut ExecContext) -> PruneOutcome {
+    fn prune(
+        &self,
+        pool: &mut CandidatePool,
+        ctx: &mut ExecContext,
+    ) -> Result<PruneOutcome, IpsError> {
         let filters = naive_filters(pool, &self.config);
         let classes = pool.classes();
         let per_class = ctx.workers().run(classes.len(), |i| {
@@ -771,12 +986,12 @@ impl Pruner for NaivePruner {
             probes += class_probes;
             pruned += apply_survivors(pool, class, &survivors);
         }
-        PruneOutcome {
+        Ok(PruneOutcome {
             pruned,
             dabf: None,
             dabf_build: Duration::ZERO,
             probes,
-        }
+        })
     }
 }
 
@@ -785,13 +1000,17 @@ impl Pruner for NaivePruner {
 pub struct NoopPruner;
 
 impl Pruner for NoopPruner {
-    fn prune(&self, _pool: &mut CandidatePool, _ctx: &mut ExecContext) -> PruneOutcome {
-        PruneOutcome {
+    fn prune(
+        &self,
+        _pool: &mut CandidatePool,
+        _ctx: &mut ExecContext,
+    ) -> Result<PruneOutcome, IpsError> {
+        Ok(PruneOutcome {
             pruned: 0,
             dabf: None,
             dabf_build: Duration::ZERO,
             probes: 0,
-        }
+        })
     }
 }
 
@@ -817,7 +1036,7 @@ impl Selector for UtilitySelector {
         train: &Dataset,
         dabf: Option<&Dabf>,
         ctx: &mut ExecContext,
-    ) -> Selection {
+    ) -> Result<Selection, IpsError> {
         // DT requires a DABF; fall back to exact scoring when pruning ran
         // without one, even if DT+CR was requested.
         let mode = match (self.config.use_dt_cr, dabf) {
@@ -831,37 +1050,65 @@ impl Selector for UtilitySelector {
         // counters are identical at every thread count; the per-class
         // caches are folded into the run cache in class order below.
         let use_cache = self.config.use_fft_kernel && matches!(mode, ScoreMode::Exact);
-        let scored: Vec<(Vec<f64>, usize, Option<DistCache>)> = if workers.threads() <= 1 {
-            // Sequential path: reuse one scratch accumulator across all
-            // classes instead of reallocating per class.
-            let mut buf = ctx.scratch().take_f64();
-            let out = classes
-                .iter()
-                .map(|&c| {
-                    let mut cache = use_cache.then(DistCache::new);
+        let inject_kernel = ctx.faults().kernel_error;
+        let make_cache = || {
+            // The kernel fault forces the kernel *path* too (ForceKernel):
+            // under the Auto crossover small inputs would never attempt the
+            // FFT and the injected failure would be vacuous. Every eval
+            // then attempts the kernel, fails, and must degrade cleanly.
+            let mut cache = use_cache.then(|| {
+                if inject_kernel {
+                    DistCache::with_policy(ips_distance::KernelPolicy::ForceKernel)
+                } else {
+                    DistCache::new()
+                }
+            });
+            if inject_kernel {
+                if let Some(c) = cache.as_mut() {
+                    c.inject_kernel_failure("fault plan: kernel_error");
+                }
+            }
+            cache
+        };
+        let deadline = ctx.deadline();
+        let mut degraded = false;
+        // A wall-clock budget forces the sequential path: the deadline is
+        // checked between classes, and at least one class is always
+        // scored so a degraded run still yields its best-so-far.
+        let scored: Vec<(Vec<f64>, usize, Option<DistCache>)> =
+            if workers.threads() <= 1 || deadline.is_some() {
+                // Sequential path: reuse one scratch accumulator across
+                // all classes instead of reallocating per class.
+                let mut buf = ctx.scratch().take_f64();
+                let mut out = Vec::with_capacity(classes.len());
+                for (i, &c) in classes.iter().enumerate() {
+                    if i > 0 && deadline.is_some_and(|d| Instant::now() >= d) {
+                        degraded = true;
+                        break;
+                    }
+                    let mut cache = make_cache();
                     let (scores, evals) =
                         score_class(pool, train, &self.config, c, mode, &mut buf, cache.as_mut());
+                    out.push((scores, evals, cache));
+                }
+                ctx.scratch().recycle_f64(buf);
+                out
+            } else {
+                workers.run(classes.len(), |i| {
+                    let mut buf = Vec::new();
+                    let mut cache = make_cache();
+                    let (scores, evals) = score_class(
+                        pool,
+                        train,
+                        &self.config,
+                        classes[i],
+                        mode,
+                        &mut buf,
+                        cache.as_mut(),
+                    );
                     (scores, evals, cache)
                 })
-                .collect();
-            ctx.scratch().recycle_f64(buf);
-            out
-        } else {
-            workers.run(classes.len(), |i| {
-                let mut buf = Vec::new();
-                let mut cache = use_cache.then(DistCache::new);
-                let (scores, evals) = score_class(
-                    pool,
-                    train,
-                    &self.config,
-                    classes[i],
-                    mode,
-                    &mut buf,
-                    cache.as_mut(),
-                );
-                (scores, evals, cache)
-            })
-        };
+            };
         let mut shapelets = Vec::new();
         let mut utility_evals = 0;
         let mut cache_stats = CacheStats::default();
@@ -873,11 +1120,12 @@ impl Selector for UtilitySelector {
             }
             select_class_from_scores(pool, class, &scores, &self.config, &mut shapelets);
         }
-        Selection {
+        Ok(Selection {
             shapelets,
             utility_evals,
             cache_stats,
-        }
+            degraded,
+        })
     }
 }
 
@@ -897,19 +1145,16 @@ impl Selector for ScoreRankSelector {
         _train: &Dataset,
         _dabf: Option<&Dabf>,
         _ctx: &mut ExecContext,
-    ) -> Selection {
+    ) -> Result<Selection, IpsError> {
         let mut shapelets = Vec::new();
         let mut utility_evals = 0;
         for class in pool.classes() {
             let cands = pool.of_class(class);
             utility_evals += cands.len();
             let mut order: Vec<usize> = (0..cands.len()).collect();
-            order.sort_by(|&a, &b| {
-                cands[b]
-                    .ip_value
-                    .partial_cmp(&cands[a].ip_value)
-                    .expect("finite scores")
-            });
+            // total_cmp: a NaN score sorts deterministically instead of
+            // panicking the whole run.
+            order.sort_by(|&a, &b| cands[b].ip_value.total_cmp(&cands[a].ip_value));
             for &i in order.iter().take(self.k) {
                 let c = &cands[i];
                 shapelets.push(Shapelet {
@@ -921,11 +1166,12 @@ impl Selector for ScoreRankSelector {
                 });
             }
         }
-        Selection {
+        Ok(Selection {
             shapelets,
             utility_evals,
             cache_stats: CacheStats::default(),
-        }
+            degraded: false,
+        })
     }
 }
 
@@ -952,6 +1198,59 @@ mod tests {
         assert!(pool.run(0, |i| i).is_empty());
         assert_eq!(pool.run(1, |i| i + 1), vec![1]);
         assert!(WorkerPool::new(0).threads() >= 1);
+    }
+
+    #[test]
+    fn try_run_contains_panics_and_siblings_still_complete() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        for threads in [1, 4] {
+            let pool = WorkerPool::new(threads);
+            let completed = AtomicUsize::new(0);
+            let err = pool
+                .try_run(8, |i| {
+                    if i == 3 {
+                        panic!("task {i} exploded");
+                    }
+                    completed.fetch_add(1, Ordering::SeqCst);
+                    i
+                })
+                .unwrap_err();
+            assert_eq!(err, "task 3 exploded", "threads={threads}");
+            assert_eq!(
+                completed.load(Ordering::SeqCst),
+                7,
+                "siblings must not be poisoned (threads={threads})"
+            );
+        }
+        // The non-panicking path is unchanged.
+        assert_eq!(WorkerPool::new(2).try_run(3, |i| i * 2).unwrap(), [0, 2, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "worker task panicked: boom")]
+    fn run_repanics_with_the_original_message() {
+        WorkerPool::new(2).run(4, |i| {
+            if i == 1 {
+                panic!("boom");
+            }
+            i
+        });
+    }
+
+    #[test]
+    fn guard_converts_panics_into_stage_failed() {
+        let err = guard::<()>(Stage::Pruning, || panic!("synthetic failure")).unwrap_err();
+        match err {
+            IpsError::StageFailed { stage, reason } => {
+                assert_eq!(stage, "pruning");
+                assert_eq!(reason, "synthetic failure");
+            }
+            other => panic!("expected StageFailed, got {other:?}"),
+        }
+        // String payloads and non-string payloads both render.
+        let err = guard::<()>(Stage::TopK, || panic!("{}", format!("id {}", 7))).unwrap_err();
+        assert!(format!("{err}").contains("stage top_k failed: id 7"));
+        assert!(guard(Stage::TopK, || Ok(1)).is_ok());
     }
 
     #[test]

@@ -1,0 +1,202 @@
+//! Seeded fault injection for the discovery pipeline.
+//!
+//! A [`FaultPlan`] describes deliberate damage to inflict on a run — NaN
+//! windows or truncated series in the training data, a panicking stage
+//! closure, a forced distance-kernel failure. The default plan is
+//! [inert](FaultPlan::is_inert): production paths carry it at zero cost,
+//! and the chaos suite (`tests/fault_injection.rs`) arms one fault at a
+//! time to assert the pipeline's contract — every fault yields a typed
+//! [`crate::IpsError`] or a documented degradation, never an abort.
+//!
+//! Data corruption is seeded (a SplitMix64 stream from [`FaultPlan::seed`])
+//! so every chaos scenario is reproducible.
+
+use ips_tsdata::{Dataset, TimeSeries};
+
+use crate::engine::Stage;
+
+/// The stage a [`FaultPlan`] can force to panic — the engine's own
+/// [`Stage`] enum.
+pub type FaultStage = Stage;
+
+/// A description of the faults to inject into one discovery run.
+///
+/// All fields default to "off"; arm exactly what a scenario needs.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Seed for the corruption stream (which instance, which window).
+    pub seed: u64,
+    /// Overwrite one seeded window of one training series with NaN
+    /// (via [`FaultPlan::corrupt_dataset`]).
+    pub nan_window: bool,
+    /// Truncate one seeded training series to zero length
+    /// (via [`FaultPlan::corrupt_dataset`]).
+    pub truncate_series: bool,
+    /// Panic inside the named stage's closure, exercising the engine's
+    /// containment (`catch_unwind` → [`crate::IpsError::StageFailed`]).
+    pub stage_panic: Option<FaultStage>,
+    /// Force every FFT-kernel attempt in the distance cache to fail,
+    /// exercising the naive-scorer fallback (counted as
+    /// `kernel_fallbacks`; results are unchanged).
+    pub kernel_error: bool,
+}
+
+impl FaultPlan {
+    /// A plan with every fault off and the given corruption seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            ..Self::default()
+        }
+    }
+
+    /// True when no fault is armed — the plan a production engine carries.
+    pub fn is_inert(&self) -> bool {
+        !self.nan_window
+            && !self.truncate_series
+            && self.stage_panic.is_none()
+            && !self.kernel_error
+    }
+
+    /// True when `stage` must panic under this plan.
+    pub fn should_panic(&self, stage: Stage) -> bool {
+        self.stage_panic == Some(stage)
+    }
+
+    /// Panics with a recognizable payload when `stage` is armed. Called at
+    /// the top of each guarded stage closure; a no-op otherwise.
+    pub fn trip_stage_panic(&self, stage: Stage) {
+        if self.should_panic(stage) {
+            panic!("injected fault: {} stage panic", stage.name());
+        }
+    }
+
+    /// A copy of `train` with the armed data faults applied: a seeded NaN
+    /// window and/or a seeded series truncated to zero length. Returns the
+    /// dataset unchanged when no data fault is armed.
+    pub fn corrupt_dataset(&self, train: &Dataset) -> Dataset {
+        if (!self.nan_window && !self.truncate_series) || train.is_empty() {
+            return train.clone();
+        }
+        let mut rng = SplitMix64::new(self.seed);
+        let mut series: Vec<Vec<f64>> = train
+            .all_series()
+            .iter()
+            .map(|s| s.values().to_vec())
+            .collect();
+        if self.nan_window {
+            let i = rng.next_below(series.len());
+            let s = &mut series[i];
+            if !s.is_empty() {
+                let w = (s.len() / 8).max(1).min(s.len());
+                let start = rng.next_below(s.len() - w + 1);
+                for v in &mut s[start..start + w] {
+                    *v = f64::NAN;
+                }
+            }
+        }
+        if self.truncate_series {
+            let i = rng.next_below(series.len());
+            series[i].clear();
+        }
+        Dataset::new(
+            series.into_iter().map(TimeSeries::new).collect(),
+            train.labels().to_vec(),
+        )
+        .expect("same lengths and labels as the source dataset")
+    }
+}
+
+/// Minimal SplitMix64 stream for seeded corruption choices.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn new(seed: u64) -> Self {
+        Self(seed)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform-ish draw in `0..n` (`n > 0`).
+    fn next_below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n.max(1) as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ips_tsdata::{DatasetSpec, SynthGenerator};
+
+    fn train() -> Dataset {
+        let spec = DatasetSpec::new("FaultT", 2, 40, 6, 6).with_noise(0.1);
+        SynthGenerator::new(spec).generate().unwrap().0
+    }
+
+    #[test]
+    fn default_plan_is_inert_and_leaves_data_alone() {
+        let plan = FaultPlan::default();
+        assert!(plan.is_inert());
+        let t = train();
+        let copy = plan.corrupt_dataset(&t);
+        assert_eq!(copy.len(), t.len());
+        assert!(copy.validate().is_ok());
+    }
+
+    #[test]
+    fn nan_window_corruption_is_seeded_and_detectable() {
+        let plan = FaultPlan {
+            nan_window: true,
+            ..FaultPlan::new(7)
+        };
+        assert!(!plan.is_inert());
+        let t = train();
+        let a = plan.corrupt_dataset(&t);
+        let b = plan.corrupt_dataset(&t);
+        // reproducible: same seed, same corruption
+        let err_a = a.validate().unwrap_err();
+        let err_b = b.validate().unwrap_err();
+        assert_eq!(format!("{err_a}"), format!("{err_b}"));
+        assert!(matches!(err_a, ips_tsdata::Error::NonFinite { .. }));
+        // a different seed may pick a different spot, but still corrupts
+        let c = FaultPlan {
+            nan_window: true,
+            ..FaultPlan::new(8)
+        }
+        .corrupt_dataset(&t);
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn truncation_empties_exactly_one_series() {
+        let plan = FaultPlan {
+            truncate_series: true,
+            ..FaultPlan::new(3)
+        };
+        let t = train();
+        let c = plan.corrupt_dataset(&t);
+        let empty = c.all_series().iter().filter(|s| s.is_empty()).count();
+        assert_eq!(empty, 1);
+        assert!(matches!(
+            c.validate().unwrap_err(),
+            ips_tsdata::Error::EmptySeries { .. }
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "injected fault: pruning stage panic")]
+    fn armed_stage_panic_trips() {
+        let plan = FaultPlan {
+            stage_panic: Some(Stage::Pruning),
+            ..FaultPlan::new(0)
+        };
+        plan.trip_stage_panic(Stage::CandidateGen); // not armed: no-op
+        plan.trip_stage_panic(Stage::Pruning);
+    }
+}

@@ -34,7 +34,9 @@ pub mod candidates;
 pub mod config;
 pub mod engine;
 pub mod ensemble;
+pub mod error;
 pub mod explain;
+pub mod fault;
 pub mod multivariate;
 pub mod parallel;
 pub mod pipeline;
@@ -43,13 +45,15 @@ pub mod topk;
 pub mod utility;
 
 pub use candidates::{generate_candidates, Candidate, CandidateKind, CandidatePool};
-pub use config::IpsConfig;
+pub use config::{DiscoveryBudget, IpsConfig};
 pub use engine::{
     CandidateSource, CollectingObserver, Engine, ExecContext, Pruner, RunReport, Selection,
     Selector, Stage, StageCounters, StageObserver, StageReport, WorkerPool,
 };
 pub use ensemble::{CoteIpsEnsemble, EnsembleConfig};
+pub use error::IpsError;
 pub use explain::{explain_prediction, explanation_text, Explanation, MatchExplanation};
+pub use fault::{FaultPlan, FaultStage};
 pub use multivariate::{MultivariateDataset, MultivariateIps};
 pub use pipeline::{DiscoveryResult, DiscoveryStats, IpsClassifier, IpsDiscovery, StageTimings};
 pub use pruning::{build_dabf, prune_naive, prune_with_dabf};

@@ -81,7 +81,8 @@ impl MultivariateIps {
     pub fn fit(train: &MultivariateDataset, config: IpsConfig) -> Result<Self, PipelineError> {
         // Dimensions share the pool with each dimension's own stages, so
         // discovery itself runs sequentially within a dimension task.
-        let per_dim = WorkerPool::new(config.num_threads).run(train.num_dims(), |d| {
+        type DimResult = Result<(ShapeletTransform, Vec<Vec<f64>>, RunReport), PipelineError>;
+        let per_dim = WorkerPool::new(config.num_threads).run(train.num_dims(), |d| -> DimResult {
             let cfg = config
                 .clone()
                 .with_seed(config.seed.wrapping_add(d as u64 * 7919))

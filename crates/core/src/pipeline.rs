@@ -1,7 +1,6 @@
 //! The end-to-end IPS pipeline: discovery (Algorithms 1–4) plus the
 //! shapelet-transform + linear-SVM classifier of Section III-E.
 
-use std::fmt;
 use std::time::Duration;
 
 use ips_classify::svm::SvmParams;
@@ -11,29 +10,12 @@ use ips_tsdata::{Dataset, TimeSeries};
 
 use crate::config::IpsConfig;
 use crate::engine::{Engine, RunReport, StageObserver};
+use crate::error::IpsError;
 
-/// Pipeline failure modes.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum PipelineError {
-    /// Candidate generation produced nothing (instances shorter than the
-    /// smallest candidate length, or an empty class structure).
-    NoCandidates,
-    /// The training set cannot support classification (e.g. one class).
-    InvalidTrainingSet(String),
-}
-
-impl fmt::Display for PipelineError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            PipelineError::NoCandidates => {
-                write!(f, "candidate generation produced no candidates")
-            }
-            PipelineError::InvalidTrainingSet(m) => write!(f, "invalid training set: {m}"),
-        }
-    }
-}
-
-impl std::error::Error for PipelineError {}
+/// The historical name of the pipeline's error type, kept as an alias for
+/// existing callers; all failure modes now live in the workspace-wide
+/// [`IpsError`] taxonomy (see `crate::error`).
+pub type PipelineError = IpsError;
 
 /// Wall-clock timings of the three pipeline stages — the breakdown
 /// reported in Table V.
@@ -68,6 +50,10 @@ pub struct DiscoveryResult {
     pub candidates_generated: usize,
     /// Candidates removed by pruning.
     pub candidates_pruned: usize,
+    /// True when a [`crate::config::DiscoveryBudget`] limit tripped and
+    /// the run returned its best-so-far shapelets instead of the full
+    /// computation. Always `false` on unbudgeted runs.
+    pub degraded: bool,
     /// Full per-stage telemetry (timings plus work counters).
     pub report: RunReport,
 }
@@ -117,6 +103,9 @@ pub struct DiscoveryStats {
     pub candidates_generated: usize,
     /// Candidates removed by pruning.
     pub candidates_pruned: usize,
+    /// Whether the discovery run degraded under its budget (see
+    /// [`DiscoveryResult::degraded`]); stamped into serialized records.
+    pub degraded: bool,
     /// Full per-stage telemetry.
     pub report: RunReport,
     /// Everything the fit measured beyond discovery stages: `fit.*` spans
@@ -131,7 +120,9 @@ impl DiscoveryStats {
     /// The fit's telemetry as a versioned [`RunRecord`] (kind
     /// `"ips_fit"`), ready to serialize next to other runners' records.
     pub fn to_record(&self, label: &str) -> RunRecord {
-        RunRecord::new("ips_fit", label).with_metrics(self.metrics.clone())
+        RunRecord::new("ips_fit", label)
+            .with_metrics(self.metrics.clone())
+            .with_degraded(self.degraded)
     }
 }
 
@@ -148,6 +139,10 @@ impl IpsClassifier {
     /// Discovers shapelets on `train` and fits the SVM over the
     /// transformed features.
     pub fn fit(train: &Dataset, config: IpsConfig) -> Result<Self, PipelineError> {
+        // Fail fast with typed errors before any stage spends work: the
+        // config knobs, then the data itself (NaN/Inf, empty series).
+        config.validate()?;
+        train.validate()?;
         if train.num_classes() < 2 {
             return Err(PipelineError::InvalidTrainingSet(
                 "need at least two classes".into(),
@@ -201,6 +196,7 @@ impl IpsClassifier {
             timings: result.timings,
             candidates_generated: result.candidates_generated,
             candidates_pruned: result.candidates_pruned,
+            degraded: result.degraded,
             report: result.report,
             metrics: metrics.snapshot(),
         };

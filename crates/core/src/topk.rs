@@ -25,8 +25,11 @@ pub enum TopKStrategy {
     DtCr,
 }
 
-/// Selects the top-`k` shapelets per class (Algorithm 4). The DABF is
-/// required for [`TopKStrategy::DtCr`] and ignored otherwise.
+/// Selects the top-`k` shapelets per class (Algorithm 4). The DABF feeds
+/// [`TopKStrategy::DtCr`] and is ignored otherwise; requesting DT+CR
+/// without a filter gracefully degrades to exact scoring (the same
+/// fallback the engine's [`crate::engine::UtilitySelector`] applies) —
+/// slower, never wrong.
 ///
 /// Candidates tie-break by pool order, making selection deterministic.
 pub fn select_top_k(
@@ -38,12 +41,9 @@ pub fn select_top_k(
 ) -> Vec<Shapelet> {
     let mut shapelets = Vec::new();
     for class in pool.classes() {
-        let scores = match strategy {
-            TopKStrategy::Exact => score_exact(pool, train, config, class),
-            TopKStrategy::DtCr => {
-                let dabf = dabf.expect("DtCr strategy requires a built DABF");
-                score_dt_cr(pool, train, dabf, config, class)
-            }
+        let scores = match (strategy, dabf) {
+            (TopKStrategy::DtCr, Some(dabf)) => score_dt_cr(pool, train, dabf, config, class),
+            _ => score_exact(pool, train, config, class),
         };
         select_class_from_scores(pool, class, &scores, config, &mut shapelets);
     }
@@ -157,7 +157,9 @@ fn embedded_dist(a: &[f64], b: &[f64]) -> f64 {
         .sqrt()
 }
 
-/// Total-order wrapper for finite f64 scores.
+/// Total-order wrapper for f64 scores. Uses `total_cmp`, so a NaN score
+/// (possible only on already-degraded inputs) sorts to the "worst" end
+/// deterministically instead of panicking the selection.
 #[derive(Debug, Clone, Copy, PartialEq)]
 struct OrderedScore(f64);
 
@@ -171,7 +173,7 @@ impl PartialOrd for OrderedScore {
 
 impl Ord for OrderedScore {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.partial_cmp(&other.0).expect("scores are finite")
+        self.0.total_cmp(&other.0)
     }
 }
 
@@ -257,10 +259,12 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "requires a built DABF")]
-    fn dtcr_without_dabf_panics() {
+    fn dtcr_without_dabf_falls_back_to_exact() {
         let (pool, train, cfg, _) = setup();
-        select_top_k(&pool, &train, None, &cfg, TopKStrategy::DtCr);
+        let fallback = select_top_k(&pool, &train, None, &cfg, TopKStrategy::DtCr);
+        let exact = select_top_k(&pool, &train, None, &cfg, TopKStrategy::Exact);
+        assert_eq!(fallback, exact, "the fallback must be exact scoring");
+        assert!(!fallback.is_empty());
     }
 
     #[test]

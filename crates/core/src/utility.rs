@@ -166,7 +166,12 @@ pub(crate) fn score_dt_cr_counted(
     if motifs.is_empty() {
         return (Vec::new(), 0);
     }
-    let own = dabf.class(class).expect("DABF built for every class");
+    // A filter can miss a class (e.g. pruning skipped under a budget, or
+    // a class emptied before the build): degrade to neutral scores — the
+    // diversity-guarded selection still yields usable shapelets.
+    let Some(own) = dabf.class(class) else {
+        return (vec![0.0; motifs.len()], 0);
+    };
     // Bucket ranks of this class's motifs in its own table.
     let motif_ranks: Vec<f64> = motifs
         .iter()
@@ -285,7 +290,9 @@ impl AbsDevTable {
     /// Builds the table from arbitrary values.
     pub fn new(values: &[f64]) -> Self {
         let mut sorted = values.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite ranks"));
+        // total_cmp: ranks are finite by construction, but a degraded
+        // input must reorder deterministically rather than panic.
+        sorted.sort_by(|a, b| a.total_cmp(b));
         let mut prefix = Vec::with_capacity(sorted.len() + 1);
         prefix.push(0.0);
         for &v in &sorted {

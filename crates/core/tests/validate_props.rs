@@ -1,0 +1,184 @@
+//! Property-based tests of the explicit validation layer: every dataset
+//! and configuration either validates cleanly or is rejected with a typed
+//! error naming the exact offender — never a panic, never a silently
+//! accepted bad input. Case count follows the workspace convention:
+//! `PROPTEST_CASES` (CI runs 256), defaulting to the vendored stub's 64.
+
+use std::time::Duration;
+
+use ips_core::{DiscoveryBudget, IpsConfig, IpsError};
+use ips_tsdata::{Dataset, TimeSeries};
+use proptest::prelude::*;
+
+/// Raw rows — kept as plain vectors so corruption tests can damage one
+/// value before constructing the `Dataset`.
+fn rows_strategy() -> impl Strategy<Value = Vec<(Vec<f64>, u32)>> {
+    prop::collection::vec((prop::collection::vec(-1e6f64..1e6, 1..24), 0u32..4), 1..8)
+}
+
+fn build(rows: Vec<(Vec<f64>, u32)>) -> Dataset {
+    let (series, labels): (Vec<_>, Vec<_>) = rows
+        .into_iter()
+        .map(|(v, l)| (TimeSeries::new(v), l))
+        .unzip();
+    Dataset::new(series, labels).expect("non-empty")
+}
+
+fn valid_config() -> impl Strategy<Value = IpsConfig> {
+    (
+        (1usize..6, 1usize..6),
+        (1usize..6, 1usize..4),
+        (0.0f64..4.0, 0u64..1000),
+    )
+        .prop_map(
+            |((k, num_samples), (sample_size, motifs), (diversity, seed))| {
+                let mut cfg = IpsConfig::default()
+                    .with_k(k)
+                    .with_sampling(num_samples, sample_size)
+                    .with_seed(seed);
+                cfg.motifs_per_sample = motifs;
+                cfg.diversity = diversity;
+                cfg
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // -- Dataset::validate ------------------------------------------------
+
+    #[test]
+    fn finite_nonempty_datasets_always_validate(rows in rows_strategy()) {
+        prop_assert!(build(rows).validate().is_ok());
+    }
+
+    #[test]
+    fn corrupted_value_is_reported_at_its_exact_coordinates(
+        rows in rows_strategy(),
+        which in 0u64..1_000_000,
+        kind in 0u8..3,
+    ) {
+        // Damage one seeded value with NaN / +inf / -inf.
+        let mut rows = rows;
+        let i = (which % rows.len() as u64) as usize;
+        let p = (which / 7 % rows[i].0.len() as u64) as usize;
+        rows[i].0[p] = match kind {
+            0 => f64::NAN,
+            1 => f64::INFINITY,
+            _ => f64::NEG_INFINITY,
+        };
+        let err = build(rows.clone()).validate().unwrap_err();
+        let ips_tsdata::Error::NonFinite { instance, position } = err else {
+            panic!("expected NonFinite, got {err}");
+        };
+        // The reported coordinates index a genuinely non-finite value...
+        prop_assert!(!rows[instance].0[position].is_finite());
+        // ...and it is the *first* one in scan order: everything earlier
+        // is finite.
+        for (ri, row) in rows.iter().enumerate().take(instance + 1) {
+            for (pi, v) in row.0.iter().enumerate() {
+                if ri < instance || pi < position {
+                    prop_assert!(v.is_finite(), "({ri},{pi}) precedes the report");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn emptied_series_is_reported_by_instance(
+        rows in rows_strategy(),
+        which in 0u64..1_000_000,
+    ) {
+        let mut rows = rows;
+        let i = (which % rows.len() as u64) as usize;
+        rows[i].0.clear();
+        let err = build(rows).validate().unwrap_err();
+        prop_assert!(
+            matches!(err, ips_tsdata::Error::EmptySeries { instance } if instance == i),
+            "expected EmptySeries at {i}, got {err}"
+        );
+    }
+
+    // -- IpsConfig::validate ----------------------------------------------
+
+    #[test]
+    fn well_formed_configs_always_validate(cfg in valid_config()) {
+        prop_assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn every_invalid_field_is_rejected_by_name(
+        cfg in valid_config(),
+        mutation in 0u8..10,
+    ) {
+        let mut cfg = cfg;
+        let expected = match mutation {
+            0 => {
+                cfg.k = 0;
+                "k"
+            }
+            1 => {
+                cfg.length_ratios.clear();
+                "length_ratios"
+            }
+            2 => {
+                cfg.length_ratios.push(0.0);
+                "length_ratios"
+            }
+            3 => {
+                cfg.length_ratios.push(1.5);
+                "length_ratios"
+            }
+            4 => {
+                cfg.length_ratios.push(f64::NAN);
+                "length_ratios"
+            }
+            5 => {
+                cfg.num_samples = 0;
+                "num_samples"
+            }
+            6 => {
+                cfg.sample_size = 0;
+                "sample_size"
+            }
+            7 => {
+                cfg.motifs_per_sample = 0;
+                "motifs_per_sample"
+            }
+            8 => {
+                cfg.diversity = -1.0;
+                "diversity"
+            }
+            _ => {
+                cfg.budget = DiscoveryBudget {
+                    max_candidates: Some(0),
+                    ..DiscoveryBudget::default()
+                };
+                "budget.max_candidates"
+            }
+        };
+        let err = cfg.validate().unwrap_err();
+        prop_assert!(
+            matches!(err, IpsError::InvalidConfig { field, .. } if field == expected),
+            "mutation {mutation}: expected field {expected}, got {err}"
+        );
+    }
+
+    #[test]
+    fn zero_wall_clock_budget_is_rejected(cfg in valid_config()) {
+        let mut cfg = cfg;
+        cfg.budget = DiscoveryBudget {
+            max_wall_clock: Some(Duration::ZERO),
+            ..DiscoveryBudget::default()
+        };
+        let err = cfg.validate().unwrap_err();
+        prop_assert!(matches!(
+            err,
+            IpsError::InvalidConfig { field: "budget.max_wall_clock", .. }
+        ));
+        // Any positive budget is fine.
+        cfg.budget.max_wall_clock = Some(Duration::from_nanos(1));
+        prop_assert!(cfg.validate().is_ok());
+    }
+}

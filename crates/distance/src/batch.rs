@@ -42,6 +42,56 @@ pub enum KernelPolicy {
     ForceNaive,
 }
 
+/// A typed rejection from the strict kernel entry points.
+///
+/// The memoizing [`crate::DistCache`] never surfaces this: it *degrades* to
+/// the naive loops and counts a `kernel_fallbacks` instead. Use
+/// [`batch_min_dist_checked`] when corrupt input must be an error rather
+/// than the documented-infinity degradation of the unchecked paths.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KernelError {
+    /// A query in the batch contains a non-finite value.
+    NonFiniteQuery {
+        /// Index of the offending query within the batch.
+        index: usize,
+        /// Position of the first non-finite value in that query.
+        position: usize,
+    },
+    /// The series contains a non-finite value.
+    NonFiniteSeries {
+        /// Position of the first non-finite value in the series.
+        position: usize,
+    },
+    /// A failure injected by the fault harness (never produced by real
+    /// input; see `ips-core`'s `FaultPlan`).
+    Forced(String),
+}
+
+impl std::fmt::Display for KernelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KernelError::NonFiniteQuery { index, position } => {
+                write!(
+                    f,
+                    "query {index} has a non-finite value at position {position}"
+                )
+            }
+            KernelError::NonFiniteSeries { position } => {
+                write!(f, "series has a non-finite value at position {position}")
+            }
+            KernelError::Forced(reason) => write!(f, "injected kernel failure: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for KernelError {}
+
+/// Position of the first non-finite value, if any.
+#[inline]
+pub(crate) fn first_non_finite(xs: &[f64]) -> Option<usize> {
+    xs.iter().position(|x| !x.is_finite())
+}
+
 /// Crossover estimate in rough multiply units. `ffts_per_query` is the
 /// amortized number of full-size transforms a caller pays per query: ~1 for
 /// the packed batch path, ~2 for one-off queries through the cache.
@@ -206,9 +256,17 @@ impl SeriesPlan {
                 let mut best = f64::INFINITY;
                 let mut best_at = 0;
                 for (j, &dot) in dots.iter().enumerate() {
+                    let d = (q_sq - 2.0 * dot + self.window_sq_sum(j, m)) / m as f64;
+                    // A NaN input poisons the convolution; skip the window
+                    // exactly like the naive loop's strict `<` does instead
+                    // of letting `max(NaN, 0.0)` collapse it to a perfect
+                    // match.
+                    if !d.is_finite() {
+                        continue;
+                    }
                     // the FFT identity can dip epsilon-negative; the naive
                     // sum of squares never does
-                    let d = ((q_sq - 2.0 * dot + self.window_sq_sum(j, m)) / m as f64).max(0.0);
+                    let d = d.max(0.0);
                     if d < best {
                         best = d;
                         best_at = j;
@@ -307,6 +365,26 @@ pub fn batch_min_dist_with(
     out
 }
 
+/// Strict variant of [`batch_min_dist`]: rejects non-finite input with a
+/// typed [`KernelError`] instead of degrading to the documented-infinity
+/// convention. Validation is O(total input) and runs before any transform
+/// is planned, so a rejected batch does no kernel work.
+pub fn batch_min_dist_checked(
+    queries: &[&[f64]],
+    series: &[f64],
+    metric: Metric,
+) -> Result<Vec<(f64, usize)>, KernelError> {
+    if let Some(position) = first_non_finite(series) {
+        return Err(KernelError::NonFiniteSeries { position });
+    }
+    for (index, q) in queries.iter().enumerate() {
+        if let Some(position) = first_non_finite(q) {
+            return Err(KernelError::NonFiniteQuery { index, position });
+        }
+    }
+    Ok(batch_min_dist(queries, series, metric))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -374,6 +452,56 @@ mod tests {
         assert!(batch_min_dist(&[&s[..4]], &[], Metric::MeanSquared)[0]
             .0
             .is_infinite());
+    }
+
+    #[test]
+    fn nan_input_degrades_to_infinity_never_a_perfect_match() {
+        // regression: the MeanSquared arm used `max(NaN, 0.0)`, which is
+        // 0.0 — a poisoned window used to win the argmin outright with
+        // distance zero. One NaN poisons the *whole* spectrum (the FFT is
+        // global), so the unchecked kernel cannot skip windows locally the
+        // way the naive loop does; the contract is that it degrades to the
+        // (INFINITY, 0) "no valid window" convention instead.
+        let mut s = series(200);
+        s[60] = f64::NAN;
+        let q: Vec<f64> = series(24);
+        for metric in [Metric::MeanSquared, Metric::ZNormEuclidean] {
+            let fast = batch_min_dist_with(&[&q], &s, metric, KernelPolicy::ForceKernel);
+            assert_eq!(fast[0], (f64::INFINITY, 0), "{metric:?}");
+        }
+        let mut bad_q = q.clone();
+        bad_q[5] = f64::NAN;
+        let s = series(200);
+        for metric in [Metric::MeanSquared, Metric::ZNormEuclidean] {
+            let fast = batch_min_dist_with(&[&bad_q], &s, metric, KernelPolicy::ForceKernel);
+            assert_eq!(fast[0], (f64::INFINITY, 0), "{metric:?}");
+        }
+    }
+
+    #[test]
+    fn checked_entry_rejects_non_finite_input_with_coordinates() {
+        let s = series(64);
+        let q: Vec<f64> = s[4..20].to_vec();
+        let mut bad_q = q.clone();
+        bad_q[3] = f64::INFINITY;
+        let err = batch_min_dist_checked(&[&q, &bad_q], &s, Metric::MeanSquared).unwrap_err();
+        assert_eq!(
+            err,
+            KernelError::NonFiniteQuery {
+                index: 1,
+                position: 3
+            }
+        );
+        assert!(err.to_string().contains("query 1"));
+
+        let mut bad_s = s.clone();
+        bad_s[9] = f64::NAN;
+        let err = batch_min_dist_checked(&[&q], &bad_s, Metric::ZNormEuclidean).unwrap_err();
+        assert_eq!(err, KernelError::NonFiniteSeries { position: 9 });
+
+        // clean input matches the unchecked entry bit-for-bit
+        let ok = batch_min_dist_checked(&[&q], &s, Metric::MeanSquared).unwrap();
+        assert_eq!(ok, batch_min_dist(&[&q], &s, Metric::MeanSquared));
     }
 
     #[test]

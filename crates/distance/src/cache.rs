@@ -24,7 +24,7 @@
 
 use std::collections::HashMap;
 
-use crate::batch::{kernel_profitable, naive_min_dist, KernelPolicy, SeriesPlan};
+use crate::batch::{first_non_finite, kernel_profitable, naive_min_dist, KernelPolicy, SeriesPlan};
 use crate::fft::Fft;
 use crate::metric::Metric;
 
@@ -34,13 +34,20 @@ use crate::metric::Metric;
 /// (memo lookup) or an **eval** (computed, via either the FFT kernel or the
 /// naive fallback — the counter tracks cache misses, not which code path
 /// served them). So `kernel_evals + cache_hits` equals the number of
-/// distance requests issued by the caller.
+/// distance requests issued by the caller. `kernel_fallbacks` counts the
+/// *subset* of evals where the FFT path was selected but could not serve
+/// the request (non-finite input, or an injected failure from the fault
+/// harness) and the cache degraded to the naive loop — it never disturbs
+/// the partition invariant.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
     /// Distances actually computed (cache misses).
     pub kernel_evals: usize,
     /// Distances served from the memo.
     pub cache_hits: usize,
+    /// Evals the FFT kernel should have served but the naive loop did
+    /// (graceful degradation; always ≤ `kernel_evals`).
+    pub kernel_fallbacks: usize,
 }
 
 impl CacheStats {
@@ -48,6 +55,7 @@ impl CacheStats {
     pub fn merge(&mut self, other: &CacheStats) {
         self.kernel_evals += other.kernel_evals;
         self.cache_hits += other.cache_hits;
+        self.kernel_fallbacks += other.kernel_fallbacks;
     }
 
     /// Total distance requests answered (hits plus computed misses).
@@ -71,6 +79,10 @@ impl CacheStats {
     pub fn record_into(&self, metrics: &ips_obs::MetricsRegistry, prefix: &str) {
         metrics.incr(&format!("{prefix}kernel_evals"), self.kernel_evals as u64);
         metrics.incr(&format!("{prefix}cache_hits"), self.cache_hits as u64);
+        metrics.incr(
+            &format!("{prefix}kernel_fallbacks"),
+            self.kernel_fallbacks as u64,
+        );
         metrics.set_gauge(&format!("{prefix}hit_rate"), self.hit_rate());
     }
 }
@@ -100,6 +112,10 @@ pub struct DistCache {
     plans: HashMap<Key, SeriesPlan>,
     memo: HashMap<(Key, Key, Metric), (f64, usize)>,
     stats: CacheStats,
+    /// When `Some`, every kernel-path attempt is treated as failed and
+    /// degrades to the naive loop (fault-injection hook; see
+    /// [`DistCache::inject_kernel_failure`]).
+    forced_failure: Option<String>,
 }
 
 impl DistCache {
@@ -125,6 +141,20 @@ impl DistCache {
     /// Work counters accumulated so far.
     pub fn stats(&self) -> CacheStats {
         self.stats
+    }
+
+    /// Forces every subsequent kernel-path attempt to fail, exercising the
+    /// graceful-degradation path: results are still served (by the naive
+    /// loop) and each degraded eval is counted in
+    /// [`CacheStats::kernel_fallbacks`]. Used by the fault-injection
+    /// harness; cleared with [`DistCache::clear_kernel_failure`].
+    pub fn inject_kernel_failure(&mut self, reason: impl Into<String>) {
+        self.forced_failure = Some(reason.into());
+    }
+
+    /// Clears a failure injected by [`DistCache::inject_kernel_failure`].
+    pub fn clear_kernel_failure(&mut self) {
+        self.forced_failure = None;
     }
 
     /// Number of memoized results.
@@ -175,6 +205,18 @@ impl DistCache {
             }
         };
         if !use_kernel {
+            return naive_min_dist(q, s, metric);
+        }
+        // Graceful degradation: the FFT path cannot serve poisoned input
+        // (one NaN poisons the whole spectrum, losing the naive loop's
+        // window-local skipping), and the fault harness can force failures.
+        // Both degrade to the naive loop and count a fallback rather than
+        // surfacing an error from the scoring hot path.
+        if self.forced_failure.is_some()
+            || first_non_finite(q).is_some()
+            || first_non_finite(s).is_some()
+        {
+            self.stats.kernel_fallbacks += 1;
             return naive_min_dist(q, s, metric);
         }
         let plan = self.plans.entry(ks).or_insert_with(|| SeriesPlan::new(s));
@@ -291,8 +333,9 @@ mod tests {
         let stats = CacheStats {
             kernel_evals: 3,
             cache_hits: 1,
+            kernel_fallbacks: 1,
         };
-        assert_eq!(stats.requests(), 4);
+        assert_eq!(stats.requests(), 4); // fallbacks are a subset of evals
         assert_eq!(stats.hit_rate(), 0.25);
         assert_eq!(CacheStats::default().hit_rate(), 0.0);
         let metrics = ips_obs::MetricsRegistry::new();
@@ -301,7 +344,43 @@ mod tests {
         let snap = metrics.snapshot();
         assert_eq!(snap.counters["cache.kernel_evals"], 6);
         assert_eq!(snap.counters["cache.cache_hits"], 2);
+        assert_eq!(snap.counters["cache.kernel_fallbacks"], 2);
         assert_eq!(snap.gauges["cache.hit_rate"], 0.25);
+    }
+
+    #[test]
+    fn injected_kernel_failure_degrades_to_naive_and_is_counted() {
+        let s = series(150);
+        let q: Vec<f64> = s[10..60].to_vec();
+        let reference =
+            DistCache::with_policy(KernelPolicy::ForceNaive).min_dist(&q, &s, Metric::MeanSquared);
+
+        let mut cache = DistCache::with_policy(KernelPolicy::ForceKernel);
+        cache.inject_kernel_failure("chaos");
+        let got = cache.min_dist(&q, &s, Metric::MeanSquared);
+        assert_eq!(got, reference); // same answer, served by the naive loop
+        let st = cache.stats();
+        assert_eq!(st.kernel_fallbacks, 1);
+        assert_eq!(st.kernel_evals, 1); // partition invariant undisturbed
+        assert_eq!(st.requests(), 1);
+
+        // clearing restores the kernel path: no new fallback
+        cache.clear_kernel_failure();
+        cache.min_dist(&s[70..100], &s, Metric::MeanSquared);
+        assert_eq!(cache.stats().kernel_fallbacks, 1);
+    }
+
+    #[test]
+    fn non_finite_input_falls_back_instead_of_poisoning_the_kernel() {
+        let mut s = series(150);
+        s[40] = f64::NAN;
+        let q: Vec<f64> = series(20);
+        let mut cache = DistCache::with_policy(KernelPolicy::ForceKernel);
+        let got = cache.min_dist(&q, &s, Metric::MeanSquared);
+        // the naive loop skips NaN-touching windows, so a clean window wins
+        assert!(got.0.is_finite());
+        assert_eq!(got, naive_min_dist(&q, &s, Metric::MeanSquared));
+        assert_eq!(cache.stats().kernel_fallbacks, 1);
     }
 
     #[test]

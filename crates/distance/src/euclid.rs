@@ -35,6 +35,16 @@ pub fn mean_sq_dist(a: &[f64], b: &[f64]) -> f64 {
 /// `query` and `series` may be passed in either order — the shorter slice
 /// slides over the longer one ("w.l.o.g. |T_q| ≥ |T_p|" in the paper).
 /// Returns `(f64::INFINITY, 0)` when either slice is empty.
+///
+/// **NaN convention**: a window whose distance evaluates to NaN is never
+/// accepted by the strict `<` comparison, so NaN-touching windows simply
+/// lose the argmin; when *every* window is affected (a NaN in the query,
+/// or a fully poisoned series) the result degrades to the documented
+/// `(f64::INFINITY, 0)` — the same value as "no valid window" — and never
+/// propagates NaN to the caller. Callers that need to *distinguish*
+/// corrupt input from a genuine empty window set should validate up front
+/// (e.g. `Dataset::validate`) or use the checked batch entry point
+/// [`crate::batch_min_dist_checked`].
 pub fn sliding_min_dist(query: &[f64], series: &[f64]) -> (f64, usize) {
     let (q, s) = if query.len() <= series.len() {
         (query, series)
@@ -184,6 +194,14 @@ pub fn znorm_dist_from_dot(dot: f64, m: usize, mu_q: f64, sd_q: f64, mu_w: f64, 
     }
     let corr = (dot - m_f * mu_q * mu_w) / (m_f * sd_q * sd_w);
     let d2 = 2.0 * m_f * (1.0 - corr.clamp(-1.0, 1.0));
+    // A NaN anywhere in the inputs (a poisoned dot product or NaN window
+    // statistics) survives `clamp` and would previously be swallowed by
+    // `f64::max(NaN, 0.0) == 0.0` — reporting a corrupt window as a
+    // *perfect match*. Non-finite distances are pushed to +∞ instead so a
+    // strict `<` argmin can never select them.
+    if !d2.is_finite() {
+        return f64::INFINITY;
+    }
     d2.max(0.0).sqrt()
 }
 
@@ -309,6 +327,33 @@ mod tests {
         let p = dist_profile_znorm(&query, &series);
         assert_eq!(p[0], 0.0); // constant vs constant
         assert!((p[3] - 3f64.sqrt()).abs() < 1e-12); // constant vs varying
+    }
+
+    #[test]
+    fn nan_windows_report_infinity_not_a_perfect_match() {
+        // regression: `f64::max(NaN, 0.0)` used to collapse a poisoned
+        // correlation to distance 0 — a corrupt window won the argmin.
+        let d = znorm_dist_from_dot(f64::NAN, 8, 0.0, 1.0, 0.0, 1.0);
+        assert_eq!(d, f64::INFINITY);
+        let d = znorm_dist_from_dot(3.0, 8, f64::NAN, 1.0, 0.0, 1.0);
+        assert_eq!(d, f64::INFINITY);
+
+        // early-abandon scoring: NaN-touching windows lose the argmin, so
+        // a partially poisoned series still scores over its clean windows…
+        let poisoned = [1.0, f64::NAN, 3.0, 4.0, 5.0];
+        assert_eq!(sliding_min_dist(&[1.0, 2.0], &poisoned), (4.0, 2));
+        // …and a fully poisoned input yields the documented (INFINITY, 0)
+        // "no valid window" result, never NaN itself.
+        let all_nan = [f64::NAN, f64::NAN, f64::NAN];
+        assert_eq!(sliding_min_dist(&[1.0, 2.0], &all_nan).0, f64::INFINITY);
+        assert_eq!(
+            sliding_min_dist(&[f64::NAN, 2.0], &[1.0, 2.0, 3.0]).0,
+            f64::INFINITY
+        );
+        assert_eq!(
+            sliding_min_dist_znorm(&[1.0, f64::NAN], &[1.0, 2.0, 3.0]).0,
+            f64::INFINITY
+        );
     }
 
     #[test]

@@ -29,7 +29,10 @@ pub mod mass;
 pub mod metric;
 pub mod rolling;
 
-pub use batch::{batch_min_dist, batch_min_dist_with, KernelPolicy, SeriesPlan};
+pub use batch::{
+    batch_min_dist, batch_min_dist_checked, batch_min_dist_with, KernelError, KernelPolicy,
+    SeriesPlan,
+};
 pub use cache::{CacheStats, DistCache};
 pub use dtw::{dtw, dtw_banded, lb_keogh, DtwOptions};
 pub use euclid::{

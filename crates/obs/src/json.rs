@@ -64,6 +64,14 @@ impl Json {
         }
     }
 
+    /// The boolean, when this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// The number, when this is a number.
     pub fn as_num(&self) -> Option<f64> {
         match self {

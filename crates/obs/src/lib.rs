@@ -23,4 +23,4 @@ pub mod record;
 
 pub use json::Json;
 pub use metrics::{MetricsRegistry, MetricsSnapshot, Span, SpanStats};
-pub use record::{ObsError, RunRecord, SCHEMA_VERSION};
+pub use record::{ObsError, RunRecord, MIN_SCHEMA_VERSION, SCHEMA_VERSION};

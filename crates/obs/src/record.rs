@@ -17,7 +17,14 @@ use crate::metrics::MetricsSnapshot;
 /// The current on-disk record schema version. Bump on any change to the
 /// serialized field layout, and update `scripts/check_bench.py` and the
 /// committed baselines in the same PR.
-pub const SCHEMA_VERSION: u32 = 1;
+///
+/// v2 added the optional `degraded` flag (budget-limited runs that
+/// returned best-so-far results); v1 records parse with `degraded =
+/// false`.
+pub const SCHEMA_VERSION: u32 = 2;
+
+/// The oldest schema version this reader still parses.
+pub const MIN_SCHEMA_VERSION: u32 = 1;
 
 /// A reader-side failure: malformed JSON, a missing field, or a record
 /// written by a different schema version.
@@ -64,6 +71,9 @@ pub struct RunRecord {
     pub params: BTreeMap<String, Json>,
     /// Everything measured.
     pub metrics: MetricsSnapshot,
+    /// True when the run hit a discovery budget and returned best-so-far
+    /// results (schema v2; absent in v1 records, which parse as `false`).
+    pub degraded: bool,
 }
 
 impl RunRecord {
@@ -75,6 +85,7 @@ impl RunRecord {
             label: label.into(),
             params: BTreeMap::new(),
             metrics: MetricsSnapshot::default(),
+            degraded: false,
         }
     }
 
@@ -90,6 +101,12 @@ impl RunRecord {
         self
     }
 
+    /// Stamps whether the run degraded under a discovery budget.
+    pub fn with_degraded(mut self, degraded: bool) -> RunRecord {
+        self.degraded = degraded;
+        self
+    }
+
     /// Serializes as a JSON value.
     pub fn to_json(&self) -> Json {
         let mut params = Json::object();
@@ -102,6 +119,7 @@ impl RunRecord {
         obj.insert("label", self.label.clone());
         obj.insert("params", params);
         obj.insert("metrics", self.metrics.to_json());
+        obj.insert("degraded", self.degraded);
         obj
     }
 
@@ -110,14 +128,16 @@ impl RunRecord {
         self.to_json().to_string_pretty()
     }
 
-    /// Rebuilds a record from a JSON value, enforcing [`SCHEMA_VERSION`].
+    /// Rebuilds a record from a JSON value, accepting any schema version
+    /// in `MIN_SCHEMA_VERSION..=SCHEMA_VERSION` (v1 records parse with
+    /// `degraded = false`).
     pub fn from_json(value: &Json) -> Result<RunRecord, ObsError> {
         let version = value
             .get("schema_version")
             .and_then(Json::as_num)
             .ok_or_else(|| ObsError::Malformed("missing `schema_version`".into()))?
             as u32;
-        if version != SCHEMA_VERSION {
+        if !(MIN_SCHEMA_VERSION..=SCHEMA_VERSION).contains(&version) {
             return Err(ObsError::SchemaVersion {
                 found: version,
                 expected: SCHEMA_VERSION,
@@ -139,12 +159,17 @@ impl RunRecord {
             .get("metrics")
             .ok_or_else(|| ObsError::Malformed("missing `metrics` object".into()))
             .and_then(|m| MetricsSnapshot::from_json(m).map_err(ObsError::Malformed))?;
+        let degraded = value
+            .get("degraded")
+            .and_then(Json::as_bool)
+            .unwrap_or(false);
         Ok(RunRecord {
             schema_version: version,
             kind: text_field("kind")?,
             label: text_field("label")?,
             params,
             metrics,
+            degraded,
         })
     }
 
@@ -210,6 +235,30 @@ mod tests {
             map.remove(field);
             assert!(RunRecord::from_json(&Json::Obj(map)).is_err(), "{field}");
         }
+    }
+
+    #[test]
+    fn v1_records_without_degraded_still_parse() {
+        // A v1 document: no `degraded` member, schema_version 1.
+        let mut value = sample().to_json();
+        value.insert("schema_version", 1u64);
+        let Json::Obj(mut map) = value else {
+            unreachable!()
+        };
+        map.remove("degraded");
+        let back = RunRecord::from_json(&Json::Obj(map)).unwrap();
+        assert_eq!(back.schema_version, 1);
+        assert!(!back.degraded, "v1 records default to degraded = false");
+        assert_eq!(back.kind, "discovery");
+    }
+
+    #[test]
+    fn degraded_flag_round_trips() {
+        let record = sample().with_degraded(true);
+        let back = RunRecord::from_json_str(&record.to_json_string()).unwrap();
+        assert_eq!(back, record);
+        assert!(back.degraded);
+        assert_eq!(back.schema_version, SCHEMA_VERSION);
     }
 
     #[test]

@@ -113,6 +113,29 @@ impl Dataset {
         )
     }
 
+    /// Checks every instance for content problems that the cheap structural
+    /// checks in [`Dataset::new`] do not cover: empty instances and
+    /// non-finite values (NaN or ±Inf). Returns the first offender so the
+    /// caller can report exactly which instance and position is bad.
+    ///
+    /// # Errors
+    /// [`Error::EmptySeries`] for an instance with no values,
+    /// [`Error::NonFinite`] for the first NaN/Inf value encountered.
+    pub fn validate(&self) -> Result<()> {
+        for (i, s) in self.series.iter().enumerate() {
+            if s.is_empty() {
+                return Err(Error::EmptySeries { instance: i });
+            }
+            if let Some(p) = s.values().iter().position(|v| !v.is_finite()) {
+                return Err(Error::NonFinite {
+                    instance: i,
+                    position: p,
+                });
+            }
+        }
+        Ok(())
+    }
+
     /// Z-normalizes every instance, returning a new dataset (labels shared).
     pub fn znormalized(&self) -> Dataset {
         Dataset {
@@ -323,6 +346,45 @@ mod tests {
         .unwrap();
         assert_eq!(d.uniform_length(), None);
         assert_eq!(d.min_length(), 1);
+    }
+
+    #[test]
+    fn validate_accepts_clean_data_and_pinpoints_corruption() {
+        assert!(toy().validate().is_ok());
+
+        let d = Dataset::new(
+            vec![
+                TimeSeries::new(vec![0.0, 1.0]),
+                TimeSeries::new(vec![2.0, f64::NAN, 3.0]),
+            ],
+            vec![0, 1],
+        )
+        .unwrap();
+        match d.validate().unwrap_err() {
+            Error::NonFinite { instance, position } => {
+                assert_eq!((instance, position), (1, 1));
+            }
+            other => panic!("unexpected error: {other}"),
+        }
+
+        let d = Dataset::new(
+            vec![TimeSeries::new(vec![1.0]), TimeSeries::new(vec![])],
+            vec![0, 1],
+        )
+        .unwrap();
+        match d.validate().unwrap_err() {
+            Error::EmptySeries { instance } => assert_eq!(instance, 1),
+            other => panic!("unexpected error: {other}"),
+        }
+
+        let d = Dataset::new(vec![TimeSeries::new(vec![f64::INFINITY])], vec![0]).unwrap();
+        assert!(matches!(
+            d.validate().unwrap_err(),
+            Error::NonFinite {
+                instance: 0,
+                position: 0
+            }
+        ));
     }
 
     #[test]

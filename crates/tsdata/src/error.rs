@@ -1,11 +1,13 @@
 //! Error type shared by the data-loading and generation paths.
 
 use std::fmt;
+use std::path::PathBuf;
 
 /// Convenience alias used throughout `ips-tsdata`.
 pub type Result<T> = std::result::Result<T, Error>;
 
-/// Errors produced while constructing, loading, or generating datasets.
+/// Errors produced while constructing, loading, generating, or validating
+/// datasets.
 #[derive(Debug)]
 pub enum Error {
     /// An underlying I/O failure while reading or writing a dataset file.
@@ -17,6 +19,25 @@ pub enum Error {
     Invalid(String),
     /// A dataset name not present in the built-in registry.
     UnknownDataset(String),
+    /// An instance contains a non-finite value (NaN or ±Inf) at the given
+    /// position — reported by [`crate::Dataset::validate`].
+    NonFinite { instance: usize, position: usize },
+    /// An instance has no values — reported by
+    /// [`crate::Dataset::validate`].
+    EmptySeries { instance: usize },
+    /// An error raised while loading a specific file, wrapping the
+    /// underlying cause with the path for actionable messages.
+    InFile { path: PathBuf, source: Box<Error> },
+}
+
+impl Error {
+    /// Wraps `self` with the path of the file it was raised for.
+    pub fn in_file(self, path: impl Into<PathBuf>) -> Self {
+        Error::InFile {
+            path: path.into(),
+            source: Box::new(self),
+        }
+    }
 }
 
 impl fmt::Display for Error {
@@ -30,6 +51,16 @@ impl fmt::Display for Error {
             Error::UnknownDataset(name) => {
                 write!(f, "dataset {name:?} is not in the built-in registry")
             }
+            Error::NonFinite { instance, position } => write!(
+                f,
+                "instance {instance} has a non-finite value at position {position}"
+            ),
+            Error::EmptySeries { instance } => {
+                write!(f, "instance {instance} has no values")
+            }
+            Error::InFile { path, source } => {
+                write!(f, "{}: {source}", path.display())
+            }
         }
     }
 }
@@ -38,6 +69,7 @@ impl std::error::Error for Error {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             Error::Io(e) => Some(e),
+            Error::InFile { source, .. } => Some(source),
             _ => None,
         }
     }
@@ -72,5 +104,30 @@ mod tests {
         let e: Error = inner.into();
         assert!(std::error::Error::source(&e).is_some());
         assert!(e.to_string().contains("gone"));
+    }
+
+    #[test]
+    fn validation_variants_name_the_instance() {
+        let e = Error::NonFinite {
+            instance: 4,
+            position: 17,
+        };
+        assert!(e.to_string().contains("instance 4"));
+        assert!(e.to_string().contains("position 17"));
+        let e = Error::EmptySeries { instance: 2 };
+        assert!(e.to_string().contains("instance 2"));
+    }
+
+    #[test]
+    fn in_file_wrapping_keeps_path_and_cause() {
+        let e = Error::Parse {
+            line: 7,
+            message: "bad float".into(),
+        }
+        .in_file("/tmp/Foo_TRAIN.tsv");
+        let text = e.to_string();
+        assert!(text.contains("Foo_TRAIN.tsv"), "{text}");
+        assert!(text.contains("line 7"), "{text}");
+        assert!(std::error::Error::source(&e).is_some());
     }
 }

@@ -73,8 +73,16 @@ pub fn parse_ucr<R: Read>(reader: R) -> Result<Dataset> {
 }
 
 /// Loads a single UCR-format file.
+///
+/// Any failure — the file missing, unreadable, or malformed — is wrapped
+/// in [`Error::InFile`] so the message names both the offending path and
+/// (for parse errors) the line number.
 pub fn load_file(path: impl AsRef<Path>) -> Result<Dataset> {
-    parse_ucr(File::open(path)?)
+    let path = path.as_ref();
+    File::open(path)
+        .map_err(Error::from)
+        .and_then(parse_ucr)
+        .map_err(|e| e.in_file(path))
 }
 
 /// Loads the conventional `<dir>/<name>/<name>_TRAIN.tsv` +
@@ -182,6 +190,26 @@ mod tests {
     fn error_reports_line_number() {
         let err = parse_ucr("1\t1.0\n2\tbad\n".as_bytes()).unwrap_err();
         assert!(err.to_string().contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn malformed_file_error_names_path_and_line() {
+        let dir = std::env::temp_dir().join(format!("ips_ucr_fixture_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("Broken_TRAIN.tsv");
+        std::fs::write(&path, "1\t1.0\t2.0\n2\t1.0\toops\n").unwrap();
+        let err = load_file(&path).unwrap_err();
+        let text = err.to_string();
+        assert!(text.contains("Broken_TRAIN.tsv"), "{text}");
+        assert!(text.contains("line 2"), "{text}");
+        assert!(text.contains("oops"), "{text}");
+        std::fs::remove_dir_all(&dir).ok();
+
+        // A missing file also reports its path, wrapping the I/O cause.
+        let err = load_file("/nonexistent/Nope_TRAIN.tsv").unwrap_err();
+        let text = err.to_string();
+        assert!(text.contains("Nope_TRAIN.tsv"), "{text}");
+        assert!(matches!(err, Error::InFile { .. }));
     }
 
     #[test]

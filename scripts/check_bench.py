@@ -33,7 +33,9 @@ import copy
 import json
 import sys
 
-EXPECTED_SCHEMA_VERSION = 1
+# Record schema versions this gate understands (v2 added the optional
+# `degraded` flag; v1 records parse identically for comparison purposes).
+SUPPORTED_SCHEMA_VERSIONS = {1, 2}
 
 # Baseline fit.total durations below this are compared against the floor
 # itself: scheduler jitter dominates single-digit milliseconds.
@@ -49,21 +51,39 @@ PER_RUN_SLACK_NS = 100_000_000  # 100 ms
 INFORMATIONAL_GAUGES = {"resolved_threads"}
 
 
-def load(path):
-    with open(path, encoding="utf-8") as f:
-        doc = json.load(f)
+def load(path, role):
+    """Loads one results document, mapping every failure mode to a
+    one-line actionable message naming the file and how to fix it."""
+    regen = (
+        "run `cargo run -p ips-bench --release --bin bench_pipeline` and "
+        "commit the output as the baseline"
+        if role == "baseline"
+        else "run `cargo run -p ips-bench --release --bin bench_pipeline` to generate it"
+    )
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except FileNotFoundError:
+        raise SystemExit(f"{path}: {role} file not found; {regen}")
+    except json.JSONDecodeError as e:
+        raise SystemExit(
+            f"{path}: {role} is not valid JSON (line {e.lineno}: {e.msg}); {regen}"
+        )
+    if not isinstance(doc, dict):
+        raise SystemExit(f"{path}: {role} must be a JSON object, not {type(doc).__name__}; {regen}")
     version = doc.get("schema_version")
-    if version != EXPECTED_SCHEMA_VERSION:
+    if version not in SUPPORTED_SCHEMA_VERSIONS:
         raise SystemExit(
             f"{path}: schema_version {version!r} is not supported "
-            f"(expected {EXPECTED_SCHEMA_VERSION}); regenerate the file"
+            f"(expected one of {sorted(SUPPORTED_SCHEMA_VERSIONS)}); regenerate the file"
         )
     runs = {}
     for run in doc.get("runs", []):
-        if run.get("schema_version") != EXPECTED_SCHEMA_VERSION:
+        if run.get("schema_version") not in SUPPORTED_SCHEMA_VERSIONS:
             raise SystemExit(
                 f"{path}: run {run.get('label')!r} has schema_version "
-                f"{run.get('schema_version')!r} (expected {EXPECTED_SCHEMA_VERSION})"
+                f"{run.get('schema_version')!r} "
+                f"(expected one of {sorted(SUPPORTED_SCHEMA_VERSIONS)})"
             )
         label = run["label"]
         if label in runs:
@@ -148,7 +168,57 @@ def compare(baseline, fresh, max_ratio):
     return failures
 
 
+def expect_load_failure(path, role, needle):
+    """Asserts that loading `path` exits with a one-line message
+    mentioning `needle`. Returns an error string on miss, None on pass."""
+    try:
+        load(path, role)
+    except SystemExit as e:
+        message = str(e)
+        if "\n" in message:
+            return f"load error for {path} is not one line: {message!r}"
+        if needle not in message:
+            return f"load error for {path} lacks {needle!r}: {message!r}"
+        return None
+    return f"loading {path} unexpectedly succeeded"
+
+
+def self_test_load_errors():
+    """Exercises the loader's failure messages against scratch files."""
+    import os
+    import tempfile
+
+    problems = []
+    with tempfile.TemporaryDirectory() as tmp:
+        missing = os.path.join(tmp, "nope.json")
+        problems.append(expect_load_failure(missing, "baseline", "not found"))
+
+        garbled = os.path.join(tmp, "garbled.json")
+        with open(garbled, "w", encoding="utf-8") as f:
+            f.write("{not json")
+        problems.append(expect_load_failure(garbled, "fresh results", "not valid JSON"))
+
+        wrong_version = os.path.join(tmp, "wrong_version.json")
+        with open(wrong_version, "w", encoding="utf-8") as f:
+            json.dump({"schema_version": 99, "runs": []}, f)
+        problems.append(expect_load_failure(wrong_version, "baseline", "not supported"))
+
+        not_object = os.path.join(tmp, "not_object.json")
+        with open(not_object, "w", encoding="utf-8") as f:
+            json.dump([1, 2, 3], f)
+        problems.append(expect_load_failure(not_object, "baseline", "JSON object"))
+
+    return [p for p in problems if p]
+
+
 def self_test(baseline, max_ratio):
+    load_problems = self_test_load_errors()
+    if load_problems:
+        print("self-test FAILED: loader error messages are not actionable:")
+        for msg in load_problems:
+            print(f"  - {msg}")
+        return 1
+
     clean = compare(baseline, copy.deepcopy(baseline), max_ratio)
     if clean:
         print("self-test FAILED: baseline does not pass against itself:")
@@ -168,8 +238,8 @@ def self_test(baseline, max_ratio):
         return 1
 
     print(
-        f"self-test OK: identity passes, 2x slowdown raises "
-        f"{len(wall_failures)} wall-time failure(s)"
+        f"self-test OK: loader errors are one-line and actionable, identity "
+        f"passes, 2x slowdown raises {len(wall_failures)} wall-time failure(s)"
     )
     return 0
 
@@ -199,11 +269,11 @@ def main():
     )
     args = parser.parse_args()
 
-    baseline = load(args.baseline)
+    baseline = load(args.baseline, "baseline")
     if args.self_test:
         return self_test(baseline, args.max_ratio)
 
-    fresh = load(args.fresh)
+    fresh = load(args.fresh, "fresh results")
     failures = compare(baseline, fresh, args.max_ratio)
     if failures:
         print(f"bench regression check FAILED ({len(failures)} failure(s)):")

@@ -29,6 +29,10 @@ else
     cargo build --release
     echo "==> cargo test"
     cargo test -q
+    echo "==> chaos suite (fault injection + validation properties)"
+    cargo test -q -p ips-core --test fault_injection --test validate_props
+    echo "==> panic audit"
+    bash scripts/panic_audit.sh
 fi
 
 echo "==> cargo fmt --check"

@@ -1,0 +1,173 @@
+//! Offline vendored stand-in for the `rand` facade this workspace uses.
+//!
+//! The build environment has no network access, so the workspace patches
+//! `rand` to this in-tree implementation (see `[patch.crates-io]` in the
+//! root `Cargo.toml`). It provides exactly the surface the workspace
+//! consumes — [`SeedableRng::seed_from_u64`], [`rngs::StdRng`],
+//! [`RngExt::random_range`], and [`seq::SliceRandom::shuffle`] — with a
+//! deterministic, platform-independent stream (SplitMix64), which is all
+//! the seeded pipelines here require.
+
+/// A source of random 64-bit words.
+pub trait RngCore {
+    /// The next 64-bit word of the stream.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Range sampling, the only high-level API the workspace uses.
+pub trait RngExt: RngCore {
+    /// Uniform sample from `range` (half-open or inclusive).
+    fn random_range<R: SampleRange>(&mut self, range: R) -> R::Output
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+}
+
+impl<T: RngCore> RngExt for T {}
+
+/// A range that knows how to sample itself uniformly.
+pub trait SampleRange {
+    /// The sampled value type.
+    type Output;
+    /// Draws one uniform sample. Panics on an empty range.
+    fn sample<R: RngCore>(self, rng: &mut R) -> Self::Output;
+}
+
+impl SampleRange for std::ops::Range<f64> {
+    type Output = f64;
+    fn sample<R: RngCore>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        self.start + (self.end - self.start) * unit
+    }
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for std::ops::Range<$t> {
+            type Output = $t;
+            fn sample<R: RngCore>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let draw = (rng.next_u64() as u128) % span;
+                (self.start as i128 + draw as i128) as $t
+            }
+        }
+        impl SampleRange for std::ops::RangeInclusive<$t> {
+            type Output = $t;
+            fn sample<R: RngCore>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let draw = (rng.next_u64() as u128) % span;
+                (lo as i128 + draw as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_range!(usize, u64, u32, u16, u8, i64, i32, i16, i8);
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator: SplitMix64.
+    ///
+    /// Not cryptographic — a fast, well-distributed stream whose exact
+    /// sequence is stable across platforms and releases, which is what the
+    /// seeded discovery pipelines and synthetic data generators need.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            Self { state: seed }
+        }
+    }
+}
+
+/// Slice helpers.
+pub mod seq {
+    use super::RngCore;
+
+    /// In-place random reordering.
+    pub trait SliceRandom {
+        /// Fisher–Yates shuffle driven by `rng`.
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn streams_are_deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let mut c = StdRng::seed_from_u64(43);
+        let xs: Vec<u64> = (0..8).map(|_| a.random_range(0u64..1 << 60)).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.random_range(0u64..1 << 60)).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.random_range(0u64..1 << 60)).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.random_range(-1.5f64..2.5);
+            assert!((-1.5..2.5).contains(&v));
+            let n = rng.random_range(3usize..9);
+            assert!((3..9).contains(&n));
+            let m = rng.random_range(0usize..=4);
+            assert!(m <= 4);
+            let s = rng.random_range(-3i64..4);
+            assert!((-3..4).contains(&s));
+        }
+    }
+
+    #[test]
+    fn shuffle_permutes_in_place() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "shuffle left the slice fully ordered");
+    }
+}

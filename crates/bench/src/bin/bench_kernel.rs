@@ -7,20 +7,27 @@
 //! cargo run -p ips-bench --release --bin bench_kernel
 //! ```
 //!
-//! Three timings per (metric, n) cell, same inputs:
-//! - `naive`: one `sliding_min_dist{,_znorm}` call per query;
-//! - `kernel`: `batch_min_dist_with(.., ForceKernel)` — one series FFT
-//!   amortized over the batch, two queries per inverse transform;
-//! - `auto`: `batch_min_dist` — the production crossover heuristic,
-//!   which must track whichever of the two is faster.
+//! Three timings per (metric, n) cell, same inputs, all through the same
+//! `batch_min_dist_with` entry point so the comparison isolates the kernel
+//! and the crossover policy rather than call-shape differences:
+//! - `naive`: `ForceNaive` — the early-abandoning sliding loops;
+//! - `kernel`: `ForceKernel` — one series FFT amortized over the batch,
+//!   two queries per inverse transform;
+//! - `auto`: the production crossover heuristic, which must track
+//!   whichever of the two is faster.
+//!
+//! Timings are per-arm minima over many short (~0.25 ms) interleaved
+//! samples. On a shared 1-CPU container interference is heavy (paired
+//! samples of *identical* code span ±15% at the 10th/90th percentile);
+//! short samples are rarely contaminated, and with hundreds of reps every
+//! arm's minimum converges to the same noise-free floor — measured
+//! identical-code ratios land within ±0.3% where medians of paired
+//! ratios still wander by ±2%.
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use ips_distance::{
-    batch_min_dist, batch_min_dist_with, sliding_min_dist, sliding_min_dist_znorm, KernelPolicy,
-    Metric,
-};
+use ips_distance::{batch_min_dist, batch_min_dist_with, KernelPolicy, Metric};
 
 /// Deterministic pseudo-random stream (splitmix64) — benchmark inputs
 /// must not depend on an RNG crate or wall-clock seeding.
@@ -55,17 +62,28 @@ fn series(n: usize, seed: u64) -> Vec<f64> {
         .collect()
 }
 
-/// Median wall-clock (ms) of `reps` runs of `f`.
-fn time_ms<F: FnMut()>(reps: usize, mut f: F) -> f64 {
-    let mut samples: Vec<f64> = (0..reps)
-        .map(|_| {
-            let t = Instant::now();
-            f();
-            t.elapsed().as_secs_f64() * 1e3
-        })
-        .collect();
-    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
-    samples[samples.len() / 2]
+/// One wall-clock sample (ms per call) of `f`, looped `iters` times so the
+/// sample is long enough that timer granularity and scheduler jitter are a
+/// sub-percent effect even for the smallest grid cells.
+fn sample_ms<F: FnMut()>(f: &mut F, iters: usize) -> f64 {
+    let t = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    t.elapsed().as_secs_f64() * 1e3 / iters as f64
+}
+
+/// Pick an iteration count so one sample covers roughly 0.25 ms of work:
+/// long enough that timer granularity is a sub-percent effect, short
+/// enough that most samples dodge scheduler interference entirely.
+fn calibrate<F: FnMut()>(f: &mut F) -> usize {
+    let once = sample_ms(f, 1).max(1e-6);
+    ((0.25 / once).ceil() as usize).max(1)
+}
+
+/// Minimum of a sample vector (ms) — the noise-free floor.
+fn min_ms(samples: &[f64]) -> f64 {
+    samples.iter().copied().fold(f64::INFINITY, f64::min)
 }
 
 struct Case {
@@ -76,75 +94,126 @@ struct Case {
     naive_ms: f64,
     kernel_ms: f64,
     auto_ms: f64,
+    speedup_kernel: f64,
+    speedup_auto: f64,
 }
 
 fn main() {
     let lengths = [128usize, 256, 512, 1024, 2048];
     let num_queries = 32;
-    let reps = 9;
+    let reps = 150;
+    // Several independent passes over the whole grid, per-arm minima folded
+    // across them: a cell's samples then span well-separated time windows,
+    // so one noisy epoch (a neighbor burst, a frequency dip) cannot doom
+    // any single cell's floor.
+    let passes = 3;
 
     let mut cases: Vec<Case> = Vec::new();
+    for pass in 0..passes {
+        let mut idx = 0;
+        for metric in [Metric::ZNormEuclidean, Metric::MeanSquared] {
+            let name = match metric {
+                Metric::ZNormEuclidean => "znorm",
+                Metric::MeanSquared => "mean_sq",
+            };
+            for &n in &lengths {
+                // mid-grid shapelet length (the IPS ratio grid spans 0.1–0.5)
+                let m = n / 4;
+                let s = series(n, 0xBE7C_u64 + n as u64);
+                let source = series(n + num_queries, 0xF00D_u64 + n as u64);
+                let queries: Vec<&[f64]> = (0..num_queries).map(|i| &source[i..i + m]).collect();
+
+                let mut run_naive = || {
+                    std::hint::black_box(batch_min_dist_with(
+                        &queries,
+                        &s,
+                        metric,
+                        KernelPolicy::ForceNaive,
+                    ));
+                };
+                let mut run_kernel = || {
+                    std::hint::black_box(batch_min_dist_with(
+                        &queries,
+                        &s,
+                        metric,
+                        KernelPolicy::ForceKernel,
+                    ));
+                };
+                let mut run_auto = || {
+                    std::hint::black_box(batch_min_dist(&queries, &s, metric));
+                };
+                let naive_iters = calibrate(&mut run_naive);
+                let kernel_iters = calibrate(&mut run_kernel);
+                let auto_iters = calibrate(&mut run_auto);
+                let mut naive_samples = Vec::with_capacity(reps);
+                let mut kernel_samples = Vec::with_capacity(reps);
+                let mut auto_samples = Vec::with_capacity(reps);
+                // Rotate the arm order each rep: a fixed order hands each
+                // arm a fixed predecessor (e.g. `auto` always running on the
+                // cache the FFT arm just trashed), which shows up as a
+                // reproducible 1–3% bias between arms that execute identical
+                // code.
+                for rep in 0..reps {
+                    for slot in 0..3 {
+                        match (rep + slot) % 3 {
+                            0 => naive_samples.push(sample_ms(&mut run_naive, naive_iters)),
+                            1 => kernel_samples.push(sample_ms(&mut run_kernel, kernel_iters)),
+                            _ => auto_samples.push(sample_ms(&mut run_auto, auto_iters)),
+                        }
+                    }
+                }
+                let naive_ms = min_ms(&naive_samples);
+                let kernel_ms = min_ms(&kernel_samples);
+                let auto_ms = min_ms(&auto_samples);
+                if pass == 0 {
+                    cases.push(Case {
+                        metric: name,
+                        n,
+                        m,
+                        queries: num_queries,
+                        naive_ms,
+                        kernel_ms,
+                        auto_ms,
+                        speedup_kernel: 0.0,
+                        speedup_auto: 0.0,
+                    });
+                } else {
+                    let c = &mut cases[idx];
+                    c.naive_ms = c.naive_ms.min(naive_ms);
+                    c.kernel_ms = c.kernel_ms.min(kernel_ms);
+                    c.auto_ms = c.auto_ms.min(auto_ms);
+                }
+                idx += 1;
+            }
+        }
+    }
+
     println!("batch FFT/MASS kernel vs naive sliding loop ({num_queries} queries per batch)\n");
     println!(
         "{:<14} {:>6} {:>6} {:>12} {:>12} {:>12} {:>9} {:>9}",
         "metric", "n", "m", "naive ms", "kernel ms", "auto ms", "kern x", "auto x"
     );
-    for metric in [Metric::ZNormEuclidean, Metric::MeanSquared] {
-        let name = match metric {
-            Metric::ZNormEuclidean => "znorm",
-            Metric::MeanSquared => "mean_sq",
-        };
-        for &n in &lengths {
-            // mid-grid shapelet length (the IPS ratio grid spans 0.1–0.5)
-            let m = n / 4;
-            let s = series(n, 0xBE7C_u64 + n as u64);
-            let source = series(n + num_queries, 0xF00D_u64 + n as u64);
-            let queries: Vec<&[f64]> = (0..num_queries).map(|i| &source[i..i + m]).collect();
-
-            let naive_ms = time_ms(reps, || {
-                for q in &queries {
-                    let d = match metric {
-                        Metric::MeanSquared => sliding_min_dist(q, &s),
-                        Metric::ZNormEuclidean => sliding_min_dist_znorm(q, &s),
-                    };
-                    std::hint::black_box(d);
-                }
-            });
-            let kernel_ms = time_ms(reps, || {
-                std::hint::black_box(batch_min_dist_with(
-                    &queries,
-                    &s,
-                    metric,
-                    KernelPolicy::ForceKernel,
-                ));
-            });
-            let auto_ms = time_ms(reps, || {
-                std::hint::black_box(batch_min_dist(&queries, &s, metric));
-            });
-
-            println!(
-                "{name:<14} {n:>6} {m:>6} {naive_ms:>12.4} {kernel_ms:>12.4} {auto_ms:>12.4} \
-                 {:>8.2}x {:>8.2}x",
-                naive_ms / kernel_ms,
-                naive_ms / auto_ms,
-            );
-            cases.push(Case {
-                metric: name,
-                n,
-                m,
-                queries: num_queries,
-                naive_ms,
-                kernel_ms,
-                auto_ms,
-            });
-        }
+    for c in &mut cases {
+        c.speedup_kernel = c.naive_ms / c.kernel_ms;
+        c.speedup_auto = c.naive_ms / c.auto_ms;
+        println!(
+            "{:<14} {:>6} {:>6} {:>12.4} {:>12.4} {:>12.4} {:>8.2}x {:>8.2}x",
+            c.metric,
+            c.n,
+            c.m,
+            c.naive_ms,
+            c.kernel_ms,
+            c.auto_ms,
+            c.speedup_kernel,
+            c.speedup_auto
+        );
     }
 
     // hand-rolled JSON: the workspace deliberately carries no serde
     let mut json = String::from("{\n  \"bench\": \"kernel\",\n  \"queries_per_batch\": ");
     let _ = write!(
         json,
-        "{num_queries},\n  \"timing\": \"median_of_{reps}_ms\",\n  \"cases\": [\n"
+        "{num_queries},\n  \"timing\": \"min_of_{passes}x{reps}_short_samples_ms\",\n  \"cases\": [\n"
     );
     for (i, c) in cases.iter().enumerate() {
         let _ = writeln!(
@@ -159,8 +228,8 @@ fn main() {
             c.naive_ms,
             c.kernel_ms,
             c.auto_ms,
-            c.naive_ms / c.kernel_ms,
-            c.naive_ms / c.auto_ms,
+            c.speedup_kernel,
+            c.speedup_auto,
             if i + 1 < cases.len() { "," } else { "" },
         );
     }

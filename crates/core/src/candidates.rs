@@ -163,10 +163,12 @@ impl CandidatePool {
 /// Runs Algorithm 1 over a training set.
 ///
 /// Sampling is deterministic in `config.seed`, and the RNG stream is
-/// derived **per class**, so [`crate::parallel::generate_candidates_parallel`]
-/// produces bit-identical pools. Classes whose instances are shorter than
-/// the smallest candidate length contribute nothing (and the caller's
-/// pipeline will surface that as an error).
+/// derived **per (class, sample)** — see [`generate_sample`] — so the
+/// scheduler-parallel path ([`crate::parallel::generate_candidates_parallel`])
+/// produces bit-identical pools at every thread count and chunk size.
+/// Classes whose instances are shorter than the smallest candidate length
+/// contribute nothing (and the caller's pipeline will surface that as an
+/// error).
 pub fn generate_candidates(train: &Dataset, config: &IpsConfig) -> CandidatePool {
     let mut pool = CandidatePool::default();
     for class in train.classes() {
@@ -177,30 +179,57 @@ pub fn generate_candidates(train: &Dataset, config: &IpsConfig) -> CandidatePool
     pool
 }
 
-/// Algorithm 1's inner loop for a single class — the parallel unit of
-/// work. Deterministic in `(config.seed, class)`.
+/// Algorithm 1's inner loop for a single class: all of its samples, in
+/// sample order. Deterministic in `(config.seed, class)`.
 pub fn generate_for_class(train: &Dataset, class: u32, config: &IpsConfig) -> Vec<Candidate> {
+    (0..config.num_samples.max(1))
+        .flat_map(|sample_idx| generate_sample(train, class, sample_idx, config))
+        .collect()
+}
+
+/// One sample of Algorithm 1 — the scheduler's unit of work: draw the
+/// `sample_idx`-th sample of `class`, concatenate it, and extract the
+/// motif/discord candidates at every candidate length.
+///
+/// The RNG is seeded from the `(config.seed, class, sample_idx)` triple
+/// (splitmix64-style finalizer), so any decomposition of the sample grid
+/// — sequential, class-parallel, or chunked work items — concatenates the
+/// same per-sample outputs in the same order: bit-identical pools, no
+/// shared RNG stream to serialize.
+pub fn generate_sample(
+    train: &Dataset,
+    class: u32,
+    sample_idx: usize,
+    config: &IpsConfig,
+) -> Vec<Candidate> {
     let members = train.class_indices(class);
     if members.is_empty() {
         return Vec::new();
     }
-    let mut rng =
-        StdRng::seed_from_u64(config.seed ^ (class as u64).wrapping_mul(0x9E3779B97F4A7C15));
-    let mut pool = CandidatePool::default();
-    for _ in 0..config.num_samples.max(1) {
-        let sample = draw_sample(&members, config.sample_size, &mut rng);
-        let concat =
-            ClassConcat::from_instances(sample.iter().map(|&i| (i, train.series(i).values())));
-        let n = sample
-            .iter()
-            .map(|&i| train.series(i).len())
-            .min()
-            .unwrap_or(0);
-        for len in config.lengths_for(n) {
-            extract_motif_discord(&concat, len, class, config, &mut pool);
-        }
+    let mut rng = StdRng::seed_from_u64(sample_seed(config.seed, class, sample_idx));
+    let sample = draw_sample(&members, config.sample_size, &mut rng);
+    let concat = ClassConcat::from_instances(sample.iter().map(|&i| (i, train.series(i).values())));
+    let n = sample
+        .iter()
+        .map(|&i| train.series(i).len())
+        .min()
+        .unwrap_or(0);
+    let mut out = Vec::new();
+    for len in config.lengths_for(n) {
+        extract_motif_discord(&concat, len, class, config, &mut out);
     }
-    pool.classes.into_iter().flat_map(|(_, v)| v).collect()
+    out
+}
+
+/// Splitmix64-style finalizer over the `(seed, class, sample)` triple —
+/// well-separated streams even for adjacent classes and sample indices.
+fn sample_seed(seed: u64, class: u32, sample_idx: usize) -> u64 {
+    let mut z = seed
+        ^ (class as u64).wrapping_mul(0x9E3779B97F4A7C15)
+        ^ (sample_idx as u64 + 1).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
 }
 
 /// Draws `q_s` distinct instances (all of them when the class is smaller),
@@ -218,14 +247,14 @@ fn extract_motif_discord(
     len: usize,
     class: u32,
     config: &IpsConfig,
-    pool: &mut CandidatePool,
+    out: &mut Vec<Candidate>,
 ) {
     let ip = InstanceProfile::compute(concat, len, config.metric);
     let mut push = |entry: ips_profile::ProfileEntry, kind: CandidateKind| {
         let values = concat.values()[entry.start..entry.start + len].to_vec();
         let (inst, offset) = concat.to_instance_coords(entry.start);
         let embedded = embed(&values, config.embed_dim());
-        pool.push(Candidate {
+        out.push(Candidate {
             values,
             class,
             kind,

@@ -20,12 +20,14 @@
 //! [`StageCounters`]) into a [`RunReport`], and an optional
 //! [`StageObserver`] sees each report the moment the stage finishes.
 //!
-//! Parallelism never changes results: candidate generation derives its
-//! RNG per class, and pruning survivors / utility scores are pure
-//! per-class functions of the immutable pool and filters, so per-class
-//! tasks commute. The engine computes per-class results in parallel and
-//! applies them sequentially in class order — bit-identical to the
-//! sequential path at any thread count (enforced by the
+//! Parallelism never changes results: stages decompose into
+//! [`crate::schedule::WorkItem`] ranges *within* each class (generation
+//! samples, pruning probe ranges, unique-distance batches), each item a
+//! pure function of immutable inputs, and item outputs merge in fixed
+//! class-major order. The partition depends only on the workload and the
+//! [`chunk_size`](crate::IpsConfig::chunk_size) knob — never the thread
+//! count — so results *and* counters are bit-identical to the sequential
+//! path at any thread count and chunk size (enforced by the
 //! `engine_equivalence` test suite).
 //!
 //! **Robustness contract** (DESIGN.md §10): the engine never aborts on
@@ -55,9 +57,14 @@ use crate::config::IpsConfig;
 use crate::error::IpsError;
 use crate::fault::FaultPlan;
 use crate::pipeline::{DiscoveryResult, PipelineError, StageTimings};
-use crate::pruning::{apply_survivors, build_dabf, dabf_survivors, naive_filters, naive_survivors};
+use crate::pruning::{
+    apply_survivors, build_dabf, dabf_survivors_range, naive_filters, naive_survivors_range,
+};
+use crate::schedule::TaskPartition;
 use crate::topk::select_class_from_scores;
-use crate::utility::{score_class, ScoreMode};
+use crate::utility::{
+    compute_min_dist, exact_request_plan, score_class, score_exact_replay, ClassRequests, ScoreMode,
+};
 
 // ---------------------------------------------------------------------------
 // Telemetry: stages, counters, reports, observers
@@ -122,6 +129,12 @@ pub struct StageCounters {
     /// `kernel_evals`, so the partition `utility_evals == kernel_evals +
     /// cache_hits` is undisturbed.
     pub kernel_fallbacks: usize,
+    /// Work items the stage dispatched through the scheduler
+    /// ([`crate::schedule::TaskPartition`]). A pure function of the
+    /// workload and the `chunk_size` knob — invariant across thread
+    /// counts (asserted by the obs integration suite), but it *does*
+    /// change with `chunk_size` by definition.
+    pub sched_items: usize,
 }
 
 impl StageCounters {
@@ -135,13 +148,14 @@ impl StageCounters {
             kernel_evals: self.kernel_evals + other.kernel_evals,
             cache_hits: self.cache_hits + other.cache_hits,
             kernel_fallbacks: self.kernel_fallbacks + other.kernel_fallbacks,
+            sched_items: self.sched_items + other.sched_items,
         }
     }
 
     /// The counters as `(name, value)` pairs — the single source of the
     /// field names used in metrics keys, serialized records, and the
     /// rendered table, so the three views cannot drift apart.
-    pub fn fields(&self) -> [(&'static str, usize); 7] {
+    pub fn fields(&self) -> [(&'static str, usize); 8] {
         [
             ("candidates_in", self.candidates_in),
             ("candidates_out", self.candidates_out),
@@ -150,6 +164,7 @@ impl StageCounters {
             ("kernel_evals", self.kernel_evals),
             ("cache_hits", self.cache_hits),
             ("kernel_fallbacks", self.kernel_fallbacks),
+            ("sched_items", self.sched_items),
         ]
     }
 }
@@ -244,11 +259,11 @@ impl RunReport {
     /// Renders a fixed-width per-stage table (used by the bench bins).
     pub fn render_table(&self) -> String {
         let mut out = String::from(
-            "stage           time_ms      in     out  probes   evals  kevals    hits  fbacks\n",
+            "stage           time_ms      in     out  probes   evals  kevals    hits  fbacks   items\n",
         );
         for r in &self.stages {
             out.push_str(&format!(
-                "{:<14} {:>8.2} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7}\n",
+                "{:<14} {:>8.2} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7}\n",
                 r.stage.name(),
                 r.elapsed.as_secs_f64() * 1e3,
                 r.counters.candidates_in,
@@ -258,6 +273,7 @@ impl RunReport {
                 r.counters.kernel_evals,
                 r.counters.cache_hits,
                 r.counters.kernel_fallbacks,
+                r.counters.sched_items,
             ));
         }
         out.push_str(&format!(
@@ -331,9 +347,12 @@ impl WorkerPool {
     }
 
     /// Evaluates `f(0), …, f(n-1)` and returns the results in index
-    /// order. With more than one worker the tasks run on scoped threads,
-    /// each writing into its own disjoint chunk of the result vector —
-    /// no shared mutex, no ordering dependence on the scheduler.
+    /// order. With more than one worker the tasks self-schedule: workers
+    /// claim the next unclaimed index from a shared atomic counter, so an
+    /// expensive task never strands the rest of a pre-assigned chunk on
+    /// one thread. Each worker accumulates `(index, result)` pairs
+    /// privately and the results are merged in index order after the
+    /// scope joins — claim order never influences the output.
     ///
     /// A panicking task re-panics here (with the original message in the
     /// payload) after every sibling has finished; callers that must not
@@ -368,16 +387,37 @@ impl WorkerPool {
         let slots: Vec<Result<T, String>> = if threads <= 1 {
             (0..n).map(catch).collect()
         } else {
+            use std::sync::atomic::{AtomicUsize, Ordering};
             let mut slots: Vec<Option<Result<T, String>>> = (0..n).map(|_| None).collect();
-            let chunk = n.div_ceil(threads);
+            let next = AtomicUsize::new(0);
             std::thread::scope(|scope| {
-                for (t, slice) in slots.chunks_mut(chunk).enumerate() {
-                    let catch = &catch;
-                    scope.spawn(move || {
-                        for (j, slot) in slice.iter_mut().enumerate() {
-                            *slot = Some(catch(t * chunk + j));
+                let handles: Vec<_> = (0..threads)
+                    .map(|_| {
+                        let catch = &catch;
+                        let next = &next;
+                        scope.spawn(move || {
+                            let mut local = Vec::new();
+                            loop {
+                                let i = next.fetch_add(1, Ordering::Relaxed);
+                                if i >= n {
+                                    break;
+                                }
+                                local.push((i, catch(i)));
+                            }
+                            local
+                        })
+                    })
+                    .collect();
+                for handle in handles {
+                    // The task body is panic-caught by `catch`, so a join
+                    // error cannot carry a lost result; an (impossible)
+                    // harness panic would leave a hole and trip the
+                    // "every index evaluated" check below.
+                    if let Ok(local) = handle.join() {
+                        for (i, result) in local {
+                            slots[i] = Some(result);
                         }
-                    });
+                    }
                 }
             });
             slots
@@ -452,6 +492,7 @@ pub struct ExecContext<'o> {
     observer: Option<&'o mut dyn StageObserver>,
     faults: FaultPlan,
     deadline: Option<Instant>,
+    sched_notes: Vec<(Stage, usize)>,
 }
 
 impl<'o> ExecContext<'o> {
@@ -465,6 +506,7 @@ impl<'o> ExecContext<'o> {
             observer: None,
             faults: FaultPlan::default(),
             deadline: None,
+            sched_notes: Vec::new(),
         }
     }
 
@@ -526,11 +568,32 @@ impl<'o> ExecContext<'o> {
         std::mem::take(self.scratch.dist_cache())
     }
 
-    /// Records a finished stage: forwards it to the observer, appends it
-    /// to the run report, and mirrors it into the metrics registry (a
+    /// Buffers a stage's scheduler work-item count until that stage's
+    /// [`record`](ExecContext::record) call drains it into the stage
+    /// counters. Stage-keyed rather than "most recent" because a stage
+    /// body may run before an *earlier* stage label is recorded (the
+    /// pruner executes before both the `DabfBuild` and `Pruning` records
+    /// are written).
+    pub fn note_sched_items(&mut self, stage: Stage, items: usize) {
+        self.sched_notes.push((stage, items));
+    }
+
+    /// Records a finished stage: drains any buffered
+    /// [`note_sched_items`](ExecContext::note_sched_items) for it into
+    /// the counters, forwards the report to the observer, appends it to
+    /// the run report, and mirrors it into the metrics registry (a
     /// `stage.{name}` span plus `{name}.{counter}` counters, matching
     /// [`RunReport::to_metrics`]).
     pub fn record(&mut self, stage: Stage, elapsed: Duration, counters: StageCounters) {
+        let mut counters = counters;
+        self.sched_notes.retain(|&(s, items)| {
+            if s == stage {
+                counters.sched_items += items;
+                false
+            } else {
+                true
+            }
+        });
         let report = StageReport {
             stage,
             elapsed,
@@ -888,9 +951,11 @@ fn guard<T>(stage: Stage, f: impl FnOnce() -> Result<T, IpsError>) -> Result<T, 
 // Default IPS stage implementations
 // ---------------------------------------------------------------------------
 
-/// Algorithm 1 as a [`CandidateSource`]: class-parallel instance-profile
-/// sampling. Bit-identical at any worker count because each class derives
-/// its own RNG stream from `(seed, class)`.
+/// Algorithm 1 as a [`CandidateSource`]: sample-granular instance-profile
+/// sampling on the work-item scheduler. Bit-identical at any worker count
+/// and chunk size because each *(class, sample)* pair derives its own RNG
+/// stream from `(seed, class, sample)` and items merge in class-major,
+/// sample order.
 pub struct ProfileCandidateSource {
     config: IpsConfig,
 }
@@ -904,19 +969,52 @@ impl ProfileCandidateSource {
 
 impl CandidateSource for ProfileCandidateSource {
     fn generate(&self, train: &Dataset, ctx: &mut ExecContext) -> Result<CandidatePool, IpsError> {
-        Ok(crate::parallel::generate_with_pool(
-            train,
-            &self.config,
-            ctx.workers(),
-        ))
+        let (pool, items) = crate::parallel::generate_with_pool(train, &self.config, ctx.workers());
+        ctx.note_sched_items(Stage::CandidateGen, items);
+        Ok(pool)
     }
 }
 
-/// Algorithms 2 & 3 as a [`Pruner`]: build the DABF, then prune
-/// class-parallel. Survivor flags are a pure function of the immutable
-/// filter and each class's own candidate list, so the parallel flags are
-/// identical to the sequential ones; applying them in class order makes
-/// the whole stage bit-identical.
+/// Partitions each class's candidate list into probe ranges, evaluates
+/// `survivors` over every range on the scheduler, and applies the
+/// concatenated flags per class. Shared skeleton of [`DabfPruner`] and
+/// [`NaivePruner`]: each flag is a pure function of the immutable
+/// filter(s) and one candidate, and probe counts sum, so any chunking
+/// reproduces the sequential pass bit-for-bit.
+fn prune_scheduled(
+    pool: &mut CandidatePool,
+    ctx: &mut ExecContext,
+    chunk: crate::schedule::ChunkSize,
+    survivors: impl Fn(&CandidatePool, u32, usize, usize) -> (Vec<bool>, usize) + Sync,
+) -> (usize, usize) {
+    let classes = pool.classes();
+    let units: Vec<usize> = classes.iter().map(|&c| pool.of_class(c).len()).collect();
+    let partition = TaskPartition::new(&units, chunk);
+    ctx.note_sched_items(Stage::Pruning, partition.len());
+    let workers = ctx.workers();
+    let per_item = {
+        let pool = &*pool;
+        partition.run(&workers, |item| {
+            survivors(pool, classes[item.class_idx], item.start, item.end)
+        })
+    };
+    let mut pruned = 0;
+    let mut probes = 0;
+    for (&class, chunks) in classes.iter().zip(partition.group_by_class(per_item)) {
+        let mut flags = Vec::new();
+        for (chunk_flags, chunk_probes) in chunks {
+            flags.extend(chunk_flags);
+            probes += chunk_probes;
+        }
+        pruned += apply_survivors(pool, class, &flags);
+    }
+    (pruned, probes)
+}
+
+/// Algorithms 2 & 3 as a [`Pruner`]: build the DABF, then prune on the
+/// work-item scheduler — each class's candidate list is cut into probe
+/// ranges so the whole pool's pruning work load-balances across every
+/// worker even on a 2-class dataset.
 pub struct DabfPruner {
     config: IpsConfig,
 }
@@ -937,16 +1035,9 @@ impl Pruner for DabfPruner {
         let t = Instant::now();
         let dabf = build_dabf(pool, &self.config);
         let dabf_build = t.elapsed();
-        let classes = pool.classes();
-        let per_class = ctx
-            .workers()
-            .run(classes.len(), |i| dabf_survivors(&*pool, &dabf, classes[i]));
-        let mut pruned = 0;
-        let mut probes = 0;
-        for (&class, (survivors, class_probes)) in classes.iter().zip(per_class) {
-            probes += class_probes;
-            pruned += apply_survivors(pool, class, &survivors);
-        }
+        let (pruned, probes) = prune_scheduled(pool, ctx, self.config.chunk_size, |p, c, s, e| {
+            dabf_survivors_range(p, &dabf, c, s, e)
+        });
         Ok(PruneOutcome {
             pruned,
             dabf: Some(dabf),
@@ -957,7 +1048,8 @@ impl Pruner for DabfPruner {
 }
 
 /// The quadratic reference pruner (Fig. 10a's "no DABF" ablation) behind
-/// the same trait: naive per-class filters, class-parallel queries.
+/// the same trait: naive per-class filters, probe ranges scheduled the
+/// same way as [`DabfPruner`].
 pub struct NaivePruner {
     config: IpsConfig,
 }
@@ -976,16 +1068,9 @@ impl Pruner for NaivePruner {
         ctx: &mut ExecContext,
     ) -> Result<PruneOutcome, IpsError> {
         let filters = naive_filters(pool, &self.config);
-        let classes = pool.classes();
-        let per_class = ctx.workers().run(classes.len(), |i| {
-            naive_survivors(&*pool, &filters, classes[i])
+        let (pruned, probes) = prune_scheduled(pool, ctx, self.config.chunk_size, |p, c, s, e| {
+            naive_survivors_range(p, &filters, c, s, e)
         });
-        let mut pruned = 0;
-        let mut probes = 0;
-        for (&class, (survivors, class_probes)) in classes.iter().zip(per_class) {
-            probes += class_probes;
-            pruned += apply_survivors(pool, class, &survivors);
-        }
         Ok(PruneOutcome {
             pruned,
             dabf: None,
@@ -1014,10 +1099,31 @@ impl Pruner for NoopPruner {
     }
 }
 
-/// Algorithm 4 as a [`Selector`]: per-class utility scoring (exact or
-/// DT+CR) followed by the diversity-guarded priority-queue poll. Scores
-/// are a pure per-class function of the pool, so scoring runs
-/// class-parallel; the poll applies sequentially in class order.
+/// Algorithm 4 as a [`Selector`]: utility scoring (exact or DT+CR)
+/// followed by the diversity-guarded priority-queue poll.
+///
+/// The exact path runs as a three-pass scheduler pipeline that is
+/// bit-identical to sequential scoring at any thread count *and* chunk
+/// size:
+///
+/// 1. **Record** — [`exact_request_plan`] enumerates each class's
+///    sliding-distance requests without computing any (the scoring core
+///    has no distance-value-dependent control flow) and dedupes them by
+///    the cache's own memo key.
+/// 2. **Compute** — the per-class *unique* request lists are cut into
+///    [`TaskPartition`] batches; each batch resolves its slice against a
+///    fresh cache shard. All keys in a class are distinct, so shard
+///    counters sum to exactly the sequential memo's evals regardless of
+///    where the batch boundaries fall.
+/// 3. **Replay** — [`score_exact_replay`] re-runs the scoring core
+///    sequentially per class, feeding request *r* its precomputed
+///    distance: the floating-point accumulation order is the sequential
+///    path's, untouched by the chunking.
+///
+/// DT+CR scores over a class's rank table are inherently class-granular
+/// and run on a [`TaskPartition::per_class`] partition; a wall-clock
+/// budget forces the legacy sequential path (the deadline is checked
+/// between classes).
 pub struct UtilitySelector {
     config: IpsConfig,
 }
@@ -1075,40 +1181,89 @@ impl Selector for UtilitySelector {
         // A wall-clock budget forces the sequential path: the deadline is
         // checked between classes, and at least one class is always
         // scored so a degraded run still yields its best-so-far.
-        let scored: Vec<(Vec<f64>, usize, Option<DistCache>)> =
-            if workers.threads() <= 1 || deadline.is_some() {
-                // Sequential path: reuse one scratch accumulator across
-                // all classes instead of reallocating per class.
-                let mut buf = ctx.scratch().take_f64();
-                let mut out = Vec::with_capacity(classes.len());
-                for (i, &c) in classes.iter().enumerate() {
-                    if i > 0 && deadline.is_some_and(|d| Instant::now() >= d) {
-                        degraded = true;
-                        break;
-                    }
-                    let mut cache = make_cache();
-                    let (scores, evals) =
-                        score_class(pool, train, &self.config, c, mode, &mut buf, cache.as_mut());
-                    out.push((scores, evals, cache));
+        let scored: Vec<(Vec<f64>, usize, Option<DistCache>)> = if deadline.is_some() {
+            // Sequential path: reuse one scratch accumulator across
+            // all classes instead of reallocating per class.
+            let mut buf = ctx.scratch().take_f64();
+            let mut out = Vec::with_capacity(classes.len());
+            for (i, &c) in classes.iter().enumerate() {
+                if i > 0 && deadline.is_some_and(|d| Instant::now() >= d) {
+                    degraded = true;
+                    break;
                 }
-                ctx.scratch().recycle_f64(buf);
-                out
-            } else {
-                workers.run(classes.len(), |i| {
-                    let mut buf = Vec::new();
-                    let mut cache = make_cache();
-                    let (scores, evals) = score_class(
-                        pool,
-                        train,
-                        &self.config,
-                        classes[i],
-                        mode,
-                        &mut buf,
-                        cache.as_mut(),
-                    );
-                    (scores, evals, cache)
-                })
-            };
+                let mut cache = make_cache();
+                let (scores, evals) =
+                    score_class(pool, train, &self.config, c, mode, &mut buf, cache.as_mut());
+                out.push((scores, evals, cache));
+            }
+            ctx.scratch().recycle_f64(buf);
+            out
+        } else if let ScoreMode::DtCr(_) = mode {
+            // Rank-table scoring is class-granular by nature: one work
+            // item per class (every listed class holds ≥ 1 candidate, so
+            // items align 1:1 with `classes` in class order).
+            let units: Vec<usize> = classes.iter().map(|&c| pool.of_class(c).len()).collect();
+            let partition = TaskPartition::per_class(&units);
+            ctx.note_sched_items(Stage::TopK, partition.len());
+            partition.run(&workers, |item| {
+                let mut buf = Vec::new();
+                let (scores, evals) = score_class(
+                    pool,
+                    train,
+                    &self.config,
+                    classes[item.class_idx],
+                    mode,
+                    &mut buf,
+                    None,
+                );
+                (scores, evals, None)
+            })
+        } else {
+            // Exact scoring: record → compute (scheduled) → replay.
+            let plans: Vec<ClassRequests> = classes
+                .iter()
+                .map(|&c| exact_request_plan(pool, train, &self.config, c))
+                .collect();
+            let units: Vec<usize> = plans.iter().map(|p| p.unique.len()).collect();
+            let partition = TaskPartition::new(&units, self.config.chunk_size);
+            ctx.note_sched_items(Stage::TopK, partition.len());
+            let metric = self.config.metric;
+            let per_item = partition.run(&workers, |item| {
+                let mut cache = make_cache();
+                let dists: Vec<f64> = plans[item.class_idx].unique[item.start..item.end]
+                    .iter()
+                    .map(|&(a, b)| compute_min_dist(a, b, metric, cache.as_mut()))
+                    .collect();
+                (dists, cache)
+            });
+            let grouped = partition.group_by_class(per_item);
+            let mut buf = ctx.scratch().take_f64();
+            let mut out = Vec::with_capacity(classes.len());
+            for ((&c, plan), chunks) in classes.iter().zip(&plans).zip(grouped) {
+                let mut unique_dists = Vec::with_capacity(plan.unique.len());
+                let mut class_cache: Option<DistCache> = None;
+                for (dists, shard) in chunks {
+                    unique_dists.extend(dists);
+                    if let Some(shard) = shard {
+                        match class_cache.as_mut() {
+                            Some(cc) => cc.absorb(shard),
+                            None => class_cache = Some(shard),
+                        }
+                    }
+                }
+                if let Some(cc) = class_cache.as_mut() {
+                    // The requests a sequential per-class memo would have
+                    // served from its memo — deduped up front here, so
+                    // they never reached a shard.
+                    cc.note_hits(plan.duplicate_requests());
+                }
+                let (scores, evals) =
+                    score_exact_replay(pool, train, &self.config, c, &mut buf, plan, &unique_dists);
+                out.push((scores, evals, class_cache));
+            }
+            ctx.scratch().recycle_f64(buf);
+            out
+        };
         let mut shapelets = Vec::new();
         let mut utility_evals = 0;
         let mut cache_stats = CacheStats::default();

@@ -41,6 +41,7 @@ pub mod multivariate;
 pub mod parallel;
 pub mod pipeline;
 pub mod pruning;
+pub mod schedule;
 pub mod topk;
 pub mod utility;
 
@@ -57,5 +58,6 @@ pub use fault::{FaultPlan, FaultStage};
 pub use multivariate::{MultivariateDataset, MultivariateIps};
 pub use pipeline::{DiscoveryResult, DiscoveryStats, IpsClassifier, IpsDiscovery, StageTimings};
 pub use pruning::{build_dabf, prune_naive, prune_with_dabf};
+pub use schedule::{ChunkSize, TaskPartition, WorkItem};
 pub use topk::{select_top_k, TopKStrategy};
 pub use utility::{score_exact, score_exact_with_cache};

@@ -1,48 +1,60 @@
 //! Multi-threaded candidate generation — the "distributed IPS" direction
-//! named as future work in the paper's conclusion, realized here as
-//! class-parallel generation on the engine's [`WorkerPool`].
+//! named as future work in the paper's conclusion, realized on the
+//! work-item scheduler ([`crate::schedule`]): the unit of work is one
+//! *(class, sample)* pair, so generation fans out across the full
+//! [`WorkerPool`] even on a 2-class dataset.
 //!
-//! Because [`crate::candidates::generate_for_class`] derives its RNG from
-//! `(seed, class)`, the parallel pool is **bit-identical** to the
-//! sequential one regardless of thread interleaving: each worker writes
-//! into its own disjoint result slot ([`WorkerPool::run`] preserves index
-//! order), and the per-class batches merge in class order.
+//! Because [`crate::candidates::generate_sample`] derives its RNG from
+//! `(seed, class, sample)`, the parallel pool is **bit-identical** to the
+//! sequential one regardless of thread interleaving or chunk size: items
+//! come back in fixed class-major, sample-ordered merge order
+//! ([`TaskPartition::run`] preserves item order), so the concatenation is
+//! exactly the sequential loop's.
 
 use ips_tsdata::Dataset;
 
-use crate::candidates::{generate_for_class, CandidatePool};
+use crate::candidates::{generate_sample, CandidatePool};
 use crate::config::IpsConfig;
 use crate::engine::WorkerPool;
+use crate::schedule::TaskPartition;
 
-/// Parallel Algorithm 1: one task per class, executed on up to
-/// `num_threads` worker threads (clamped to the class count; `0` means
-/// the available parallelism).
+/// Parallel Algorithm 1 on the work-item scheduler: sample-granular
+/// chunks executed on up to `num_threads` worker threads (`0` means the
+/// available parallelism).
 pub fn generate_candidates_parallel(
     train: &Dataset,
     config: &IpsConfig,
     num_threads: usize,
 ) -> CandidatePool {
-    generate_with_pool(train, config, WorkerPool::new(num_threads))
+    generate_with_pool(train, config, WorkerPool::new(num_threads)).0
 }
 
 /// [`generate_candidates_parallel`] against an existing pool handle (the
-/// engine's candidate-source entry point).
+/// engine's candidate-source entry point). Also returns the number of
+/// scheduler work items dispatched (the stage's `sched_items` counter).
 pub(crate) fn generate_with_pool(
     train: &Dataset,
     config: &IpsConfig,
     workers: WorkerPool,
-) -> CandidatePool {
+) -> (CandidatePool, usize) {
     let classes = train.classes();
-    let per_class = workers.run(classes.len(), |i| {
-        generate_for_class(train, classes[i], config)
+    let units = vec![config.num_samples.max(1); classes.len()];
+    let partition = TaskPartition::new(&units, config.chunk_size);
+    let per_item = partition.run(&workers, |item| {
+        let class = classes[item.class_idx];
+        let mut out = Vec::new();
+        for sample_idx in item.start..item.end {
+            out.extend(generate_sample(train, class, sample_idx, config));
+        }
+        out
     });
     let mut pool = CandidatePool::default();
-    for cands in per_class {
+    for cands in per_item {
         for c in cands {
             pool.push(c);
         }
     }
-    pool
+    (pool, partition.len())
 }
 
 #[cfg(test)]
@@ -62,15 +74,19 @@ mod tests {
 
     #[test]
     fn parallel_matches_sequential_exactly() {
+        use crate::schedule::ChunkSize;
         let train = train(4);
-        let cfg = cfg();
-        let seq = generate_candidates(&train, &cfg);
+        let base = cfg();
+        let seq = generate_candidates(&train, &base);
         for threads in [1, 2, 4, 0] {
-            let par = generate_candidates_parallel(&train, &cfg, threads);
-            assert_eq!(par.len(), seq.len(), "threads={threads}");
-            let a: Vec<_> = seq.iter().map(|c| (&c.values, c.class)).collect();
-            let b: Vec<_> = par.iter().map(|c| (&c.values, c.class)).collect();
-            assert_eq!(a, b, "threads={threads}");
+            for chunk in [ChunkSize::Auto, ChunkSize::Fixed(1), ChunkSize::Fixed(3)] {
+                let cfg = base.clone().with_chunk_size(chunk);
+                let par = generate_candidates_parallel(&train, &cfg, threads);
+                assert_eq!(par.len(), seq.len(), "threads={threads} chunk={chunk:?}");
+                let a: Vec<_> = seq.iter().map(|c| (&c.values, c.class)).collect();
+                let b: Vec<_> = par.iter().map(|c| (&c.values, c.class)).collect();
+                assert_eq!(a, b, "threads={threads} chunk={chunk:?}");
+            }
         }
     }
 

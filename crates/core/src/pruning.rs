@@ -28,14 +28,28 @@ pub fn build_dabf(pool: &CandidatePool, config: &IpsConfig) -> Dabf {
 }
 
 /// Survivor flags for one class under the DABF, with the number of filter
-/// probes issued. A pure function of the immutable filter and the class's
-/// own candidate list — the class-parallel unit of Algorithm 3. The probe
-/// loop replicates [`Dabf::close_to_most_of_other_class`]'s short-circuit
-/// exactly, so flags (and probe counts) match the sequential path.
+/// probes issued. Computed over the full candidate range — see
+/// [`dabf_survivors_range`] for the scheduler's chunked unit.
 pub(crate) fn dabf_survivors(pool: &CandidatePool, dabf: &Dabf, class: u32) -> (Vec<bool>, usize) {
+    dabf_survivors_range(pool, dabf, class, 0, pool.of_class(class).len())
+}
+
+/// Survivor flags for candidates `start..end` of one class under the
+/// DABF — the scheduler's unit of Algorithm 3. Each flag is a pure
+/// function of the immutable filter and one candidate, and the probe
+/// count is a per-candidate sum, so concatenating range outputs in range
+/// order (and summing their probes) reproduces the sequential pass for
+/// *any* chunking. The probe loop replicates
+/// [`Dabf::close_to_most_of_other_class`]'s short-circuit exactly.
+pub(crate) fn dabf_survivors_range(
+    pool: &CandidatePool,
+    dabf: &Dabf,
+    class: u32,
+    start: usize,
+    end: usize,
+) -> (Vec<bool>, usize) {
     let mut probes = 0usize;
-    let survivors = pool
-        .of_class(class)
+    let survivors = pool.of_class(class)[start..end]
         .iter()
         .map(|cand| {
             let mut close = false;
@@ -115,9 +129,20 @@ pub(crate) fn naive_survivors(
     filters: &[(u32, NaiveMostFilter)],
     class: u32,
 ) -> (Vec<bool>, usize) {
+    naive_survivors_range(pool, filters, class, 0, pool.of_class(class).len())
+}
+
+/// Range-chunked unit of the naive pruning pass, mirroring
+/// [`dabf_survivors_range`].
+pub(crate) fn naive_survivors_range(
+    pool: &CandidatePool,
+    filters: &[(u32, NaiveMostFilter)],
+    class: u32,
+    start: usize,
+    end: usize,
+) -> (Vec<bool>, usize) {
     let mut probes = 0usize;
-    let survivors = pool
-        .of_class(class)
+    let survivors = pool.of_class(class)[start..end]
         .iter()
         .map(|cand| {
             let mut close = false;

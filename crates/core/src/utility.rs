@@ -14,10 +14,12 @@
 //! ordering while keeping the scores numerically distinct (recorded in
 //! DESIGN.md §2).
 
-use ips_distance::{sliding_min_dist, sliding_min_dist_znorm, DistCache};
+use ips_distance::{min_dist_key, sliding_min_dist, sliding_min_dist_znorm, DistCache};
 use ips_filter::Dabf;
 use ips_lsh::embed;
+use ips_profile::Metric;
 use ips_tsdata::Dataset;
+use std::collections::HashMap;
 
 use crate::candidates::{Candidate, CandidatePool};
 use crate::config::IpsConfig;
@@ -71,18 +73,49 @@ pub(crate) fn score_exact_counted(
     intra_sum: &mut Vec<f64>,
     cache: Option<&mut DistCache>,
 ) -> (Vec<f64>, usize) {
+    let mut cache = cache;
+    let metric = config.metric;
+    let mut dist = |a: &[f64], b: &[f64]| compute_min_dist(a, b, metric, cache.as_deref_mut());
+    score_exact_core(pool, train, config, class, intra_sum, &mut dist)
+}
+
+/// One sliding-distance request, resolved through the optional cache or
+/// the shared vectorized naive loops — the single dispatch every exact
+/// scoring path (sequential, cached, scheduler-chunked) goes through.
+pub(crate) fn compute_min_dist(
+    a: &[f64],
+    b: &[f64],
+    metric: Metric,
+    cache: Option<&mut DistCache>,
+) -> f64 {
+    match cache {
+        Some(c) => c.min_dist(a, b, metric).0,
+        None => match metric {
+            Metric::MeanSquared => sliding_min_dist(a, b).0,
+            Metric::ZNormEuclidean => sliding_min_dist_znorm(a, b).0,
+        },
+    }
+}
+
+/// The single source of exact-scoring arithmetic: every distance the
+/// utilities need is drawn from `dist`, and every floating-point
+/// accumulation happens here in one fixed order. The recording pass
+/// ([`exact_request_plan`]), the sequential path, and the scheduler's
+/// replay pass ([`score_exact_replay`]) all run *this* function — they
+/// cannot enumerate requests or combine distances differently, which is
+/// what makes chunked scoring bit-identical to sequential scoring.
+fn score_exact_core<'a>(
+    pool: &'a CandidatePool,
+    train: &'a Dataset,
+    _config: &IpsConfig,
+    class: u32,
+    intra_sum: &mut Vec<f64>,
+    dist: &mut dyn FnMut(&'a [f64], &'a [f64]) -> f64,
+) -> (Vec<f64>, usize) {
     let motifs: Vec<&Candidate> = pool.motifs_of(class).collect();
     if motifs.is_empty() {
         return (Vec::new(), 0);
     }
-    let mut cache = cache;
-    let mut dist = |a: &[f64], b: &[f64]| match cache.as_deref_mut() {
-        Some(c) => c.min_dist(a, b, config.metric).0,
-        None => match config.metric {
-            ips_profile::Metric::MeanSquared => sliding_min_dist(a, b).0,
-            ips_profile::Metric::ZNormEuclidean => sliding_min_dist_znorm(a, b).0,
-        },
-    };
     // CR: intra-class pairwise distances form a symmetric matrix computed
     // once (the paper: "we calculate the distances between every two
     // candidates, then combine the distances for each candidate's
@@ -105,7 +138,7 @@ pub(crate) fn score_exact_counted(
         .flat_map(|c| pool.of_class(c).iter())
         .collect();
     // Intra-instance: raw instances of the class.
-    let instances: Vec<&[f64]> = train
+    let instances: Vec<&'a [f64]> = train
         .class_indices(class)
         .into_iter()
         .map(|i| train.series(i).values())
@@ -131,10 +164,90 @@ pub(crate) fn score_exact_counted(
             u_intra - u_inter + u_dc
         })
         .collect();
-    // Every sliding distance computed: the symmetric intra matrix, one
+    // Every sliding distance requested: the symmetric intra matrix, one
     // per (motif, other-class candidate), one per (motif, own instance).
     let evals = n * (n - 1) / 2 + n * others.len() + n * instances.len();
     (scores, evals)
+}
+
+/// One class's exact-scoring request list, deduplicated by the distance
+/// cache's own memo key: `unique` holds the first occurrence of each
+/// distinct request (in request order), `req_to_unique[r]` maps the
+/// `r`-th request to its entry in `unique`.
+pub(crate) struct ClassRequests<'a> {
+    /// First occurrence of each distinct `(a, b)` request, request-ordered.
+    pub unique: Vec<(&'a [f64], &'a [f64])>,
+    /// Request index → index into `unique`.
+    pub req_to_unique: Vec<usize>,
+}
+
+impl ClassRequests<'_> {
+    /// Requests a sequential memo would have served from its memo: every
+    /// repeat of an earlier request.
+    pub fn duplicate_requests(&self) -> usize {
+        self.req_to_unique.len() - self.unique.len()
+    }
+}
+
+/// Recording pass of the scheduler's exact-scoring pipeline: runs
+/// [`score_exact_core`] with a request-recording distance closure (no
+/// distance work), then deduplicates by [`min_dist_key`] — the exact
+/// identity [`DistCache`] memoizes under, so `unique.len()` equals the
+/// sequential path's kernel evals and [`ClassRequests::duplicate_requests`]
+/// its memo hits, independent of how `unique` is later chunked.
+pub(crate) fn exact_request_plan<'a>(
+    pool: &'a CandidatePool,
+    train: &'a Dataset,
+    config: &IpsConfig,
+    class: u32,
+) -> ClassRequests<'a> {
+    let mut reqs: Vec<(&'a [f64], &'a [f64])> = Vec::new();
+    let mut record = |a: &'a [f64], b: &'a [f64]| {
+        reqs.push((a, b));
+        0.0
+    };
+    score_exact_core(pool, train, config, class, &mut Vec::new(), &mut record);
+    let mut unique = Vec::new();
+    let mut req_to_unique = Vec::with_capacity(reqs.len());
+    let mut seen = HashMap::with_capacity(reqs.len());
+    for (a, b) in reqs {
+        let idx = *seen
+            .entry(min_dist_key(a, b, config.metric))
+            .or_insert_with(|| {
+                unique.push((a, b));
+                unique.len() - 1
+            });
+        req_to_unique.push(idx);
+    }
+    ClassRequests {
+        unique,
+        req_to_unique,
+    }
+}
+
+/// Replay pass of the scheduler's exact-scoring pipeline: re-runs
+/// [`score_exact_core`] feeding the `r`-th request the precomputed
+/// `unique_dists[plan.req_to_unique[r]]`. Because the core enumerates
+/// requests deterministically, request `r` here is exactly request `r`
+/// of the recording pass, and the score arithmetic runs in the same
+/// order over the same values as the sequential path — bit-identical at
+/// any thread count or chunk size.
+pub(crate) fn score_exact_replay(
+    pool: &CandidatePool,
+    train: &Dataset,
+    config: &IpsConfig,
+    class: u32,
+    intra_sum: &mut Vec<f64>,
+    plan: &ClassRequests<'_>,
+    unique_dists: &[f64],
+) -> (Vec<f64>, usize) {
+    let mut r = 0usize;
+    let mut replay = |_a: &[f64], _b: &[f64]| {
+        let d = unique_dists[plan.req_to_unique[r]];
+        r += 1;
+        d
+    };
+    score_exact_core(pool, train, config, class, intra_sum, &mut replay)
 }
 
 /// DT + CR scores: distances are replaced by bucket-rank differences in

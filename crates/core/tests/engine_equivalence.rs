@@ -6,8 +6,8 @@
 
 use ips_core::engine::{CollectingObserver, Stage};
 use ips_core::{
-    build_dabf, generate_candidates, prune_naive, prune_with_dabf, select_top_k, IpsConfig,
-    IpsDiscovery, TopKStrategy,
+    build_dabf, generate_candidates, prune_naive, prune_with_dabf, select_top_k, ChunkSize,
+    IpsConfig, IpsDiscovery, TopKStrategy,
 };
 use ips_tsdata::{registry, Dataset, DatasetSpec, SynthGenerator};
 
@@ -273,6 +273,93 @@ fn forced_kernel_scoring_matches_naive_scores() {
     }
     let stats = cache.stats();
     assert!(stats.kernel_evals + stats.cache_hits > 0);
+}
+
+/// The tentpole determinism contract: the work-item scheduler must make
+/// results *and counters* a pure function of the workload and the
+/// `chunk_size` knob — bit-identical at every thread count for any fixed
+/// chunking, with and without the FFT kernel.
+#[test]
+fn engine_is_bit_identical_across_threads_and_chunk_sizes() {
+    let train = synth_train();
+    for fft in [true, false] {
+        let mut cfg = base_cfg();
+        cfg.use_fft_kernel = fft;
+        cfg.use_dt_cr = false; // Exact scoring exercises the distance shards
+        let reference = IpsDiscovery::new(cfg.clone()).discover(&train).unwrap();
+        for chunk in [ChunkSize::Auto, ChunkSize::Fixed(1), ChunkSize::Fixed(7)] {
+            for threads in [1, 2, 4, 0] {
+                let result =
+                    IpsDiscovery::new(cfg.clone().with_threads(threads).with_chunk_size(chunk))
+                        .discover(&train)
+                        .unwrap();
+                let tag = format!("fft={fft} chunk={chunk:?} threads={threads}");
+                assert_eq!(result.shapelets, reference.shapelets, "shapelets: {tag}");
+                assert_eq!(
+                    result.candidates_generated, reference.candidates_generated,
+                    "generated: {tag}"
+                );
+                assert_eq!(
+                    result.candidates_pruned, reference.candidates_pruned,
+                    "pruned: {tag}"
+                );
+                // Counters may legitimately vary with the chunk knob
+                // (sched_items is defined by the partition), never with the
+                // thread count at a fixed chunking.
+                let same_chunk_ref =
+                    IpsDiscovery::new(cfg.clone().with_threads(1).with_chunk_size(chunk))
+                        .discover(&train)
+                        .unwrap();
+                for stage in Stage::ALL {
+                    assert_eq!(
+                        result.report.stage(stage).unwrap().counters,
+                        same_chunk_ref.report.stage(stage).unwrap().counters,
+                        "{stage:?} counters depend on threads: {tag}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// `sched_items` is part of the observability contract: non-zero for the
+/// scheduled stages, finer chunking never yields fewer items, and
+/// `Fixed(1)` degenerates to one item per work unit.
+#[test]
+fn sched_items_reflect_the_partition_and_ignore_threads() {
+    let train = synth_train();
+    let mut cfg = base_cfg();
+    cfg.use_dt_cr = false;
+    let items_for = |chunk: ChunkSize, threads: usize| -> Vec<(Stage, usize)> {
+        let result = IpsDiscovery::new(cfg.clone().with_threads(threads).with_chunk_size(chunk))
+            .discover(&train)
+            .unwrap();
+        Stage::ALL
+            .into_iter()
+            .map(|s| (s, result.report.stage(s).unwrap().counters.sched_items))
+            .collect()
+    };
+    let auto = items_for(ChunkSize::Auto, 1);
+    for (stage, items) in &auto {
+        match stage {
+            Stage::CandidateGen | Stage::Pruning | Stage::TopK => {
+                assert!(*items > 0, "{stage:?} must report scheduled items")
+            }
+            Stage::DabfBuild => assert_eq!(*items, 0, "DABF build is not partitioned"),
+        }
+    }
+    assert_eq!(
+        auto,
+        items_for(ChunkSize::Auto, 4),
+        "items vary with threads"
+    );
+    let unit = items_for(ChunkSize::Fixed(1), 2);
+    for ((stage, fine), (_, coarse)) in unit.iter().zip(&auto) {
+        assert!(
+            fine >= coarse,
+            "{stage:?}: Fixed(1) produced fewer items than Auto"
+        );
+    }
 }
 
 #[test]

@@ -168,6 +168,64 @@ fn stage_panics_are_contained_on_parallel_runs_too() {
     }
 }
 
+mod scheduler_panic_props {
+    use super::*;
+    use ips_core::ChunkSize;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// Scheduler merge-order determinism under injected stage panics:
+        /// whatever (threads, chunk) decomposition the armed run used when
+        /// it died, the panic surfaces as the same typed `StageFailed`, and
+        /// a clean engine afterwards — same decomposition — still merges
+        /// bit-identically to the sequential reference. A worker pool that
+        /// leaked, reordered, or dropped sibling items on panic would
+        /// diverge here.
+        #[test]
+        fn stage_panics_leave_every_decomposition_deterministic(
+            stage_idx in 0usize..4,
+            threads_idx in 0usize..4,
+            chunk_idx in 0usize..4,
+            fault_seed in 0u64..64,
+        ) {
+            let stage = Stage::ALL[stage_idx];
+            let threads = [1usize, 2, 3, 0][threads_idx];
+            let chunk = [
+                ChunkSize::Auto,
+                ChunkSize::Fixed(1),
+                ChunkSize::Fixed(2),
+                ChunkSize::Fixed(5),
+            ][chunk_idx];
+            let train = synth_train();
+            let cfg = base_cfg().with_threads(threads).with_chunk_size(chunk);
+            let reference = IpsDiscovery::new(base_cfg()).discover(&train).unwrap();
+
+            let plan = FaultPlan {
+                stage_panic: Some(stage),
+                ..FaultPlan::new(fault_seed)
+            };
+            let err = run_with(plan, cfg.clone(), &train).unwrap_err();
+            match err {
+                IpsError::StageFailed { stage: name, .. } => {
+                    prop_assert_eq!(name, stage.name(), "panic attributed to the wrong stage")
+                }
+                other => prop_assert!(
+                    false,
+                    "threads={} chunk={:?} {:?}: expected StageFailed, got {}",
+                    threads, chunk, stage, other
+                ),
+            }
+
+            let clean = IpsDiscovery::new(cfg).discover(&train).unwrap();
+            prop_assert_eq!(&clean.shapelets, &reference.shapelets);
+            prop_assert_eq!(clean.candidates_generated, reference.candidates_generated);
+            prop_assert_eq!(clean.candidates_pruned, reference.candidates_pruned);
+        }
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Kernel failure → graceful degradation to the naive scorer
 // ---------------------------------------------------------------------------

@@ -96,10 +96,15 @@ pub(crate) fn first_non_finite(xs: &[f64]) -> Option<usize> {
 /// amortized number of full-size transforms a caller pays per query: ~1 for
 /// the packed batch path, ~2 for one-off queries through the cache.
 ///
-/// The naive loops differ sharply per metric: the raw-metric loop early
-/// abandons (effective cost well below `m` per window on typical data),
-/// while the z-norm loop computes every full dot product. The constants
-/// below were tuned against `bench_kernel` on this container.
+/// The naive loops differ sharply per metric. The raw-metric loop early
+/// abandons, capping its effective cost near a constant per window — an
+/// O(n) loop the O(n log n) kernel never overtakes at *any* length
+/// (`bench_kernel` measures the forced kernel at 0.3–0.5× naive across
+/// the whole grid), so `MeanSquared` always stays naive under `Auto`.
+/// The z-norm loop computes every full dot product; its 4-lane unrolled
+/// form shifted the crossover upward, and the constant below was re-fit
+/// against `bench_kernel` on this container after that vectorization
+/// (kernel wins from roughly `n = 256, m = 64` on the batch path).
 pub(crate) fn kernel_profitable(
     metric: Metric,
     m: usize,
@@ -113,11 +118,10 @@ pub(crate) fn kernel_profitable(
     let windows = (n - m + 1) as f64;
     let naive = match metric {
         Metric::ZNormEuclidean => m as f64 * windows,
-        // early abandoning caps the effective per-window work
-        Metric::MeanSquared => (m as f64).min(32.0) * windows,
+        Metric::MeanSquared => return false,
     };
     let nf = fft_size as f64;
-    let kernel = ffts_per_query * 2.5 * nf * nf.log2() + 6.0 * n as f64;
+    let kernel = ffts_per_query * 1.7 * nf * nf.log2() + 6.0 * n as f64;
     naive > kernel
 }
 
@@ -324,24 +328,54 @@ pub fn batch_min_dist(queries: &[&[f64]], series: &[f64], metric: Metric) -> Vec
 /// mean-squared scale for both metrics, and the offset is the first argmin.
 /// Values agree with the naive reference to ~1e-9 (pinned by the proptest
 /// suite in `tests/kernel_props.rs`).
+// `inline(never)` pins a single machine-code copy of the batch entry:
+// callers that constant-propagate a policy would otherwise get their own
+// specialization, and layout luck between copies skews A/B timings of
+// paths that are logically identical. The call runs once per batch, so
+// the forced call costs nothing measurable.
+#[inline(never)]
 pub fn batch_min_dist_with(
     queries: &[&[f64]],
     series: &[f64],
     metric: Metric,
     policy: KernelPolicy,
 ) -> Vec<(f64, usize)> {
+    // Under `Auto`, a metric whose naive loop is never overtaken (see
+    // `kernel_profitable`) collapses to `ForceNaive` up front, skipping
+    // even the memoized per-query check.
+    let policy = match (policy, metric) {
+        (KernelPolicy::Auto, Metric::MeanSquared) => KernelPolicy::ForceNaive,
+        _ => policy,
+    };
     let mut out = vec![(f64::INFINITY, 0usize); queries.len()];
-    let mut plan = SeriesPlan::new(series);
+    // Same power-of-two size SeriesPlan::new would pick; computed up front
+    // so an all-naive batch (every MeanSquared batch under Auto) never
+    // pays the plan's O(n) prefix-table allocation.
+    let fft_size = (2 * series.len())
+        .saturating_sub(1)
+        .max(1)
+        .next_power_of_two();
     let mut kernel_idx: Vec<usize> = Vec::new();
+    // One-entry memo for the Auto decision: every cost-model input except
+    // the query length is loop-invariant, and batches overwhelmingly share
+    // a single length (IPS draws per length-ratio), so this removes the
+    // per-query float math from the hot all-naive path.
+    let mut auto_memo: Option<(usize, bool)> = None;
     for (i, q) in queries.iter().enumerate() {
         let eligible = !q.is_empty() && !series.is_empty() && q.len() <= series.len();
         let use_kernel = eligible
             && match policy {
                 KernelPolicy::ForceKernel => true,
                 KernelPolicy::ForceNaive => false,
-                KernelPolicy::Auto => {
-                    kernel_profitable(metric, q.len(), series.len(), plan.fft_size(), 1.0)
-                }
+                KernelPolicy::Auto => match auto_memo {
+                    Some((m, profitable)) if m == q.len() => profitable,
+                    _ => {
+                        let profitable =
+                            kernel_profitable(metric, q.len(), series.len(), fft_size, 1.0);
+                        auto_memo = Some((q.len(), profitable));
+                        profitable
+                    }
+                },
             };
         if use_kernel {
             kernel_idx.push(i);
@@ -352,6 +386,7 @@ pub fn batch_min_dist_with(
     if kernel_idx.is_empty() {
         return out;
     }
+    let mut plan = SeriesPlan::new(series);
     let fft = Fft::new(plan.fft_size());
     for pair in kernel_idx.chunks(2) {
         let q1 = queries[pair[0]];

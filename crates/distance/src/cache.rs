@@ -90,6 +90,28 @@ impl CacheStats {
 /// `(len, h1, h2)` — content identity of a slice.
 type Key = (usize, u64, u64);
 
+/// Content identity of an oriented `(query, series, metric)` request —
+/// exactly the key [`DistCache`] memoizes results under. Exposed (via
+/// [`min_dist_key`]) so callers that batch requests — the engine's
+/// work-item scheduler — can deduplicate a request list against the
+/// cache's own notion of identity: requests with equal keys are the ones
+/// a sequential memo would serve as one eval plus hits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MinDistKey(Key, Key, Metric);
+
+/// The memo key a [`DistCache::min_dist`] call with these arguments files
+/// under: arguments are oriented (shorter slides over longer) and content
+/// hashed, so equal-valued slices in different allocations — and the two
+/// argument orders — map to the same key.
+pub fn min_dist_key(query: &[f64], series: &[f64], metric: Metric) -> MinDistKey {
+    let (q, s) = if query.len() <= series.len() {
+        (query, series)
+    } else {
+        (series, query)
+    };
+    MinDistKey(content_key(q), content_key(s), metric)
+}
+
 fn content_key(xs: &[f64]) -> Key {
     // Two independent FNV-1a-style chains over the raw bit patterns.
     // Deterministic across runs (no RandomState), cheap, and 128 bits of
@@ -110,7 +132,7 @@ pub struct DistCache {
     policy: KernelPolicy,
     ffts: HashMap<usize, Fft>,
     plans: HashMap<Key, SeriesPlan>,
-    memo: HashMap<(Key, Key, Metric), (f64, usize)>,
+    memo: HashMap<MinDistKey, (f64, usize)>,
     stats: CacheStats,
     /// When `Some`, every kernel-path attempt is treated as failed and
     /// degrades to the naive loop (fault-injection hook; see
@@ -178,16 +200,24 @@ impl DistCache {
         } else {
             (series, query)
         };
-        let kq = content_key(q);
-        let ks = content_key(s);
-        if let Some(&hit) = self.memo.get(&(kq, ks, metric)) {
+        let key = MinDistKey(content_key(q), content_key(s), metric);
+        if let Some(&hit) = self.memo.get(&key) {
             self.stats.cache_hits += 1;
             return hit;
         }
         self.stats.kernel_evals += 1;
-        let result = self.compute(q, s, metric, ks);
-        self.memo.insert((kq, ks, metric), result);
+        let result = self.compute(q, s, metric, key.1);
+        self.memo.insert(key, result);
         result
+    }
+
+    /// Books `n` additional memo hits without issuing any request — for
+    /// callers that deduplicate a request list by [`min_dist_key`] up
+    /// front and resolve the duplicates themselves: booking the skipped
+    /// lookups here keeps the cumulative counters identical to a
+    /// sequential memo serving the full request list.
+    pub fn note_hits(&mut self, n: usize) {
+        self.stats.cache_hits += n;
     }
 
     fn compute(&mut self, q: &[f64], s: &[f64], metric: Metric, ks: Key) -> (f64, usize) {

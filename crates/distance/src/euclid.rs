@@ -9,7 +9,91 @@ use crate::rolling::RollingStats;
 #[inline]
 pub fn sq_euclidean(a: &[f64], b: &[f64]) -> f64 {
     debug_assert_eq!(a.len(), b.len());
-    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+    sq_dist_abandon(a, b, f64::INFINITY)
+}
+
+/// 4-lane unrolled sum of squared differences with a block-level early
+/// abandon: accumulation runs in four independent lanes (the scalar loop is
+/// latency-bound on the single FP-add dependency chain; four lanes keep the
+/// adder pipeline full), and every 16 elements the combined partial sum is
+/// checked against `cutoff`. On abandon the partial sum is returned — it
+/// already exceeds `cutoff`, which is all the sliding-min callers need.
+///
+/// The lane-combination order `(a0 + a1) + (a2 + a3) + tail` is fixed, so
+/// the result is deterministic for given inputs (it differs from the
+/// sequential left-fold at the last-ulp level, which is why every caller in
+/// the workspace shares *this* function rather than mixing loop shapes).
+/// A NaN anywhere poisons the partial sums; the `>` abandon test is then
+/// false, so NaN inputs run to completion and return NaN — exactly the
+/// scalar loop's behaviour (NaN windows lose the strict `<` argmin).
+#[inline]
+fn sq_dist_abandon(q: &[f64], w: &[f64], cutoff: f64) -> f64 {
+    debug_assert_eq!(q.len(), w.len());
+    let n = q.len();
+    let (mut a0, mut a1, mut a2, mut a3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+    let mut i = 0;
+    const BLOCK: usize = 16;
+    while i + BLOCK <= n {
+        let end = i + BLOCK;
+        while i < end {
+            let d0 = q[i] - w[i];
+            let d1 = q[i + 1] - w[i + 1];
+            let d2 = q[i + 2] - w[i + 2];
+            let d3 = q[i + 3] - w[i + 3];
+            a0 += d0 * d0;
+            a1 += d1 * d1;
+            a2 += d2 * d2;
+            a3 += d3 * d3;
+            i += 4;
+        }
+        if (a0 + a1) + (a2 + a3) > cutoff {
+            return (a0 + a1) + (a2 + a3);
+        }
+    }
+    while i + 4 <= n {
+        let d0 = q[i] - w[i];
+        let d1 = q[i + 1] - w[i + 1];
+        let d2 = q[i + 2] - w[i + 2];
+        let d3 = q[i + 3] - w[i + 3];
+        a0 += d0 * d0;
+        a1 += d1 * d1;
+        a2 += d2 * d2;
+        a3 += d3 * d3;
+        i += 4;
+    }
+    let mut acc = (a0 + a1) + (a2 + a3);
+    while i < n {
+        let d = q[i] - w[i];
+        acc += d * d;
+        i += 1;
+    }
+    acc
+}
+
+/// 4-lane unrolled dot product — the znorm counterpart of
+/// [`sq_dist_abandon`]'s accumulation shape (no abandon: the correlation
+/// identity needs the exact dot, and a partial dot bounds nothing). Shared
+/// by the naive z-normalized profile so the naive and vectorized paths are
+/// one code path with one rounding behaviour.
+#[inline]
+pub(crate) fn dot4(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let n = a.len();
+    let (mut a0, mut a1, mut a2, mut a3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+    let mut i = 0;
+    while i + 4 <= n {
+        a0 += a[i] * b[i];
+        a1 += a[i + 1] * b[i + 1];
+        a2 += a[i + 2] * b[i + 2];
+        a3 += a[i + 3] * b[i + 3];
+        i += 4;
+    }
+    let mut acc = (a0 + a1) + (a2 + a3);
+    while i < n {
+        acc += a[i] * b[i];
+        i += 1;
+    }
+    acc
 }
 
 /// Euclidean distance between two equal-length slices.
@@ -60,13 +144,7 @@ pub fn sliding_min_dist(query: &[f64], series: &[f64]) -> (f64, usize) {
         // Early-abandoning ED: bail out of the inner sum once the partial
         // sum exceeds the best-so-far (classic shapelet-search optimization).
         let cutoff = best * q.len() as f64;
-        let mut acc = 0.0;
-        for (x, y) in q.iter().zip(w) {
-            acc += (x - y) * (x - y);
-            if acc > cutoff {
-                break;
-            }
-        }
+        let acc = sq_dist_abandon(q, w, cutoff);
         let d = acc / q.len() as f64;
         if d < best {
             best = d;
@@ -133,7 +211,7 @@ pub fn dist_profile_znorm(query: &[f64], series: &[f64]) -> Vec<f64> {
     let mut out = Vec::with_capacity(n_out);
     for j in 0..n_out {
         let w = &series[j..j + m];
-        let dot: f64 = query.iter().zip(w).map(|(a, b)| a * b).sum();
+        let dot = dot4(query, w);
         out.push(znorm_dist_from_dot(
             dot,
             m,

@@ -18,6 +18,13 @@ committed ``results/BENCH_pipeline.baseline.json``:
   ratio alone.
 * ``resolved_threads`` is machine-dependent and informational only.
 
+``--append-trajectory [PATH]`` additionally appends one JSON line per
+invocation to a trajectory file (default
+``results/BENCH_trajectory.jsonl``) summarizing the fresh results — git
+revision, per-run ``fit.total`` milliseconds, the summed total, and the
+gate outcome — so per-PR performance history accumulates in one
+greppable place instead of being overwritten by each regeneration.
+
 Exit status: 0 when everything passes, 1 on any failure.
 
 ``--self-test`` verifies the gate itself: the baseline must pass against
@@ -168,6 +175,56 @@ def compare(baseline, fresh, max_ratio):
     return failures
 
 
+def git_revision():
+    """Current short revision, or None outside a git checkout."""
+    import subprocess
+
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=True,
+        )
+        return out.stdout.strip() or None
+    except Exception:
+        return None
+
+
+def append_trajectory(path, fresh, failures):
+    """Appends a one-line JSON record for this invocation to `path`.
+
+    The record carries what a reviewer needs to read performance history
+    across PRs without the full result documents: when, at which
+    revision, how long each run's fit took, and whether the gate passed.
+    """
+    import datetime
+    import os
+
+    record = {
+        "timestamp": datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "git_rev": git_revision(),
+        "gate": "pass" if not failures else "fail",
+        "failures": len(failures),
+        "fit_total_ms": {
+            label: round((fit_total_ns(run) or 0) / 1e6, 3)
+            for label, run in sorted(fresh.items())
+        },
+        "sum_fit_total_ms": round(
+            sum((fit_total_ns(run) or 0) for run in fresh.values()) / 1e6, 3
+        ),
+    }
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "a", encoding="utf-8") as f:
+        f.write(json.dumps(record, sort_keys=True) + "\n")
+    print(f"trajectory: appended {record['gate']} record to {path}")
+
+
 def expect_load_failure(path, role, needle):
     """Asserts that loading `path` exits with a one-line message
     mentioning `needle`. Returns an error string on miss, None on pass."""
@@ -267,6 +324,15 @@ def main():
         action="store_true",
         help="verify the gate: baseline passes against itself, 2x slowdown fails",
     )
+    parser.add_argument(
+        "--append-trajectory",
+        nargs="?",
+        const="results/BENCH_trajectory.jsonl",
+        default=None,
+        metavar="PATH",
+        help="append a one-line JSON summary of the fresh results to PATH "
+        "(default when given without a value: %(const)s)",
+    )
     args = parser.parse_args()
 
     baseline = load(args.baseline, "baseline")
@@ -275,6 +341,8 @@ def main():
 
     fresh = load(args.fresh, "fresh results")
     failures = compare(baseline, fresh, args.max_ratio)
+    if args.append_trajectory:
+        append_trajectory(args.append_trajectory, fresh, failures)
     if failures:
         print(f"bench regression check FAILED ({len(failures)} failure(s)):")
         for msg in failures:

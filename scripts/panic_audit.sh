@@ -13,7 +13,9 @@ cd "$(dirname "$0")/.."
 
 AUDITED_FILES=(
     crates/core/src/engine.rs
+    crates/core/src/parallel.rs
     crates/core/src/pipeline.rs
+    crates/core/src/schedule.rs
     crates/core/src/utility.rs
 )
 

@@ -85,6 +85,47 @@ fn schema_version_guard_refuses_foreign_records() {
 }
 
 #[test]
+fn sched_items_are_recorded_and_thread_invariant() {
+    // The scheduler's per-stage item counts flow through StageCounters
+    // into the serialized record, and — like every counter — must be a
+    // pure function of the workload, not of the worker-pool width.
+    let (train, _) = registry::load("ItalyPowerDemand").unwrap();
+    let records: Vec<RunRecord> = [1usize, 3]
+        .iter()
+        .map(|&t| {
+            let cfg = IpsConfig::default()
+                .with_sampling(5, 3)
+                .with_k(3)
+                .with_threads(t);
+            IpsClassifier::fit(&train, cfg)
+                .unwrap()
+                .discovery()
+                .to_record("ItalyPowerDemand")
+        })
+        .collect();
+    let items: Vec<Vec<(String, u64)>> = records
+        .iter()
+        .map(|r| {
+            let mut v: Vec<(String, u64)> = r
+                .metrics
+                .counters
+                .iter()
+                .filter(|(k, _)| k.ends_with(".sched_items"))
+                .map(|(k, &n)| (k.clone(), n))
+                .collect();
+            v.sort();
+            v
+        })
+        .collect();
+    assert!(
+        items[0].iter().any(|(_, n)| *n > 0),
+        "no stage reported scheduled items: {:?}",
+        items[0]
+    );
+    assert_eq!(items[0], items[1], "sched_items vary with thread count");
+}
+
+#[test]
 fn identical_fits_emit_identical_counters() {
     // Timings vary run to run; counters and structure must not.
     let a = fitted().discovery().to_record("ItalyPowerDemand");

@@ -7,7 +7,7 @@
 //! shapelet-transform + SVM head so Table VI compares discovery methods
 //! (recorded in DESIGN.md §2).
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use ips_classify::svm::SvmParams;
 use ips_classify::{LinearSvm, Shapelet, ShapeletTransform};
@@ -104,8 +104,11 @@ pub fn discover_fs_shapelets(train: &Dataset, config: &FastShapeletsConfig) -> V
 
     let classes = train.classes();
     let mut rng = StdRng::seed_from_u64(config.seed);
-    // (instance, offset, len) → per-candidate distinguishing score
-    let mut scores: HashMap<(usize, usize, usize), f64> = HashMap::new();
+    // (instance, offset, len) → per-candidate distinguishing score.
+    // BTreeMap, not HashMap: the refinement pool below is cut at a score
+    // tie boundary, so iteration order must be deterministic across
+    // processes for discovery to be reproducible.
+    let mut scores: BTreeMap<(usize, usize, usize), f64> = BTreeMap::new();
 
     for &len in &lengths {
         let stride = (len / 2).max(1);
@@ -166,7 +169,11 @@ pub fn discover_fs_shapelets(train: &Dataset, config: &FastShapeletsConfig) -> V
             .iter()
             .filter(|((inst, _, _), _)| train.label(*inst) == class)
             .collect();
-        pool.sort_by(|a, b| b.1.partial_cmp(a.1).expect("finite"));
+        pool.sort_by(|a, b| {
+            b.1.partial_cmp(a.1)
+                .expect("finite")
+                .then_with(|| a.0.cmp(b.0))
+        });
         pool.truncate(config.refine_pool.max(config.k));
         let mut refined: Vec<(f64, (usize, usize, usize))> = pool
             .into_iter()
@@ -190,7 +197,11 @@ pub fn discover_fs_shapelets(train: &Dataset, config: &FastShapeletsConfig) -> V
                 (margin, (inst, off, len))
             })
             .collect();
-        refined.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite margins"));
+        refined.sort_by(|a, b| {
+            b.0.partial_cmp(&a.0)
+                .expect("finite margins")
+                .then_with(|| a.1.cmp(&b.1))
+        });
         for (margin, (inst, off, len)) in refined.into_iter().take(config.k) {
             shapelets.push(Shapelet {
                 values: train.series(inst).subsequence(off, len).to_vec(),
@@ -294,6 +305,31 @@ mod tests {
         }
         for sh in &s {
             assert_eq!(train.label(sh.source_instance), sh.class);
+        }
+    }
+
+    #[test]
+    fn discovery_is_deterministic_across_calls() {
+        // Regression: the refinement pool used to be cut from a HashMap
+        // iteration whose order is randomized per instance, so tied
+        // scores made repeated discoveries disagree (caught by the
+        // conformance grid, DESIGN.md §12).
+        let (train, _) = registry::load("ItalyPowerDemand").unwrap();
+        let cfg = FastShapeletsConfig {
+            k: 2,
+            rounds: 4,
+            refine_pool: 8,
+            length_ratios: vec![0.2, 0.4],
+            ..Default::default()
+        };
+        let a = discover_fs_shapelets(&train, &cfg);
+        let b = discover_fs_shapelets(&train, &cfg);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.source_instance, y.source_instance);
+            assert_eq!(x.source_offset, y.source_offset);
+            assert_eq!(x.class, y.class);
+            assert_eq!(x.values, y.values);
         }
     }
 

@@ -1,0 +1,138 @@
+//! Grid-cell identities for conformance-grid run records.
+//!
+//! The cross-method conformance grid (`bench_grid`, DESIGN.md §12) emits
+//! one [`RunRecord`] per *cell* — a (method, dataset, threads, chunk)
+//! coordinate. [`GridCell`] is the single source of the cell label and
+//! parameter layout, so the Rust emitter and the Python checker
+//! (`scripts/check_bench.py --grid`) agree on the format by construction:
+//! the label is `method/dataset/t<threads>/c<chunk>`, and the same four
+//! coordinates are stamped into `params` under the keys `method`,
+//! `dataset`, `threads`, `chunk`.
+
+use crate::record::RunRecord;
+
+/// The coordinate of one conformance-grid cell.
+///
+/// `threads` and `chunk` are *labels* (`"1"`, `"max"`, `"auto"`,
+/// `"fixed7"`), not resolved values: resolved machine-dependent values
+/// (like the worker count behind `"max"`) belong in informational gauges,
+/// never in the cell identity, which must be stable across machines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GridCell {
+    /// Method name (e.g. `"ips"`, `"bspcover"`).
+    pub method: String,
+    /// Registry dataset name.
+    pub dataset: String,
+    /// Thread-count label (`"1"`, `"max"`).
+    pub threads: String,
+    /// Scheduler chunk label (`"auto"`, `"fixed7"`).
+    pub chunk: String,
+}
+
+impl GridCell {
+    /// A cell from its four coordinates.
+    pub fn new(
+        method: impl Into<String>,
+        dataset: impl Into<String>,
+        threads: impl Into<String>,
+        chunk: impl Into<String>,
+    ) -> GridCell {
+        GridCell {
+            method: method.into(),
+            dataset: dataset.into(),
+            threads: threads.into(),
+            chunk: chunk.into(),
+        }
+    }
+
+    /// The canonical record label: `method/dataset/t<threads>/c<chunk>`.
+    pub fn label(&self) -> String {
+        format!(
+            "{}/{}/t{}/c{}",
+            self.method, self.dataset, self.threads, self.chunk
+        )
+    }
+
+    /// Parses a canonical label back into its coordinates. Returns `None`
+    /// for anything that does not have exactly four `/`-separated parts
+    /// with the `t`/`c` prefixes in place.
+    pub fn from_label(label: &str) -> Option<GridCell> {
+        let mut parts = label.split('/');
+        let method = parts.next()?;
+        let dataset = parts.next()?;
+        let threads = parts.next()?.strip_prefix('t')?;
+        let chunk = parts.next()?.strip_prefix('c')?;
+        if parts.next().is_some() || method.is_empty() || dataset.is_empty() {
+            return None;
+        }
+        Some(GridCell::new(method, dataset, threads, chunk))
+    }
+
+    /// A fresh [`RunRecord`] for this cell: kind is the method, label is
+    /// [`label`](Self::label), and all four coordinates are stamped as
+    /// params.
+    pub fn record(&self) -> RunRecord {
+        RunRecord::new(self.method.clone(), self.label())
+            .with_param("method", self.method.clone())
+            .with_param("dataset", self.dataset.clone())
+            .with_param("threads", self.threads.clone())
+            .with_param("chunk", self.chunk.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Json;
+
+    #[test]
+    fn label_round_trips() {
+        let cell = GridCell::new("ips_exact", "ItalyPowerDemand", "max", "fixed7");
+        assert_eq!(cell.label(), "ips_exact/ItalyPowerDemand/tmax/cfixed7");
+        assert_eq!(GridCell::from_label(&cell.label()), Some(cell));
+    }
+
+    #[test]
+    fn malformed_labels_are_rejected() {
+        for bad in [
+            "",
+            "ips",
+            "ips/CBF",
+            "ips/CBF/t1",
+            "ips/CBF/1/cauto",    // missing t prefix
+            "ips/CBF/t1/auto",    // missing c prefix
+            "ips/CBF/t1/cauto/x", // trailing part
+            "/CBF/t1/cauto",      // empty method
+            "ips//t1/cauto",      // empty dataset
+        ] {
+            assert_eq!(GridCell::from_label(bad), None, "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn record_carries_identity_and_params() {
+        let cell = GridCell::new("base", "CBF", "1", "auto");
+        let record = cell.record();
+        assert_eq!(record.kind, "base");
+        assert_eq!(record.label, "base/CBF/t1/cauto");
+        for (key, want) in [
+            ("method", "base"),
+            ("dataset", "CBF"),
+            ("threads", "1"),
+            ("chunk", "auto"),
+        ] {
+            assert_eq!(
+                record.params.get(key).and_then(Json::as_str),
+                Some(want),
+                "{key}"
+            );
+        }
+    }
+
+    #[test]
+    fn record_label_parses_back_to_the_cell() {
+        let cell = GridCell::new("multivariate", "GunPoint", "max", "auto");
+        let record = cell.record();
+        assert_eq!(GridCell::from_label(&record.label), Some(cell));
+    }
+}

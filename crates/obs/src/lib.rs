@@ -17,10 +17,12 @@
 //!   [`SCHEMA_VERSION`]; readers refuse records from a different version
 //!   instead of silently misinterpreting fields.
 
+pub mod grid;
 pub mod json;
 pub mod metrics;
 pub mod record;
 
+pub use grid::GridCell;
 pub use json::Json;
 pub use metrics::{MetricsRegistry, MetricsSnapshot, Span, SpanStats};
 pub use record::{ObsError, RunRecord, MIN_SCHEMA_VERSION, SCHEMA_VERSION};

@@ -6,7 +6,7 @@
 //! thick bar in the figure) connect runs of methods whose pairwise rank
 //! differences fall below the CD.
 
-use crate::rank::average_ranks;
+use crate::rank::{average_ranks, friedman_test};
 
 /// Critical values `q_α` (α = 0.05) of the studentized range statistic
 /// divided by √2, for k = 2..=20 methods (Demšar, Table 5).
@@ -129,6 +129,49 @@ pub fn cd_diagram_text(diag: &CdDiagram) -> String {
     out
 }
 
+/// Renders the conformance-grid comparison summary: the Friedman test
+/// (χ² and Iman–Davenport forms) over the full `N × k` accuracy matrix,
+/// per-method mean scores, and the Nemenyi CD diagram — the text artifact
+/// `bench_grid` writes to `results/GRID_cd.txt`.
+///
+/// Works for any grid-sized `k` the Nemenyi table covers (2..=20
+/// methods) over at least 2 datasets; the same bounds as
+/// [`nemenyi_cd`] / [`friedman_test`] apply.
+///
+/// # Panics
+/// Panics for `k` outside `2..=20`, fewer than 2 score rows, ragged
+/// rows, or NaN scores — the preconditions of the underlying tests.
+pub fn grid_summary_text(names: &[&str], scores: &[Vec<f64>]) -> String {
+    let fr = friedman_test(scores);
+    assert_eq!(names.len(), fr.n_methods, "one name per method");
+    let diagram = CdDiagram::from_scores(names, scores);
+    let name_width = names.iter().map(|n| n.len()).max().unwrap_or(6).max(6);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "conformance grid: {} methods x {} datasets\n",
+        fr.n_methods, fr.n_datasets
+    ));
+    out.push_str(&format!(
+        "Friedman chi2 = {:.3} (p = {:.4}); Iman-Davenport F = {:.3} (p = {:.4})\n",
+        fr.chi2, fr.p_chi2, fr.f_stat, fr.p_f
+    ));
+    out.push_str(&format!("{:<name_width$}  mean score\n", "method"));
+    // mean scores ordered best-rank-first, matching the diagram below
+    let mut order: Vec<usize> = (0..fr.n_methods).collect();
+    order.sort_by(|&a, &b| {
+        fr.avg_ranks[a]
+            .partial_cmp(&fr.avg_ranks[b])
+            .expect("no NaN ranks")
+    });
+    for &m in &order {
+        let mean: f64 = scores.iter().map(|row| row[m]).sum::<f64>() / fr.n_datasets as f64;
+        out.push_str(&format!("{:<name_width$}  {:>10.4}\n", names[m], mean));
+    }
+    out.push('\n');
+    out.push_str(&cd_diagram_text(&diagram));
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -148,6 +191,49 @@ mod tests {
     #[should_panic(expected = "2..=20")]
     fn nemenyi_rejects_single_method() {
         nemenyi_cd(1, 10);
+    }
+
+    #[test]
+    fn nemenyi_matches_published_q_values() {
+        // Demšar (2006), Table 5 gives q_0.05 = 2.728 for k = 5 and
+        // 3.164 for k = 10; CD = q · sqrt(k(k+1)/6N).
+        // k = 5, N = 25: 2.728 · sqrt(30/150) = 2.728 · 0.44721 = 1.2200
+        let cd = nemenyi_cd(5, 25);
+        assert!((cd - 1.2200).abs() < 1e-3, "cd {cd}");
+        // k = 10, N = 46: 3.164 · sqrt(110/276) = 3.164 · 0.63132 = 1.9975
+        let cd = nemenyi_cd(10, 46);
+        assert!((cd - 1.9975).abs() < 1e-3, "cd {cd}");
+        // the table endpoints carry the right q values too: at k = 2 the
+        // statistic collapses to q = 1.960 (CD(2, 1) = q · sqrt(6/6)),
+        // and k = 20 closes the table at q = 3.544 (CD(20, 70) = q).
+        assert!((nemenyi_cd(2, 1) - 1.960).abs() < 1e-12, "k=2, N=1: CD = q");
+        assert!(
+            (nemenyi_cd(20, 70) - 3.544).abs() < 1e-12,
+            "k=20, N=70: CD = q"
+        );
+    }
+
+    #[test]
+    fn k2_degenerate_cliques() {
+        // Two methods within the CD form the single 2-clique…
+        assert_eq!(cliques(&[1.2, 1.8], 1.0), vec![vec![0, 1]]);
+        // …and beyond the CD there is no clique at all (singletons are
+        // not groups).
+        assert!(cliques(&[1.0, 2.5], 1.0).is_empty());
+        // Exactly at the CD boundary counts as indistinguishable (<=).
+        assert_eq!(cliques(&[1.0, 2.0], 1.0), vec![vec![0, 1]]);
+    }
+
+    #[test]
+    fn tied_ranks_flow_through_the_diagram() {
+        // two methods tied on every dataset share the same average rank
+        // and always land in one clique, whatever the CD
+        let scores: Vec<Vec<f64>> = (0..8).map(|_| vec![0.8, 0.8, 0.3]).collect();
+        let d = CdDiagram::from_scores(&["a", "b", "c"], &scores);
+        assert_eq!(d.avg_ranks[0], d.avg_ranks[1]);
+        assert_eq!(d.avg_ranks[0], 1.5);
+        assert_eq!(d.avg_ranks[2], 3.0);
+        assert!(d.groups.iter().any(|g| g.contains(&0) && g.contains(&1)));
     }
 
     #[test]
@@ -173,6 +259,29 @@ mod tests {
     fn one_big_clique_when_all_close() {
         let groups = cliques(&[1.0, 1.1, 1.2], 5.0);
         assert_eq!(groups, vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn grid_summary_renders_friedman_and_diagram() {
+        let names = ["ips", "base", "1nn"];
+        let scores: Vec<Vec<f64>> = (0..10)
+            .map(|i| vec![0.95, 0.80 + 0.001 * i as f64, 0.60])
+            .collect();
+        let text = grid_summary_text(&names, &scores);
+        assert!(text.contains("3 methods x 10 datasets"), "{text}");
+        assert!(text.contains("Friedman chi2"), "{text}");
+        assert!(text.contains("Iman-Davenport"), "{text}");
+        assert!(text.contains("CD ="), "{text}");
+        // best-ranked method is listed before the worst in both sections
+        let first_ips = text.find("ips").unwrap();
+        let first_1nn = text.find("1nn").unwrap();
+        assert!(first_ips < first_1nn, "{text}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn grid_summary_rejects_single_dataset_rows() {
+        grid_summary_text(&["a", "b"], &[vec![0.9, 0.8]]);
     }
 
     #[test]

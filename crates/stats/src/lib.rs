@@ -20,7 +20,7 @@ pub mod histogram;
 pub mod rank;
 pub mod special;
 
-pub use cd::{cd_diagram_text, cliques, nemenyi_cd, CdDiagram};
+pub use cd::{cd_diagram_text, cliques, grid_summary_text, nemenyi_cd, CdDiagram};
 pub use describe::{ecdf, ks_p_value, ks_test, quantile_sorted, summarize, Summary};
 pub use fit::{best_fit, nmse, Distribution, FitResult};
 pub use histogram::Histogram;

@@ -42,6 +42,17 @@ pub struct DatasetInfo {
     pub modes: u8,
 }
 
+/// Instance-length cap applied by [`DatasetInfo::grid_spec`]. Chosen so a
+/// conformance cell (one method fit + accuracy) stays in the tens of
+/// milliseconds even for the registry's largest geometries.
+pub const GRID_LEN_CAP: usize = 96;
+
+/// Floor on the grid train-set size (subject to two instances per class).
+pub const GRID_TRAIN_FLOOR: usize = 16;
+
+/// Floor on the grid test-set size (subject to two instances per class).
+pub const GRID_TEST_FLOOR: usize = 20;
+
 impl DatasetInfo {
     /// True when any dimension was scaled down from the UCR original.
     pub fn scaled(&self) -> bool {
@@ -58,6 +69,31 @@ impl DatasetInfo {
             self.series_len,
             self.train_size,
             self.test_size,
+        )
+        .with_noise(self.noise_milli as f64 / 1000.0)
+        .with_modes(self.modes as usize)
+    }
+
+    /// The *conformance-grid* spec for this dataset: the same generator,
+    /// noise, and modes as [`spec`](Self::spec) — so every dataset keeps
+    /// its identity (class count, difficulty, disjunctive structure) —
+    /// with geometry capped to keep a full method × dataset × threads ×
+    /// chunk sweep CI-sized. Lengths cap at [`GRID_LEN_CAP`]; instance
+    /// counts cap at twice the class count (floored at
+    /// [`GRID_TRAIN_FLOOR`] / [`GRID_TEST_FLOOR`]), which preserves at
+    /// least two instances per class for stratified sampling.
+    ///
+    /// Like `spec()`, the output is a pure function of the registry
+    /// entry, so grid datasets are bit-identical across processes and
+    /// machines.
+    pub fn grid_spec(&self) -> DatasetSpec {
+        let per_class = 2 * self.num_classes;
+        DatasetSpec::new(
+            self.name,
+            self.num_classes,
+            self.series_len.min(GRID_LEN_CAP),
+            self.train_size.min(per_class.max(GRID_TRAIN_FLOOR)),
+            self.test_size.min(per_class.max(GRID_TEST_FLOOR)),
         )
         .with_noise(self.noise_milli as f64 / 1000.0)
         .with_modes(self.modes as usize)
@@ -238,6 +274,13 @@ pub fn names() -> Vec<&'static str> {
     REGISTRY.iter().map(|d| d.name).collect()
 }
 
+/// Iterates the registry entries in Table IV order — the canonical way
+/// for grid harnesses to enumerate the full synthetic suite without
+/// re-looking-up each name.
+pub fn infos() -> impl Iterator<Item = &'static DatasetInfo> {
+    REGISTRY.iter()
+}
+
 /// Deterministically synthesizes `(train, test)` for a registry dataset.
 ///
 /// Instances are z-normalized, mirroring the preprocessing of the 2018
@@ -245,6 +288,16 @@ pub fn names() -> Vec<&'static str> {
 pub fn load(name: &str) -> Result<(Dataset, Dataset)> {
     let info = info(name)?;
     let (train, test) = SynthGenerator::new(info.spec()).generate()?;
+    Ok((train.znormalized(), test.znormalized()))
+}
+
+/// Deterministically synthesizes the *conformance-grid* `(train, test)`
+/// split for a registry dataset: [`load`] with the capped
+/// [`DatasetInfo::grid_spec`] geometry. Bit-identical across repeated
+/// calls, threads, and machines (pinned by `tests/registry_props.rs`).
+pub fn load_grid(name: &str) -> Result<(Dataset, Dataset)> {
+    let info = info(name)?;
+    let (train, test) = SynthGenerator::new(info.grid_spec()).generate()?;
     Ok((train.znormalized(), test.znormalized()))
 }
 
@@ -306,7 +359,54 @@ mod tests {
     #[test]
     fn unknown_name_errors() {
         assert!(matches!(load("NoSuchSet"), Err(Error::UnknownDataset(_))));
+        assert!(matches!(
+            load_grid("NoSuchSet"),
+            Err(Error::UnknownDataset(_))
+        ));
         assert!(info("noSuchSet").is_err());
+    }
+
+    #[test]
+    fn grid_spec_caps_geometry_and_keeps_identity() {
+        for d in &REGISTRY {
+            let g = d.grid_spec();
+            assert!(g.series_len <= GRID_LEN_CAP, "{}", d.name);
+            assert!(g.series_len <= d.series_len, "{}", d.name);
+            assert!(g.train_size <= d.train_size, "{}", d.name);
+            assert!(g.test_size <= d.test_size, "{}", d.name);
+            // at least two instances per class survive the cap whenever
+            // the full-size split had them
+            if d.train_size >= 2 * d.num_classes {
+                assert!(g.train_size >= 2 * d.num_classes, "{}", d.name);
+            }
+            // identity-preserving: classes, noise, and modes unchanged
+            let full = d.spec();
+            assert_eq!(g.num_classes, full.num_classes, "{}", d.name);
+            assert_eq!(g.noise_std, full.noise_std, "{}", d.name);
+            assert_eq!(g.modes, full.modes, "{}", d.name);
+            assert_eq!(g.seed, full.seed, "{}", d.name);
+        }
+        // the caps actually bite on a large entry
+        let beef = info("Beef").unwrap().grid_spec();
+        assert_eq!(beef.series_len, GRID_LEN_CAP);
+        // and leave small entries alone
+        let italy = info("ItalyPowerDemand").unwrap().grid_spec();
+        assert_eq!(italy.series_len, 24);
+    }
+
+    #[test]
+    fn load_grid_produces_capped_geometry() {
+        let (train, test) = load_grid("Beef").unwrap();
+        assert_eq!(train.num_classes(), 5);
+        assert_eq!(train.uniform_length(), Some(GRID_LEN_CAP));
+        assert!(train.len() <= info("Beef").unwrap().train_size);
+        assert!(!test.is_empty());
+    }
+
+    #[test]
+    fn infos_iterates_the_whole_registry_in_order() {
+        let from_iter: Vec<&str> = infos().map(|d| d.name).collect();
+        assert_eq!(from_iter, names());
     }
 
     #[test]

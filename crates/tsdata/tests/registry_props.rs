@@ -1,0 +1,114 @@
+//! Property tests pinning the determinism of `registry::load` and
+//! `registry::load_grid`: the synthetic suite must be bit-identical
+//! across repeated calls and across threads, because the conformance
+//! grid (`bench_grid`, DESIGN.md §12) compares accuracies and counters
+//! *exactly* between runs and machines — a single drifting bit in the
+//! data would cascade into spurious gate failures.
+
+use ips_tsdata::{registry, Dataset};
+use proptest::prelude::*;
+
+/// Bit-exact fingerprint of a dataset: per instance, the label plus the
+/// raw IEEE-754 bits of every value (NaN-safe, unlike `==` on floats).
+type Fingerprint = Vec<(u32, Vec<u64>)>;
+
+fn fingerprint(d: &Dataset) -> Fingerprint {
+    (0..d.len())
+        .map(|i| {
+            (
+                d.label(i),
+                d.series(i).values().iter().map(|v| v.to_bits()).collect(),
+            )
+        })
+        .collect()
+}
+
+fn split_fingerprint(pair: &(Dataset, Dataset)) -> (Fingerprint, Fingerprint) {
+    (fingerprint(&pair.0), fingerprint(&pair.1))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Any registry dataset loads bit-identically on repeated calls,
+    /// at full size and at grid size.
+    #[test]
+    fn load_is_bit_identical_across_repeated_calls(idx in 0usize..registry::names().len()) {
+        let name = registry::names()[idx];
+        let full_a = registry::load(name).expect("load");
+        let full_b = registry::load(name).expect("load");
+        prop_assert_eq!(split_fingerprint(&full_a), split_fingerprint(&full_b));
+
+        let grid_a = registry::load_grid(name).expect("load_grid");
+        let grid_b = registry::load_grid(name).expect("load_grid");
+        prop_assert_eq!(split_fingerprint(&grid_a), split_fingerprint(&grid_b));
+    }
+
+    /// Grid specs are a deterministic function of the registry entry:
+    /// same name, same spec, and the capped geometry still covers every
+    /// class in the train split (so every method can fit on it).
+    #[test]
+    fn grid_split_covers_every_class(idx in 0usize..registry::names().len()) {
+        let info = registry::infos().nth(idx).expect("registry entry");
+        let (train, test) = registry::load_grid(info.name).expect("load_grid");
+        prop_assert_eq!(train.classes().len(), info.num_classes as usize);
+        prop_assert!(!test.is_empty());
+        for c in train.classes() {
+            prop_assert!(
+                train.class_indices(c).len() >= 2,
+                "{}: class {} has < 2 train instances",
+                info.name,
+                c
+            );
+        }
+    }
+}
+
+/// The whole suite loads bit-identically from concurrent threads: the
+/// generator owns all of its state (no globals, no thread-local RNG),
+/// so parallel benches and tests see the same data as serial ones.
+#[test]
+fn load_grid_is_bit_identical_across_threads() {
+    let reference: Vec<_> = registry::names()
+        .iter()
+        .map(|name| split_fingerprint(&registry::load_grid(name).expect("load_grid")))
+        .collect();
+    let reference = &reference;
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                scope.spawn(move || {
+                    for (name, want) in registry::names().iter().zip(reference) {
+                        let got = split_fingerprint(&registry::load_grid(name).expect("load_grid"));
+                        assert_eq!(&got, want, "{name} drifted across threads");
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("loader thread");
+        }
+    });
+}
+
+/// Full-size loads are thread-stable too (spot-checked on a few names;
+/// the full suite at full size is covered by the proptest above).
+#[test]
+fn load_is_bit_identical_across_threads() {
+    let names = registry::names();
+    for name in [names[0], names[names.len() / 2], names[names.len() - 1]] {
+        let want = split_fingerprint(&registry::load(name).expect("load"));
+        let want = &want;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    scope.spawn(move || split_fingerprint(&registry::load(name).expect("load")))
+                })
+                .collect();
+            for h in handles {
+                assert_eq!(&h.join().expect("loader thread"), want, "{name}");
+            }
+        });
+    }
+}

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
-"""Regression gate for the end-to-end pipeline benchmark.
+"""Regression gates for the benchmark result documents.
 
-Diffs a fresh ``results/BENCH_pipeline.json`` (written by
+Default mode diffs a fresh ``results/BENCH_pipeline.json`` (written by
 ``cargo run -p ips-bench --release --bin bench_pipeline``) against the
 committed ``results/BENCH_pipeline.baseline.json``:
 
@@ -25,10 +25,34 @@ revision, per-run ``fit.total`` milliseconds, the summed total, and the
 gate outcome — so per-PR performance history accumulates in one
 greppable place instead of being overwritten by each regeneration.
 
+``--grid`` switches to the cross-method conformance grid (DESIGN.md
+§12): it diffs ``results/GRID.json`` (written by ``cargo run -p
+ips-bench --release --bin bench_grid``) against the committed
+``results/GRID.baseline.json``. The grid gate is pure conformance — no
+wall-time budgets — and enforces:
+
+* **Exact equality against the baseline** for every cell's params,
+  counters, gauges (accuracy included; ``resolved_threads`` stays
+  informational), and span keys, plus the whole rank ``summary``.
+* **Cell-label hygiene**: every run label parses as
+  ``method/dataset/t<threads>/c<chunk>`` and matches its params.
+* **Engine determinism across the grid axes** within the fresh document
+  alone: for each (method, dataset), all cells must agree on accuracy
+  and counters — exactly across thread counts, and up to
+  ``*.sched_items`` across chunk sizes (the one counter the scheduler
+  knob may legitimately move).
+* **Rank-summary consistency**: the document's ``summary.avg_ranks``
+  must equal average Friedman ranks recomputed here from the
+  ``t1/cauto`` accuracy cells, so a doctored summary cannot hide a
+  rank inversion.
+
 Exit status: 0 when everything passes, 1 on any failure.
 
-``--self-test`` verifies the gate itself: the baseline must pass against
-itself, and an injected 2x slowdown of every ``fit.total`` must fail.
+``--self-test`` verifies the gate itself. Default mode: the baseline
+must pass against itself, and an injected 2x slowdown of every
+``fit.total`` must fail. Grid mode: the baseline must pass against
+itself, and both an injected accuracy flip and an injected rank
+inversion must fail.
 
 Standard library only; no third-party imports.
 """
@@ -57,15 +81,26 @@ PER_RUN_SLACK_NS = 100_000_000  # 100 ms
 # Gauges that legitimately differ across machines.
 INFORMATIONAL_GAUGES = {"resolved_threads"}
 
+# The one counter suffix the scheduler chunk knob may legitimately move
+# between grid cells that differ only in chunk size (mirrors the
+# `engine_equivalence` test exemption).
+SCHED_EXEMPT_SUFFIX = ".sched_items"
 
-def load(path, role):
+# The grid axis cell whose accuracies feed the rank summary.
+GRID_REFERENCE_VARIANT = ("1", "auto")
+
+
+def load(path, role, bench="bench_pipeline"):
     """Loads one results document, mapping every failure mode to a
-    one-line actionable message naming the file and how to fix it."""
+    one-line actionable message naming the file and how to fix it.
+
+    Returns ``(doc, runs)`` where ``runs`` maps label -> run record.
+    """
     regen = (
-        "run `cargo run -p ips-bench --release --bin bench_pipeline` and "
+        f"run `cargo run -p ips-bench --release --bin {bench}` and "
         "commit the output as the baseline"
         if role == "baseline"
-        else "run `cargo run -p ips-bench --release --bin bench_pipeline` to generate it"
+        else f"run `cargo run -p ips-bench --release --bin {bench}` to generate it"
     )
     try:
         with open(path, encoding="utf-8") as f:
@@ -98,7 +133,7 @@ def load(path, role):
         runs[label] = run
     if not runs:
         raise SystemExit(f"{path}: no runs")
-    return runs
+    return doc, runs
 
 
 def fit_total_ns(run):
@@ -173,6 +208,252 @@ def compare(baseline, fresh, max_ratio):
             )
 
     return failures
+
+
+def parse_cell(label):
+    """Parses ``method/dataset/t<threads>/c<chunk>`` into its four
+    coordinates, or None (mirrors ``ips_obs::GridCell::from_label``)."""
+    parts = label.split("/")
+    if len(parts) != 4:
+        return None
+    method, dataset, threads, chunk = parts
+    if not method or not dataset:
+        return None
+    if not threads.startswith("t") or not chunk.startswith("c"):
+        return None
+    return method, dataset, threads[1:], chunk[1:]
+
+
+def counter_diffs(a, b, exempt_suffix=None):
+    """Human-readable diffs between two counter maps, optionally
+    ignoring keys that end with `exempt_suffix`."""
+    return [
+        f"{k}: {a.get(k)} -> {b.get(k)}"
+        for k in sorted(set(a) | set(b))
+        if a.get(k) != b.get(k)
+        and not (exempt_suffix and k.endswith(exempt_suffix))
+    ]
+
+
+def gauge_diffs(a, b):
+    """Diffs between two gauge maps, skipping informational gauges."""
+    return [
+        f"{k}: {a.get(k)} -> {b.get(k)}"
+        for k in sorted(set(a) | set(b))
+        if k not in INFORMATIONAL_GAUGES and a.get(k) != b.get(k)
+    ]
+
+
+def grid_labels_well_formed(runs):
+    """Every label parses and matches the params stamped on the run."""
+    failures = []
+    for label in sorted(runs):
+        cell = parse_cell(label)
+        if cell is None:
+            failures.append(f"{label}: label is not method/dataset/t*/c*")
+            continue
+        params = runs[label].get("params", {})
+        for key, want in zip(("method", "dataset", "threads", "chunk"), cell):
+            if params.get(key) != want:
+                failures.append(
+                    f"{label}: param {key}={params.get(key)!r} "
+                    f"disagrees with label coordinate {want!r}"
+                )
+    return failures
+
+
+def grid_axis_invariance(runs):
+    """Engine determinism across the grid axes, within one document.
+
+    Every cell of a (method, dataset) group is compared to the group's
+    ``t1/cauto`` reference: gauges (accuracy included) and span keys
+    must match exactly; counters must match exactly when the chunk label
+    matches the reference, and up to ``*.sched_items`` otherwise.
+    """
+    failures = []
+    groups = {}
+    for label, run in runs.items():
+        cell = parse_cell(label)
+        if cell is None:
+            continue  # already reported by grid_labels_well_formed
+        method, dataset, threads, chunk = cell
+        groups.setdefault((method, dataset), {})[(threads, chunk)] = run
+
+    ref_threads, ref_chunk = GRID_REFERENCE_VARIANT
+    for (method, dataset), cells in sorted(groups.items()):
+        ref = cells.get(GRID_REFERENCE_VARIANT)
+        if ref is None:
+            failures.append(
+                f"{method}/{dataset}: missing reference cell "
+                f"t{ref_threads}/c{ref_chunk}"
+            )
+            continue
+        rm = ref["metrics"]
+        for (threads, chunk), run in sorted(cells.items()):
+            if (threads, chunk) == GRID_REFERENCE_VARIANT:
+                continue
+            label = f"{method}/{dataset}/t{threads}/c{chunk}"
+            m = run["metrics"]
+            exempt = SCHED_EXEMPT_SUFFIX if chunk != ref_chunk else None
+            drift = counter_diffs(rm["counters"], m["counters"], exempt)
+            if drift:
+                failures.append(
+                    f"{label}: counters drift from t{ref_threads}/c{ref_chunk} "
+                    f"({'; '.join(drift)})"
+                )
+            drift = gauge_diffs(rm["gauges"], m["gauges"])
+            if drift:
+                failures.append(
+                    f"{label}: gauges drift from t{ref_threads}/c{ref_chunk} "
+                    f"({'; '.join(drift)})"
+                )
+            if set(rm["spans"]) != set(m["spans"]):
+                failures.append(
+                    f"{label}: span keys drift from t{ref_threads}/c{ref_chunk}"
+                )
+    return failures
+
+
+def average_ranks(rows):
+    """Average Friedman ranks per column over score rows; higher score =
+    better = lower rank; ties get the average of their positions
+    (mirrors ``ips_stats::rank::average_ranks``)."""
+    k = len(rows[0])
+    sums = [0.0] * k
+    for row in rows:
+        order = sorted(range(k), key=lambda j: -row[j])
+        pos = 0
+        while pos < len(order):
+            tie_end = pos
+            while tie_end + 1 < k and row[order[tie_end + 1]] == row[order[pos]]:
+                tie_end += 1
+            rank = (pos + tie_end) / 2.0 + 1.0
+            for idx in order[pos : tie_end + 1]:
+                sums[idx] += rank
+            pos = tie_end + 1
+    return [s / len(rows) for s in sums]
+
+
+def grid_summary_consistent(doc, runs):
+    """The document's rank summary must match ranks recomputed from its
+    own ``t1/cauto`` accuracy cells."""
+    summary = doc.get("summary")
+    if not isinstance(summary, dict):
+        return ["summary: missing or not an object"]
+    methods = summary.get("methods")
+    datasets = doc.get("datasets")
+    if not methods or not datasets:
+        return ["summary: missing methods or datasets list"]
+
+    failures = []
+    rows = []
+    ref_threads, ref_chunk = GRID_REFERENCE_VARIANT
+    for dataset in datasets:
+        row = []
+        for method in methods:
+            label = f"{method}/{dataset}/t{ref_threads}/c{ref_chunk}"
+            run = runs.get(label)
+            accuracy = (
+                run["metrics"]["gauges"].get("accuracy") if run else None
+            )
+            if accuracy is None:
+                failures.append(f"{label}: missing accuracy cell for rank summary")
+            else:
+                row.append(accuracy)
+        if len(row) == len(methods):
+            rows.append(row)
+    if failures:
+        return failures
+
+    recomputed = average_ranks(rows)
+    reported = summary.get("avg_ranks")
+    if (
+        not isinstance(reported, list)
+        or len(reported) != len(recomputed)
+        or any(abs(a - b) > 1e-9 for a, b in zip(reported, recomputed))
+    ):
+        failures.append(
+            f"summary: avg_ranks inconsistent with cell accuracies "
+            f"(reported {reported}, recomputed {[round(r, 4) for r in recomputed]})"
+        )
+    return failures
+
+
+def grid_compare(baseline_doc, baseline_runs, fresh_doc, fresh_runs):
+    """Returns a list of failure strings (empty = pass) for grid mode."""
+    failures = []
+    failures += grid_labels_well_formed(fresh_runs)
+    # Structural equality against the baseline, with no wall-time budget
+    # (conformance only; bench_pipeline owns performance).
+    failures += compare(baseline_runs, fresh_runs, float("inf"))
+    failures += grid_axis_invariance(fresh_runs)
+    failures += grid_summary_consistent(fresh_doc, fresh_runs)
+    if baseline_doc.get("datasets") != fresh_doc.get("datasets"):
+        failures.append("datasets list drifted from the baseline")
+    if baseline_doc.get("summary") != fresh_doc.get("summary"):
+        failures.append(
+            "rank summary drifted from the baseline "
+            f"({baseline_doc.get('summary')} -> {fresh_doc.get('summary')})"
+        )
+    return failures
+
+
+def grid_self_test(baseline_doc, baseline_runs):
+    """Verifies the grid gate: identity passes, an injected accuracy
+    flip fails, and an injected rank inversion fails."""
+    clean = grid_compare(
+        baseline_doc, baseline_runs, copy.deepcopy(baseline_doc), copy.deepcopy(baseline_runs)
+    )
+    if clean:
+        print("grid self-test FAILED: baseline does not pass against itself:")
+        for msg in clean:
+            print(f"  - {msg}")
+        return 1
+
+    # Accuracy flip: invert one reference cell's accuracy. This must trip
+    # the baseline diff AND the cross-variant invariance check.
+    flipped_doc = copy.deepcopy(baseline_doc)
+    flipped_runs = {run["label"]: run for run in flipped_doc["runs"]}
+    ref_threads, ref_chunk = GRID_REFERENCE_VARIANT
+    target = next(
+        label
+        for label in sorted(flipped_runs)
+        if parse_cell(label) is not None
+        and parse_cell(label)[2:] == (ref_threads, ref_chunk)
+        and flipped_runs[label]["metrics"]["gauges"].get("accuracy") not in (None, 0.5)
+    )
+    gauges = flipped_runs[target]["metrics"]["gauges"]
+    gauges["accuracy"] = 1.0 - gauges["accuracy"]
+    doctored = grid_compare(baseline_doc, baseline_runs, flipped_doc, flipped_runs)
+    flip_failures = [m for m in doctored if "accuracy" in m or target in m]
+    if not flip_failures:
+        print(f"grid self-test FAILED: accuracy flip in {target} was not detected")
+        return 1
+
+    # Rank inversion: swap two (distinct) average ranks in the summary.
+    # The recomputation from cell accuracies must catch it even though
+    # the cells themselves are untouched.
+    inverted_doc = copy.deepcopy(baseline_doc)
+    inverted_runs = {run["label"]: run for run in inverted_doc["runs"]}
+    ranks = inverted_doc["summary"]["avg_ranks"]
+    lo = min(range(len(ranks)), key=lambda i: ranks[i])
+    hi = max(range(len(ranks)), key=lambda i: ranks[i])
+    if ranks[lo] == ranks[hi]:
+        print("grid self-test FAILED: baseline ranks are all tied; cannot invert")
+        return 1
+    ranks[lo], ranks[hi] = ranks[hi], ranks[lo]
+    doctored = grid_compare(baseline_doc, baseline_runs, inverted_doc, inverted_runs)
+    inversion_failures = [m for m in doctored if "avg_ranks inconsistent" in m]
+    if not inversion_failures:
+        print("grid self-test FAILED: rank inversion in the summary was not detected")
+        return 1
+
+    print(
+        f"grid self-test OK: identity passes, accuracy flip raises "
+        f"{len(flip_failures)} failure(s), rank inversion raises "
+        f"{len(inversion_failures)} failure(s)"
+    )
+    return 0
 
 
 def git_revision():
@@ -304,25 +585,35 @@ def self_test(baseline, max_ratio):
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
+        "--grid",
+        action="store_true",
+        help="check the conformance grid (results/GRID.json) instead of "
+        "the pipeline benchmark; exact conformance, no wall-time budgets",
+    )
+    parser.add_argument(
         "--baseline",
-        default="results/BENCH_pipeline.baseline.json",
-        help="committed baseline (default: %(default)s)",
+        default=None,
+        help="committed baseline (default: results/BENCH_pipeline.baseline.json, "
+        "or results/GRID.baseline.json with --grid)",
     )
     parser.add_argument(
         "--fresh",
-        default="results/BENCH_pipeline.json",
-        help="freshly generated results (default: %(default)s)",
+        default=None,
+        help="freshly generated results (default: results/BENCH_pipeline.json, "
+        "or results/GRID.json with --grid)",
     )
     parser.add_argument(
         "--max-ratio",
         type=float,
         default=1.25,
-        help="maximum allowed fit.total growth over baseline (default: %(default)s)",
+        help="maximum allowed fit.total growth over baseline "
+        "(default: %(default)s; ignored with --grid)",
     )
     parser.add_argument(
         "--self-test",
         action="store_true",
-        help="verify the gate: baseline passes against itself, 2x slowdown fails",
+        help="verify the gate itself: baseline passes against itself and "
+        "doctored documents fail",
     )
     parser.add_argument(
         "--append-trajectory",
@@ -335,20 +626,36 @@ def main():
     )
     args = parser.parse_args()
 
-    baseline = load(args.baseline, "baseline")
+    if args.grid:
+        bench = "bench_grid"
+        baseline_path = args.baseline or "results/GRID.baseline.json"
+        fresh_path = args.fresh or "results/GRID.json"
+    else:
+        bench = "bench_pipeline"
+        baseline_path = args.baseline or "results/BENCH_pipeline.baseline.json"
+        fresh_path = args.fresh or "results/BENCH_pipeline.json"
+
+    baseline_doc, baseline = load(baseline_path, "baseline", bench)
     if args.self_test:
+        if args.grid:
+            return grid_self_test(baseline_doc, baseline)
         return self_test(baseline, args.max_ratio)
 
-    fresh = load(args.fresh, "fresh results")
-    failures = compare(baseline, fresh, args.max_ratio)
+    fresh_doc, fresh = load(fresh_path, "fresh results", bench)
+    if args.grid:
+        failures = grid_compare(baseline_doc, baseline, fresh_doc, fresh)
+    else:
+        failures = compare(baseline, fresh, args.max_ratio)
     if args.append_trajectory:
         append_trajectory(args.append_trajectory, fresh, failures)
     if failures:
-        print(f"bench regression check FAILED ({len(failures)} failure(s)):")
+        name = "grid conformance" if args.grid else "bench regression"
+        print(f"{name} check FAILED ({len(failures)} failure(s)):")
         for msg in failures:
             print(f"  - {msg}")
         return 1
-    print(f"bench regression check OK: {len(fresh)} runs match the baseline")
+    name = "grid conformance" if args.grid else "bench regression"
+    print(f"{name} check OK: {len(fresh)} runs match the baseline")
     return 0
 
 

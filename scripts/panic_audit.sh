@@ -12,6 +12,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 AUDITED_FILES=(
+    crates/bench/src/bin/bench_grid.rs
     crates/core/src/engine.rs
     crates/core/src/parallel.rs
     crates/core/src/pipeline.rs

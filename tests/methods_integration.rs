@@ -97,3 +97,114 @@ fn bspcover_and_base_share_the_transform_contract() {
         assert!(!s.values.is_empty());
     }
 }
+
+/// Conformance-grid regression (DESIGN.md §12): every engine-backed
+/// method must emit StageCounters that are a pure function of the
+/// workload — identical at any thread count — and must never fall back
+/// from a kernel path (`kernel_fallbacks` stays zero; the emitters skip
+/// zero-valued counters, so the key must simply be absent).
+#[test]
+fn engine_methods_have_thread_invariant_counters_and_no_kernel_fallbacks() {
+    use ips::baselines::BspCoverClassifier as Bsp;
+    use ips::classify::forest::ForestParams;
+    use ips::core::{
+        ChunkSize, CoteIpsEnsemble, EnsembleConfig, MultivariateDataset, MultivariateIps,
+    };
+    use ips::obs::MetricsRegistry;
+    use std::collections::BTreeMap;
+
+    let (train, _) = registry::load("ItalyPowerDemand").expect("registry dataset");
+
+    let counters_for = |method: &str, threads: usize| -> BTreeMap<String, u64> {
+        let metrics = MetricsRegistry::new();
+        match method {
+            "ips" | "ips_exact" => {
+                let mut cfg = IpsConfig::default()
+                    .with_sampling(5, 3)
+                    .with_k(2)
+                    .with_threads(threads)
+                    .with_chunk_size(ChunkSize::Auto);
+                if method == "ips_exact" {
+                    cfg.use_dt_cr = false;
+                }
+                let model = IpsClassifier::fit(&train, cfg).expect("ips fit");
+                metrics.merge_snapshot(&model.discovery().metrics);
+            }
+            "base" => {
+                let cfg = BaseConfig {
+                    k: 2,
+                    length_ratios: vec![0.15, 0.3],
+                    num_threads: threads,
+                    ..Default::default()
+                };
+                BaseClassifier::fit_recorded(&train, cfg, &metrics);
+            }
+            "bspcover" => {
+                let cfg = BspCoverConfig {
+                    k: 2,
+                    length_ratios: vec![0.2],
+                    stride_fraction: 0.25,
+                    max_candidates: 400,
+                    num_threads: threads,
+                    ..Default::default()
+                };
+                Bsp::fit_recorded(&train, cfg, &metrics);
+            }
+            "ensemble" => {
+                let cfg = EnsembleConfig {
+                    ips: IpsConfig::default()
+                        .with_sampling(4, 2)
+                        .with_k(1)
+                        .with_threads(threads),
+                    forest: ForestParams {
+                        num_trees: 10,
+                        ..Default::default()
+                    },
+                    cv_folds: 2,
+                };
+                let model = CoteIpsEnsemble::fit(&train, cfg).expect("ensemble fit");
+                let report = model.ips_report().expect("ips member report");
+                metrics.merge_snapshot(&report.to_metrics());
+            }
+            "multivariate" => {
+                let mv = MultivariateDataset::new(vec![train.clone(), train.clone()]);
+                let cfg = IpsConfig::default()
+                    .with_sampling(4, 2)
+                    .with_k(1)
+                    .with_threads(threads);
+                let model = MultivariateIps::fit(&mv, cfg).expect("multivariate fit");
+                for report in model.reports() {
+                    metrics.merge_snapshot(&report.to_metrics());
+                }
+            }
+            other => panic!("unknown method {other}"),
+        }
+        metrics.snapshot().counters
+    };
+
+    for method in [
+        "ips",
+        "ips_exact",
+        "base",
+        "bspcover",
+        "ensemble",
+        "multivariate",
+    ] {
+        let single = counters_for(method, 1);
+        let multi = counters_for(method, 3);
+        assert!(
+            !single.is_empty(),
+            "{method}: no counters recorded — the regression test is vacuous"
+        );
+        assert_eq!(
+            single, multi,
+            "{method}: StageCounters vary with thread count"
+        );
+        for (key, value) in &single {
+            assert!(
+                !key.ends_with(".kernel_fallbacks") || *value == 0,
+                "{method}: kernel fallback recorded under {key} = {value}"
+            );
+        }
+    }
+}

@@ -37,6 +37,79 @@ impl DiscoveryBudget {
     }
 }
 
+/// Sampling budget for [`SampledCandidateSource`]: how many of the inner
+/// source's candidates survive sampling.
+///
+/// [`SampledCandidateSource`]: crate::sampling::SampledCandidateSource
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SampleBudget {
+    /// Keep `ceil(fraction × pool_size)` candidates; must lie in `(0, 1]`.
+    /// Under stratified sampling the fraction applies within each class.
+    Fraction(f64),
+    /// Keep at most this many candidates (≥ 1). Under stratified sampling
+    /// the count is a *per-class* cap; otherwise it caps the pooled total.
+    Count(usize),
+}
+
+impl SampleBudget {
+    /// The target size this budget resolves to for a pool of `n`
+    /// candidates: never more than `n`, and at least 1 whenever `n > 0`
+    /// (sampling may thin a pool, never empty it).
+    pub fn resolve(self, n: usize) -> usize {
+        if n == 0 {
+            return 0;
+        }
+        match self {
+            SampleBudget::Fraction(f) => ((f * n as f64).ceil() as usize).clamp(1, n),
+            SampleBudget::Count(c) => c.clamp(1, n),
+        }
+    }
+}
+
+/// Candidate-subsampling knob for sublinear discovery (Raza & Kramer
+/// style randomized shapelets). `None` on [`IpsConfig`] keeps the dense
+/// enumeration; `Some` wraps the configured source in a
+/// [`SampledCandidateSource`] seeded from [`IpsConfig::seed`].
+///
+/// Sampling is a pure function of (inner pool, seed) — never of
+/// `num_threads` or `chunk_size` — so the engine's bit-identity contract
+/// extends to sampled runs.
+///
+/// [`SampledCandidateSource`]: crate::sampling::SampledCandidateSource
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CandidateSampling {
+    /// How much of the pool survives.
+    pub budget: SampleBudget,
+    /// Class-stratified (the default): the budget applies within each
+    /// class, and every class that produced a candidate keeps at least
+    /// one. Unstratified: one global draw over the pooled candidates.
+    pub stratified: bool,
+}
+
+impl CandidateSampling {
+    /// Stratified sampling keeping `ceil(fraction · class_pool)` per class.
+    pub fn fraction(fraction: f64) -> Self {
+        Self {
+            budget: SampleBudget::Fraction(fraction),
+            stratified: true,
+        }
+    }
+
+    /// Stratified sampling keeping at most `count` candidates per class.
+    pub fn count(count: usize) -> Self {
+        Self {
+            budget: SampleBudget::Count(count),
+            stratified: true,
+        }
+    }
+
+    /// Builder-style override of the stratification flag.
+    pub fn with_stratified(mut self, stratified: bool) -> Self {
+        self.stratified = stratified;
+        self
+    }
+}
+
 /// All knobs of the IPS pipeline, matching the paper's parameter setting
 /// (Section IV-A): shapelet number `k = 5`, candidate length ratios
 /// `{0.1, 0.2, 0.3, 0.4, 0.5}`, sample number `Q_N ∈ {10, 20, 50, 100}`,
@@ -107,6 +180,11 @@ pub struct IpsConfig {
     /// Resource limits for discovery (default: unlimited). See
     /// [`DiscoveryBudget`] for the degradation semantics.
     pub budget: DiscoveryBudget,
+    /// Candidate subsampling for sublinear discovery (default `None` =
+    /// dense enumeration). See [`CandidateSampling`]; applied *before*
+    /// [`DiscoveryBudget::max_candidates`], which then only stamps
+    /// `degraded` when it cuts the already-sampled pool.
+    pub candidate_sampling: Option<CandidateSampling>,
 }
 
 impl Default for IpsConfig {
@@ -132,6 +210,7 @@ impl Default for IpsConfig {
             use_fft_kernel: true,
             chunk_size: ChunkSize::Auto,
             budget: DiscoveryBudget::default(),
+            candidate_sampling: None,
         }
     }
 }
@@ -209,6 +288,12 @@ impl IpsConfig {
         self
     }
 
+    /// Builder-style override of the candidate-sampling knob.
+    pub fn with_candidate_sampling(mut self, sampling: CandidateSampling) -> Self {
+        self.candidate_sampling = Some(sampling);
+        self
+    }
+
     /// Checks every knob for usability, returning
     /// [`IpsError::InvalidConfig`] naming the first offending field. Run
     /// by [`crate::engine::Engine::run`] and
@@ -268,6 +353,23 @@ impl IpsConfig {
                 "budget.max_wall_clock",
                 "a zero wall-clock budget can never produce a result",
             );
+        }
+        if let Some(sampling) = &self.candidate_sampling {
+            match sampling.budget {
+                SampleBudget::Fraction(f) if !f.is_finite() || f <= 0.0 || f > 1.0 => {
+                    return bad(
+                        "candidate_sampling.budget",
+                        format!("fraction {f} is outside (0, 1]"),
+                    );
+                }
+                SampleBudget::Count(0) => {
+                    return bad(
+                        "candidate_sampling.budget",
+                        "a zero sample count can never produce a result",
+                    );
+                }
+                _ => {}
+            }
         }
         Ok(())
     }
@@ -363,6 +465,22 @@ mod tests {
                 }),
                 "budget.max_wall_clock",
             ),
+            (
+                IpsConfig::default().with_candidate_sampling(CandidateSampling::fraction(0.0)),
+                "candidate_sampling.budget",
+            ),
+            (
+                IpsConfig::default().with_candidate_sampling(CandidateSampling::fraction(f64::NAN)),
+                "candidate_sampling.budget",
+            ),
+            (
+                IpsConfig::default().with_candidate_sampling(CandidateSampling::fraction(1.5)),
+                "candidate_sampling.budget",
+            ),
+            (
+                IpsConfig::default().with_candidate_sampling(CandidateSampling::count(0)),
+                "candidate_sampling.budget",
+            ),
         ];
         for (cfg, want) in cases {
             match cfg.validate() {
@@ -370,6 +488,29 @@ mod tests {
                 other => panic!("{want}: expected InvalidConfig, got {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn sample_budget_resolves_within_pool_bounds() {
+        assert_eq!(SampleBudget::Fraction(0.1).resolve(100), 10);
+        assert_eq!(SampleBudget::Fraction(0.1).resolve(5), 1); // ceil + floor of 1
+        assert_eq!(SampleBudget::Fraction(1.0).resolve(7), 7);
+        assert_eq!(SampleBudget::Count(3).resolve(100), 3);
+        assert_eq!(SampleBudget::Count(300).resolve(100), 100);
+        assert_eq!(SampleBudget::Fraction(0.5).resolve(0), 0);
+        assert_eq!(SampleBudget::Count(5).resolve(0), 0);
+    }
+
+    #[test]
+    fn sampled_configs_validate() {
+        assert!(IpsConfig::default()
+            .with_candidate_sampling(CandidateSampling::fraction(0.25))
+            .validate()
+            .is_ok());
+        assert!(IpsConfig::default()
+            .with_candidate_sampling(CandidateSampling::count(8).with_stratified(false))
+            .validate()
+            .is_ok());
     }
 
     #[test]

@@ -135,6 +135,13 @@ pub struct StageCounters {
     /// counts (asserted by the obs integration suite), but it *does*
     /// change with `chunk_size` by definition.
     pub sched_items: usize,
+    /// Candidates kept by a [`crate::sampling::SampledCandidateSource`]
+    /// wrapped around the stage's generator. Zero for dense (unsampled)
+    /// runs; for sampled runs it equals the stage's `candidates_out`
+    /// while `candidates_in` holds the inner source's dense pool size,
+    /// so one record shows how much sampling shrank the pool. A pure
+    /// function of (workload, seed) — thread- and chunk-invariant.
+    pub sampled_candidates: usize,
 }
 
 impl StageCounters {
@@ -149,13 +156,14 @@ impl StageCounters {
             cache_hits: self.cache_hits + other.cache_hits,
             kernel_fallbacks: self.kernel_fallbacks + other.kernel_fallbacks,
             sched_items: self.sched_items + other.sched_items,
+            sampled_candidates: self.sampled_candidates + other.sampled_candidates,
         }
     }
 
     /// The counters as `(name, value)` pairs — the single source of the
     /// field names used in metrics keys, serialized records, and the
     /// rendered table, so the three views cannot drift apart.
-    pub fn fields(&self) -> [(&'static str, usize); 8] {
+    pub fn fields(&self) -> [(&'static str, usize); 9] {
         [
             ("candidates_in", self.candidates_in),
             ("candidates_out", self.candidates_out),
@@ -165,6 +173,7 @@ impl StageCounters {
             ("cache_hits", self.cache_hits),
             ("kernel_fallbacks", self.kernel_fallbacks),
             ("sched_items", self.sched_items),
+            ("sampled_candidates", self.sampled_candidates),
         ]
     }
 }
@@ -259,11 +268,11 @@ impl RunReport {
     /// Renders a fixed-width per-stage table (used by the bench bins).
     pub fn render_table(&self) -> String {
         let mut out = String::from(
-            "stage           time_ms      in     out  probes   evals  kevals    hits  fbacks   items\n",
+            "stage           time_ms      in     out  probes   evals  kevals    hits  fbacks   items sampled\n",
         );
         for r in &self.stages {
             out.push_str(&format!(
-                "{:<14} {:>8.2} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7}\n",
+                "{:<14} {:>8.2} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7}\n",
                 r.stage.name(),
                 r.elapsed.as_secs_f64() * 1e3,
                 r.counters.candidates_in,
@@ -274,6 +283,7 @@ impl RunReport {
                 r.counters.cache_hits,
                 r.counters.kernel_fallbacks,
                 r.counters.sched_items,
+                r.counters.sampled_candidates,
             ));
         }
         out.push_str(&format!(
@@ -493,6 +503,7 @@ pub struct ExecContext<'o> {
     faults: FaultPlan,
     deadline: Option<Instant>,
     sched_notes: Vec<(Stage, usize)>,
+    counter_notes: Vec<(Stage, StageCounters)>,
 }
 
 impl<'o> ExecContext<'o> {
@@ -507,6 +518,7 @@ impl<'o> ExecContext<'o> {
             faults: FaultPlan::default(),
             deadline: None,
             sched_notes: Vec::new(),
+            counter_notes: Vec::new(),
         }
     }
 
@@ -578,6 +590,16 @@ impl<'o> ExecContext<'o> {
         self.sched_notes.push((stage, items));
     }
 
+    /// Buffers extra counters for a stage until its
+    /// [`record`](ExecContext::record) call merges them in — the general
+    /// form of [`note_sched_items`](ExecContext::note_sched_items), used
+    /// by stage *wrappers* (e.g.
+    /// [`SampledCandidateSource`](crate::sampling::SampledCandidateSource))
+    /// that add telemetry to a stage whose record the engine writes.
+    pub fn note_counters(&mut self, stage: Stage, counters: StageCounters) {
+        self.counter_notes.push((stage, counters));
+    }
+
     /// Records a finished stage: drains any buffered
     /// [`note_sched_items`](ExecContext::note_sched_items) for it into
     /// the counters, forwards the report to the observer, appends it to
@@ -589,6 +611,14 @@ impl<'o> ExecContext<'o> {
         self.sched_notes.retain(|&(s, items)| {
             if s == stage {
                 counters.sched_items += items;
+                false
+            } else {
+                true
+            }
+        });
+        self.counter_notes.retain(|&(s, noted)| {
+            if s == stage {
+                counters = counters.merge(noted);
                 false
             } else {
                 true
@@ -728,8 +758,17 @@ impl Engine {
         } else {
             Box::new(NaivePruner::new(config.clone()))
         };
+        let mut source: Box<dyn CandidateSource> =
+            Box::new(ProfileCandidateSource::new(config.clone()));
+        if let Some(sampling) = config.candidate_sampling {
+            source = Box::new(crate::sampling::SampledCandidateSource::new(
+                source,
+                sampling,
+                config.seed,
+            ));
+        }
         Self {
-            source: Box::new(ProfileCandidateSource::new(config.clone())),
+            source,
             pruner,
             selector: Box::new(UtilitySelector::new(config.clone())),
             workers: WorkerPool::new(config.num_threads),
@@ -832,6 +871,11 @@ impl Engine {
         if pool.is_empty() {
             return Err(PipelineError::NoCandidates);
         }
+        // `max_candidates` applies to the pool the source *emitted* — for
+        // a sampled source that is the already-subsampled pool, so the
+        // budget stamps `degraded` only when it cuts the sampled pool
+        // itself, never merely because the dense pre-sampling pool was
+        // larger (pinned by `sampling_budget` in the equivalence suite).
         if let Some(max) = budget.max_candidates {
             if pool.len() > max {
                 pool.truncate(max);

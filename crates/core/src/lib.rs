@@ -41,23 +41,25 @@ pub mod multivariate;
 pub mod parallel;
 pub mod pipeline;
 pub mod pruning;
+pub mod sampling;
 pub mod schedule;
 pub mod topk;
 pub mod utility;
 
 pub use candidates::{generate_candidates, Candidate, CandidateKind, CandidatePool};
-pub use config::{DiscoveryBudget, IpsConfig};
+pub use config::{CandidateSampling, DiscoveryBudget, IpsConfig, SampleBudget};
 pub use engine::{
     CandidateSource, CollectingObserver, Engine, ExecContext, Pruner, RunReport, Selection,
     Selector, Stage, StageCounters, StageObserver, StageReport, WorkerPool,
 };
-pub use ensemble::{CoteIpsEnsemble, EnsembleConfig};
+pub use ensemble::{CoteIpsEnsemble, EnsembleConfig, SampledEnsembleConfig, SampledIpsEnsemble};
 pub use error::IpsError;
 pub use explain::{explain_prediction, explanation_text, Explanation, MatchExplanation};
 pub use fault::{FaultPlan, FaultStage};
 pub use multivariate::{MultivariateDataset, MultivariateIps};
 pub use pipeline::{DiscoveryResult, DiscoveryStats, IpsClassifier, IpsDiscovery, StageTimings};
 pub use pruning::{build_dabf, prune_naive, prune_with_dabf};
+pub use sampling::{member_seed, sample_pool, SampledCandidateSource};
 pub use schedule::{ChunkSize, TaskPartition, WorkItem};
 pub use topk::{select_top_k, TopKStrategy};
 pub use utility::{score_exact, score_exact_with_cache};

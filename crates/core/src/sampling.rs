@@ -1,0 +1,277 @@
+//! Sampled candidate discovery — the sublinear path.
+//!
+//! Dense IPS enumeration scales with `Q_N × lengths × motifs`, and exact
+//! utility scoring with `pool × instances`; both cap dataset size. Raza &
+//! Kramer ("Ensembles of Randomized Time Series Shapelets") showed that a
+//! randomized subsample of the candidate pool cuts discovery cost by
+//! orders of magnitude while a small ensemble of sampled runs recovers
+//! full-enumeration accuracy. [`SampledCandidateSource`] is that idea as
+//! a stage wrapper: it decorates *any* inner [`CandidateSource`] and
+//! thins the pool it produces.
+//!
+//! **Determinism contract.** The subsample is a pure function of the
+//! inner pool and the seed: every candidate gets a splitmix64 key from
+//! `(seed, class, within-class index)` and the budgeted number of
+//! smallest keys survive, in their original pool order. No thread count,
+//! chunk size, or iteration-order effect can change the draw, so the
+//! engine's bit-identity contract (pinned by `engine_equivalence`)
+//! extends to sampled runs unchanged. Ensemble members derive distinct
+//! seeds through [`member_seed`], a second splitmix64 stream.
+
+use crate::candidates::CandidatePool;
+use crate::config::CandidateSampling;
+use crate::engine::{CandidateSource, ExecContext, Stage, StageCounters};
+use crate::error::IpsError;
+use ips_tsdata::Dataset;
+
+/// Stream tag separating the sampler's keys from the candidate-generation
+/// RNG streams (`sample_seed` in `candidates.rs`), which mix the same
+/// master seed.
+const SAMPLING_STREAM: u64 = 0xA076_1D64_78BD_642F;
+
+/// Stream tag for ensemble-member seed derivation.
+const MEMBER_STREAM: u64 = 0xE703_7ED1_A0B4_28DB;
+
+/// splitmix64 finalizer: a well-mixed u64 from a pre-mixed state.
+fn finalize(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// The sampling key of candidate `idx` of `class` under `seed`. The
+/// subsample keeps the candidates with the smallest keys — equivalent to
+/// a seeded random permutation draw, but computable independently per
+/// candidate.
+fn sample_key(seed: u64, class: u32, idx: usize) -> u64 {
+    finalize(
+        seed ^ SAMPLING_STREAM
+            ^ u64::from(class).wrapping_mul(0x9E3779B97F4A7C15)
+            ^ (idx as u64 + 1).wrapping_mul(0xD1B54A32D192ED03),
+    )
+}
+
+/// The derived seed of sampled-ensemble member `member` (0-based) under
+/// master `seed`. Distinct per member and never equal to the master's own
+/// sampling stream, so members draw independent subsamples.
+pub fn member_seed(seed: u64, member: usize) -> u64 {
+    finalize(seed ^ MEMBER_STREAM ^ (member as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15))
+}
+
+/// Marks the `target` smallest keys among `n` candidates keyed by
+/// `key(i)`, ties broken by index. Returns a keep-mask in index order.
+fn select_smallest(n: usize, target: usize, key: impl Fn(usize) -> u64) -> Vec<bool> {
+    if target >= n {
+        return vec![true; n];
+    }
+    let mut ranked: Vec<(u64, usize)> = (0..n).map(|i| (key(i), i)).collect();
+    ranked.sort_unstable();
+    let mut keep = vec![false; n];
+    for &(_, i) in &ranked[..target] {
+        keep[i] = true;
+    }
+    keep
+}
+
+/// Draws the configured subsample of `pool` under `seed` — a pure
+/// function of `(pool, sampling, seed)`. Class order and within-class
+/// candidate order are preserved, so the result is a strict subsequence
+/// of the input pool. Stratified draws resolve the budget per class and
+/// keep at least one candidate in every class that produced one;
+/// unstratified draws resolve it once over the pooled total.
+pub fn sample_pool(pool: &CandidatePool, sampling: CandidateSampling, seed: u64) -> CandidatePool {
+    let classes = pool.classes();
+    let keep: Vec<(u32, Vec<bool>)> = if sampling.stratified {
+        classes
+            .iter()
+            .map(|&class| {
+                let n = pool.of_class(class).len();
+                let target = sampling.budget.resolve(n);
+                (
+                    class,
+                    select_smallest(n, target, |i| sample_key(seed, class, i)),
+                )
+            })
+            .collect()
+    } else {
+        let total = pool.len();
+        let target = sampling.budget.resolve(total);
+        // One global draw: rank every (key, class position, index) and
+        // keep the `target` smallest; the class position breaks any key
+        // tie deterministically.
+        let mut ranked: Vec<(u64, usize, usize)> = Vec::with_capacity(total);
+        for (ci, &class) in classes.iter().enumerate() {
+            for i in 0..pool.of_class(class).len() {
+                ranked.push((sample_key(seed, class, i), ci, i));
+            }
+        }
+        ranked.sort_unstable();
+        let mut keep: Vec<(u32, Vec<bool>)> = classes
+            .iter()
+            .map(|&class| (class, vec![false; pool.of_class(class).len()]))
+            .collect();
+        for &(_, ci, i) in &ranked[..target] {
+            keep[ci].1[i] = true;
+        }
+        keep
+    };
+    let mut sampled = CandidatePool::default();
+    for (class, mask) in keep {
+        for (cand, &kept) in pool.of_class(class).iter().zip(&mask) {
+            if kept {
+                sampled.push(cand.clone());
+            }
+        }
+    }
+    sampled
+}
+
+/// A [`CandidateSource`] decorator that subsamples whatever its inner
+/// source produces, per [`CandidateSampling`]. The engine composes it
+/// automatically when [`IpsConfig::candidate_sampling`] is set; it also
+/// wraps any custom source directly.
+///
+/// Telemetry: the wrapper notes the dense pool size as the generation
+/// stage's `candidates_in` and the kept count as `sampled_candidates`
+/// (via [`ExecContext::note_counters`]), so a sampled run's record shows
+/// the shrink next to the stage's `candidates_out`.
+///
+/// [`IpsConfig::candidate_sampling`]: crate::config::IpsConfig::candidate_sampling
+pub struct SampledCandidateSource {
+    inner: Box<dyn CandidateSource>,
+    sampling: CandidateSampling,
+    seed: u64,
+}
+
+impl SampledCandidateSource {
+    /// Wraps `inner`, drawing per `sampling` under `seed`.
+    pub fn new(inner: Box<dyn CandidateSource>, sampling: CandidateSampling, seed: u64) -> Self {
+        Self {
+            inner,
+            sampling,
+            seed,
+        }
+    }
+}
+
+impl CandidateSource for SampledCandidateSource {
+    fn generate(&self, train: &Dataset, ctx: &mut ExecContext) -> Result<CandidatePool, IpsError> {
+        let dense = self.inner.generate(train, ctx)?;
+        let sampled = sample_pool(&dense, self.sampling, self.seed);
+        ctx.note_counters(
+            Stage::CandidateGen,
+            StageCounters {
+                candidates_in: dense.len(),
+                sampled_candidates: sampled.len(),
+                ..Default::default()
+            },
+        );
+        Ok(sampled)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::candidates::{Candidate, CandidateKind};
+    use crate::config::{CandidateSampling, SampleBudget};
+
+    fn pool(per_class: &[(u32, usize)]) -> CandidatePool {
+        let mut p = CandidatePool::default();
+        for &(class, n) in per_class {
+            for i in 0..n {
+                p.push(Candidate {
+                    values: vec![i as f64, class as f64],
+                    class,
+                    kind: CandidateKind::Motif,
+                    ip_value: i as f64,
+                    source_instance: i,
+                    source_offset: i,
+                    embedded: vec![i as f64],
+                });
+            }
+        }
+        p
+    }
+
+    fn is_subsequence_of(sub: &CandidatePool, sup: &CandidatePool) -> bool {
+        sub.classes().iter().all(|&c| {
+            let (mut it, sup_cands) = (sub.of_class(c).iter(), sup.of_class(c).iter());
+            let mut cur = it.next();
+            for cand in sup_cands {
+                if Some(cand) == cur {
+                    cur = it.next();
+                }
+            }
+            cur.is_none()
+        })
+    }
+
+    #[test]
+    fn stratified_fraction_keeps_the_resolved_share_per_class() {
+        let p = pool(&[(0, 20), (1, 5), (2, 1)]);
+        let s = sample_pool(&p, CandidateSampling::fraction(0.25), 7);
+        assert_eq!(s.of_class(0).len(), 5);
+        assert_eq!(s.of_class(1).len(), 2); // ceil(0.25 * 5)
+        assert_eq!(s.of_class(2).len(), 1); // never empties a class
+        assert!(is_subsequence_of(&s, &p));
+    }
+
+    #[test]
+    fn stratified_count_caps_each_class() {
+        let p = pool(&[(0, 10), (1, 2)]);
+        let s = sample_pool(&p, CandidateSampling::count(3), 7);
+        assert_eq!(s.of_class(0).len(), 3);
+        assert_eq!(s.of_class(1).len(), 2);
+    }
+
+    #[test]
+    fn global_draw_resolves_over_the_pooled_total() {
+        let p = pool(&[(0, 10), (1, 10)]);
+        let sampling = CandidateSampling {
+            budget: SampleBudget::Count(6),
+            stratified: false,
+        };
+        let s = sample_pool(&p, sampling, 11);
+        assert_eq!(s.len(), 6);
+        assert!(is_subsequence_of(&s, &p));
+    }
+
+    #[test]
+    fn draw_is_deterministic_and_seed_sensitive() {
+        let p = pool(&[(0, 40), (1, 40)]);
+        let sampling = CandidateSampling::fraction(0.3);
+        let a = sample_pool(&p, sampling, 5);
+        let b = sample_pool(&p, sampling, 5);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        let c = sample_pool(&p, sampling, 6);
+        assert_ne!(
+            format!("{a:?}"),
+            format!("{c:?}"),
+            "different seeds must draw different subsamples"
+        );
+    }
+
+    #[test]
+    fn full_budget_is_the_identity() {
+        let p = pool(&[(0, 7), (1, 3)]);
+        let s = sample_pool(&p, CandidateSampling::fraction(1.0), 5);
+        assert_eq!(format!("{s:?}"), format!("{p:?}"));
+    }
+
+    #[test]
+    fn empty_pool_stays_empty() {
+        let p = CandidatePool::default();
+        assert!(sample_pool(&p, CandidateSampling::fraction(0.5), 5).is_empty());
+    }
+
+    #[test]
+    fn member_seeds_are_distinct() {
+        let seeds: Vec<u64> = (0..16).map(|m| member_seed(5, m)).collect();
+        let mut unique = seeds.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), seeds.len());
+        assert!(!seeds.contains(&5));
+    }
+}

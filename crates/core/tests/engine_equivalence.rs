@@ -6,8 +6,8 @@
 
 use ips_core::engine::{CollectingObserver, Stage};
 use ips_core::{
-    build_dabf, generate_candidates, prune_naive, prune_with_dabf, select_top_k, ChunkSize,
-    IpsConfig, IpsDiscovery, TopKStrategy,
+    build_dabf, generate_candidates, prune_naive, prune_with_dabf, select_top_k, CandidateSampling,
+    ChunkSize, DiscoveryBudget, IpsConfig, IpsDiscovery, TopKStrategy,
 };
 use ips_tsdata::{registry, Dataset, DatasetSpec, SynthGenerator};
 
@@ -320,6 +320,124 @@ fn engine_is_bit_identical_across_threads_and_chunk_sizes() {
             }
         }
     }
+}
+
+/// The sampled extension of the bit-identity contract: with a
+/// `SampledCandidateSource` composed in, results *and the full
+/// `StageCounters`* — including the new `sampled_candidates` — stay a
+/// pure function of (workload, seed, chunk knob) across every thread ×
+/// chunk × fft cell, and the sampled pool is a strict subset of the
+/// dense pool.
+#[test]
+fn sampled_discovery_is_bit_identical_across_threads_chunks_and_fft() {
+    let train = synth_train();
+    for fft in [true, false] {
+        let mut cfg = base_cfg().with_candidate_sampling(CandidateSampling::fraction(0.4));
+        cfg.use_fft_kernel = fft;
+        cfg.use_dt_cr = false; // Exact scoring exercises the distance shards
+        let mut dense_cfg = cfg.clone();
+        dense_cfg.candidate_sampling = None;
+        let dense = IpsDiscovery::new(dense_cfg).discover(&train).unwrap();
+        let reference = IpsDiscovery::new(cfg.clone()).discover(&train).unwrap();
+        assert!(
+            reference.candidates_generated < dense.candidates_generated,
+            "sampling must shrink the pool"
+        );
+        let gen = reference
+            .report
+            .stage(Stage::CandidateGen)
+            .unwrap()
+            .counters;
+        assert_eq!(gen.sampled_candidates, reference.candidates_generated);
+        assert_eq!(gen.candidates_in, dense.candidates_generated);
+        for chunk in [ChunkSize::Auto, ChunkSize::Fixed(1), ChunkSize::Fixed(7)] {
+            let same_chunk_ref =
+                IpsDiscovery::new(cfg.clone().with_threads(1).with_chunk_size(chunk))
+                    .discover(&train)
+                    .unwrap();
+            for threads in [1, 2, 4, 0] {
+                let result =
+                    IpsDiscovery::new(cfg.clone().with_threads(threads).with_chunk_size(chunk))
+                        .discover(&train)
+                        .unwrap();
+                let tag = format!("fft={fft} chunk={chunk:?} threads={threads}");
+                assert_eq!(result.shapelets, reference.shapelets, "shapelets: {tag}");
+                assert_eq!(
+                    result.candidates_generated, reference.candidates_generated,
+                    "generated: {tag}"
+                );
+                for stage in Stage::ALL {
+                    assert_eq!(
+                        result.report.stage(stage).unwrap().counters,
+                        same_chunk_ref.report.stage(stage).unwrap().counters,
+                        "{stage:?} counters depend on threads: {tag}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// `DiscoveryBudget::max_candidates` composes with sampling in that
+/// order: the budget sees the *sampled* pool, so it stamps `degraded`
+/// only when it cuts that pool — never merely because the dense
+/// pre-sampling pool was larger (the regression the engine comments call
+/// `sampling_budget`).
+#[test]
+fn sampling_budget_degrades_only_when_the_sampled_pool_is_cut() {
+    let train = synth_train();
+    let sampled_cfg = base_cfg().with_candidate_sampling(CandidateSampling::fraction(0.4));
+    let mut dense_cfg = sampled_cfg.clone();
+    dense_cfg.candidate_sampling = None;
+    let dense = IpsDiscovery::new(dense_cfg.clone())
+        .discover(&train)
+        .unwrap();
+    let sampled = IpsDiscovery::new(sampled_cfg.clone())
+        .discover(&train)
+        .unwrap();
+    assert!(!sampled.degraded, "sampling alone must not stamp degraded");
+    assert!(
+        sampled.candidates_generated < dense.candidates_generated,
+        "fixture needs a sampled pool strictly below the dense pool"
+    );
+
+    // A ceiling between the sampled and dense sizes: the dense pool would
+    // have been cut, the sampled pool was not — no degradation.
+    let budget = DiscoveryBudget {
+        max_candidates: Some(sampled.candidates_generated),
+        ..DiscoveryBudget::default()
+    };
+    let under = IpsDiscovery::new(sampled_cfg.clone().with_budget(budget))
+        .discover(&train)
+        .unwrap();
+    assert!(
+        !under.degraded,
+        "budget ≥ sampled pool must not stamp degraded (sampled {}, dense {})",
+        sampled.candidates_generated, dense.candidates_generated
+    );
+    assert_eq!(under.shapelets, sampled.shapelets);
+    // …while the same ceiling on the dense run does cut.
+    let dense_cut = IpsDiscovery::new(dense_cfg.with_budget(budget))
+        .discover(&train)
+        .unwrap();
+    assert!(
+        dense_cut.degraded,
+        "the same ceiling must cut the dense run"
+    );
+
+    // A ceiling below the sampled size cuts the sampled pool itself.
+    let tight = DiscoveryBudget {
+        max_candidates: Some(sampled.candidates_generated - 1),
+        ..DiscoveryBudget::default()
+    };
+    let cut = IpsDiscovery::new(sampled_cfg.with_budget(tight))
+        .discover(&train)
+        .unwrap();
+    assert!(cut.degraded, "budget below the sampled pool must degrade");
+    // Truncation applies after sampling: the pruning stage saw exactly
+    // the budgeted pool.
+    let pruning = cut.report.stage(Stage::Pruning).unwrap().counters;
+    assert_eq!(pruning.candidates_in, sampled.candidates_generated - 1);
 }
 
 /// `sched_items` is part of the observability contract: non-zero for the

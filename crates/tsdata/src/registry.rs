@@ -98,7 +98,38 @@ impl DatasetInfo {
         .with_noise(self.noise_milli as f64 / 1000.0)
         .with_modes(self.modes as usize)
     }
+
+    /// The *scaled* spec for this dataset: the same name-derived seed,
+    /// class count, noise, and mode structure as [`spec`](Self::spec) —
+    /// so the dataset keeps its identity — with instance counts **and**
+    /// series length multiplied by `factor` (floored at 1). This is the
+    /// scaling benchmark's workload axis: `factor ∈` [`SCALE_FACTORS`]
+    /// produces datasets 10–100× the registry geometry, on which dense
+    /// candidate enumeration is measured against sampled discovery.
+    ///
+    /// Like every spec here, the output is a pure function of the
+    /// registry entry and `factor`, so scaled datasets are bit-identical
+    /// across processes and machines. Note the generator caps *effective*
+    /// modes at `per_class_instances / 6`; registry entries keep enough
+    /// instances per class that the requested mode count is already in
+    /// effect at factor 1, so scaling does not change class structure.
+    pub fn scaled_spec(&self, factor: usize) -> DatasetSpec {
+        let factor = factor.max(1);
+        DatasetSpec::new(
+            self.name,
+            self.num_classes,
+            self.series_len * factor,
+            self.train_size * factor,
+            self.test_size * factor,
+        )
+        .with_noise(self.noise_milli as f64 / 1000.0)
+        .with_modes(self.modes as usize)
+    }
 }
+
+/// The scale factors exercised by the scaling benchmark
+/// (`bench_scaling`); [`DatasetInfo::scaled_spec`] accepts any factor ≥ 1.
+pub const SCALE_FACTORS: [usize; 2] = [10, 100];
 
 macro_rules! entry {
     ($name:literal, $c:expr, $len:expr, $tr:expr, $te:expr, $olen:expr, $otr:expr, $ote:expr, $noise:expr, $modes:expr) => {
@@ -301,6 +332,16 @@ pub fn load_grid(name: &str) -> Result<(Dataset, Dataset)> {
     Ok((train.znormalized(), test.znormalized()))
 }
 
+/// Deterministically synthesizes the *scaled* `(train, test)` split for a
+/// registry dataset: [`load`] with the [`DatasetInfo::scaled_spec`]
+/// geometry (`factor` × instances, `factor` × length). Bit-identical
+/// across repeated calls, threads, and machines, like `load`/`load_grid`.
+pub fn load_scaled(name: &str, factor: usize) -> Result<(Dataset, Dataset)> {
+    let info = info(name)?;
+    let (train, test) = SynthGenerator::new(info.scaled_spec(factor)).generate()?;
+    Ok((train.znormalized(), test.znormalized()))
+}
+
 /// Loads the *real* UCR dataset from `dir` when the user has the archive on
 /// disk, verifying its class count against the registry.
 pub fn load_real(dir: impl AsRef<std::path::Path>, name: &str) -> Result<(Dataset, Dataset)> {
@@ -401,6 +442,45 @@ mod tests {
         assert_eq!(train.uniform_length(), Some(GRID_LEN_CAP));
         assert!(train.len() <= info("Beef").unwrap().train_size);
         assert!(!test.is_empty());
+    }
+
+    #[test]
+    fn scaled_spec_multiplies_geometry_and_keeps_identity() {
+        for d in &REGISTRY {
+            for factor in SCALE_FACTORS {
+                let s = d.scaled_spec(factor);
+                assert_eq!(s.series_len, d.series_len * factor, "{}", d.name);
+                assert_eq!(s.train_size, d.train_size * factor, "{}", d.name);
+                assert_eq!(s.test_size, d.test_size * factor, "{}", d.name);
+                // identity-preserving: classes, noise, modes, and the
+                // name-derived seed all match the full-size spec
+                let full = d.spec();
+                assert_eq!(s.num_classes, full.num_classes, "{}", d.name);
+                assert_eq!(s.noise_std, full.noise_std, "{}", d.name);
+                assert_eq!(s.modes, full.modes, "{}", d.name);
+                assert_eq!(s.seed, full.seed, "{}", d.name);
+            }
+        }
+        // factor 1 (and a degenerate 0) reproduce the base geometry
+        let base = info("ItalyPowerDemand").unwrap();
+        assert_eq!(base.scaled_spec(1), base.spec());
+        assert_eq!(base.scaled_spec(0), base.spec());
+    }
+
+    #[test]
+    fn load_scaled_produces_scaled_geometry() {
+        let (train, test) = load_scaled("ItalyPowerDemand", 10).unwrap();
+        assert_eq!(train.num_classes(), 2);
+        assert_eq!(train.uniform_length(), Some(240));
+        assert_eq!(train.len(), 670);
+        assert_eq!(test.len(), 2000);
+        // deterministic across calls
+        let (again, _) = load_scaled("ItalyPowerDemand", 10).unwrap();
+        assert_eq!(train.series(7).values(), again.series(7).values());
+        assert!(matches!(
+            load_scaled("NoSuchSet", 10),
+            Err(Error::UnknownDataset(_))
+        ));
     }
 
     #[test]

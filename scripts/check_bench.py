@@ -25,6 +25,26 @@ revision, per-run ``fit.total`` milliseconds, the summed total, and the
 gate outcome — so per-PR performance history accumulates in one
 greppable place instead of being overwritten by each regeneration.
 
+``--scaling`` switches to the scaling frontier (DESIGN.md §13): it
+diffs ``results/BENCH_scaling.json`` (written by ``cargo run -p
+ips-bench --release --bin bench_scaling``) against the committed
+``results/BENCH_scaling.baseline.json``. Like the grid gate it is pure
+conformance — no wall budgets (the ≥5x frontier lives in the committed
+baseline, wall clock is machine-dependent) — and enforces:
+
+* **Exact equality against the baseline** for every cell's params,
+  counters, gauges, and span keys.
+* **Thread invariance within the fresh document**: cells of one
+  (method, dataset) that differ only in thread count must agree
+  exactly on counters and gauges — sampling is pure in
+  (workload, seed), so any drift is sampled-pool nondeterminism.
+* **Accuracy floors**: every sampled / ensemble cell must stay within
+  ``ACCURACY_MARGIN`` (2 points) of its dataset's dense cell.
+* **Pool shrink**: every sampled-family cell must report
+  ``candidate_gen.sampled_candidates`` >= 1 and strictly below the
+  dense cell's ``candidate_gen.candidates_out`` — the counters must
+  prove the candidate pool actually shrank.
+
 ``--grid`` switches to the cross-method conformance grid (DESIGN.md
 §12): it diffs ``results/GRID.json`` (written by ``cargo run -p
 ips-bench --release --bin bench_grid``) against the committed
@@ -48,11 +68,19 @@ wall-time budgets — and enforces:
 
 Exit status: 0 when everything passes, 1 on any failure.
 
+``--append-trajectory`` also folds per-method ``fit.total`` sums from
+``results/GRID.json`` (when present) into each record, so the
+trajectory carries the grid's wall-clock history alongside the
+pipeline benchmark's.
+
 ``--self-test`` verifies the gate itself. Default mode: the baseline
 must pass against itself, and an injected 2x slowdown of every
 ``fit.total`` must fail. Grid mode: the baseline must pass against
 itself, and both an injected accuracy flip and an injected rank
-inversion must fail.
+inversion must fail. Scaling mode: the baseline must pass against
+itself, and both an injected sampled-cell accuracy drop and an
+injected cross-thread counter divergence (sampled-pool
+nondeterminism) must fail.
 
 Standard library only; no third-party imports.
 """
@@ -88,6 +116,12 @@ SCHED_EXEMPT_SUFFIX = ".sched_items"
 
 # The grid axis cell whose accuracies feed the rank summary.
 GRID_REFERENCE_VARIANT = ("1", "auto")
+
+# Scaling mode: how far below the dense cell a sampled / ensemble
+# cell's accuracy may fall, and the method every other cell is compared
+# against.
+ACCURACY_MARGIN = 0.02
+SCALING_DENSE_METHOD = "dense"
 
 
 def load(path, role, bench="bench_pipeline"):
@@ -456,6 +490,217 @@ def grid_self_test(baseline_doc, baseline_runs):
     return 0
 
 
+def parse_scaling_cell(label):
+    """Parses ``method/dataset<xN>/t<threads>`` into its three
+    coordinates, or None (mirrors ``bench_scaling``'s label format)."""
+    parts = label.split("/")
+    if len(parts) != 3:
+        return None
+    method, dataset, threads = parts
+    if not method or not dataset or not threads.startswith("t"):
+        return None
+    return method, dataset, threads[1:]
+
+
+def scaling_labels_well_formed(runs):
+    """Every label parses and matches the params stamped on the run."""
+    failures = []
+    for label in sorted(runs):
+        cell = parse_scaling_cell(label)
+        if cell is None:
+            failures.append(f"{label}: label is not method/dataset/t*")
+            continue
+        method, dataset, threads = cell
+        params = runs[label].get("params", {})
+        want_dataset = f"{params.get('dataset')}x{params.get('scale')}"
+        for key, want in (
+            ("method", method),
+            ("threads", threads),
+        ):
+            if params.get(key) != want:
+                failures.append(
+                    f"{label}: param {key}={params.get(key)!r} "
+                    f"disagrees with label coordinate {want!r}"
+                )
+        if dataset != want_dataset:
+            failures.append(
+                f"{label}: dataset coordinate {dataset!r} disagrees with "
+                f"params dataset+scale {want_dataset!r}"
+            )
+    return failures
+
+
+def scaling_groups(runs):
+    """Cells grouped as (method, dataset) -> threads -> run."""
+    groups = {}
+    for label, run in runs.items():
+        cell = parse_scaling_cell(label)
+        if cell is None:
+            continue  # already reported by scaling_labels_well_formed
+        method, dataset, threads = cell
+        groups.setdefault((method, dataset), {})[threads] = run
+    return groups
+
+
+def scaling_thread_invariance(runs):
+    """Sampling must be pure in (workload, seed): cells of one
+    (method, dataset) that differ only in thread count must agree
+    exactly on counters and gauges. Any drift is sampled-pool
+    nondeterminism leaking in from the parallel axis."""
+    failures = []
+    for (method, dataset), by_threads in sorted(scaling_groups(runs).items()):
+        if len(by_threads) < 2:
+            continue
+        ref_threads = min(by_threads, key=lambda t: (len(t), t))
+        ref = by_threads[ref_threads]["metrics"]
+        for threads, run in sorted(by_threads.items()):
+            if threads == ref_threads:
+                continue
+            label = f"{method}/{dataset}/t{threads}"
+            m = run["metrics"]
+            drift = counter_diffs(ref["counters"], m["counters"])
+            if drift:
+                failures.append(
+                    f"{label}: counters drift from t{ref_threads} — "
+                    f"sampled-pool nondeterminism ({'; '.join(drift)})"
+                )
+            drift = gauge_diffs(ref["gauges"], m["gauges"])
+            if drift:
+                failures.append(
+                    f"{label}: gauges drift from t{ref_threads} ({'; '.join(drift)})"
+                )
+    return failures
+
+
+def scaling_frontier(runs):
+    """Accuracy floors and pool-shrink proof against each dataset's
+    dense reference cell."""
+    failures = []
+    groups = scaling_groups(runs)
+    dense = {
+        dataset: by_threads
+        for (method, dataset), by_threads in groups.items()
+        if method == SCALING_DENSE_METHOD
+    }
+    for (method, dataset), by_threads in sorted(groups.items()):
+        if method == SCALING_DENSE_METHOD:
+            continue
+        dense_cells = dense.get(dataset)
+        if not dense_cells:
+            failures.append(f"{dataset}: no {SCALING_DENSE_METHOD} reference cell")
+            continue
+        dense_run = dense_cells[min(dense_cells, key=lambda t: (len(t), t))]
+        dense_accuracy = dense_run["metrics"]["gauges"].get("accuracy")
+        dense_pool = dense_run["metrics"]["counters"].get(
+            "candidate_gen.candidates_out"
+        )
+        for threads, run in sorted(by_threads.items()):
+            label = f"{method}/{dataset}/t{threads}"
+            accuracy = run["metrics"]["gauges"].get("accuracy")
+            if accuracy is None or dense_accuracy is None:
+                failures.append(f"{label}: missing accuracy gauge")
+            elif accuracy < dense_accuracy - ACCURACY_MARGIN:
+                failures.append(
+                    f"{label}: accuracy {accuracy:.4f} fell below the dense "
+                    f"accuracy floor ({dense_accuracy:.4f} - {ACCURACY_MARGIN})"
+                )
+            sampled = run["metrics"]["counters"].get(
+                "candidate_gen.sampled_candidates", 0
+            )
+            if not sampled:
+                failures.append(
+                    f"{label}: candidate_gen.sampled_candidates missing or zero "
+                    "(sampling did not run)"
+                )
+            elif dense_pool is None or sampled >= dense_pool:
+                failures.append(
+                    f"{label}: sampled pool ({sampled}) is not smaller than the "
+                    f"dense pool ({dense_pool}) — the counters must prove shrink"
+                )
+    return failures
+
+
+def scaling_compare(baseline_doc, baseline_runs, fresh_doc, fresh_runs):
+    """Returns a list of failure strings (empty = pass) for scaling
+    mode: conformance only, no wall budgets."""
+    failures = []
+    failures += scaling_labels_well_formed(fresh_runs)
+    failures += compare(baseline_runs, fresh_runs, float("inf"))
+    failures += scaling_thread_invariance(fresh_runs)
+    failures += scaling_frontier(fresh_runs)
+    if baseline_doc.get("datasets") != fresh_doc.get("datasets"):
+        failures.append("datasets list drifted from the baseline")
+    return failures
+
+
+def scaling_self_test(baseline_doc, baseline_runs):
+    """Verifies the scaling gate: identity passes, an injected sampled
+    accuracy drop fails the floor, and an injected cross-thread counter
+    divergence fails the nondeterminism check."""
+    clean = scaling_compare(
+        baseline_doc,
+        baseline_runs,
+        copy.deepcopy(baseline_doc),
+        copy.deepcopy(baseline_runs),
+    )
+    if clean:
+        print("scaling self-test FAILED: baseline does not pass against itself:")
+        for msg in clean:
+            print(f"  - {msg}")
+        return 1
+
+    # Accuracy drop: push one sampled cell well below the dense floor.
+    dropped_doc = copy.deepcopy(baseline_doc)
+    dropped_runs = {run["label"]: run for run in dropped_doc["runs"]}
+    target = next(
+        label
+        for label in sorted(dropped_runs)
+        if parse_scaling_cell(label) is not None
+        and parse_scaling_cell(label)[0] != SCALING_DENSE_METHOD
+    )
+    dropped_runs[target]["metrics"]["gauges"]["accuracy"] = 0.0
+    doctored = scaling_compare(baseline_doc, baseline_runs, dropped_doc, dropped_runs)
+    floor_failures = [m for m in doctored if "accuracy floor" in m]
+    if not floor_failures:
+        print(f"scaling self-test FAILED: accuracy drop in {target} was not detected")
+        return 1
+
+    # Nondeterminism: nudge one counter of a non-reference thread
+    # variant, so the same workload appears to sample differently at a
+    # different thread count.
+    forked_doc = copy.deepcopy(baseline_doc)
+    forked_runs = {run["label"]: run for run in forked_doc["runs"]}
+    target = None
+    for (method, dataset), by_threads in sorted(scaling_groups(forked_runs).items()):
+        if len(by_threads) < 2:
+            continue
+        threads = max(by_threads, key=lambda t: (len(t), t))
+        target = f"{method}/{dataset}/t{threads}"
+        counters = by_threads[threads]["metrics"]["counters"]
+        counters["candidate_gen.sampled_candidates"] = (
+            counters.get("candidate_gen.sampled_candidates", 0) + 1
+        )
+        break
+    if target is None:
+        print("scaling self-test FAILED: no multi-thread cell group to doctor")
+        return 1
+    doctored = scaling_compare(baseline_doc, baseline_runs, forked_doc, forked_runs)
+    fork_failures = [m for m in doctored if "nondeterminism" in m]
+    if not fork_failures:
+        print(
+            f"scaling self-test FAILED: cross-thread counter divergence in "
+            f"{target} was not detected"
+        )
+        return 1
+
+    print(
+        f"scaling self-test OK: identity passes, accuracy drop raises "
+        f"{len(floor_failures)} floor failure(s), cross-thread divergence "
+        f"raises {len(fork_failures)} nondeterminism failure(s)"
+    )
+    return 0
+
+
 def git_revision():
     """Current short revision, or None outside a git checkout."""
     import subprocess
@@ -473,12 +718,36 @@ def git_revision():
         return None
 
 
-def append_trajectory(path, fresh, failures):
+def grid_fit_totals(path="results/GRID.json"):
+    """Per-method ``fit.total`` sums (ms) from the conformance grid, or
+    None when the grid document is absent or unreadable. The trajectory
+    folds these in so per-PR wall-clock history covers the grid's cells
+    without a second trajectory file."""
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (FileNotFoundError, json.JSONDecodeError):
+        return None
+    per_method = {}
+    for run in doc.get("runs", []):
+        ns = fit_total_ns(run)
+        if ns is None:
+            continue
+        method = run.get("params", {}).get("method", "?")
+        per_method[method] = per_method.get(method, 0) + ns
+    if not per_method:
+        return None
+    return {method: round(ns / 1e6, 3) for method, ns in sorted(per_method.items())}
+
+
+def append_trajectory(path, fresh, failures, grid_path="results/GRID.json"):
     """Appends a one-line JSON record for this invocation to `path`.
 
     The record carries what a reviewer needs to read performance history
     across PRs without the full result documents: when, at which
-    revision, how long each run's fit took, and whether the gate passed.
+    revision, how long each run's fit took (plus the grid's per-method
+    totals when ``results/GRID.json`` exists), and whether the gate
+    passed.
     """
     import datetime
     import os
@@ -498,6 +767,10 @@ def append_trajectory(path, fresh, failures):
             sum((fit_total_ns(run) or 0) for run in fresh.values()) / 1e6, 3
         ),
     }
+    grid_ms = grid_fit_totals(grid_path)
+    if grid_ms is not None:
+        record["grid_method_fit_ms"] = grid_ms
+        record["grid_sum_fit_total_ms"] = round(sum(grid_ms.values()), 3)
     parent = os.path.dirname(path)
     if parent:
         os.makedirs(parent, exist_ok=True)
@@ -591,6 +864,13 @@ def main():
         "the pipeline benchmark; exact conformance, no wall-time budgets",
     )
     parser.add_argument(
+        "--scaling",
+        action="store_true",
+        help="check the scaling frontier (results/BENCH_scaling.json) "
+        "instead of the pipeline benchmark; exact conformance plus "
+        "accuracy floors and pool-shrink proof, no wall-time budgets",
+    )
+    parser.add_argument(
         "--baseline",
         default=None,
         help="committed baseline (default: results/BENCH_pipeline.baseline.json, "
@@ -626,35 +906,46 @@ def main():
     )
     args = parser.parse_args()
 
+    if args.grid and args.scaling:
+        parser.error("--grid and --scaling are mutually exclusive")
     if args.grid:
         bench = "bench_grid"
         baseline_path = args.baseline or "results/GRID.baseline.json"
         fresh_path = args.fresh or "results/GRID.json"
+        name = "grid conformance"
+    elif args.scaling:
+        bench = "bench_scaling"
+        baseline_path = args.baseline or "results/BENCH_scaling.baseline.json"
+        fresh_path = args.fresh or "results/BENCH_scaling.json"
+        name = "scaling frontier"
     else:
         bench = "bench_pipeline"
         baseline_path = args.baseline or "results/BENCH_pipeline.baseline.json"
         fresh_path = args.fresh or "results/BENCH_pipeline.json"
+        name = "bench regression"
 
     baseline_doc, baseline = load(baseline_path, "baseline", bench)
     if args.self_test:
         if args.grid:
             return grid_self_test(baseline_doc, baseline)
+        if args.scaling:
+            return scaling_self_test(baseline_doc, baseline)
         return self_test(baseline, args.max_ratio)
 
     fresh_doc, fresh = load(fresh_path, "fresh results", bench)
     if args.grid:
         failures = grid_compare(baseline_doc, baseline, fresh_doc, fresh)
+    elif args.scaling:
+        failures = scaling_compare(baseline_doc, baseline, fresh_doc, fresh)
     else:
         failures = compare(baseline, fresh, args.max_ratio)
     if args.append_trajectory:
         append_trajectory(args.append_trajectory, fresh, failures)
     if failures:
-        name = "grid conformance" if args.grid else "bench regression"
         print(f"{name} check FAILED ({len(failures)} failure(s)):")
         for msg in failures:
             print(f"  - {msg}")
         return 1
-    name = "grid conformance" if args.grid else "bench regression"
     print(f"{name} check OK: {len(fresh)} runs match the baseline")
     return 0
 

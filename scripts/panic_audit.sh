@@ -13,9 +13,11 @@ cd "$(dirname "$0")/.."
 
 AUDITED_FILES=(
     crates/bench/src/bin/bench_grid.rs
+    crates/bench/src/bin/bench_scaling.rs
     crates/core/src/engine.rs
     crates/core/src/parallel.rs
     crates/core/src/pipeline.rs
+    crates/core/src/sampling.rs
     crates/core/src/schedule.rs
     crates/core/src/utility.rs
 )

@@ -32,7 +32,7 @@ impl Default for SvmParams {
 }
 
 /// A trained one-vs-rest linear SVM over dense feature vectors.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LinearSvm {
     classes: Vec<u32>,
     /// One weight vector per class, laid out `[class][feature]`; the last
@@ -195,6 +195,80 @@ impl LinearSvm {
     pub fn classes(&self) -> &[u32] {
         &self.classes
     }
+
+    /// The weight vectors, laid out `[class][feature]` with the bias as
+    /// the last entry of each row.
+    pub fn weights(&self) -> &[Vec<f64>] {
+        &self.weights
+    }
+
+    /// Per-feature standardization means.
+    pub fn means(&self) -> &[f64] {
+        &self.means
+    }
+
+    /// Per-feature standardization deviations (constant features hold 1).
+    pub fn stds(&self) -> &[f64] {
+        &self.stds
+    }
+
+    /// Reassembles a trained SVM from its serialized parts — the inverse
+    /// of reading [`classes`](Self::classes)/[`weights`](Self::weights)/
+    /// [`means`](Self::means)/[`stds`](Self::stds) back out. Unlike
+    /// [`fit`](Self::fit) this never panics: persistence layers feed it
+    /// untrusted bytes, so every structural invariant is checked and
+    /// reported as `Err`.
+    pub fn from_parts(
+        classes: Vec<u32>,
+        weights: Vec<Vec<f64>>,
+        means: Vec<f64>,
+        stds: Vec<f64>,
+    ) -> Result<Self, String> {
+        if classes.len() < 2 {
+            return Err(format!("need at least two classes, got {}", classes.len()));
+        }
+        if classes.windows(2).any(|w| w[0] >= w[1]) {
+            return Err("classes must be strictly increasing".into());
+        }
+        if weights.len() != classes.len() {
+            return Err(format!(
+                "{} weight vectors for {} classes",
+                weights.len(),
+                classes.len()
+            ));
+        }
+        if means.len() != stds.len() {
+            return Err(format!(
+                "means/stds length mismatch ({} vs {})",
+                means.len(),
+                stds.len()
+            ));
+        }
+        if means.is_empty() {
+            return Err("zero-dimensional feature space".into());
+        }
+        let dim = means.len() + 1; // + bias
+        if let Some(w) = weights.iter().find(|w| w.len() != dim) {
+            return Err(format!(
+                "weight vector of length {} for feature dimension {} (+ bias)",
+                w.len(),
+                means.len()
+            ));
+        }
+        let finite = |xs: &[f64]| xs.iter().all(|v| v.is_finite());
+        if !weights.iter().all(|w| finite(w)) || !finite(&means) || !finite(&stds) {
+            return Err("non-finite value in weights/means/stds".into());
+        }
+        if stds.iter().any(|&s| s <= 0.0) {
+            return Err("standardization deviations must be positive".into());
+        }
+        Ok(Self {
+            classes,
+            weights,
+            means,
+            stds,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -289,5 +363,62 @@ mod tests {
     #[should_panic(expected = "ragged")]
     fn rejects_ragged_features() {
         LinearSvm::fit(&[vec![1.0], vec![2.0, 3.0]], &[0, 1], SvmParams::default());
+    }
+
+    #[test]
+    fn from_parts_round_trips_a_trained_model() {
+        let (x, y) = blobs(25, &[(-2.0, 0.0), (2.0, 0.0)], 0.5);
+        let svm = LinearSvm::fit(&x, &y, SvmParams::default());
+        let back = LinearSvm::from_parts(
+            svm.classes().to_vec(),
+            svm.weights().to_vec(),
+            svm.means().to_vec(),
+            svm.stds().to_vec(),
+        )
+        .unwrap();
+        let probe = vec![0.4, -0.3];
+        assert_eq!(svm.decision(&probe), back.decision(&probe));
+        assert_eq!(svm.predict(&probe), back.predict(&probe));
+    }
+
+    #[test]
+    fn from_parts_rejects_structural_corruption() {
+        let ok = || {
+            (
+                vec![0u32, 1],
+                vec![vec![1.0, 2.0, 0.5], vec![-1.0, -2.0, -0.5]],
+                vec![0.0, 0.0],
+                vec![1.0, 1.0],
+            )
+        };
+        let (c, w, m, s) = ok();
+        assert!(LinearSvm::from_parts(c, w, m, s).is_ok());
+        // one class only
+        let (_, w, m, s) = ok();
+        assert!(LinearSvm::from_parts(vec![0], w, m, s)
+            .unwrap_err()
+            .contains("two classes"));
+        // unsorted classes
+        let (_, w, m, s) = ok();
+        assert!(LinearSvm::from_parts(vec![1, 0], w, m, s)
+            .unwrap_err()
+            .contains("increasing"));
+        // ragged weight row (missing bias)
+        let (c, _, m, s) = ok();
+        let err = LinearSvm::from_parts(c, vec![vec![1.0, 2.0], vec![-1.0, -2.0, -0.5]], m, s)
+            .unwrap_err();
+        assert!(err.contains("length 2"), "{err}");
+        // NaN weight
+        let (c, mut w, m, s) = ok();
+        w[0][1] = f64::NAN;
+        assert!(LinearSvm::from_parts(c, w, m, s)
+            .unwrap_err()
+            .contains("non-finite"));
+        // non-positive std
+        let (c, w, m, mut s) = ok();
+        s[1] = 0.0;
+        assert!(LinearSvm::from_parts(c, w, m, s)
+            .unwrap_err()
+            .contains("positive"));
     }
 }

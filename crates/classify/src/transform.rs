@@ -112,6 +112,11 @@ impl ShapeletTransform {
         self.shapelets.len()
     }
 
+    /// Whether distances are computed under z-normalization.
+    pub fn znorm(&self) -> bool {
+        self.znorm
+    }
+
     /// Transforms one series into its distance embedding.
     pub fn transform_one(&self, series: &TimeSeries) -> Vec<f64> {
         self.shapelets

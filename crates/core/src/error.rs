@@ -61,9 +61,21 @@ pub enum IpsError {
         /// What had (not) been accomplished when it tripped.
         detail: String,
     },
-    /// A run-record (de)serialization failure from the observability
-    /// layer.
+    /// A run-record or model-file (de)serialization failure from the
+    /// observability layer's JSON codec: unparseable bytes, a structurally
+    /// malformed document, or an unsupported schema version.
     Record(ObsError),
+    /// A model file could not be read or written (I/O level — the bytes
+    /// never reached the codec). Corruption *inside* a readable file
+    /// surfaces as [`IpsError::Record`] instead.
+    Persist {
+        /// The file the operation was addressing.
+        path: String,
+        /// The underlying I/O failure.
+        reason: String,
+    },
+    /// A serving request named a model absent from the registry.
+    UnknownModel(String),
 }
 
 impl fmt::Display for IpsError {
@@ -85,6 +97,12 @@ impl fmt::Display for IpsError {
                 write!(f, "discovery budget {budget} exhausted: {detail}")
             }
             IpsError::Record(e) => write!(f, "run record error: {e}"),
+            IpsError::Persist { path, reason } => {
+                write!(f, "model persistence failed for {path}: {reason}")
+            }
+            IpsError::UnknownModel(name) => {
+                write!(f, "model {name:?} is not in the registry")
+            }
         }
     }
 }
@@ -141,6 +159,14 @@ mod tests {
             detail: "deadline hit before any class was scored".into(),
         };
         assert!(e.to_string().contains("max_wall_clock"));
+        let e = IpsError::Persist {
+            path: "models/a.json".into(),
+            reason: "permission denied".into(),
+        };
+        assert!(e.to_string().contains("models/a.json"));
+        assert!(e.to_string().contains("permission denied"));
+        let e = IpsError::UnknownModel("cbf".into());
+        assert!(e.to_string().contains("cbf"));
     }
 
     #[test]

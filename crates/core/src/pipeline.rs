@@ -236,6 +236,11 @@ impl IpsClassifier {
     pub fn transform(&self) -> &ShapeletTransform {
         &self.transform
     }
+
+    /// The trained linear SVM head (for persistence and inspection).
+    pub fn svm(&self) -> &LinearSvm {
+        &self.svm
+    }
 }
 
 #[cfg(test)]

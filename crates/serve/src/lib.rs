@@ -1,0 +1,42 @@
+//! Model persistence and online classification serving (DESIGN.md §14).
+//!
+//! The production half of the IPS reproduction: a fitted classifier
+//! becomes a versioned on-disk artifact ([`persist`]), a set of artifacts
+//! becomes a named [`registry`], and a [`server`] scores concurrent
+//! request traffic against it — batch admission, shard-per-model work
+//! items on the engine's scheduler, and responses bit-identical to
+//! single-request scoring at every thread count.
+//!
+//! ```
+//! use ips_core::{IpsClassifier, IpsConfig};
+//! use ips_serve::{ClassifyRequest, IpsServer, ModelRegistry, ServableModel, ServeConfig};
+//! use ips_tsdata::registry;
+//!
+//! let (train, test) = registry::load("ItalyPowerDemand").unwrap();
+//! let cfg = IpsConfig::default().with_sampling(4, 3).with_k(2);
+//! let fitted = IpsClassifier::fit(&train, cfg).unwrap();
+//!
+//! // Persist → registry → server (here via the in-memory path; see
+//! // `save_model`/`load_model` for the on-disk round trip).
+//! let model = ServableModel::from_classifier("italy", &fitted).unwrap();
+//! let mut models = ModelRegistry::new();
+//! models.insert(model).unwrap();
+//! let mut server = IpsServer::new(models, ServeConfig::default()).unwrap();
+//!
+//! let reply = server
+//!     .classify_now(&ClassifyRequest {
+//!         id: 7,
+//!         model: "italy".into(),
+//!         window: test.series(0).values().to_vec(),
+//!     })
+//!     .unwrap();
+//! assert_eq!(reply.id, 7);
+//! ```
+
+pub mod persist;
+pub mod registry;
+pub mod server;
+
+pub use persist::{load_model, save_model, ServableModel, MODEL_KIND, MODEL_SCHEMA_VERSION};
+pub use registry::ModelRegistry;
+pub use server::{ClassifyRequest, ClassifyResponse, IpsServer, ServeConfig};

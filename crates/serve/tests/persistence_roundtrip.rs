@@ -1,0 +1,133 @@
+//! End-to-end persistence and serving checks on a real fitted classifier
+//! (satellite contract of DESIGN.md §14): save → load → transform is
+//! bit-identical to the in-memory transform, corrupt files surface typed
+//! errors, and the server's batch path matches single-request scoring.
+
+use ips_core::{ChunkSize, IpsClassifier, IpsConfig, IpsError};
+use ips_distance::DistCache;
+use ips_obs::ObsError;
+use ips_serve::{
+    load_model, save_model, ClassifyRequest, IpsServer, ModelRegistry, ServableModel, ServeConfig,
+};
+use ips_tsdata::registry;
+
+fn fitted() -> (IpsClassifier, ips_tsdata::Dataset) {
+    let (train, test) = registry::load("ItalyPowerDemand").unwrap();
+    let cfg = IpsConfig::default().with_sampling(5, 3).with_k(3);
+    (IpsClassifier::fit(&train, cfg).unwrap(), test)
+}
+
+fn tmp(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("ips_serve_it_{}_{tag}.json", std::process::id()))
+}
+
+#[test]
+fn save_load_transform_is_bit_identical_to_in_memory() {
+    let (model, test) = fitted();
+    let servable = ServableModel::from_classifier("italy", &model).unwrap();
+    let path = tmp("bitident");
+    save_model(&servable, &path).unwrap();
+    let loaded = load_model(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+
+    assert_eq!(loaded, servable);
+    assert_eq!(loaded.transform(), model.transform());
+    // Bit-identity of behavior, not just structure: the loaded transform
+    // produces the exact embedding of the in-memory one on every test
+    // series — both uncached and through the cache path serving uses.
+    for series in test.all_series() {
+        assert_eq!(
+            loaded.transform().transform_one(series),
+            model.transform().transform_one(series),
+        );
+        let mut c1 = DistCache::new();
+        let mut c2 = DistCache::new();
+        assert_eq!(
+            loaded.transform().transform_one_with_cache(series, &mut c1),
+            model.transform().transform_one_with_cache(series, &mut c2),
+        );
+    }
+    // And the decision function agrees everywhere.
+    for series in test.all_series() {
+        let mut cache = DistCache::new();
+        assert_eq!(loaded.predict(series, &mut cache), model.predict(series));
+    }
+}
+
+#[test]
+fn corrupt_model_files_yield_typed_errors_never_panics() {
+    let (model, _) = fitted();
+    let servable = ServableModel::from_classifier("italy", &model).unwrap();
+    let text = servable.to_json_string();
+    let path = tmp("corrupt");
+
+    // Truncations at every-ish depth of the document. (`len - 2` clips
+    // the closing brace; `len - 1` would only drop the trailing newline.)
+    for cut in [0, 1, text.len() / 4, text.len() / 2, text.len() - 2] {
+        std::fs::write(&path, &text[..cut]).unwrap();
+        let err = load_model(&path).unwrap_err();
+        assert!(
+            matches!(err, IpsError::Record(ObsError::Parse(_))),
+            "cut={cut}: {err}"
+        );
+    }
+    // Garbling that keeps the JSON valid but breaks the shape.
+    std::fs::write(&path, text.replace("\"shapelets\"", "\"shapelettes\"")).unwrap();
+    assert!(matches!(
+        load_model(&path).unwrap_err(),
+        IpsError::Record(ObsError::Malformed(_))
+    ));
+    // A future schema version is refused, not misread.
+    std::fs::write(
+        &path,
+        text.replace("\"schema_version\": 1", "\"schema_version\": 999"),
+    )
+    .unwrap();
+    assert!(matches!(
+        load_model(&path).unwrap_err(),
+        IpsError::Record(ObsError::SchemaVersion { found: 999, .. })
+    ));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn served_batches_match_in_memory_classifier_predictions() {
+    let (model, test) = fitted();
+    let dir = std::env::temp_dir().join(format!("ips_serve_it_models_{}", std::process::id()));
+    save_model(
+        &ServableModel::from_classifier("italy", &model).unwrap(),
+        dir.join("italy.json"),
+    )
+    .unwrap();
+    let models = ModelRegistry::load_dir(&dir).unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+
+    let mut server = IpsServer::new(
+        models,
+        ServeConfig {
+            num_threads: 4,
+            max_batch: 16,
+            chunk_size: ChunkSize::Auto,
+        },
+    )
+    .unwrap();
+    let mut responses = Vec::new();
+    for (i, series) in test.all_series().iter().enumerate() {
+        let request = ClassifyRequest {
+            id: i as u64,
+            model: "italy".into(),
+            window: series.values().to_vec(),
+        };
+        if let Some(batch) = server.submit(request).unwrap() {
+            responses.extend(batch);
+        }
+    }
+    responses.extend(server.flush().unwrap());
+    assert_eq!(responses.len(), test.len());
+    // The serving path (loaded model, batch admission, cached distances)
+    // reproduces the in-memory classifier's prediction on every instance.
+    for (i, series) in test.all_series().iter().enumerate() {
+        assert_eq!(responses[i].id, i as u64);
+        assert_eq!(responses[i].label, model.predict(series), "instance {i}");
+    }
+}

@@ -45,6 +45,26 @@ baseline, wall clock is machine-dependent) — and enforces:
   dense cell's ``candidate_gen.candidates_out`` — the counters must
   prove the candidate pool actually shrank.
 
+``--serve`` switches to the serving benchmark (DESIGN.md §14): it
+diffs ``results/BENCH_serve.json`` (written by ``cargo run -p
+ips-bench --release --bin bench_serve``) against the committed
+``results/BENCH_serve.baseline.json`` and enforces:
+
+* **Exact equality against the baseline** for every cell's params,
+  counters (the ``serve.pred_hash`` response digest included, so one
+  flipped prediction anywhere fails), deterministic gauges, and span
+  keys. Throughput figures (``serve.rps``, ``serve.p50_ms``,
+  ``serve.p99_ms``) are machine-dependent and informational.
+* **Thread invariance within the fresh document**: cells that differ
+  only in worker-thread count must agree exactly on counters and
+  deterministic gauges — batch scoring is bit-identical to
+  single-request scoring by contract, so any drift is concurrency
+  nondeterminism.
+* **Accuracy floors**: every ``accuracy.<dataset>`` gauge must stay at
+  or above ``SERVE_ACCURACY_FLOOR`` (0.7).
+* **Wall budget on ``serve.total``** with the same ratio-plus-floor
+  shape as the pipeline gate (no other wall budgets).
+
 ``--grid`` switches to the cross-method conformance grid (DESIGN.md
 §12): it diffs ``results/GRID.json`` (written by ``cargo run -p
 ips-bench --release --bin bench_grid``) against the committed
@@ -74,13 +94,17 @@ trajectory carries the grid's wall-clock history alongside the
 pipeline benchmark's.
 
 ``--self-test`` verifies the gate itself. Default mode: the baseline
-must pass against itself, and an injected 2x slowdown of every
-``fit.total`` must fail. Grid mode: the baseline must pass against
-itself, and both an injected accuracy flip and an injected rank
-inversion must fail. Scaling mode: the baseline must pass against
-itself, and both an injected sampled-cell accuracy drop and an
-injected cross-thread counter divergence (sampled-pool
-nondeterminism) must fail.
+must pass against itself, an injected 2x slowdown of every
+``fit.total`` must fail, and the trajectory writer must fold serve
+throughput fields from a scratch serve document. Grid mode: the
+baseline must pass against itself, and both an injected accuracy flip
+and an injected rank inversion must fail. Scaling mode: the baseline
+must pass against itself, and both an injected sampled-cell accuracy
+drop and an injected cross-thread counter divergence (sampled-pool
+nondeterminism) must fail. Serve mode: the baseline must pass against
+itself, and both an injected wrong prediction (flipped accuracy +
+perturbed response digest) and an injected cross-thread counter
+divergence must fail.
 
 Standard library only; no third-party imports.
 """
@@ -106,8 +130,14 @@ NOISE_FLOOR_NS = 50_000_000  # 50 ms
 # benchmark still fails the summed-total ratio check.
 PER_RUN_SLACK_NS = 100_000_000  # 100 ms
 
-# Gauges that legitimately differ across machines.
-INFORMATIONAL_GAUGES = {"resolved_threads"}
+# Gauges that legitimately differ across machines (the serving
+# throughput figures are wall-clock measurements by definition).
+INFORMATIONAL_GAUGES = {
+    "resolved_threads",
+    "serve.rps",
+    "serve.p50_ms",
+    "serve.p99_ms",
+}
 
 # The one counter suffix the scheduler chunk knob may legitimately move
 # between grid cells that differ only in chunk size (mirrors the
@@ -122,6 +152,10 @@ GRID_REFERENCE_VARIANT = ("1", "auto")
 # against.
 ACCURACY_MARGIN = 0.02
 SCALING_DENSE_METHOD = "dense"
+
+# Serve mode: the absolute floor every per-dataset serving accuracy
+# gauge must clear.
+SERVE_ACCURACY_FLOOR = 0.7
 
 
 def load(path, role, bench="bench_pipeline"):
@@ -170,13 +204,22 @@ def load(path, role, bench="bench_pipeline"):
     return doc, runs
 
 
-def fit_total_ns(run):
-    span = run["metrics"]["spans"].get("fit.total")
+def span_total_ns(run, key="fit.total"):
+    span = run["metrics"]["spans"].get(key)
     return span["total_ns"] if span else None
 
 
-def compare(baseline, fresh, max_ratio):
-    """Returns a list of failure strings (empty = pass)."""
+def fit_total_ns(run):
+    return span_total_ns(run)
+
+
+def compare(baseline, fresh, max_ratio, span_key="fit.total"):
+    """Returns a list of failure strings (empty = pass).
+
+    ``span_key`` names the span whose total gets the wall budget —
+    ``fit.total`` for the fitting benchmarks, ``serve.total`` for the
+    serving benchmark.
+    """
     failures = []
 
     missing = sorted(set(baseline) - set(fresh))
@@ -218,16 +261,16 @@ def compare(baseline, fresh, max_ratio):
                 f"+{sorted(f_spans - b_spans)}"
             )
 
-        b_ns, f_ns = fit_total_ns(b), fit_total_ns(f)
+        b_ns, f_ns = span_total_ns(b, span_key), span_total_ns(f, span_key)
         if b_ns is None or f_ns is None:
-            failures.append(f"{label}: missing fit.total span")
+            failures.append(f"{label}: missing {span_key} span")
             continue
         total_base_ns += b_ns
         total_fresh_ns += f_ns
         budget_ns = max_ratio * max(b_ns, NOISE_FLOOR_NS) + PER_RUN_SLACK_NS
         if f_ns > budget_ns:
             failures.append(
-                f"{label}: fit.total regressed {f_ns / max(b_ns, NOISE_FLOOR_NS):.2f}x "
+                f"{label}: {span_key} regressed {f_ns / max(b_ns, NOISE_FLOOR_NS):.2f}x "
                 f"({b_ns / 1e6:.1f} ms -> {f_ns / 1e6:.1f} ms, "
                 f"budget {budget_ns / 1e6:.1f} ms)"
             )
@@ -236,7 +279,7 @@ def compare(baseline, fresh, max_ratio):
         overall = total_fresh_ns / max(total_base_ns, NOISE_FLOOR_NS)
         if overall > max_ratio:
             failures.append(
-                f"overall: summed fit.total regressed {overall:.2f}x "
+                f"overall: summed {span_key} regressed {overall:.2f}x "
                 f"({total_base_ns / 1e6:.1f} ms -> {total_fresh_ns / 1e6:.1f} ms, "
                 f"budget {max_ratio}x)"
             )
@@ -701,6 +744,175 @@ def scaling_self_test(baseline_doc, baseline_runs):
     return 0
 
 
+def parse_serve_cell(label):
+    """Parses ``serve/<stream>/t<threads>`` into its three coordinates,
+    or None (mirrors ``bench_serve``'s label format)."""
+    parts = label.split("/")
+    if len(parts) != 3:
+        return None
+    kind, stream, threads = parts
+    if kind != "serve" or not stream or not threads.startswith("t"):
+        return None
+    return kind, stream, threads[1:]
+
+
+def serve_labels_well_formed(runs):
+    """Every label parses, matches the params stamped on the run, and
+    carries the response digest the gate pins."""
+    failures = []
+    for label in sorted(runs):
+        cell = parse_serve_cell(label)
+        if cell is None:
+            failures.append(f"{label}: label is not serve/<stream>/t*")
+            continue
+        params = runs[label].get("params", {})
+        if params.get("threads") != cell[2]:
+            failures.append(
+                f"{label}: param threads={params.get('threads')!r} "
+                f"disagrees with label coordinate {cell[2]!r}"
+            )
+        if "serve.pred_hash" not in runs[label]["metrics"]["counters"]:
+            failures.append(f"{label}: missing serve.pred_hash response digest")
+    return failures
+
+
+def serve_thread_invariance(runs):
+    """Serving is bit-identical across worker-thread counts by contract
+    (DESIGN.md §14): cells of one request stream that differ only in
+    thread count must agree exactly on counters, deterministic gauges,
+    and span keys. Any drift is concurrency nondeterminism."""
+    failures = []
+    groups = {}
+    for label, run in runs.items():
+        cell = parse_serve_cell(label)
+        if cell is None:
+            continue  # already reported by serve_labels_well_formed
+        _, stream, threads = cell
+        groups.setdefault(stream, {})[threads] = run
+    for stream, by_threads in sorted(groups.items()):
+        if len(by_threads) < 2:
+            continue
+        ref_threads = min(by_threads, key=lambda t: (len(t), t))
+        ref = by_threads[ref_threads]["metrics"]
+        for threads, run in sorted(by_threads.items()):
+            if threads == ref_threads:
+                continue
+            label = f"serve/{stream}/t{threads}"
+            m = run["metrics"]
+            drift = counter_diffs(ref["counters"], m["counters"])
+            if drift:
+                failures.append(
+                    f"{label}: counters drift from t{ref_threads} — "
+                    f"concurrency nondeterminism ({'; '.join(drift)})"
+                )
+            drift = gauge_diffs(ref["gauges"], m["gauges"])
+            if drift:
+                failures.append(
+                    f"{label}: gauges drift from t{ref_threads} ({'; '.join(drift)})"
+                )
+            if set(ref["spans"]) != set(m["spans"]):
+                failures.append(f"{label}: span keys drift from t{ref_threads}")
+    return failures
+
+
+def serve_accuracy_floor(runs):
+    """Every per-dataset serving accuracy must clear the absolute
+    floor; a cell with no accuracy gauges at all is also a failure."""
+    failures = []
+    for label in sorted(runs):
+        gauges = runs[label]["metrics"]["gauges"]
+        accuracies = {k: v for k, v in gauges.items() if k.startswith("accuracy.")}
+        if not accuracies:
+            failures.append(f"{label}: no accuracy.* gauges")
+            continue
+        for key, value in sorted(accuracies.items()):
+            if value < SERVE_ACCURACY_FLOOR:
+                failures.append(
+                    f"{label}: {key} = {value:.4f} fell below the serving "
+                    f"floor {SERVE_ACCURACY_FLOOR}"
+                )
+    return failures
+
+
+def serve_compare(baseline_doc, baseline_runs, fresh_doc, fresh_runs, max_ratio):
+    """Returns a list of failure strings (empty = pass) for serve mode:
+    exact conformance, thread invariance, accuracy floors, and a wall
+    budget on ``serve.total`` only."""
+    failures = []
+    failures += serve_labels_well_formed(fresh_runs)
+    failures += compare(baseline_runs, fresh_runs, max_ratio, span_key="serve.total")
+    failures += serve_thread_invariance(fresh_runs)
+    failures += serve_accuracy_floor(fresh_runs)
+    if baseline_doc.get("datasets") != fresh_doc.get("datasets"):
+        failures.append("datasets list drifted from the baseline")
+    return failures
+
+
+def serve_self_test(baseline_doc, baseline_runs, max_ratio):
+    """Verifies the serve gate: identity passes, an injected wrong
+    prediction fails, and an injected cross-thread counter divergence
+    fails."""
+    clean = serve_compare(
+        baseline_doc,
+        baseline_runs,
+        copy.deepcopy(baseline_doc),
+        copy.deepcopy(baseline_runs),
+        max_ratio,
+    )
+    if clean:
+        print("serve self-test FAILED: baseline does not pass against itself:")
+        for msg in clean:
+            print(f"  - {msg}")
+        return 1
+
+    cells = sorted(label for label in baseline_runs if parse_serve_cell(label))
+    if len(cells) < 2:
+        print("serve self-test FAILED: need at least two thread cells to doctor")
+        return 1
+    # The non-reference cell: doctoring it trips invariance, not just
+    # the baseline diff.
+    target = max(cells, key=lambda l: (len(parse_serve_cell(l)[2]), l))
+
+    # Wrong prediction: a flipped label moves a per-dataset accuracy and
+    # perturbs the response digest; both must be caught.
+    flipped_doc = copy.deepcopy(baseline_doc)
+    flipped_runs = {run["label"]: run for run in flipped_doc["runs"]}
+    metrics = flipped_runs[target]["metrics"]
+    acc_key = next(k for k in sorted(metrics["gauges"]) if k.startswith("accuracy."))
+    metrics["gauges"][acc_key] = 1.0 - metrics["gauges"][acc_key]
+    metrics["counters"]["serve.pred_hash"] ^= 1
+    doctored = serve_compare(
+        baseline_doc, baseline_runs, flipped_doc, flipped_runs, max_ratio
+    )
+    pred_failures = [m for m in doctored if "accuracy" in m or "pred_hash" in m]
+    if not pred_failures:
+        print(f"serve self-test FAILED: wrong prediction in {target} was not detected")
+        return 1
+
+    # Counter divergence: the same stream appears to have done different
+    # work at a different thread count.
+    forked_doc = copy.deepcopy(baseline_doc)
+    forked_runs = {run["label"]: run for run in forked_doc["runs"]}
+    forked_runs[target]["metrics"]["counters"]["serve.requests"] += 1
+    doctored = serve_compare(
+        baseline_doc, baseline_runs, forked_doc, forked_runs, max_ratio
+    )
+    fork_failures = [m for m in doctored if "nondeterminism" in m]
+    if not fork_failures:
+        print(
+            f"serve self-test FAILED: cross-thread counter divergence in "
+            f"{target} was not detected"
+        )
+        return 1
+
+    print(
+        f"serve self-test OK: identity passes, wrong prediction raises "
+        f"{len(pred_failures)} failure(s), cross-thread divergence raises "
+        f"{len(fork_failures)} nondeterminism failure(s)"
+    )
+    return 0
+
+
 def git_revision():
     """Current short revision, or None outside a git checkout."""
     import subprocess
@@ -740,7 +952,36 @@ def grid_fit_totals(path="results/GRID.json"):
     return {method: round(ns / 1e6, 3) for method, ns in sorted(per_method.items())}
 
 
-def append_trajectory(path, fresh, failures, grid_path="results/GRID.json"):
+def serve_throughput(path="results/BENCH_serve.json"):
+    """Per-cell serving throughput (requests/sec and p99 latency) from
+    the serving benchmark, or None when the document is absent or
+    unreadable. The trajectory folds these in so serving performance
+    history rides in the same greppable file as the fit times."""
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (FileNotFoundError, json.JSONDecodeError):
+        return None
+    per_cell = {}
+    for run in doc.get("runs", []):
+        gauges = run.get("metrics", {}).get("gauges", {})
+        rps, p99 = gauges.get("serve.rps"), gauges.get("serve.p99_ms")
+        if rps is None and p99 is None:
+            continue
+        per_cell[run.get("label", "?")] = {
+            "rps": round(rps, 1) if rps is not None else None,
+            "p99_ms": round(p99, 3) if p99 is not None else None,
+        }
+    return dict(sorted(per_cell.items())) or None
+
+
+def append_trajectory(
+    path,
+    fresh,
+    failures,
+    grid_path="results/GRID.json",
+    serve_path="results/BENCH_serve.json",
+):
     """Appends a one-line JSON record for this invocation to `path`.
 
     The record carries what a reviewer needs to read performance history
@@ -771,6 +1012,9 @@ def append_trajectory(path, fresh, failures, grid_path="results/GRID.json"):
     if grid_ms is not None:
         record["grid_method_fit_ms"] = grid_ms
         record["grid_sum_fit_total_ms"] = round(sum(grid_ms.values()), 3)
+    throughput = serve_throughput(serve_path)
+    if throughput is not None:
+        record["serve_throughput"] = throughput
     parent = os.path.dirname(path)
     if parent:
         os.makedirs(parent, exist_ok=True)
@@ -822,6 +1066,63 @@ def self_test_load_errors():
     return [p for p in problems if p]
 
 
+def self_test_trajectory(baseline):
+    """Exercises the trajectory writer against scratch documents: serve
+    throughput fields must appear when a serve document exists and must
+    be absent when it does not."""
+    import os
+    import tempfile
+
+    problems = []
+    with tempfile.TemporaryDirectory() as tmp:
+        serve_path = os.path.join(tmp, "BENCH_serve.json")
+        with open(serve_path, "w", encoding="utf-8") as f:
+            json.dump(
+                {
+                    "schema_version": 2,
+                    "runs": [
+                        {
+                            "label": "serve/mixed/t1",
+                            "schema_version": 2,
+                            "metrics": {
+                                "counters": {},
+                                "gauges": {"serve.rps": 1234.56, "serve.p99_ms": 6.789},
+                                "spans": {},
+                            },
+                        }
+                    ],
+                },
+                f,
+            )
+        missing = os.path.join(tmp, "missing.json")
+
+        def last_record(traj):
+            with open(traj, encoding="utf-8") as f:
+                return json.loads(f.read().splitlines()[-1])
+
+        with_serve = os.path.join(tmp, "with_serve.jsonl")
+        append_trajectory(
+            with_serve, baseline, [], grid_path=missing, serve_path=serve_path
+        )
+        record = last_record(with_serve)
+        cell = record.get("serve_throughput", {}).get("serve/mixed/t1")
+        if cell != {"rps": 1234.6, "p99_ms": 6.789}:
+            problems.append(
+                f"serve throughput not folded into the trajectory: "
+                f"{record.get('serve_throughput')!r}"
+            )
+
+        without = os.path.join(tmp, "without_serve.jsonl")
+        append_trajectory(
+            without, baseline, [], grid_path=missing, serve_path=missing
+        )
+        if "serve_throughput" in last_record(without):
+            problems.append(
+                "serve_throughput present even though no serve document exists"
+            )
+    return problems
+
+
 def self_test(baseline, max_ratio):
     load_problems = self_test_load_errors()
     if load_problems:
@@ -848,9 +1149,17 @@ def self_test(baseline, max_ratio):
         print("self-test FAILED: injected 2x slowdown was not detected")
         return 1
 
+    trajectory_problems = self_test_trajectory(baseline)
+    if trajectory_problems:
+        print("self-test FAILED: trajectory writer problems:")
+        for msg in trajectory_problems:
+            print(f"  - {msg}")
+        return 1
+
     print(
         f"self-test OK: loader errors are one-line and actionable, identity "
-        f"passes, 2x slowdown raises {len(wall_failures)} wall-time failure(s)"
+        f"passes, 2x slowdown raises {len(wall_failures)} wall-time failure(s), "
+        f"trajectory folds serve throughput"
     )
     return 0
 
@@ -869,6 +1178,14 @@ def main():
         help="check the scaling frontier (results/BENCH_scaling.json) "
         "instead of the pipeline benchmark; exact conformance plus "
         "accuracy floors and pool-shrink proof, no wall-time budgets",
+    )
+    parser.add_argument(
+        "--serve",
+        action="store_true",
+        help="check the serving benchmark (results/BENCH_serve.json) "
+        "instead of the pipeline benchmark; exact conformance plus "
+        "thread invariance and accuracy floors, wall budget on "
+        "serve.total only",
     )
     parser.add_argument(
         "--baseline",
@@ -906,9 +1223,14 @@ def main():
     )
     args = parser.parse_args()
 
-    if args.grid and args.scaling:
-        parser.error("--grid and --scaling are mutually exclusive")
-    if args.grid:
+    if sum((args.grid, args.scaling, args.serve)) > 1:
+        parser.error("--grid, --scaling, and --serve are mutually exclusive")
+    if args.serve:
+        bench = "bench_serve"
+        baseline_path = args.baseline or "results/BENCH_serve.baseline.json"
+        fresh_path = args.fresh or "results/BENCH_serve.json"
+        name = "serve conformance"
+    elif args.grid:
         bench = "bench_grid"
         baseline_path = args.baseline or "results/GRID.baseline.json"
         fresh_path = args.fresh or "results/GRID.json"
@@ -926,6 +1248,8 @@ def main():
 
     baseline_doc, baseline = load(baseline_path, "baseline", bench)
     if args.self_test:
+        if args.serve:
+            return serve_self_test(baseline_doc, baseline, args.max_ratio)
         if args.grid:
             return grid_self_test(baseline_doc, baseline)
         if args.scaling:
@@ -933,7 +1257,9 @@ def main():
         return self_test(baseline, args.max_ratio)
 
     fresh_doc, fresh = load(fresh_path, "fresh results", bench)
-    if args.grid:
+    if args.serve:
+        failures = serve_compare(baseline_doc, baseline, fresh_doc, fresh, args.max_ratio)
+    elif args.grid:
         failures = grid_compare(baseline_doc, baseline, fresh_doc, fresh)
     elif args.scaling:
         failures = scaling_compare(baseline_doc, baseline, fresh_doc, fresh)

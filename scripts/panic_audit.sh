@@ -14,12 +14,16 @@ cd "$(dirname "$0")/.."
 AUDITED_FILES=(
     crates/bench/src/bin/bench_grid.rs
     crates/bench/src/bin/bench_scaling.rs
+    crates/bench/src/bin/bench_serve.rs
     crates/core/src/engine.rs
     crates/core/src/parallel.rs
     crates/core/src/pipeline.rs
     crates/core/src/sampling.rs
     crates/core/src/schedule.rs
     crates/core/src/utility.rs
+    crates/serve/src/persist.rs
+    crates/serve/src/registry.rs
+    crates/serve/src/server.rs
 )
 
 # Allowlisted panic sites: one unique substring of the offending line per

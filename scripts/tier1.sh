@@ -31,6 +31,8 @@ else
     cargo test -q
     echo "==> chaos suite (fault injection + validation properties)"
     cargo test -q -p ips-core --test fault_injection --test validate_props
+    echo "==> serving layer (persistence round-trip + server)"
+    cargo test -q -p ips-serve
     echo "==> panic audit"
     bash scripts/panic_audit.sh
 fi

@@ -12,7 +12,9 @@
 //! the comparator methods BASE / BSPCOVER-style / FS-style / LTS-style
 //! ([`baselines`]), the IPS pipeline itself ([`core`]), and the
 //! observability layer every runner reports through — span timers,
-//! metrics registry, versioned run records ([`obs`]).
+//! metrics registry, versioned run records ([`obs`]) — and the serving
+//! layer: model persistence, a model registry, and a batch-admission
+//! classification server ([`serve`]).
 //!
 //! ## Quickstart
 //!
@@ -46,6 +48,7 @@ pub use ips_filter as filter;
 pub use ips_lsh as lsh;
 pub use ips_obs as obs;
 pub use ips_profile as profile;
+pub use ips_serve as serve;
 pub use ips_stats as stats;
 pub use ips_tsdata as tsdata;
 
@@ -97,5 +100,6 @@ pub mod prelude {
     pub use ips_core::{IpsClassifier, IpsConfig, IpsDiscovery};
     pub use ips_obs::{MetricsRegistry, RunRecord};
     pub use ips_profile::{InstanceProfile, MatrixProfile, Metric};
+    pub use ips_serve::{ClassifyRequest, IpsServer, ModelRegistry, ServableModel, ServeConfig};
     pub use ips_tsdata::{registry, Dataset, TimeSeries};
 }

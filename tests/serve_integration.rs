@@ -1,0 +1,77 @@
+//! Cross-crate serving integration: fit → persist → registry → server
+//! driven through the facade crate, checking the DESIGN.md §14 contract
+//! end to end — a persisted model served in batches reproduces the
+//! in-memory classifier exactly, at more than one thread count.
+
+use ips::core::{ChunkSize, IpsClassifier, IpsConfig};
+use ips::prelude::*;
+use ips::serve::{save_model, ClassifyRequest};
+
+fn fast_cfg() -> IpsConfig {
+    IpsConfig::default().with_sampling(5, 3).with_k(2)
+}
+
+#[test]
+fn persisted_models_serve_bit_identical_predictions() {
+    let dir = std::env::temp_dir().join(format!("ips_root_serve_{}", std::process::id()));
+    let mut fitted = Vec::new();
+    for name in ["ItalyPowerDemand", "TwoLeadECG"] {
+        let (train, test) = registry::load(name).expect("registry dataset");
+        let model = IpsClassifier::fit(&train, fast_cfg()).expect("fit succeeds");
+        let servable = ServableModel::from_classifier(name, &model).expect("servable");
+        save_model(&servable, dir.join(format!("{name}.json"))).expect("save");
+        fitted.push((name, model, test));
+    }
+    let models = ModelRegistry::load_dir(&dir).expect("load_dir");
+    assert_eq!(models.names(), vec!["ItalyPowerDemand", "TwoLeadECG"]);
+    std::fs::remove_dir_all(&dir).ok();
+
+    // An interleaved request stream over both models, served at two
+    // thread counts: identical responses, each matching the in-memory
+    // classifier's prediction for its instance.
+    let requests: Vec<ClassifyRequest> = fitted
+        .iter()
+        .flat_map(|(name, _, test)| {
+            test.all_series()
+                .iter()
+                .take(20)
+                .enumerate()
+                .map(move |(i, s)| ClassifyRequest {
+                    id: i as u64,
+                    model: (*name).into(),
+                    window: s.values().to_vec(),
+                })
+        })
+        .collect();
+    let mut per_thread = Vec::new();
+    for threads in [1usize, 4] {
+        let mut server = IpsServer::new(
+            models.clone(),
+            ServeConfig {
+                num_threads: threads,
+                max_batch: 8,
+                chunk_size: ChunkSize::Auto,
+            },
+        )
+        .expect("server");
+        let mut responses = Vec::new();
+        for request in &requests {
+            if let Some(batch) = server.submit(request.clone()).expect("submit") {
+                responses.extend(batch);
+            }
+        }
+        responses.extend(server.flush().expect("flush"));
+        assert_eq!(responses.len(), requests.len(), "threads={threads}");
+        per_thread.push(responses);
+    }
+    assert_eq!(per_thread[0], per_thread[1], "thread-count invariance");
+    for (name, model, test) in &fitted {
+        for (i, series) in test.all_series().iter().take(20).enumerate() {
+            let response = per_thread[0]
+                .iter()
+                .find(|r| r.model == *name && r.id == i as u64)
+                .expect("response present");
+            assert_eq!(response.label, model.predict(series), "{name} instance {i}");
+        }
+    }
+}
